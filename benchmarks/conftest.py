@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artifacts (figure,
+theorem demonstration, or cost table) and prints the rendered result, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, rendered: str) -> None:
+    """Print a rendered experiment artifact under a banner."""
+    banner = f"\n{'#' * 72}\n# {title}\n{'#' * 72}"
+    print(banner)
+    print(rendered)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic whole-system simulations — there
+    is no point re-running them dozens of times for statistics; a single
+    timed round measures the cost of regenerating the artifact.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

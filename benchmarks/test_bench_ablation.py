@@ -1,0 +1,11 @@
+"""Benchmark A1: the lazy-record vulnerability window."""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation import render_ablation, run_ablation
+
+
+def test_bench_ablation(once):
+    result = once(run_ablation)
+    emit("A1 — vulnerability window", render_ablation(result))
+    assert result.u2pc_window_never_closes_at_zero_delay
+    assert result.prany_never_violates

@@ -1,0 +1,12 @@
+"""Benchmark C7: coordinator log vs basic 2PC."""
+
+from benchmarks.conftest import emit
+from repro.experiments.coordinator_log import render_cl, run_cl_experiment
+
+
+def test_bench_cl(once):
+    result = once(run_cl_experiment)
+    emit("C7 — coordinator log", render_cl(result))
+    assert result.all_correct
+    assert result.cl_participants_force_nothing
+    assert result.cl_recovery_pulls_redo

@@ -1,0 +1,18 @@
+"""Benchmark C1: the measured commit-processing cost table."""
+
+from benchmarks.conftest import emit
+from repro.experiments.costs import cost_table, run_cost_experiment
+
+
+def test_bench_costs_two_participants(once):
+    result = once(run_cost_experiment, n_participants=2)
+    emit("C1 — cost table (N=2)", cost_table(result))
+    assert result.prc_commit_cheaper_for_participants_than_pra
+    assert result.pra_abort_is_free_at_coordinator
+    assert result.prn_never_strictly_cheapest
+
+
+def test_bench_costs_four_participants(once):
+    result = once(run_cost_experiment, n_participants=4)
+    emit("C1 — cost table (N=4)", cost_table(result))
+    assert result.prn_never_strictly_cheapest

@@ -1,0 +1,28 @@
+"""Benchmarks F1a–F4b: regenerate every protocol-flow figure.
+
+Each benchmark runs the figure's exact configuration, checks the
+observed per-site lanes against the paper's diagram, and prints the
+reproduced flow.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.flows import (
+    FIGURES,
+    matches_figure,
+    render_flow,
+    reproduce_figure,
+)
+
+
+@pytest.mark.parametrize("figure_id", sorted(FIGURES))
+def test_bench_figure_flow(once, figure_id):
+    result = once(reproduce_figure, figure_id)
+    verdict = matches_figure(result)
+    emit(
+        f"{figure_id} — {result.case.figure} ({result.case.outcome})",
+        render_flow(result) + f"\nlane match vs paper figure: {verdict}",
+    )
+    assert all(verdict.values())
+    assert result.reports_hold

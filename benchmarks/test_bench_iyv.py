@@ -1,0 +1,12 @@
+"""Benchmark C5: IYV vs PrA (round trips vs forced writes)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.iyv import render_iyv, run_iyv_experiment
+
+
+def test_bench_iyv(once):
+    result = once(run_iyv_experiment)
+    emit("C5 — IYV vs PrA", render_iyv(result))
+    assert result.all_correct
+    assert result.iyv_always_decides_earlier
+    assert result.pra_forces_grow_slower

@@ -1,0 +1,13 @@
+"""Benchmark C2: commit latency vs participant count."""
+
+from benchmarks.conftest import emit
+from repro.experiments.latency import latency_sweep, render_latency
+
+
+def test_bench_latency_sweep(once):
+    result = once(latency_sweep)
+    emit("C2 — latency sweep", render_latency(result))
+    # The ack-free paths must terminate the coordinator's wait early.
+    prc = result.point("all-PrC", "commit", 2)
+    prn = result.point("all-PrN", "commit", 2)
+    assert prc.forget_latency < prn.forget_latency

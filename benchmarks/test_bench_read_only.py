@@ -1,0 +1,17 @@
+"""Benchmark C4: the read-only (READ vote) optimization."""
+
+from benchmarks.conftest import emit
+from repro.experiments.read_only import (
+    render_read_only,
+    run_read_only_experiment,
+)
+
+
+def test_bench_read_only(once):
+    result = once(run_read_only_experiment)
+    emit("C4 — read-only optimization", render_read_only(result))
+    assert result.always_correct
+    assert all(
+        result.savings(mix)[0] > 0
+        for mix in ("all-PrN", "all-PrA", "all-PrC", "PrN+PrA+PrC")
+    )

@@ -1,0 +1,10 @@
+"""Benchmark R1: §4.2 coordinator recovery scenarios."""
+
+from benchmarks.conftest import emit
+from repro.experiments.recovery import recovery_experiment, render_recovery
+
+
+def test_bench_recovery(once):
+    result = once(recovery_experiment)
+    emit("R1 — coordinator recovery", render_recovery(result))
+    assert result.all_converged

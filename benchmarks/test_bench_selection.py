@@ -1,0 +1,12 @@
+"""Benchmark C3: dynamic protocol selection ablation."""
+
+from benchmarks.conftest import emit
+from repro.experiments.selection import render_selection, selection_ablation
+
+
+def test_bench_selection_ablation(once):
+    result = once(selection_ablation)
+    emit("C3 — selection ablation", render_selection(result))
+    assert result.savings("all-PrN")[0] > 0
+    assert result.savings("all-PrA")[0] > 0
+    assert result.savings("all-PrC") == (0, 0)

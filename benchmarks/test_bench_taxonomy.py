@@ -1,0 +1,14 @@
+"""Benchmark F5: the taxonomy of atomic commitment (Figure 5)."""
+
+from benchmarks.conftest import emit
+from repro.analysis.taxonomy import TAXONOMY, classify, render_taxonomy
+
+
+def test_bench_taxonomy(once):
+    rendered = once(render_taxonomy)
+    classifications = "\n".join(
+        f"{protocol}: {' > '.join(classify(protocol))}"
+        for protocol in ("PrN", "PrA", "PrC", "PrAny", "U2PC(PrC)", "C2PC(PrN)")
+    )
+    emit("F5 — taxonomy (Figure 5)", rendered + "\n\n" + classifications)
+    assert TAXONOMY.find("Semantic Compensation") is not None

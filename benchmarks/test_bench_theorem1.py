@@ -1,0 +1,10 @@
+"""Benchmark T1: Theorem 1 — U2PC atomicity violations vs PrAny."""
+
+from benchmarks.conftest import emit
+from repro.experiments.theorem1 import render_theorem1, run_theorem1
+
+
+def test_bench_theorem1(once):
+    result = once(run_theorem1)
+    emit("T1 — Theorem 1 (U2PC impossibility)", render_theorem1(result))
+    assert result.theorem_demonstrated

@@ -1,0 +1,10 @@
+"""Benchmark T2: Theorem 2 — C2PC unbounded retention vs PrAny."""
+
+from benchmarks.conftest import emit
+from repro.experiments.theorem2 import render_theorem2, run_theorem2
+
+
+def test_bench_theorem2(once):
+    result = once(run_theorem2)
+    emit("T2 — Theorem 2 (C2PC retention growth)", render_theorem2(result))
+    assert result.theorem_demonstrated

@@ -1,0 +1,10 @@
+"""Benchmark T3: Theorem 3 — PrAny operational correctness stress."""
+
+from benchmarks.conftest import emit
+from repro.experiments.theorem3 import render_theorem3, run_theorem3
+
+
+def test_bench_theorem3(once):
+    result = once(run_theorem3)
+    emit("T3 — Theorem 3 (PrAny correctness stress)", render_theorem3(result))
+    assert result.theorem_demonstrated

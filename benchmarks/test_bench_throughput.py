@@ -1,0 +1,14 @@
+"""Benchmark C6: streaming throughput (also times the simulator itself)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.throughput import (
+    render_throughput,
+    run_throughput_experiment,
+)
+
+
+def test_bench_throughput(once):
+    result = once(run_throughput_experiment)
+    emit("C6 — streaming throughput", render_throughput(result))
+    assert result.all_correct
+    assert result.prc_residency_lowest_on_commits

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Post-mortem forensics on a lost settlement.
+
+A U2PC clearinghouse lost atomicity overnight (Theorem 1's scenario).
+This example shows the operator-side workflow the library supports:
+
+1. the run's trace was dumped to disk (JSON Lines);
+2. load it back — no re-simulation needed;
+3. rebuild the ACTA-style history and run the checkers;
+4. evaluate the paper's SafeState formula (Definition 2) directly, and
+   print it the way the paper writes it.
+
+Run:
+    python examples/trace_forensics.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MDBS, check_atomicity, simple_transaction
+from repro.core.acta import check_safe_state_acta, safe_state_formula
+from repro.core.history import History
+from repro.sim.export import dump_trace, load_trace
+
+
+def overnight_run() -> MDBS:
+    """The U2PC run that loses txn 'pay-7' (Theorem 1, Part I shape)."""
+    mdbs = MDBS(seed=7)
+    mdbs.add_site("bank_a", protocol="PrA")
+    mdbs.add_site("bank_c", protocol="PrC")
+    mdbs.add_site("clearinghouse", protocol="PrN", coordinator="U2PC(PrN)")
+    mdbs.failures.crash_when(
+        "bank_c",
+        lambda e: e.matches("msg", "send", kind="COMMIT", to="bank_c", txn="pay-7"),
+        down_for=60.0,
+    )
+    for i in range(10):
+        mdbs.submit(
+            simple_transaction(
+                f"pay-{i}", "clearinghouse", ["bank_a", "bank_c"],
+                submit_at=i * 30.0,
+            )
+        )
+    mdbs.run(until=800)
+    mdbs.finalize()
+    return mdbs
+
+
+def main() -> None:
+    mdbs = overnight_run()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_file = Path(tmp) / "overnight.jsonl"
+        events = dump_trace(mdbs.sim.trace, trace_file)
+        print(f"dumped {events} events to {trace_file.name}")
+
+        # ---- later, on another machine ----
+        trace = load_trace(trace_file)
+        history = History.from_trace(trace)
+
+        print("\nAtomicity audit over the loaded trace:")
+        report = check_atomicity(history, trace)
+        print(report)
+
+        print("\nDefinition 2, evaluated as the paper's ACTA formula:")
+        print(" ", safe_state_formula("T").render())
+        verdicts = check_safe_state_acta(history)
+        for txn_id, holds in sorted(verdicts.items()):
+            marker = "ok " if holds else "VIOLATED"
+            print(f"  SafeState({txn_id}): {marker}")
+
+        broken = [txn for txn, holds in verdicts.items() if not holds]
+        print(
+            f"\nconclusion: {len(broken)} transaction(s) were forgotten "
+            f"outside a safe state: {broken}"
+        )
+        print(
+            "root cause: the U2PC coordinator answered the recovered PrC "
+            "bank with its own (abort) presumption instead of the "
+            "inquirer's — exactly Theorem 1."
+        )
+
+
+if __name__ == "__main__":
+    main()

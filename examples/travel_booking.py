@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Travel booking across three autonomous reservation systems.
+
+The paper's motivating setting: electronic commerce over sites that
+implement *different* commit protocols. Here a trip spans:
+
+* ``airline``  — a modern system running presumed commit (PrC),
+* ``hotel``    — a commercial DBMS running presumed abort (PrA),
+* ``cars``     — a legacy system running basic 2PC (PrN).
+
+A travel agency coordinator books all three legs atomically with PrAny.
+We book one trip successfully, lose one to a full hotel (No vote), and
+push one through an airline crash mid-confirmation.
+
+Run:
+    python examples/travel_booking.py
+"""
+
+from repro import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+
+
+def book_trip(trip_id, customer, flight, room, car, submit_at=0.0, hotel_full=False):
+    """A three-leg booking as one global transaction."""
+    return GlobalTransaction(
+        txn_id=trip_id,
+        coordinator="agency",
+        writes={
+            "airline": [WriteOp(flight, customer)],
+            "hotel": [WriteOp(room, customer)],
+            "cars": [WriteOp(car, customer)],
+        },
+        submit_at=submit_at,
+        force_no_vote_at=frozenset({"hotel"}) if hotel_full else frozenset(),
+    )
+
+
+def main() -> None:
+    mdbs = MDBS(seed=7)
+    mdbs.add_site("airline", protocol="PrC")
+    mdbs.add_site("hotel", protocol="PrA")
+    mdbs.add_site("cars", protocol="PrN")
+    mdbs.add_site("agency", protocol="PrN", coordinator="dynamic")
+
+    # Trip 1: everything available — must commit everywhere.
+    mdbs.submit(book_trip("trip-ada", "ada", "FL17-12A", "room-301", "car-9"))
+
+    # Trip 2: the hotel is full and refuses to prepare — must abort
+    # everywhere (no dangling flight or car reservations!).
+    mdbs.submit(
+        book_trip(
+            "trip-bob", "bob", "FL17-12B", "room-301", "car-4",
+            submit_at=50, hotel_full=True,
+        )
+    )
+
+    # Trip 3: the airline crashes right before the commit decision
+    # reaches it. Its PrC presumption resolves the in-doubt booking
+    # after recovery — the trip still commits atomically.
+    mdbs.failures.crash_when(
+        "airline",
+        lambda e: e.matches("msg", "send", kind="COMMIT", to="airline", txn="trip-eve"),
+        down_for=80.0,
+        label="airline outage during confirmation",
+    )
+    mdbs.submit(
+        book_trip("trip-eve", "eve", "FL18-03C", "room-512", "car-2", submit_at=100)
+    )
+
+    mdbs.run(until=800)
+    mdbs.finalize()
+
+    print("Reservation systems after the day's bookings")
+    print("-" * 46)
+    for site in ("airline", "hotel", "cars"):
+        print(f"{site:>8}: {mdbs.site(site).store.snapshot()}")
+    print()
+
+    history = mdbs.history()
+    for trip in ("trip-ada", "trip-bob", "trip-eve"):
+        decision = history.decision(trip)
+        print(f"{trip}: {decision.value if decision else 'no decision'}")
+    print()
+
+    reports = mdbs.check()
+    print(reports)
+    assert reports.all_hold, "bookings lost atomicity!"
+    print("\nAll bookings atomic; all sites forgot terminated trips.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under
+PEP 517; offline environments without ``wheel`` can fall back to the
+legacy editable path through this file.
+"""
+
+from setuptools import setup
+
+setup()

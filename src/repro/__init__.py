@@ -1,0 +1,106 @@
+"""repro — an executable reproduction of *Atomicity with Incompatible
+Presumptions* (Al-Houmaily & Chrysanthis, PODS 1999).
+
+The library implements, from scratch, a deterministic discrete-event
+simulation of a multidatabase system whose sites employ different
+two-phase-commit variants — presumed nothing (PrN), presumed abort
+(PrA) and presumed commit (PrC) — plus:
+
+* **PrAny**, the paper's protocol integrating all three,
+* **U2PC** and **C2PC**, the flawed integrations of Theorems 1 and 2,
+* an executable ACTA-style history with the **SafeState** predicate
+  (Definition 2) and the **operational correctness** criterion
+  (Definition 1) as machine-checked run invariants.
+
+Quickstart::
+
+    from repro import MDBS, simple_transaction
+
+    mdbs = MDBS(seed=42)
+    mdbs.add_site("alpha", protocol="PrA")
+    mdbs.add_site("beta", protocol="PrC")
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+    mdbs.run(until=200)
+    mdbs.finalize()
+    assert mdbs.check().all_hold
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced figures and theorems.
+"""
+
+from repro.core import (
+    AtomicityReport,
+    History,
+    OperationalReport,
+    Outcome,
+    Presumption,
+    SafeStateReport,
+    check_atomicity,
+    check_operational_correctness,
+    check_safe_state,
+    presumption_of_protocol,
+)
+from repro.errors import (
+    AtomicityViolation,
+    CorrectnessViolation,
+    OperationalCorrectnessViolation,
+    ProtocolError,
+    ReproError,
+    SafeStateViolation,
+)
+from repro.mdbs import (
+    MDBS,
+    GlobalTransaction,
+    RunReports,
+    Site,
+    WriteOp,
+    simple_transaction,
+)
+from repro.net import CrashSchedule, FailureInjector, Message, Network
+from repro.protocols import (
+    CoordinatorPolicy,
+    TimeoutConfig,
+    coordinator_policy,
+    participant_spec,
+    selector_for,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicityReport",
+    "AtomicityViolation",
+    "CoordinatorPolicy",
+    "CorrectnessViolation",
+    "CrashSchedule",
+    "FailureInjector",
+    "GlobalTransaction",
+    "History",
+    "MDBS",
+    "Message",
+    "Network",
+    "OperationalCorrectnessViolation",
+    "OperationalReport",
+    "Outcome",
+    "Presumption",
+    "ProtocolError",
+    "ReproError",
+    "RunReports",
+    "SafeStateReport",
+    "SafeStateViolation",
+    "Simulator",
+    "Site",
+    "TimeoutConfig",
+    "WriteOp",
+    "__version__",
+    "check_atomicity",
+    "check_operational_correctness",
+    "check_safe_state",
+    "coordinator_policy",
+    "participant_spec",
+    "presumption_of_protocol",
+    "selector_for",
+    "simple_transaction",
+]

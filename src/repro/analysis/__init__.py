@@ -1,0 +1,29 @@
+"""Run analysis: metric extraction, table rendering, the taxonomy."""
+
+from repro.analysis.metrics import (
+    CostBreakdown,
+    MessageCounts,
+    cost_breakdown,
+    message_counts,
+    site_force_counts,
+)
+from repro.analysis.model import PredictedCosts, predict_costs, predict_homogeneous
+from repro.analysis.report import render_series, render_table
+from repro.analysis.taxonomy import TAXONOMY, TaxonomyNode, classify, render_taxonomy
+
+__all__ = [
+    "CostBreakdown",
+    "MessageCounts",
+    "PredictedCosts",
+    "predict_costs",
+    "predict_homogeneous",
+    "TAXONOMY",
+    "TaxonomyNode",
+    "classify",
+    "cost_breakdown",
+    "message_counts",
+    "render_series",
+    "render_table",
+    "render_taxonomy",
+    "site_force_counts",
+]

@@ -1,0 +1,137 @@
+"""Metric extraction from runs.
+
+The cost comparison the presumed protocols compete on (experiment C1)
+is measured here: forced log writes (the dominant latency cost), total
+log writes, and message counts, split by site role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.mdbs.system import MDBS
+from repro.sim.tracing import TraceRecorder
+
+
+@dataclass(frozen=True)
+class MessageCounts:
+    """Messages sent in (part of) a run, by kind."""
+
+    by_kind: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_kind.values())
+
+    def of(self, kind: str) -> int:
+        return self.by_kind.get(kind, 0)
+
+
+def message_counts(
+    trace: TraceRecorder,
+    txn_id: Optional[str] = None,
+    since_seq: int = 0,
+) -> MessageCounts:
+    """Count sent messages, optionally restricted to one transaction."""
+    counts: dict[str, int] = {}
+    for event in trace:
+        if event.seq < since_seq or not event.matches("msg", "send"):
+            continue
+        if txn_id is not None and event.details.get("txn") != txn_id:
+            continue
+        kind = event.details.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    return MessageCounts(counts)
+
+
+def site_force_counts(mdbs: MDBS) -> dict[str, int]:
+    """Forced log writes per site over the whole run."""
+    return {site_id: site.log.force_count for site_id, site in mdbs.sites.items()}
+
+
+@dataclass
+class CostBreakdown:
+    """Per-transaction commit-processing costs, split by role.
+
+    ``coordinator_forced`` / ``coordinator_writes`` count the
+    coordinator's log activity for the transaction;
+    ``participant_forced`` / ``participant_writes`` aggregate over all
+    participants; ``messages`` counts every protocol message of the
+    transaction (prepares, votes, decisions, acks, inquiries).
+    """
+
+    txn_id: str
+    coordinator: str
+    coordinator_forced: int = 0
+    coordinator_writes: int = 0
+    participant_forced: int = 0
+    participant_writes: int = 0
+    messages: int = 0
+    message_kinds: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_forced(self) -> int:
+        return self.coordinator_forced + self.participant_forced
+
+
+def cost_breakdown(
+    trace: TraceRecorder,
+    txn_id: str,
+    coordinator: str,
+    exclude_update_records: bool = True,
+) -> CostBreakdown:
+    """Measure one transaction's commit-processing costs from the trace.
+
+    A log append is counted as *forced* if a force on the same site
+    follows it before any other append on that site — which is exactly
+    how the engines write records (``force_append``). UPDATE records
+    are excluded by default: they are data-plane cost, identical across
+    protocols, and the paper's comparison is about protocol records.
+    """
+    breakdown = CostBreakdown(txn_id=txn_id, coordinator=coordinator)
+    # Pass 1: map (site, lsn) appends of this txn; find which became
+    # stable via a force *immediately* following (per force_append).
+    pending: dict[str, list[tuple[int, str]]] = {}  # site -> [(seq, type)]
+    for event in trace:
+        if event.category != "log":
+            continue
+        site = event.site
+        if event.name == "append":
+            if event.details.get("txn") != txn_id:
+                # A force after this append no longer immediately covers
+                # our earlier appends — but force flushes everything, so
+                # buffered records of our txn are still forced with it.
+                # Track appends regardless of txn, tagging ours.
+                pending.setdefault(site, []).append((event.seq, ""))
+                continue
+            record_type = event.details.get("type", "")
+            if exclude_update_records and record_type == "update":
+                continue
+            pending.setdefault(site, []).append((event.seq, record_type))
+            is_coordinator = site == coordinator
+            if is_coordinator:
+                breakdown.coordinator_writes += 1
+            else:
+                breakdown.participant_writes += 1
+        elif event.name == "force":
+            for __, record_type in pending.get(site, []):
+                if not record_type:
+                    continue
+                if site == coordinator:
+                    breakdown.coordinator_forced += 1
+                else:
+                    breakdown.participant_forced += 1
+            pending[site] = []
+        elif event.name == "crash":
+            pending[site] = []
+    counts = message_counts(trace, txn_id=txn_id)
+    breakdown.messages = counts.total
+    breakdown.message_kinds = dict(counts.by_kind)
+    return breakdown
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty iterable."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,117 @@
+"""Closed-form cost model of the 2PC variants.
+
+The protocols' log-force and message counts are simple functions of the
+participant membership; this module states them in closed form so the
+simulation can be validated against them *exactly* (and vice versa —
+the model is only trusted because `tests/analysis/test_model.py` proves
+it equal to measurement on every configuration).
+
+Counting conventions (matching ``repro.analysis.metrics.cost_breakdown``):
+
+* protocol records only — UPDATE (data-plane) records are excluded;
+* a *force* is a record made stable by the protocol's own force, not by
+  a background flush;
+* messages count prepares, votes, decisions and acks of one transaction
+  with every participant voting Yes (no failures, no read-only voters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.events import Outcome
+from repro.errors import UnknownProtocolError
+from repro.protocols.base import participant_will_ack
+from repro.protocols.registry import DynamicSelector
+
+
+@dataclass(frozen=True)
+class PredictedCosts:
+    """Closed-form per-transaction commit-processing costs."""
+
+    protocol: str
+    outcome: str
+    coordinator_forces: int
+    coordinator_writes: int
+    participant_forces: int
+    participant_writes: int
+    acks: int
+    messages: int
+
+    @property
+    def total_forces(self) -> int:
+        return self.coordinator_forces + self.participant_forces
+
+
+def predict_costs(
+    participant_protocols: Mapping[str, str],
+    outcome: Outcome,
+) -> PredictedCosts:
+    """Predict one transaction's costs under §4.1 dynamic selection.
+
+    Args:
+        participant_protocols: site → protocol for every participant.
+        outcome: the decision the coordinator reaches (all participants
+            vote Yes; an abort outcome models a coordinator-side abort).
+    """
+    if not participant_protocols:
+        raise UnknownProtocolError("need at least one participant")
+    unsupported = set(participant_protocols.values()) - {"PrN", "PrA", "PrC"}
+    if unsupported:
+        raise UnknownProtocolError(
+            f"the closed-form model covers the paper's 2PC variants only; "
+            f"{sorted(unsupported)} have different logging shapes "
+            f"(measure them with repro.analysis.metrics.cost_breakdown)"
+        )
+    policy = DynamicSelector().select(participant_protocols)
+    n = len(participant_protocols)
+    ackers = sum(
+        1
+        for protocol in participant_protocols.values()
+        if policy.ack_expected(protocol, outcome)
+    )
+
+    # Coordinator log activity.
+    coordinator_forces = 0
+    coordinator_writes = 0
+    if policy.writes_initiation():
+        coordinator_forces += 1
+        coordinator_writes += 1
+    if policy.forces_decision_record(outcome):
+        coordinator_forces += 1
+        coordinator_writes += 1
+    if policy.writes_end(outcome):
+        coordinator_writes += 1  # non-forced end record
+
+    # Participant log activity: every participant forces a prepared
+    # record; each then writes a decision record, forced exactly when
+    # its protocol acknowledges that decision (the specs' symmetry).
+    participant_forces = n
+    participant_writes = 2 * n
+    for protocol in participant_protocols.values():
+        if participant_will_ack(protocol, outcome):
+            participant_forces += 1
+
+    # Messages: prepare + vote + decision to every participant, then
+    # one ack per expected acker.
+    messages = 3 * n + ackers
+
+    return PredictedCosts(
+        protocol=policy.name,
+        outcome=outcome.value,
+        coordinator_forces=coordinator_forces,
+        coordinator_writes=coordinator_writes,
+        participant_forces=participant_forces,
+        participant_writes=participant_writes,
+        acks=ackers,
+        messages=messages,
+    )
+
+
+def predict_homogeneous(
+    protocol: str, n_participants: int, outcome: Outcome
+) -> PredictedCosts:
+    """Convenience wrapper for an all-``protocol`` participant set."""
+    participants = {f"p{i}": protocol for i in range(n_participants)}
+    return predict_costs(participants, outcome)

@@ -1,0 +1,69 @@
+"""Plain-text table and series rendering for experiment reports.
+
+Every benchmark prints through these helpers, so EXPERIMENTS.md and the
+bench output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, 22], [333, 4]]))
+    a   | b
+    ----+---
+    1   | 22
+    333 | 4
+    """
+    string_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Sequence[tuple[Any, float]],
+    width: int = 40,
+) -> str:
+    """Render an (x, y) series as a labelled horizontal bar chart.
+
+    >>> print(render_series("growth", [(1, 1.0), (2, 2.0)], width=4))
+    growth
+    1 | ##   1
+    2 | #### 2
+    """
+    if not points:
+        return f"{name}\n(empty)"
+    peak = max(abs(y) for __, y in points) or 1.0
+    x_width = max(len(_fmt(x)) for x, __ in points)
+    lines = [name]
+    for x, y in points:
+        bar = "#" * max(0, round(abs(y) / peak * width))
+        lines.append(f"{_fmt(x).ljust(x_width)} | {bar.ljust(width)} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)

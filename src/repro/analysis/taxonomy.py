@@ -1,0 +1,143 @@
+"""Figure 5: taxonomy of atomic commitment in universal environments.
+
+The appendix of the paper classifies approaches to atomic commitment in
+multidatabase environments by whether constituent sites *externalize*
+an atomic commit protocol. This module models the taxonomy tree
+(experiment F5) and classifies every protocol implemented in this
+repository into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TaxonomyNode:
+    """One node of the Figure-5 taxonomy tree."""
+
+    name: str
+    description: str = ""
+    children: tuple["TaxonomyNode", ...] = ()
+
+    def find(self, name: str) -> Optional["TaxonomyNode"]:
+        """Locate a node by name anywhere in this subtree."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "TaxonomyNode"]]:
+        """Pre-order traversal with depths."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def path_to(self, name: str) -> Optional[list[str]]:
+        """Names from this node down to the named node, inclusive."""
+        if self.name == name:
+            return [self.name]
+        for child in self.children:
+            sub = child.path_to(name)
+            if sub is not None:
+                return [self.name] + sub
+        return None
+
+
+#: The Figure-5 tree, reconstructed from the appendix.
+TAXONOMY = TaxonomyNode(
+    "Atomic Commitment in Universal Distributed Environments",
+    "How to guarantee global transaction atomicity across autonomous sites.",
+    (
+        TaxonomyNode(
+            "Externalized",
+            "Sites implement an ACP and expose its commit operators; the "
+            "challenge is integrating different, incompatible ACPs — the "
+            "research direction this paper (PrAny) belongs to.",
+        ),
+        TaxonomyNode(
+            "Non-externalized",
+            "Legacy sites expose no ACP.",
+            (
+                TaxonomyNode(
+                    "Modify Component LDBMSs",
+                    "Incorporate an ACP into each local DBMS and "
+                    "externalize it.",
+                ),
+                TaxonomyNode(
+                    "Simulate a prepared state",
+                    "Emulate the visible prepare-to-commit state above "
+                    "unmodified systems.",
+                    (
+                        TaxonomyNode(
+                            "Commitment after (Redo)",
+                            "Install effects after the global decision.",
+                            (
+                                TaxonomyNode("Data partitioning"),
+                                TaxonomyNode("Rerouting"),
+                                TaxonomyNode("MDBS Exclusive Right Reservation"),
+                            ),
+                        ),
+                        TaxonomyNode(
+                            "Commitment before (Undo)",
+                            "Commit locally first; compensate on global abort "
+                            "(may weaken atomicity to semantic atomicity).",
+                            (
+                                TaxonomyNode("Retry"),
+                                TaxonomyNode("Syntactic Compensation"),
+                                TaxonomyNode("Semantic Compensation"),
+                            ),
+                        ),
+                        TaxonomyNode(
+                            "Hybrid",
+                            "Combine redo- and undo-style simulation.",
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        TaxonomyNode(
+            "Unified",
+            "Combines the externalized and non-externalized approaches, "
+            "covering diverse transaction and data semantics.",
+        ),
+    ),
+)
+
+#: Where each protocol in this repository sits in the taxonomy.
+_PROTOCOL_CATEGORY: dict[str, str] = {
+    "PrN": "Externalized",
+    "PrA": "Externalized",
+    "PrC": "Externalized",
+    "PrAny": "Externalized",
+    "U2PC": "Externalized",
+    "C2PC": "Externalized",
+}
+
+
+def classify(protocol: str) -> list[str]:
+    """Path from the taxonomy root to the protocol's category.
+
+    Accepts wrapped names like ``"U2PC(PrC)"``.
+    """
+    base = protocol.split("(", 1)[0]
+    category = _PROTOCOL_CATEGORY.get(base)
+    if category is None:
+        raise KeyError(f"protocol {protocol!r} is not classified")
+    path = TAXONOMY.path_to(category)
+    assert path is not None
+    return path
+
+
+def render_taxonomy(root: TaxonomyNode = TAXONOMY) -> str:
+    """Indented-text rendering of the taxonomy (regenerates Figure 5)."""
+    lines = []
+    for depth, node in root.walk():
+        indent = "  " * depth
+        marker = "- " if depth else ""
+        lines.append(f"{indent}{marker}{node.name}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Command-line interface: reproduce any of the paper's artifacts.
+
+Examples::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro figure F1a           # one protocol-flow figure
+    python -m repro theorem 1            # a theorem demonstration
+    python -m repro costs --participants 4
+    python -m repro taxonomy             # Figure 5
+    python -m repro all                  # everything, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.taxonomy import classify, render_taxonomy
+from repro.experiments.ablation import render_ablation, run_ablation
+from repro.experiments.coordinator_log import render_cl, run_cl_experiment
+from repro.experiments.costs import cost_table, run_cost_experiment
+from repro.experiments.flows import (
+    FIGURES,
+    matches_figure,
+    render_flow,
+    reproduce_figure,
+)
+from repro.experiments.iyv import render_iyv, run_iyv_experiment
+from repro.experiments.latency import latency_sweep, render_latency
+from repro.experiments.read_only import render_read_only, run_read_only_experiment
+from repro.experiments.recovery import recovery_experiment, render_recovery
+from repro.experiments.selection import render_selection, selection_ablation
+from repro.experiments.theorem1 import render_theorem1, run_theorem1
+from repro.experiments.throughput import render_throughput, run_throughput_experiment
+from repro.experiments.theorem2 import render_theorem2, run_theorem2
+from repro.experiments.theorem3 import render_theorem3, run_theorem3
+
+
+def _cmd_list(args: argparse.Namespace) -> str:
+    lines = ["Reproducible artifacts:", ""]
+    for figure_id, case in FIGURES.items():
+        lines.append(f"  figure {figure_id:<10} {case.description}")
+    lines += [
+        "  theorem 1          U2PC cannot guarantee atomicity",
+        "  theorem 2          C2PC is not operationally correct",
+        "  theorem 3          PrAny operational-correctness stress",
+        "  costs              C1: measured cost table",
+        "  latency            C2: latency vs participant count",
+        "  selection          C3: dynamic-selection ablation",
+        "  readonly           C4: read-only optimization",
+        "  iyv                C5: implicit yes-vote vs presumed abort",
+        "  ablation           A1: lazy-record vulnerability window",
+        "  throughput         C6: streaming throughput and residency",
+        "  cl                 C7: coordinator log vs basic 2PC",
+        "  recovery           R1: §4.2 coordinator recovery",
+        "  taxonomy           F5: atomic-commitment taxonomy",
+        "  all                everything above, in order",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    result = reproduce_figure(args.id, seed=args.seed)
+    verdict = matches_figure(result)
+    return render_flow(result) + f"\nlane match vs paper figure: {verdict}"
+
+
+def _cmd_theorem(args: argparse.Namespace) -> str:
+    if args.number == 1:
+        return render_theorem1(run_theorem1(seed=args.seed))
+    if args.number == 2:
+        return render_theorem2(run_theorem2(seed=args.seed))
+    return render_theorem3(run_theorem3(seed=args.seed))
+
+
+def _cmd_costs(args: argparse.Namespace) -> str:
+    return cost_table(run_cost_experiment(n_participants=args.participants))
+
+
+def _cmd_latency(args: argparse.Namespace) -> str:
+    return render_latency(latency_sweep())
+
+
+def _cmd_selection(args: argparse.Namespace) -> str:
+    return render_selection(selection_ablation())
+
+
+def _cmd_readonly(args: argparse.Namespace) -> str:
+    return render_read_only(run_read_only_experiment())
+
+
+def _cmd_iyv(args: argparse.Namespace) -> str:
+    return render_iyv(run_iyv_experiment())
+
+
+def _cmd_ablation(args: argparse.Namespace) -> str:
+    return render_ablation(run_ablation(seed=args.seed))
+
+
+def _cmd_cl(args: argparse.Namespace) -> str:
+    return render_cl(run_cl_experiment(seed=args.seed))
+
+
+def _cmd_throughput(args: argparse.Namespace) -> str:
+    return render_throughput(run_throughput_experiment(seed=args.seed))
+
+
+def _cmd_recovery(args: argparse.Namespace) -> str:
+    return render_recovery(recovery_experiment(seed=args.seed))
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> str:
+    protocols = ("PrN", "PrA", "PrC", "PrAny", "U2PC(PrC)", "C2PC(PrN)")
+    classifications = "\n".join(
+        f"  {protocol}: {' > '.join(classify(protocol))}" for protocol in protocols
+    )
+    return render_taxonomy() + "\n\nClassification of this repo's protocols:\n" + classifications
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    sections: list[str] = []
+    for figure_id in sorted(FIGURES):
+        result = reproduce_figure(figure_id, seed=args.seed)
+        sections.append(render_flow(result))
+    sections.append(render_theorem1(run_theorem1(seed=args.seed)))
+    sections.append(render_theorem2(run_theorem2(seed=args.seed)))
+    sections.append(render_theorem3(run_theorem3(seed=args.seed)))
+    sections.append(cost_table(run_cost_experiment()))
+    sections.append(render_latency(latency_sweep()))
+    sections.append(render_selection(selection_ablation()))
+    sections.append(render_read_only(run_read_only_experiment()))
+    sections.append(render_iyv(run_iyv_experiment()))
+    sections.append(render_ablation(run_ablation(seed=args.seed)))
+    sections.append(render_throughput(run_throughput_experiment(seed=args.seed)))
+    sections.append(render_cl(run_cl_experiment(seed=args.seed)))
+    sections.append(render_recovery(recovery_experiment(seed=args.seed)))
+    sections.append(_cmd_taxonomy(args))
+    rule = "\n" + "=" * 72 + "\n"
+    return rule.join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the artifacts of 'Atomicity with Incompatible "
+            "Presumptions' (PODS 1999)."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="master seed for the experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts").set_defaults(
+        handler=_cmd_list
+    )
+
+    figure = sub.add_parser("figure", help="reproduce one flow figure")
+    figure.add_argument("id", choices=sorted(FIGURES), help="figure id")
+    figure.set_defaults(handler=_cmd_figure)
+
+    theorem = sub.add_parser("theorem", help="demonstrate a theorem")
+    theorem.add_argument("number", type=int, choices=(1, 2, 3))
+    theorem.set_defaults(handler=_cmd_theorem)
+
+    costs = sub.add_parser("costs", help="C1: measured cost table")
+    costs.add_argument("--participants", type=int, default=2)
+    costs.set_defaults(handler=_cmd_costs)
+
+    for name, handler, help_text in (
+        ("latency", _cmd_latency, "C2: latency vs participant count"),
+        ("selection", _cmd_selection, "C3: dynamic-selection ablation"),
+        ("readonly", _cmd_readonly, "C4: read-only optimization"),
+        ("iyv", _cmd_iyv, "C5: implicit yes-vote vs presumed abort"),
+        ("ablation", _cmd_ablation, "A1: lazy-record vulnerability window"),
+        ("throughput", _cmd_throughput, "C6: streaming throughput/residency"),
+        ("cl", _cmd_cl, "C7: coordinator log vs basic 2PC"),
+        ("recovery", _cmd_recovery, "R1: coordinator recovery"),
+        ("taxonomy", _cmd_taxonomy, "F5: the taxonomy tree"),
+        ("all", _cmd_all, "run every artifact in order"),
+    ):
+        sub.add_parser(name, help=help_text).set_defaults(handler=handler)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler: Callable[[argparse.Namespace], str] = args.handler
+    try:
+        print(handler(args))
+    except BrokenPipeError:
+        # Output was piped into something that closed early (e.g. head).
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

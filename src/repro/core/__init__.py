@@ -1,0 +1,52 @@
+"""The paper's core formalism, executable.
+
+* :mod:`repro.core.presumption` — the presumption each 2PC variant
+  applies to forgotten transactions, and PrAny's dynamic adoption of
+  the inquirer's presumption.
+* :mod:`repro.core.events` / :mod:`repro.core.history` — ACTA-style
+  significant events and the history H with its precedence relation,
+  extracted from a simulation trace.
+* :mod:`repro.core.safe_state` — Definition 2 (SafeState) evaluated
+  over a history.
+* :mod:`repro.core.correctness` — Definition 1: functional correctness
+  (atomicity) and operational correctness (eventual forgetting).
+"""
+
+from repro.core.acta import (
+    check_safe_state_acta,
+    safe_state_formula,
+    safe_state_holds,
+)
+from repro.core.correctness import (
+    AtomicityReport,
+    OperationalReport,
+    check_atomicity,
+    check_operational_correctness,
+)
+from repro.core.events import EventKind, Outcome, SignificantEvent
+from repro.core.history import History
+from repro.core.presumption import (
+    Presumption,
+    presumption_of_protocol,
+    presumed_outcome_for_inquirer,
+)
+from repro.core.safe_state import SafeStateReport, check_safe_state
+
+__all__ = [
+    "AtomicityReport",
+    "EventKind",
+    "History",
+    "OperationalReport",
+    "Outcome",
+    "Presumption",
+    "SafeStateReport",
+    "SignificantEvent",
+    "check_atomicity",
+    "check_safe_state_acta",
+    "safe_state_formula",
+    "safe_state_holds",
+    "check_operational_correctness",
+    "check_safe_state",
+    "presumed_outcome_for_inquirer",
+    "presumption_of_protocol",
+]

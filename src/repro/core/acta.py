@@ -1,0 +1,281 @@
+"""ACTA: an executable first-order logic over commit histories.
+
+The paper expresses its safety criterion in ACTA [Chrysanthis &
+Ramamritham, TODS 1994] — a first-order predicate logic over
+transaction significant events with a precedence relation. This module
+implements a small formula language (atoms, connectives, quantifiers)
+evaluated against a :class:`~repro.core.history.History`, and builds
+**Definition 2** in it literally:
+
+    SafeState_C(T) ⇐
+        (Decide_C(Abort_T) ∈ H ∧
+         ∀ti ∈ T: (DeletePT_C(T) → INQ_ti) ⇒ Respond_C(Abort_ti) ∈ H)
+      ∨ (Decide_C(Commit_T) ∈ H ∧
+         ∀ti ∈ T: (DeletePT_C(T) → INQ_ti) ⇒ Respond_C(Commit_ti) ∈ H)
+
+Evaluating the formula against a run's history is an independent,
+declarative implementation of the SafeState check — the test suite
+cross-validates it against the imperative
+:func:`repro.core.safe_state.check_safe_state` on whole-system runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.events import EventKind, Outcome, SignificantEvent
+from repro.core.history import History
+
+
+@dataclass
+class Context:
+    """Evaluation context: the history H plus current variable bindings."""
+
+    history: History
+    bindings: dict[str, Any] = field(default_factory=dict)
+
+    def bound(self, var: str, value: Any) -> "Context":
+        """A child context with one more binding."""
+        extended = dict(self.bindings)
+        extended[var] = value
+        return Context(self.history, extended)
+
+    def __getitem__(self, var: str) -> Any:
+        return self.bindings[var]
+
+
+class Formula(abc.ABC):
+    """A closed or open formula over a commit history."""
+
+    @abc.abstractmethod
+    def evaluate(self, ctx: Context) -> bool:
+        """Truth value under the context's bindings."""
+
+    @abc.abstractmethod
+    def render(self) -> str:
+        """ACTA-style notation of the formula."""
+
+    def holds_in(self, history: History, **bindings: Any) -> bool:
+        """Evaluate as a closed formula over ``history``."""
+        return self.evaluate(Context(history, dict(bindings)))
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.render()
+
+    # Connective sugar.
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+class Atom(Formula):
+    """A primitive predicate with an ACTA-style label."""
+
+    def __init__(self, label: str, predicate: Callable[[Context], bool]) -> None:
+        self._label = label
+        self._predicate = predicate
+
+    def evaluate(self, ctx: Context) -> bool:
+        return self._predicate(ctx)
+
+    def render(self) -> str:
+        return self._label
+
+
+class And(Formula):
+    def __init__(self, *parts: Formula) -> None:
+        self._parts = parts
+
+    def evaluate(self, ctx: Context) -> bool:
+        return all(part.evaluate(ctx) for part in self._parts)
+
+    def render(self) -> str:
+        return "(" + " ∧ ".join(part.render() for part in self._parts) + ")"
+
+
+class Or(Formula):
+    def __init__(self, *parts: Formula) -> None:
+        self._parts = parts
+
+    def evaluate(self, ctx: Context) -> bool:
+        return any(part.evaluate(ctx) for part in self._parts)
+
+    def render(self) -> str:
+        return "(" + " ∨ ".join(part.render() for part in self._parts) + ")"
+
+
+class Not(Formula):
+    def __init__(self, inner: Formula) -> None:
+        self._inner = inner
+
+    def evaluate(self, ctx: Context) -> bool:
+        return not self._inner.evaluate(ctx)
+
+    def render(self) -> str:
+        return f"¬{self._inner.render()}"
+
+
+class Implies(Formula):
+    def __init__(self, antecedent: Formula, consequent: Formula) -> None:
+        self._antecedent = antecedent
+        self._consequent = consequent
+
+    def evaluate(self, ctx: Context) -> bool:
+        return (not self._antecedent.evaluate(ctx)) or self._consequent.evaluate(ctx)
+
+    def render(self) -> str:
+        return f"({self._antecedent.render()} ⇒ {self._consequent.render()})"
+
+
+class ForAll(Formula):
+    """Universal quantification over a history-derived domain."""
+
+    def __init__(
+        self,
+        var: str,
+        domain: Callable[[Context], Iterable[Any]],
+        body: Formula,
+        domain_label: str,
+    ) -> None:
+        self._var = var
+        self._domain = domain
+        self._body = body
+        self._domain_label = domain_label
+
+    def evaluate(self, ctx: Context) -> bool:
+        return all(
+            self._body.evaluate(ctx.bound(self._var, value))
+            for value in self._domain(ctx)
+        )
+
+    def render(self) -> str:
+        return f"∀{self._var} ∈ {self._domain_label}: {self._body.render()}"
+
+
+class Exists(Formula):
+    """Existential quantification over a history-derived domain."""
+
+    def __init__(
+        self,
+        var: str,
+        domain: Callable[[Context], Iterable[Any]],
+        body: Formula,
+        domain_label: str,
+    ) -> None:
+        self._var = var
+        self._domain = domain
+        self._body = body
+        self._domain_label = domain_label
+
+    def evaluate(self, ctx: Context) -> bool:
+        return any(
+            self._body.evaluate(ctx.bound(self._var, value))
+            for value in self._domain(ctx)
+        )
+
+    def render(self) -> str:
+        return f"∃{self._var} ∈ {self._domain_label}: {self._body.render()}"
+
+
+# -- Definition 2, built from the pieces above --------------------------------
+
+
+def _decided(txn_id: str, outcome: Outcome) -> Formula:
+    """``Decide_C(outcome_T) ∈ H`` (the coordinator's last decision)."""
+
+    def predicate(ctx: Context) -> bool:
+        return ctx.history.decision(txn_id) is outcome
+
+    return Atom(f"Decide_C({outcome.value}_{txn_id}) ∈ H", predicate)
+
+
+def _post_forget_inquiries(txn_id: str) -> Callable[[Context], list[SignificantEvent]]:
+    def domain(ctx: Context) -> list[SignificantEvent]:
+        return ctx.history.inquiries_after_forget(txn_id)
+
+    return domain
+
+
+def _responded_with(txn_id: str, outcome: Outcome) -> Formula:
+    """``Respond_C(outcome_ti) ∈ H`` for the bound inquiry ``inq``.
+
+    An inquiry that never received a response leaves the implication's
+    consequent *pending*, not violated — the run simply has not finished
+    answering; Definition 2 constrains the answers actually given.
+    """
+
+    def predicate(ctx: Context) -> bool:
+        inquiry: SignificantEvent = ctx["inq"]
+        response = ctx.history.response_to(inquiry)
+        if response is None:
+            return True  # unanswered: nothing inconsistent was said
+        return response.outcome is outcome
+
+    return Atom(f"Respond_C({outcome.value}_ti) ∈ H", predicate)
+
+
+def _clause(txn_id: str, outcome: Outcome) -> Formula:
+    """One disjunct of Definition 2 (abort clause or commit clause)."""
+    return And(
+        _decided(txn_id, outcome),
+        ForAll(
+            "inq",
+            _post_forget_inquiries(txn_id),
+            _responded_with(txn_id, outcome),
+            domain_label=f"INQ_ti after DeletePT_C({txn_id})",
+        ),
+    )
+
+
+def safe_state_formula(txn_id: str) -> Formula:
+    """Definition 2 as a closed ACTA formula for one transaction."""
+    return Or(
+        _clause(txn_id, Outcome.ABORT),
+        _clause(txn_id, Outcome.COMMIT),
+    )
+
+
+def safe_state_holds(history: History, txn_id: str) -> bool:
+    """Evaluate Definition 2 for ``txn_id`` over a finished history.
+
+    The formula only constrains *forgotten* transactions: if the
+    coordinator never executed ``DeletePT_C(T)``, the criterion is
+    vacuously satisfied (there is nothing forgotten to answer wrongly).
+    """
+    if not history.forget_events(txn_id):
+        return True
+    if history.decision(txn_id) is None:
+        # Forgotten without any surviving decision: the effective
+        # decision is the abort presumption of recovery (the paper's
+        # hidden presumption); evaluate the abort clause's quantifier.
+        return ForAll(
+            "inq",
+            _post_forget_inquiries(txn_id),
+            _responded_with(txn_id, Outcome.ABORT),
+            domain_label=f"INQ_ti after DeletePT_C({txn_id})",
+        ).holds_in(history)
+    return safe_state_formula(txn_id).holds_in(history)
+
+
+def check_safe_state_acta(history: History) -> dict[str, bool]:
+    """Definition 2 for every transaction in the history.
+
+    Returns:
+        txn id → whether SafeState held. This is the declarative twin
+        of :func:`repro.core.safe_state.check_safe_state`; the test
+        suite asserts the two agree on whole-system runs.
+    """
+    return {
+        txn_id: safe_state_holds(history, txn_id)
+        for txn_id in sorted(history.transactions())
+    }

@@ -1,0 +1,190 @@
+"""Definition 1, executable: functional and operational correctness.
+
+* :func:`check_atomicity` — item 1 of Definition 1 (and the classical
+  atomic-commitment agreement property): the coordinator and all the
+  participants reach consistent decisions regardless of failures.
+* :func:`check_operational_correctness` — items 2 and 3: at the end of
+  a quiescent run, every coordinator protocol table is empty, every
+  participant has forgotten its subtransactions, and every stable log
+  contains no un-garbage-collectable records of terminated
+  transactions.
+
+The atomicity check works purely on the :class:`~repro.core.history.History`
+(the omniscient observer), so it also works for sites that are still
+down at the end of a run. The operational check additionally inspects
+live site state through the small :class:`SiteView` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol
+
+from repro.core.events import EventKind, Outcome
+from repro.core.history import History
+from repro.sim.tracing import TraceRecorder
+
+
+@dataclass(frozen=True)
+class AtomicityViolationRecord:
+    """Sites disagreed about (or contradicted) a transaction's outcome."""
+
+    txn_id: str
+    outcomes: tuple[tuple[str, str], ...]  # (site, outcome) pairs
+    coordinator_decision: Optional[str]
+
+    def __str__(self) -> str:
+        sites = ", ".join(f"{site}={outcome}" for site, outcome in self.outcomes)
+        decision = self.coordinator_decision or "<none>"
+        return (
+            f"txn {self.txn_id}: enforced outcomes diverge "
+            f"[{sites}] (coordinator decided {decision})"
+        )
+
+
+@dataclass
+class AtomicityReport:
+    """Result of the agreement check over a run."""
+
+    transactions_checked: int = 0
+    violations: list[AtomicityViolationRecord] = field(default_factory=list)
+    stuck_in_doubt: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def holds(self) -> bool:
+        """True iff no transaction's outcomes diverge."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "ATOMIC" if self.holds else f"{len(self.violations)} VIOLATION(S)"
+        lines = [f"Atomicity over {self.transactions_checked} txns: {status}"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        for txn_id, sites in sorted(self.stuck_in_doubt.items()):
+            lines.append(f"  ! txn {txn_id} still in doubt at {sites}")
+        return "\n".join(lines)
+
+
+def check_atomicity(
+    history: History,
+    trace: Optional[TraceRecorder] = None,
+) -> AtomicityReport:
+    """Check that every transaction's enforced outcomes are consistent.
+
+    Args:
+        history: significant-event history of the run.
+        trace: when given, participants that force-wrote a PREPARED
+            record but never enforced any decision are reported as
+            ``stuck_in_doubt`` (a liveness observation, not counted as
+            an atomicity violation).
+    """
+    report = AtomicityReport()
+    for txn_id in sorted(history.transactions()):
+        outcomes = history.enforcements(txn_id)
+        if not outcomes:
+            continue
+        report.transactions_checked += 1
+        decision = history.decision(txn_id)
+        distinct = {outcome for outcome in outcomes.values()}
+        contradicts_decision = decision is not None and any(
+            outcome is not decision for outcome in outcomes.values()
+        )
+        if len(distinct) > 1 or contradicts_decision:
+            report.violations.append(
+                AtomicityViolationRecord(
+                    txn_id=txn_id,
+                    outcomes=tuple(
+                        sorted((site, o.value) for site, o in outcomes.items())
+                    ),
+                    coordinator_decision=decision.value if decision else None,
+                )
+            )
+    if trace is not None:
+        _find_stuck_in_doubt(history, trace, report)
+    return report
+
+
+def _find_stuck_in_doubt(
+    history: History, trace: TraceRecorder, report: AtomicityReport
+) -> None:
+    prepared: dict[str, set[str]] = {}
+    for event in trace.select(category="db", name="prepared"):
+        prepared.setdefault(event.details["txn"], set()).add(event.site)
+    for txn_id, sites in prepared.items():
+        enforced_at = set(history.enforcements(txn_id))
+        missing = sorted(sites - enforced_at)
+        if missing:
+            report.stuck_in_doubt[txn_id] = missing
+
+
+class SiteView(Protocol):
+    """The slice of a site the operational-correctness check inspects."""
+
+    @property
+    def site_id(self) -> str: ...
+
+    def retained_transactions(self) -> set[str]:
+        """Txns still occupying the site's protocol table(s)."""
+
+    def uncollected_log_transactions(self) -> set[str]:
+        """Txns with records still occupying the site's stable log."""
+
+
+@dataclass
+class OperationalReport:
+    """Result of checking Definition 1 items 2 and 3 at end of run."""
+
+    atomicity: Optional[AtomicityReport] = None
+    retained_entries: dict[str, set[str]] = field(default_factory=dict)
+    uncollected_logs: dict[str, set[str]] = field(default_factory=dict)
+
+    @property
+    def holds(self) -> bool:
+        """True iff atomicity holds and everything was forgotten/GC'd."""
+        if self.atomicity is not None and not self.atomicity.holds:
+            return False
+        return not self.retained_entries and not self.uncollected_logs
+
+    @property
+    def total_retained(self) -> int:
+        return sum(len(v) for v in self.retained_entries.values())
+
+    @property
+    def total_uncollected(self) -> int:
+        return sum(len(v) for v in self.uncollected_logs.values())
+
+    def __str__(self) -> str:
+        status = "OPERATIONALLY CORRECT" if self.holds else "NOT OPERATIONALLY CORRECT"
+        lines = [status]
+        if self.atomicity is not None:
+            lines.append(str(self.atomicity))
+        for site, txns in sorted(self.retained_entries.items()):
+            lines.append(
+                f"  - {site}: protocol table still holds {sorted(txns)}"
+            )
+        for site, txns in sorted(self.uncollected_logs.items()):
+            lines.append(f"  - {site}: log not GC'd for {sorted(txns)}")
+        return "\n".join(lines)
+
+
+def check_operational_correctness(
+    sites: Iterable[SiteView],
+    history: Optional[History] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> OperationalReport:
+    """Check items 2 and 3 of Definition 1 over quiescent sites.
+
+    Call this only after the run has quiesced (no pending messages or
+    timers) and every site has recovered, since "eventually" has by
+    then had its chance.
+    """
+    report = OperationalReport()
+    if history is not None:
+        report.atomicity = check_atomicity(history, trace)
+    for site in sites:
+        retained = site.retained_transactions()
+        if retained:
+            report.retained_entries[site.site_id] = retained
+        uncollected = site.uncollected_log_transactions()
+        if uncollected:
+            report.uncollected_logs[site.site_id] = uncollected
+    return report

@@ -1,0 +1,184 @@
+"""The history H: significant events extracted from a simulation trace.
+
+A :class:`History` is the executable counterpart of the paper's ACTA
+history — the complete record of a run's commit-processing events with
+a total precedence order. It is built from a
+:class:`~repro.sim.tracing.TraceRecorder` by mapping trace events onto
+the significant-event vocabulary of :mod:`repro.core.events`:
+
+========================  ==================================  ===========
+trace (category.name)     condition                           event kind
+========================  ==================================  ===========
+``protocol.decide``       at the coordinator                  DECIDE
+``protocol.forget``       ``role == "coordinator"``           DELETE_PT
+``protocol.forget``       ``role == "participant"``           FORGET_P
+``protocol.inquiry``      recorded by the coordinator         INQUIRY
+``protocol.respond``      recorded by the coordinator         RESPOND
+``db.commit``/``db.abort``  at any site                       ENFORCE
+========================  ==================================  ===========
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.core.events import EventKind, Outcome, SignificantEvent
+from repro.sim.tracing import TraceEvent, TraceRecorder
+
+
+def _to_significant(event: TraceEvent) -> Optional[SignificantEvent]:
+    """Map one trace event onto a significant event, or ``None``."""
+    if event.category == "protocol":
+        txn = event.details.get("txn", "")
+        if event.name == "decide":
+            return SignificantEvent(
+                kind=EventKind.DECIDE,
+                txn_id=txn,
+                site=event.site,
+                seq=event.seq,
+                time=event.time,
+                outcome=Outcome.parse(event.details["decision"]),
+            )
+        if event.name == "forget":
+            kind = (
+                EventKind.DELETE_PT
+                if event.details.get("role", "coordinator") == "coordinator"
+                else EventKind.FORGET_P
+            )
+            return SignificantEvent(
+                kind=kind,
+                txn_id=txn,
+                site=event.site,
+                seq=event.seq,
+                time=event.time,
+            )
+        if event.name == "inquiry":
+            return SignificantEvent(
+                kind=EventKind.INQUIRY,
+                txn_id=txn,
+                site=event.details.get("inquirer", ""),
+                seq=event.seq,
+                time=event.time,
+                peer=event.site,
+            )
+        if event.name == "respond":
+            return SignificantEvent(
+                kind=EventKind.RESPOND,
+                txn_id=txn,
+                site=event.site,
+                seq=event.seq,
+                time=event.time,
+                outcome=Outcome.parse(event.details["decision"]),
+                peer=event.details.get("to", ""),
+            )
+        return None
+    if event.category == "db" and event.name in ("commit", "abort"):
+        return SignificantEvent(
+            kind=EventKind.ENFORCE,
+            txn_id=event.details.get("txn", ""),
+            site=event.site,
+            seq=event.seq,
+            time=event.time,
+            outcome=Outcome.parse(event.name),
+        )
+    return None
+
+
+class History:
+    """An ordered history of significant events for a whole run."""
+
+    def __init__(self, events: Iterable[SignificantEvent]) -> None:
+        self._events = sorted(events, key=lambda e: e.seq)
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder) -> "History":
+        """Extract the significant-event history from a run trace."""
+        significant = (_to_significant(event) for event in trace)
+        return cls(event for event in significant if event is not None)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SignificantEvent]:
+        return iter(self._events)
+
+    # -- queries --------------------------------------------------------------
+
+    def events_for(self, txn_id: str) -> list[SignificantEvent]:
+        """All significant events of one transaction, in precedence order."""
+        return [e for e in self._events if e.txn_id == txn_id]
+
+    def of_kind(
+        self, kind: EventKind, txn_id: Optional[str] = None
+    ) -> list[SignificantEvent]:
+        """All events of a kind (optionally restricted to one txn)."""
+        return [
+            e
+            for e in self._events
+            if e.kind is kind and (txn_id is None or e.txn_id == txn_id)
+        ]
+
+    def transactions(self) -> set[str]:
+        """Ids of every transaction with at least one significant event."""
+        return {e.txn_id for e in self._events if e.txn_id}
+
+    def decision(self, txn_id: str, coordinator: Optional[str] = None) -> Optional[Outcome]:
+        """The coordinator's (last) decision for ``txn_id``, if any.
+
+        A coordinator may decide more than once across crashes (it
+        re-initiates the decision phase with the *same* recorded
+        decision); the last DECIDE is authoritative.
+        """
+        decides = [
+            e
+            for e in self.of_kind(EventKind.DECIDE, txn_id)
+            if coordinator is None or e.site == coordinator
+        ]
+        return decides[-1].outcome if decides else None
+
+    def coordinator_of(self, txn_id: str) -> Optional[str]:
+        """Site that recorded DECIDE events for ``txn_id``, if any."""
+        decides = self.of_kind(EventKind.DECIDE, txn_id)
+        return decides[0].site if decides else None
+
+    def forget_events(self, txn_id: str) -> list[SignificantEvent]:
+        """Coordinator DeletePT events for ``txn_id``."""
+        return self.of_kind(EventKind.DELETE_PT, txn_id)
+
+    def inquiries_after_forget(self, txn_id: str) -> list[SignificantEvent]:
+        """INQ events that follow the first DeletePT of the transaction."""
+        forgets = self.forget_events(txn_id)
+        if not forgets:
+            return []
+        first_forget = forgets[0]
+        return [
+            e
+            for e in self.of_kind(EventKind.INQUIRY, txn_id)
+            if first_forget.precedes(e)
+        ]
+
+    def response_to(
+        self, inquiry: SignificantEvent
+    ) -> Optional[SignificantEvent]:
+        """The first RESPOND to ``inquiry``'s participant after it."""
+        for event in self.of_kind(EventKind.RESPOND, inquiry.txn_id):
+            if inquiry.precedes(event) and event.peer == inquiry.site:
+                return event
+        return None
+
+    def enforcements(self, txn_id: str) -> dict[str, Outcome]:
+        """Final enforced outcome per site for ``txn_id``.
+
+        The *last* ENFORCE event per site wins: a volatile enforcement
+        wiped out by a crash is superseded by the post-recovery one.
+        """
+        final: dict[str, Outcome] = {}
+        for event in self.of_kind(EventKind.ENFORCE, txn_id):
+            assert event.outcome is not None
+            final[event.site] = event.outcome
+        return final
+
+    def render(self, txn_id: Optional[str] = None) -> str:
+        """Readable rendering of the history (optionally one txn)."""
+        events = self._events if txn_id is None else self.events_for(txn_id)
+        return "\n".join(str(e) for e in events)

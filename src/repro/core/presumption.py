@@ -1,0 +1,78 @@
+"""Presumptions about forgotten transactions.
+
+A *presumption* is the answer a coordinator gives when asked about a
+transaction it has no information for:
+
+* **PrA** presumes *abort* (explicitly);
+* **PrN** also presumes abort — the paper calls this its *hidden*
+  presumption: after a coordinator failure all transactions active at
+  the failure are considered aborted;
+* **PrC** presumes *commit*.
+
+PrAny (§4.2) makes **no a priori presumption**: it *dynamically adopts
+the presumption of the inquiring participant's protocol*, which is
+exactly what :func:`presumed_outcome_for_inquirer` computes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import UnknownProtocolError
+
+
+class Presumption(enum.Enum):
+    """What a protocol presumes about a forgotten transaction."""
+
+    ABORT = "abort"
+    COMMIT = "commit"
+    NONE = "none"  # PrAny: no a priori presumption.
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_PROTOCOL_PRESUMPTIONS: dict[str, Presumption] = {
+    "PrN": Presumption.ABORT,  # the hidden presumption of basic 2PC
+    "PrA": Presumption.ABORT,
+    "PrC": Presumption.COMMIT,
+    "IYV": Presumption.ABORT,  # implicit yes-vote presumes abort, like PrA
+    "CL": Presumption.ABORT,  # coordinator log presumes abort, like PrN
+    "PrAny": Presumption.NONE,
+}
+
+
+def presumption_of_protocol(protocol: str) -> Presumption:
+    """The presumption the named protocol applies to unknown transactions.
+
+    Raises:
+        UnknownProtocolError: for protocols outside the paper's set.
+    """
+    try:
+        return _PROTOCOL_PRESUMPTIONS[protocol]
+    except KeyError:
+        raise UnknownProtocolError(
+            f"no presumption defined for protocol {protocol!r}; "
+            f"known: {sorted(_PROTOCOL_PRESUMPTIONS)}"
+        ) from None
+
+
+def presumed_outcome_for_inquirer(inquirer_protocol: str) -> str:
+    """PrAny's dynamic presumption: answer with the *inquirer's* presumption.
+
+    A forgotten transaction can only be inquired about by a participant
+    whose protocol did not require it to acknowledge the decision; the
+    safe-state argument (Theorem 3) guarantees that participant's own
+    presumption matches the actual outcome.
+
+    Returns:
+        ``"commit"`` if the inquirer runs PrC, else ``"abort"``.
+    """
+    presumption = presumption_of_protocol(inquirer_protocol)
+    if presumption is Presumption.COMMIT:
+        return "commit"
+    if presumption is Presumption.ABORT:
+        return "abort"
+    raise UnknownProtocolError(
+        f"inquirer protocol {inquirer_protocol!r} has no usable presumption"
+    )

@@ -1,0 +1,112 @@
+"""The SafeState predicate — Definition 2 of the paper, executable.
+
+Definition 2 states that a coordinator C is in a safe state with
+respect to a transaction T iff
+
+* ``Decide_C(Abort_T) ∈ H`` and every inquiry ``INQ_ti`` that follows
+  ``DeletePT_C(T)`` is answered ``Respond_C(Abort_ti)``, **or**
+* ``Decide_C(Commit_T) ∈ H`` and every inquiry following the forget is
+  answered ``Respond_C(Commit_ti)``.
+
+Intuitively: after forgetting, a *single* presumption — the one
+consistent with the actual outcome — must answer every future inquiry.
+
+Over a completed run we check the universally-quantified implication
+directly: for every transaction the coordinator forgot, every recorded
+post-forget inquiry must have received a response equal to the
+decision. A response that contradicts the decision (or a forget without
+any decision that later produced a contradictory response) is a
+:class:`SafeStateViolationRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import EventKind, Outcome, SignificantEvent
+from repro.core.history import History
+
+
+@dataclass(frozen=True)
+class SafeStateViolationRecord:
+    """One violation of Definition 2 found in a history."""
+
+    txn_id: str
+    coordinator: str
+    decided: Optional[Outcome]
+    responded: Outcome
+    inquirer: str
+    inquiry_seq: int
+
+    def __str__(self) -> str:
+        decided = self.decided.value if self.decided else "<none>"
+        return (
+            f"txn {self.txn_id}: coordinator {self.coordinator} decided "
+            f"{decided} but answered {self.responded.value} to "
+            f"post-forget inquiry from {self.inquirer} (seq {self.inquiry_seq})"
+        )
+
+
+@dataclass
+class SafeStateReport:
+    """Result of evaluating Definition 2 over a whole history."""
+
+    checked_transactions: int = 0
+    checked_inquiries: int = 0
+    violations: list[SafeStateViolationRecord] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """True iff every forget happened in a safe state."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "SAFE" if self.holds else f"{len(self.violations)} VIOLATION(S)"
+        lines = [
+            f"SafeState over {self.checked_transactions} txns / "
+            f"{self.checked_inquiries} post-forget inquiries: {status}"
+        ]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_safe_state(history: History) -> SafeStateReport:
+    """Evaluate Definition 2 for every transaction in ``history``."""
+    report = SafeStateReport()
+    for txn_id in sorted(history.transactions()):
+        forgets = history.forget_events(txn_id)
+        if not forgets:
+            continue
+        report.checked_transactions += 1
+        coordinator = forgets[0].site
+        decided = history.decision(txn_id, coordinator=coordinator)
+        for inquiry in history.inquiries_after_forget(txn_id):
+            response = history.response_to(inquiry)
+            if response is None or response.outcome is None:
+                continue
+            report.checked_inquiries += 1
+            if _response_violates(decided, response.outcome):
+                report.violations.append(
+                    SafeStateViolationRecord(
+                        txn_id=txn_id,
+                        coordinator=coordinator,
+                        decided=decided,
+                        responded=response.outcome,
+                        inquirer=inquiry.site,
+                        inquiry_seq=inquiry.seq,
+                    )
+                )
+    return report
+
+
+def _response_violates(decided: Optional[Outcome], responded: Outcome) -> bool:
+    """A post-forget response violates Definition 2 iff it contradicts
+    the decision.
+
+    When the coordinator never decided (it crashed before the decision
+    and its recovery presumed abort), the effective decision is abort:
+    a commit response then violates the criterion.
+    """
+    effective = decided if decided is not None else Outcome.ABORT
+    return responded is not effective

@@ -1,0 +1,25 @@
+"""Miniature per-site database engine.
+
+Each MDBS site runs one of these engines so that subtransactions do
+real, recoverable work: writes take strict two-phase locks, produce
+undo/redo records in the site's write-ahead log, survive crashes via
+redo recovery, and stay locked while in doubt — exactly the substrate
+the commit protocols coordinate.
+"""
+
+from repro.db.kv import KVStore
+from repro.db.local_tm import LocalTransaction, LocalTransactionManager, TxnStatus
+from repro.db.locks import LockManager, LockMode
+from repro.db.recovery import LocalRecoveryReport, analyze_log, recover_engine
+
+__all__ = [
+    "KVStore",
+    "LocalRecoveryReport",
+    "LocalTransaction",
+    "LocalTransactionManager",
+    "LockManager",
+    "LockMode",
+    "TxnStatus",
+    "analyze_log",
+    "recover_engine",
+]

@@ -1,0 +1,82 @@
+"""Key-value store with a durable snapshot and a volatile working state.
+
+The *durable* dictionary models the on-disk database as of the last
+checkpoint; the *volatile* dictionary is the buffer-cache view that
+transactions read and write. A crash discards the volatile state; local
+recovery rebuilds it from the durable snapshot plus the stable log
+(see ``repro.db.recovery``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import DatabaseError
+
+
+class KVStore:
+    """Crash-aware key-value store for one site."""
+
+    def __init__(self, initial: Optional[dict[str, Any]] = None) -> None:
+        self._durable: dict[str, Any] = dict(initial or {})
+        self._volatile: Optional[dict[str, Any]] = dict(self._durable)
+
+    # -- status ---------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self._volatile is not None
+
+    # -- data access ------------------------------------------------------------
+
+    def read(self, key: str) -> Any:
+        """Current (volatile) value of ``key``; ``None`` if absent."""
+        return self._working().get(key)
+
+    def write(self, key: str, value: Any) -> Any:
+        """Set ``key`` to ``value``; returns the previous value."""
+        working = self._working()
+        before = working.get(key)
+        working[key] = value
+        return before
+
+    def delete(self, key: str) -> Any:
+        """Remove ``key``; returns the previous value."""
+        return self._working().pop(key, None)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Copy of the current volatile state."""
+        return dict(self._working())
+
+    def durable_snapshot(self) -> dict[str, Any]:
+        """Copy of the durable (checkpointed) state."""
+        return dict(self._durable)
+
+    # -- crash / recovery -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose the volatile state."""
+        self._volatile = None
+
+    def restart(self) -> None:
+        """Come back up with the durable snapshot as working state."""
+        self._volatile = dict(self._durable)
+
+    def load_recovered(self, state: dict[str, Any]) -> None:
+        """Install a recovery-computed working state."""
+        self._volatile = dict(state)
+
+    def checkpoint(self, state: dict[str, Any]) -> None:
+        """Persist ``state`` as the new durable snapshot."""
+        self._durable = dict(state)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _working(self) -> dict[str, Any]:
+        if self._volatile is None:
+            raise DatabaseError("store is down (site crashed)")
+        return self._volatile
+
+    def __repr__(self) -> str:
+        size = len(self._volatile) if self._volatile is not None else "down"
+        return f"KVStore(volatile={size}, durable={len(self._durable)})"

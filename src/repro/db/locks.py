@@ -1,0 +1,183 @@
+"""Strict two-phase locking.
+
+The lock manager supports shared and exclusive locks with FIFO waiting.
+Lock waits are callback-based (the simulator has no blocking threads):
+``acquire`` either grants immediately and returns True, or enqueues the
+request and invokes ``on_grant`` when the lock becomes available. A
+``no_wait`` acquire raises :class:`~repro.errors.LockError` on conflict,
+which doubles as a trivially sound deadlock-avoidance policy for
+workloads that need it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import LockError
+
+
+class LockMode(enum.Enum):
+    """Lock modes; SHARED is compatible only with SHARED."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class _LockRequest:
+    txn_id: str
+    mode: LockMode
+    on_grant: Optional[Callable[[], None]]
+
+
+class _KeyLock:
+    """Lock state for a single key."""
+
+    __slots__ = ("holders", "mode", "queue")
+
+    def __init__(self) -> None:
+        self.holders: set[str] = set()
+        self.mode: Optional[LockMode] = None
+        self.queue: list[_LockRequest] = []
+
+
+class LockManager:
+    """Per-site lock table implementing strict 2PL."""
+
+    def __init__(self) -> None:
+        self._locks: dict[str, _KeyLock] = {}
+        self._held_by_txn: dict[str, set[str]] = {}
+        self.grant_count = 0
+        self.wait_count = 0
+        self.denial_count = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def holders(self, key: str) -> set[str]:
+        lock = self._locks.get(key)
+        return set(lock.holders) if lock else set()
+
+    def mode(self, key: str) -> Optional[LockMode]:
+        lock = self._locks.get(key)
+        return lock.mode if lock else None
+
+    def keys_held_by(self, txn_id: str) -> set[str]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def waiting_count(self, key: str) -> int:
+        lock = self._locks.get(key)
+        return len(lock.queue) if lock else 0
+
+    # -- acquisition ---------------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: str,
+        key: str,
+        mode: LockMode,
+        on_grant: Optional[Callable[[], None]] = None,
+        no_wait: bool = False,
+    ) -> bool:
+        """Request ``mode`` on ``key`` for ``txn_id``.
+
+        Returns:
+            True if the lock was granted synchronously. False if the
+            request was queued (``on_grant`` fires later).
+
+        Raises:
+            LockError: on conflict when ``no_wait`` is set, or when the
+                request would wait but no ``on_grant`` callback exists.
+        """
+        lock = self._locks.setdefault(key, _KeyLock())
+        if self._grantable(lock, txn_id, mode):
+            self._grant(lock, txn_id, key, mode)
+            return True
+        if no_wait:
+            self.denial_count += 1
+            raise LockError(
+                f"txn {txn_id!r} denied {mode.value} lock on {key!r} "
+                f"(held {lock.mode.value if lock.mode else '?'} "
+                f"by {sorted(lock.holders)})"
+            )
+        if on_grant is None:
+            self.denial_count += 1
+            raise LockError(
+                f"txn {txn_id!r} would wait for {key!r} but no on_grant "
+                f"callback was supplied"
+            )
+        self.wait_count += 1
+        lock.queue.append(_LockRequest(txn_id, mode, on_grant))
+        return False
+
+    def _grantable(self, lock: _KeyLock, txn_id: str, mode: LockMode) -> bool:
+        if not lock.holders:
+            return True
+        if lock.holders == {txn_id}:
+            # Re-entrant request (possibly an upgrade by the only holder).
+            return True
+        if txn_id in lock.holders and mode is LockMode.SHARED:
+            return True
+        assert lock.mode is not None
+        # FIFO fairness: a compatible request still waits behind queued ones.
+        return mode.compatible_with(lock.mode) and not lock.queue
+
+    def _grant(self, lock: _KeyLock, txn_id: str, key: str, mode: LockMode) -> None:
+        lock.holders.add(txn_id)
+        if lock.mode is None or mode is LockMode.EXCLUSIVE:
+            lock.mode = mode
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+        self.grant_count += 1
+
+    # -- release ----------------------------------------------------------------------
+
+    def release_all(self, txn_id: str) -> list[Callable[[], None]]:
+        """Release every lock held by ``txn_id`` (strict 2PL unlock).
+
+        Returns:
+            Grant callbacks for requests that became grantable; the
+            caller schedules them (keeps lock-manager code re-entrant).
+        """
+        callbacks: list[Callable[[], None]] = []
+        for key in self._held_by_txn.pop(txn_id, set()):
+            lock = self._locks.get(key)
+            if lock is None or txn_id not in lock.holders:
+                continue
+            lock.holders.discard(txn_id)
+            if not lock.holders:
+                lock.mode = None
+            callbacks.extend(self._promote_waiters(lock, key))
+            if not lock.holders and not lock.queue:
+                del self._locks[key]
+        return callbacks
+
+    def _promote_waiters(self, lock: _KeyLock, key: str) -> list[Callable[[], None]]:
+        callbacks: list[Callable[[], None]] = []
+        while lock.queue:
+            head = lock.queue[0]
+            if lock.holders and not (
+                lock.mode is not None and head.mode.compatible_with(lock.mode)
+            ):
+                break
+            lock.queue.pop(0)
+            self._grant(lock, head.txn_id, key, head.mode)
+            if head.on_grant is not None:
+                callbacks.append(head.on_grant)
+            if head.mode is LockMode.EXCLUSIVE:
+                break
+        return callbacks
+
+    def clear(self) -> None:
+        """Drop all lock state (a crash wipes the volatile lock table)."""
+        self._locks.clear()
+        self._held_by_txn.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"LockManager(keys={len(self._locks)}, grants={self.grant_count}, "
+            f"waits={self.wait_count}, denials={self.denial_count})"
+        )

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event-simulation invariant was violated."""
+
+
+class ClockError(SimulationError):
+    """The virtual clock was moved backwards or misused."""
+
+
+class NetworkError(ReproError):
+    """A message could not be constructed, routed or delivered."""
+
+
+class UnknownNodeError(NetworkError):
+    """A message was addressed to a node the network does not know."""
+
+
+class StorageError(ReproError):
+    """A stable-storage (write-ahead log) invariant was violated."""
+
+
+class LogClosedError(StorageError):
+    """An append or force was attempted on a crashed (closed) log."""
+
+
+class ProtocolError(ReproError):
+    """An atomic-commit-protocol state machine was driven illegally."""
+
+
+class ProtocolViolationError(ProtocolError):
+    """A message arrived that the protocol specification forbids."""
+
+
+class UnknownProtocolError(ProtocolError):
+    """A protocol name was requested that the registry does not know."""
+
+
+class DatabaseError(ReproError):
+    """A local database engine operation failed."""
+
+
+class LockError(DatabaseError):
+    """A lock request could not be granted (conflict or deadlock)."""
+
+
+class TransactionError(DatabaseError):
+    """A transaction was used after termination or misused."""
+
+
+class SiteDownError(ReproError):
+    """An operation was attempted on a crashed site."""
+
+
+class CorrectnessViolation(ReproError):
+    """A checker detected a violated correctness property.
+
+    Raised (or collected, depending on the checker mode) when a run
+    violates atomicity, safe state, or operational correctness.
+    """
+
+
+class AtomicityViolation(CorrectnessViolation):
+    """Sites reached inconsistent decisions for the same transaction."""
+
+
+class SafeStateViolation(CorrectnessViolation):
+    """A coordinator forgot a transaction outside a safe state."""
+
+
+class OperationalCorrectnessViolation(CorrectnessViolation):
+    """A protocol retained transaction state that can never be GC'd."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification was invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or executed incorrectly."""

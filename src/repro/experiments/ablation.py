@@ -1,0 +1,173 @@
+"""Experiment A1 — the vulnerability window of lazy decision records.
+
+Theorem 1's Part III hinges on a *window*: the PrA participant enforces
+the abort, writes a **non-forced** abort record, and crashes before
+that record reaches stable storage. This ablation maps the window:
+
+* sweep the crash delay after the enforcement (0 = exactly at the
+  protocol step, larger = the crash lands later), and
+* toggle periodic background flushing of the log buffer.
+
+Expected shape (and the reason DESIGN.md §5.3 disables background
+flushing by default): under U2PC the violation occurs whenever the
+crash beats the record to stable storage — *always* without a flusher,
+and for every delay shorter than the flush interval with one. The
+window narrows with flushing but never closes at delay zero, which is
+exactly why Theorem 1 is an impossibility and not an engineering bug.
+PrAny, run under the identical schedules, never violates regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.report import render_table
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+
+_PRA_SITE = "alpha_pra"
+_PRC_SITE = "beta_prc"
+_COORD = "tm"
+
+
+@dataclass
+class WindowPoint:
+    coordinator_policy: str
+    crash_delay: float
+    flush_interval: Optional[float]
+    violated: bool
+    abort_record_survived: bool
+
+
+@dataclass
+class AblationResult:
+    points: list[WindowPoint] = field(default_factory=list)
+
+    def point(
+        self, policy: str, delay: float, flush: Optional[float]
+    ) -> WindowPoint:
+        for p in self.points:
+            if (
+                p.coordinator_policy == policy
+                and p.crash_delay == delay
+                and p.flush_interval == flush
+            ):
+                return p
+        raise KeyError((policy, delay, flush))
+
+    @property
+    def u2pc_window_never_closes_at_zero_delay(self) -> bool:
+        """At delay 0 the record can never be stable first: always violated."""
+        return all(
+            p.violated
+            for p in self.points
+            if p.coordinator_policy.startswith("U2PC") and p.crash_delay == 0.0
+        )
+
+    @property
+    def flushing_narrows_the_window(self) -> bool:
+        """With a flusher, a late-enough crash finds the record stable."""
+        flushed_late = [
+            p
+            for p in self.points
+            if p.coordinator_policy.startswith("U2PC")
+            and p.flush_interval is not None
+            and p.crash_delay > p.flush_interval
+        ]
+        return bool(flushed_late) and all(not p.violated for p in flushed_late)
+
+    @property
+    def unflushed_window_is_unbounded(self) -> bool:
+        """Without background flushing the record stays volatile forever."""
+        return all(
+            p.violated
+            for p in self.points
+            if p.coordinator_policy.startswith("U2PC") and p.flush_interval is None
+        )
+
+    @property
+    def prany_never_violates(self) -> bool:
+        return not any(
+            p.violated for p in self.points if p.coordinator_policy == "dynamic"
+        )
+
+
+def _run_point(
+    policy: str, delay: float, flush_interval: Optional[float], seed: int
+) -> WindowPoint:
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site(_PRA_SITE, protocol="PrA")
+    mdbs.add_site(_PRC_SITE, protocol="PrC")
+    mdbs.add_site(_COORD, protocol="PrN", coordinator=policy)
+    if flush_interval is not None:
+        mdbs.enable_periodic_flush(flush_interval, until=100.0)
+    mdbs.failures.crash_when(
+        _PRA_SITE,
+        lambda e: e.matches("db", "abort", site=_PRA_SITE, txn="t1"),
+        down_for=60.0,
+        delay=delay,
+    )
+    mdbs.submit(
+        GlobalTransaction(
+            txn_id="t1",
+            coordinator=_COORD,
+            writes={_PRA_SITE: [WriteOp("a", 1)], _PRC_SITE: [WriteOp("b", 2)]},
+            coordinator_abort=True,
+        )
+    )
+    mdbs.run(until=500)
+    mdbs.finalize()
+    reports = mdbs.check()
+    # Did the lazy abort record make it to stable storage before the crash?
+    crash = mdbs.sim.trace.first(category="log", name="crash", site=_PRA_SITE)
+    survived = (crash.details.get("lost_records", 0) == 0) if crash else True
+    return WindowPoint(
+        coordinator_policy=policy,
+        crash_delay=delay,
+        flush_interval=flush_interval,
+        violated=not reports.atomicity.holds,
+        abort_record_survived=survived,
+    )
+
+
+def run_ablation(
+    delays: tuple[float, ...] = (0.0, 0.5, 1.5, 3.0, 6.0),
+    flush_intervals: tuple[Optional[float], ...] = (None, 1.0, 4.0),
+    seed: int = 7,
+) -> AblationResult:
+    """Sweep crash delay × flush interval under U2PC(PrC) and PrAny."""
+    result = AblationResult()
+    for policy in ("U2PC(PrC)", "dynamic"):
+        for flush in flush_intervals:
+            for delay in delays:
+                result.points.append(_run_point(policy, delay, flush, seed))
+    return result
+
+
+def render_ablation(result: AblationResult) -> str:
+    rows = [
+        [
+            p.coordinator_policy,
+            "off" if p.flush_interval is None else f"every {p.flush_interval}",
+            p.crash_delay,
+            "yes" if p.abort_record_survived else "LOST",
+            "VIOLATED" if p.violated else "atomic",
+        ]
+        for p in result.points
+    ]
+    table = render_table(
+        ["coordinator", "bg flush", "crash delay", "abort record stable", "outcome"],
+        rows,
+        title="A1 — vulnerability window of the lazy abort record (Thm 1 Part III)",
+    )
+    notes = [
+        f"U2PC violated at delay 0 in every configuration: "
+        f"{result.u2pc_window_never_closes_at_zero_delay}",
+        f"flushing closes the window for late crashes: "
+        f"{result.flushing_narrows_the_window}",
+        f"without flushing the window is unbounded: "
+        f"{result.unflushed_window_is_unbounded}",
+        f"PrAny never violated anywhere: {result.prany_never_violates}",
+    ]
+    return table + "\n" + "\n".join(notes)

@@ -1,0 +1,152 @@
+"""Experiment C7 — Coordinator Log vs basic 2PC.
+
+The conclusion's second named integration target (ref [17]): in CL the
+participants write **nothing** to local stable storage — their redo
+records ride to the coordinator on the Yes vote and stabilize with the
+coordinator's single decision force. We measure what moves where:
+
+* participant-side forced writes drop to zero (vs 2 per participant
+  under PrN);
+* the coordinator's log grows with the participants' update volume
+  (it now holds everyone's redo);
+* a crashed participant recovers by *pulling* (CL_RECOVER/CL_REDO)
+  instead of local log analysis — we count the pulled transactions;
+* the operational-correctness angle: the coordinator can only forget a
+  committed transaction after every log-less participant checkpoints
+  (CL_CHECKPOINT), which the GC gating enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+
+
+@dataclass
+class CLPoint:
+    protocol: str
+    n_transactions: int
+    participant_forces: int
+    coordinator_forces: int
+    coordinator_log_appends: int
+    redo_pulled_txns: int
+    correct: bool
+
+
+@dataclass
+class CLResult:
+    points: list[CLPoint] = field(default_factory=list)
+
+    def point(self, protocol: str) -> CLPoint:
+        for p in self.points:
+            if p.protocol == protocol:
+                return p
+        raise KeyError(protocol)
+
+    @property
+    def cl_participants_force_nothing(self) -> bool:
+        return self.point("CL").participant_forces == 0
+
+    @property
+    def cl_moves_log_volume_to_coordinator(self) -> bool:
+        return (
+            self.point("CL").coordinator_log_appends
+            > self.point("PrN").coordinator_log_appends
+        )
+
+    @property
+    def cl_recovery_pulls_redo(self) -> bool:
+        return self.point("CL").redo_pulled_txns > 0
+
+    @property
+    def all_correct(self) -> bool:
+        return all(p.correct for p in self.points)
+
+
+def _measure(protocol: str, n_transactions: int, seed: int) -> CLPoint:
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site("p1", protocol=protocol)
+    mdbs.add_site("p2", protocol=protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    for i in range(n_transactions):
+        mdbs.submit(
+            GlobalTransaction(
+                txn_id=f"t{i:02d}",
+                coordinator="tm",
+                writes={
+                    "p1": [WriteOp(f"t{i}@p1", i), WriteOp(f"u{i}@p1", i)],
+                    "p2": [WriteOp(f"t{i}@p2", i)],
+                },
+                submit_at=i * 30.0,
+            )
+        )
+    mdbs.run(until=n_transactions * 30.0 + 100.0)
+    # Crash p1 mid-life (after the workload) and recover it: PrN replays
+    # its own log; CL pulls redo from the coordinator.
+    mdbs.site("p1").crash()
+    mdbs.site("p1").recover()
+    mdbs.run(until=n_transactions * 30.0 + 400.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    redo_pulled = sum(
+        e.details.get("txns", 0)
+        for e in mdbs.sim.trace.select(category="protocol", name="cl_redo")
+    )
+    return CLPoint(
+        protocol=protocol,
+        n_transactions=n_transactions,
+        participant_forces=(
+            mdbs.site("p1").log.force_count + mdbs.site("p2").log.force_count
+        ),
+        coordinator_forces=mdbs.site("tm").log.force_count,
+        coordinator_log_appends=mdbs.site("tm").log.append_count,
+        redo_pulled_txns=redo_pulled,
+        correct=reports.all_hold,
+    )
+
+
+def run_cl_experiment(n_transactions: int = 8, seed: int = 37) -> CLResult:
+    """Compare an all-CL with an all-PrN participant set."""
+    result = CLResult()
+    for protocol in ("PrN", "CL"):
+        result.points.append(_measure(protocol, n_transactions, seed))
+    return result
+
+
+def render_cl(result: CLResult) -> str:
+    rows = [
+        [
+            p.protocol,
+            p.n_transactions,
+            p.participant_forces,
+            p.coordinator_forces,
+            p.coordinator_log_appends,
+            p.redo_pulled_txns,
+            "yes" if p.correct else "NO",
+        ]
+        for p in result.points
+    ]
+    table = render_table(
+        [
+            "participants",
+            "txns",
+            "participant forces",
+            "coord forces",
+            "coord log appends",
+            "redo txns pulled",
+            "correct",
+        ],
+        rows,
+        title="C7 — coordinator log: the participants' log moves to the coordinator",
+    )
+    notes = [
+        f"CL participants force nothing: {result.cl_participants_force_nothing}",
+        f"log volume moved to the coordinator: "
+        f"{result.cl_moves_log_volume_to_coordinator}",
+        f"recovery pulled redo from the coordinator: "
+        f"{result.cl_recovery_pulls_redo}",
+    ]
+    return table + "\n" + "\n".join(notes)

@@ -1,0 +1,172 @@
+"""Experiment C1 — the commit-processing cost table.
+
+The paper's whole design space is driven by the classic cost trade-off
+between the presumed protocols (its refs [4, 9, 15, 12]): forced log
+writes and acknowledgement messages per transaction, split by outcome.
+We *measure* the table from simulation rather than transcribing it:
+run one transaction per (protocol, outcome) cell and count.
+
+Expected shape (N participants):
+
+* PrC commit is cheapest for participants (no forced decision record,
+  no ack); PrA abort is cheapest overall (coordinator writes nothing);
+* PrN is never cheaper than both specialized variants;
+* PrAny pays PrC's initiation force and collects only the acks its
+  mixed membership requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import CostBreakdown, cost_breakdown
+from repro.analysis.report import render_table
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.workloads.generator import COORDINATOR_ID, build_mdbs
+from repro.workloads.mixes import MIXES, ProtocolMix
+
+
+@dataclass
+class CostCell:
+    """Measured costs for one (configuration, outcome) cell."""
+
+    config: str
+    outcome: str
+    n_participants: int
+    breakdown: CostBreakdown
+
+    @property
+    def coordinator_forced(self) -> int:
+        return self.breakdown.coordinator_forced
+
+    @property
+    def participant_forced(self) -> int:
+        return self.breakdown.participant_forced
+
+    @property
+    def acks(self) -> int:
+        return self.breakdown.message_kinds.get("ACK", 0)
+
+    @property
+    def messages(self) -> int:
+        return self.breakdown.messages
+
+
+@dataclass
+class CostExperiment:
+    cells: list[CostCell] = field(default_factory=list)
+
+    def cell(self, config: str, outcome: str) -> CostCell:
+        for cell in self.cells:
+            if cell.config == config and cell.outcome == outcome:
+                return cell
+        raise KeyError(f"no cell for ({config!r}, {outcome!r})")
+
+    # -- shape assertions used by tests and EXPERIMENTS.md -------------------
+
+    @property
+    def prc_commit_cheaper_for_participants_than_pra(self) -> bool:
+        return (
+            self.cell("all-PrC", "commit").participant_forced
+            < self.cell("all-PrA", "commit").participant_forced
+        )
+
+    @property
+    def pra_abort_is_free_at_coordinator(self) -> bool:
+        return self.cell("all-PrA", "abort").coordinator_forced == 0
+
+    @property
+    def prn_never_strictly_cheapest(self) -> bool:
+        for outcome in ("commit", "abort"):
+            prn = self.cell("all-PrN", outcome)
+            pra = self.cell("all-PrA", outcome)
+            prc = self.cell("all-PrC", outcome)
+            prn_total = prn.coordinator_forced + prn.participant_forced + prn.acks
+            others = [
+                p.coordinator_forced + p.participant_forced + p.acks
+                for p in (pra, prc)
+            ]
+            if prn_total < min(others):
+                return False
+        return True
+
+
+def _measure_cell(
+    mix: ProtocolMix, coordinator: str, outcome: str, seed: int
+) -> CostCell:
+    mdbs = build_mdbs(mix, coordinator=coordinator, seed=seed)
+    participants = sorted(mix.site_protocols())
+    txn = GlobalTransaction(
+        txn_id="t-cost",
+        coordinator=COORDINATOR_ID,
+        writes={site: [WriteOp(f"k@{site}", 1)] for site in participants},
+        coordinator_abort=outcome == "abort",
+    )
+    mdbs.submit(txn)
+    mdbs.run(until=500)
+    # No finalize() before measuring: background flushes and GC are not
+    # commit-processing costs.
+    breakdown = cost_breakdown(mdbs.sim.trace, txn.txn_id, COORDINATOR_ID)
+    return CostCell(
+        config=mix.name,
+        outcome=outcome,
+        n_participants=len(participants),
+        breakdown=breakdown,
+    )
+
+
+#: (display name, mix, coordinator policy) for each table row group.
+CONFIGS: list[tuple[str, str, str]] = [
+    ("all-PrN", "all-PrN", "PrN"),
+    ("all-PrA", "all-PrA", "PrA"),
+    ("all-PrC", "all-PrC", "PrC"),
+    ("PrAny (PrA+PrC)", "PrA+PrC", "dynamic"),
+    ("PrAny (3-way)", "PrN+PrA+PrC", "dynamic"),
+]
+
+
+def run_cost_experiment(n_participants: int = 2, seed: int = 5) -> CostExperiment:
+    """Measure every (configuration, outcome) cell of the cost table."""
+    experiment = CostExperiment()
+    for display, mix_name, coordinator in CONFIGS:
+        mix = MIXES[mix_name].extended_to(n_participants)
+        # Keep the canonical display names stable across sizes.
+        for outcome in ("commit", "abort"):
+            cell = _measure_cell(mix, coordinator, outcome, seed)
+            cell.config = display if display.startswith("PrAny") else mix_name
+            experiment.cells.append(cell)
+    return experiment
+
+
+def cost_table(experiment: CostExperiment) -> str:
+    """Render the C1 table."""
+    rows = []
+    for cell in experiment.cells:
+        rows.append(
+            [
+                cell.config,
+                cell.outcome,
+                cell.n_participants,
+                cell.coordinator_forced,
+                cell.breakdown.coordinator_writes,
+                cell.participant_forced,
+                cell.breakdown.participant_writes,
+                cell.acks,
+                cell.messages,
+            ]
+        )
+    return render_table(
+        [
+            "configuration",
+            "outcome",
+            "N",
+            "coord forces",
+            "coord writes",
+            "part forces",
+            "part writes",
+            "acks",
+            "messages",
+        ],
+        rows,
+        title="C1 — measured commit-processing costs (protocol records only)",
+    )

@@ -1,0 +1,491 @@
+"""Experiments F1a–F4b: regenerate the paper's protocol-flow figures.
+
+Each figure shows, per site, the ordered sequence of log writes and
+messages during one transaction's commit processing. We run the exact
+configuration under the simulator, extract a per-site *lane* of flow
+tokens from the trace, and compare it with the sequence the figure
+shows.
+
+Token vocabulary (per site, in trace order):
+
+* ``force(<record>)`` — a force-written log record,
+* ``write(<record>)`` — a non-forced log record,
+* ``send(KIND)->site`` / ``recv(KIND)<-site`` — protocol messages,
+* ``decide(outcome)`` — the coordinator fixes the outcome,
+* ``forget`` — the protocol-table entry is deleted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ExperimentError
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.sim.tracing import TraceRecorder
+from repro.workloads.generator import COORDINATOR_ID, build_mdbs
+from repro.workloads.mixes import MIXES, ProtocolMix
+
+
+@dataclass(frozen=True)
+class FlowCase:
+    """Configuration reproducing one figure."""
+
+    figure: str
+    description: str
+    coordinator: str
+    mix: ProtocolMix
+    outcome: str  # "commit" or "abort"
+
+
+#: The paper's flow figures.
+FIGURES: dict[str, FlowCase] = {
+    "F1a": FlowCase(
+        "Figure 1(a)",
+        "PrAny commit: PrA and PrC participants under a PrAny coordinator",
+        "PrAny",
+        MIXES["PrA+PrC"],
+        "commit",
+    ),
+    "F1b": FlowCase(
+        "Figure 1(b)",
+        "PrAny abort: PrA and PrC participants under a PrAny coordinator",
+        "PrAny",
+        MIXES["PrA+PrC"],
+        "abort",
+    ),
+    "F2-commit": FlowCase(
+        "Figure 2",
+        "Basic 2PC (PrN), commit case",
+        "PrN",
+        MIXES["all-PrN"],
+        "commit",
+    ),
+    "F2-abort": FlowCase(
+        "Figure 2",
+        "Basic 2PC (PrN), abort case",
+        "PrN",
+        MIXES["all-PrN"],
+        "abort",
+    ),
+    "F3-commit": FlowCase(
+        "Figure 3",
+        "Presumed abort (PrA), commit case",
+        "PrA",
+        MIXES["all-PrA"],
+        "commit",
+    ),
+    "F3-abort": FlowCase(
+        "Figure 3",
+        "Presumed abort (PrA), abort case",
+        "PrA",
+        MIXES["all-PrA"],
+        "abort",
+    ),
+    "F4a": FlowCase(
+        "Figure 4(a)",
+        "Presumed commit (PrC), commit case",
+        "PrC",
+        MIXES["all-PrC"],
+        "commit",
+    ),
+    "F4b": FlowCase(
+        "Figure 4(b)",
+        "Presumed commit (PrC), abort case",
+        "PrC",
+        MIXES["all-PrC"],
+        "abort",
+    ),
+}
+
+
+@dataclass
+class FlowResult:
+    """Outcome of reproducing one figure."""
+
+    case: FlowCase
+    txn_id: str
+    lanes: dict[str, list[str]] = field(default_factory=dict)
+    reports_hold: bool = False
+
+    def lane(self, site: str) -> list[str]:
+        return self.lanes.get(site, [])
+
+
+def flow_lanes(trace: TraceRecorder, txn_id: str) -> dict[str, list[str]]:
+    """Extract per-site flow-token lanes for one transaction."""
+    lanes: dict[str, list[tuple[int, str]]] = {}
+    # Appends are provisional until we know whether a force flushed them.
+    buffered: dict[str, list[tuple[int, str]]] = {}
+    tokens_by_append: dict[tuple[str, int], str] = {}
+
+    def add(site: str, seq: int, token: str) -> None:
+        lanes.setdefault(site, []).append((seq, token))
+
+    for event in trace:
+        site = event.site
+        if event.category == "log":
+            if event.name == "append":
+                buffered.setdefault(site, []).append(
+                    (event.seq, event.details.get("type", ""))
+                )
+                if event.details.get("txn") == txn_id:
+                    # Provisional non-forced token; may be upgraded below.
+                    tokens_by_append[(site, event.seq)] = "write"
+                    add(site, event.seq, f"@{event.seq}")  # placeholder
+            elif event.name in ("force",):
+                for seq, __ in buffered.get(site, []):
+                    if (site, seq) in tokens_by_append:
+                        tokens_by_append[(site, seq)] = "force"
+                buffered[site] = []
+            elif event.name == "crash":
+                buffered[site] = []
+        elif event.details.get("txn") != txn_id:
+            continue
+        elif event.category == "msg":
+            if event.name == "send":
+                kind = event.details.get("kind", "?")
+                add(site, event.seq, f"send({kind})->{event.details.get('to', '?')}")
+            elif event.name == "deliver":
+                kind = event.details.get("kind", "?")
+                add(
+                    site,
+                    event.seq,
+                    f"recv({kind})<-{event.details.get('sender', '?')}",
+                )
+        elif event.category == "protocol":
+            if event.name == "decide":
+                add(site, event.seq, f"decide({event.details.get('decision')})")
+            elif event.name == "forget":
+                add(site, event.seq, "forget")
+
+    # Resolve the append placeholders now that forcing is known.
+    resolved: dict[str, list[str]] = {}
+    record_types = {
+        (e.site, e.seq): e.details.get("type", "")
+        for e in trace
+        if e.category == "log" and e.name == "append"
+    }
+    for site, entries in lanes.items():
+        lane: list[str] = []
+        for seq, token in sorted(entries):
+            if token.startswith("@"):
+                mode = tokens_by_append.get((site, seq), "write")
+                lane.append(f"{mode}({record_types[(site, seq)]})")
+            else:
+                lane.append(token)
+        resolved[site] = lane
+    return resolved
+
+
+def run_flow(case: FlowCase, seed: int = 0) -> tuple[MDBS, str]:
+    """Run one figure's configuration to quiescence."""
+    mdbs = build_mdbs(case.mix, coordinator=case.coordinator, seed=seed)
+    participants = sorted(case.mix.site_protocols())
+    txn = GlobalTransaction(
+        txn_id="t-flow",
+        coordinator=COORDINATOR_ID,
+        writes={site: [WriteOp(f"k@{site}", 1)] for site in participants},
+        coordinator_abort=case.outcome == "abort",
+    )
+    mdbs.submit(txn)
+    mdbs.run(until=500)
+    mdbs.finalize()
+    return mdbs, txn.txn_id
+
+
+def reproduce_figure(figure_id: str, seed: int = 0) -> FlowResult:
+    """Reproduce one figure and return its lanes.
+
+    Raises:
+        ExperimentError: for an unknown figure id.
+    """
+    case = FIGURES.get(figure_id)
+    if case is None:
+        raise ExperimentError(
+            f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
+        )
+    mdbs, txn_id = run_flow(case, seed)
+    reports = mdbs.check()
+    return FlowResult(
+        case=case,
+        txn_id=txn_id,
+        lanes=flow_lanes(mdbs.sim.trace, txn_id),
+        reports_hold=reports.all_hold,
+    )
+
+
+def render_flow(result: FlowResult) -> str:
+    """Human-readable rendering of one reproduced figure."""
+    lines = [
+        f"{result.case.figure}: {result.case.description}",
+        f"(outcome: {result.case.outcome}; txn {result.txn_id}; "
+        f"correctness holds: {result.reports_hold})",
+        "",
+    ]
+    for site in sorted(result.lanes):
+        lines.append(f"[{site}]")
+        for token in result.lanes[site]:
+            lines.append(f"    {token}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# -- expected lanes (what the figures show) ----------------------------------
+#
+# Keys are (figure_id, role); the role is "coordinator", or a participant
+# protocol name. Tokens listed here are the *protocol-relevant*
+# subsequence: UPDATE-record writes and duplicate deliveries are ignored
+# by the comparison helper below.
+
+EXPECTED_LANES: dict[tuple[str, str], list[str]] = {
+    # Figure 1(a): PrAny commit.
+    ("F1a", "coordinator"): [
+        "force(initiation)",
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(commit)",
+        "force(commit)",
+        "send(COMMIT)",
+        "send(COMMIT)",
+        "recv(ACK)",  # from the PrA participant only
+        "write(end)",
+        "forget",
+    ],
+    ("F1a", "PrA"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(COMMIT)",
+        "force(commit)",
+        "send(ACK)",
+        "forget",
+    ],
+    ("F1a", "PrC"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(COMMIT)",
+        "write(commit)",
+        "forget",
+    ],
+    # Figure 1(b): PrAny abort.
+    ("F1b", "coordinator"): [
+        "force(initiation)",
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(abort)",
+        "send(ABORT)",
+        "send(ABORT)",
+        "recv(ACK)",  # from the PrC participant only
+        "write(end)",
+        "forget",
+    ],
+    ("F1b", "PrA"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(ABORT)",
+        "write(abort)",
+        "forget",
+    ],
+    ("F1b", "PrC"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(ABORT)",
+        "force(abort)",
+        "send(ACK)",
+        "forget",
+    ],
+    # Figure 2: basic 2PC — uniform treatment of both outcomes.
+    ("F2-commit", "coordinator"): [
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(commit)",
+        "force(commit)",
+        "send(COMMIT)",
+        "send(COMMIT)",
+        "recv(ACK)",
+        "recv(ACK)",
+        "write(end)",
+        "forget",
+    ],
+    ("F2-commit", "PrN"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(COMMIT)",
+        "force(commit)",
+        "send(ACK)",
+        "forget",
+    ],
+    ("F2-abort", "coordinator"): [
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(abort)",
+        "force(abort)",
+        "send(ABORT)",
+        "send(ABORT)",
+        "recv(ACK)",
+        "recv(ACK)",
+        "write(end)",
+        "forget",
+    ],
+    ("F2-abort", "PrN"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(ABORT)",
+        "force(abort)",
+        "send(ACK)",
+        "forget",
+    ],
+    # Figure 3: presumed abort.
+    ("F3-commit", "coordinator"): [
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(commit)",
+        "force(commit)",
+        "send(COMMIT)",
+        "send(COMMIT)",
+        "recv(ACK)",
+        "recv(ACK)",
+        "write(end)",
+        "forget",
+    ],
+    ("F3-commit", "PrA"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(COMMIT)",
+        "force(commit)",
+        "send(ACK)",
+        "forget",
+    ],
+    ("F3-abort", "coordinator"): [
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(abort)",
+        "send(ABORT)",
+        "send(ABORT)",
+        "forget",  # immediately: no record, no acks awaited
+    ],
+    ("F3-abort", "PrA"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(ABORT)",
+        "write(abort)",
+        "forget",
+    ],
+    # Figure 4: presumed commit.
+    ("F4a", "coordinator"): [
+        "force(initiation)",
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(commit)",
+        "force(commit)",
+        "send(COMMIT)",
+        "send(COMMIT)",
+        "forget",  # immediately: no acks awaited, no end record
+    ],
+    ("F4a", "PrC"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(COMMIT)",
+        "write(commit)",
+        "forget",
+    ],
+    ("F4b", "coordinator"): [
+        "force(initiation)",
+        "send(PREPARE)",
+        "send(PREPARE)",
+        "recv(VOTE_YES)",
+        "recv(VOTE_YES)",
+        "decide(abort)",
+        "send(ABORT)",
+        "send(ABORT)",
+        "recv(ACK)",
+        "recv(ACK)",
+        "write(end)",
+        "forget",
+    ],
+    ("F4b", "PrC"): [
+        "recv(PREPARE)",
+        "force(prepared)",
+        "send(VOTE_YES)",
+        "recv(ABORT)",
+        "force(abort)",
+        "send(ACK)",
+        "forget",
+    ],
+}
+
+
+def normalize_lane(tokens: list[str]) -> list[str]:
+    """Strip addressing and data-plane noise for figure comparison.
+
+    * ``send(X)->s`` / ``recv(X)<-s`` lose their peer suffix;
+    * UPDATE-record writes (data plane, protocol-independent) drop out.
+    """
+    normalized = []
+    for token in tokens:
+        if token.startswith(("send(", "recv(")):
+            normalized.append(token.split(")", 1)[0] + ")")
+        elif token in ("write(update)", "force(update)"):
+            continue
+        else:
+            normalized.append(token)
+    return normalized
+
+
+def matches_figure(result: FlowResult) -> dict[str, bool]:
+    """Compare a reproduced flow against the figure's expected lanes.
+
+    Returns:
+        role → whether the observed lane equals the expectation. The
+        coordinator role is matched by site id; participant roles by
+        their protocol (all participants of that protocol must match).
+    """
+    figure_id = _figure_key(result)
+    outcome: dict[str, bool] = {}
+    for (fig, role), expected in EXPECTED_LANES.items():
+        if fig != figure_id:
+            continue
+        if role == "coordinator":
+            observed = normalize_lane(result.lane(COORDINATOR_ID))
+            outcome[role] = observed == expected
+        else:
+            site_ids = [
+                site
+                for site, protocol in result.case.mix.site_protocols().items()
+                if protocol == role
+            ]
+            outcome[role] = all(
+                normalize_lane(result.lane(site)) == expected for site in site_ids
+            )
+    return outcome
+
+
+def _figure_key(result: FlowResult) -> str:
+    for figure_id, case in FIGURES.items():
+        if case is result.case:
+            return figure_id
+    raise ExperimentError("result does not correspond to a known figure")

@@ -1,0 +1,141 @@
+"""Experiment C4 — the read-only optimization.
+
+The paper's conclusion names read-only optimizations (its refs
+[15, 1, 4]) as the next target for the operational correctness
+criterion. We implement the classic READ-vote optimization — a
+participant whose subtransaction wrote nothing votes READ, releases its
+locks at the vote, and drops out of the decision phase — and measure
+what it saves on workloads with read-only participants:
+
+* forced log writes at read-only participants (no prepared force),
+* decision and acknowledgement messages,
+* lock-holding time at read-only participants (released at the vote
+  instead of after the decision round-trip).
+
+Correctness is unchanged: a read-only subtransaction is consistent
+with either outcome, so dropping out never threatens atomicity — the
+checkers run on every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import message_counts
+from repro.analysis.report import render_table
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.workloads.generator import COORDINATOR_ID, build_mdbs
+from repro.workloads.mixes import MIXES
+
+
+@dataclass
+class ReadOnlyCell:
+    """Measured costs for one (mix, optimization on/off) cell."""
+
+    mix: str
+    optimized: bool
+    read_fraction: float
+    total_forces: int
+    messages: int
+    acks: int
+    read_votes: int
+    correct: bool
+
+
+@dataclass
+class ReadOnlyResult:
+    cells: list[ReadOnlyCell] = field(default_factory=list)
+
+    def cell(self, mix: str, optimized: bool) -> ReadOnlyCell:
+        for cell in self.cells:
+            if cell.mix == mix and cell.optimized is optimized:
+                return cell
+        raise KeyError((mix, optimized))
+
+    def savings(self, mix: str) -> tuple[int, int]:
+        """(forces saved, messages saved) by the optimization."""
+        off = self.cell(mix, False)
+        on = self.cell(mix, True)
+        return off.total_forces - on.total_forces, off.messages - on.messages
+
+    @property
+    def always_correct(self) -> bool:
+        return all(cell.correct for cell in self.cells)
+
+
+def _run(mix_name: str, optimized: bool, n_transactions: int, seed: int) -> ReadOnlyCell:
+    mix = MIXES[mix_name]
+    mdbs = build_mdbs(
+        mix, coordinator="dynamic", seed=seed, read_only_optimization=optimized
+    )
+    sites = sorted(mix.site_protocols())
+    # Every transaction updates its first participant and only reads at
+    # the rest — the shape reporting/analytics transactions have.
+    for i in range(n_transactions):
+        writer, *readers = sites
+        mdbs.submit(
+            GlobalTransaction(
+                txn_id=f"t{i:03d}",
+                coordinator=COORDINATOR_ID,
+                writes={writer: [WriteOp(f"t{i}@{writer}", i)]},
+                reads={reader: [f"catalog@{reader}"] for reader in readers},
+                submit_at=i * 30.0,
+            )
+        )
+    mdbs.run(until=n_transactions * 30.0 + 200.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    counts = message_counts(mdbs.sim.trace)
+    return ReadOnlyCell(
+        mix=mix_name,
+        optimized=optimized,
+        read_fraction=(len(sites) - 1) / len(sites),
+        total_forces=sum(site.log.force_count for site in mdbs.sites.values()),
+        messages=counts.total,
+        acks=counts.of("ACK"),
+        read_votes=counts.of("VOTE_READ"),
+        correct=reports.all_hold,
+    )
+
+
+def run_read_only_experiment(
+    mixes: tuple[str, ...] = ("all-PrN", "all-PrA", "all-PrC", "PrN+PrA+PrC"),
+    n_transactions: int = 10,
+    seed: int = 23,
+) -> ReadOnlyResult:
+    """Measure each mix with the optimization off and on."""
+    result = ReadOnlyResult()
+    for mix_name in mixes:
+        for optimized in (False, True):
+            result.cells.append(_run(mix_name, optimized, n_transactions, seed))
+    return result
+
+
+def render_read_only(result: ReadOnlyResult) -> str:
+    rows = [
+        [
+            cell.mix,
+            "on" if cell.optimized else "off",
+            f"{cell.read_fraction:.0%}",
+            cell.total_forces,
+            cell.messages,
+            cell.acks,
+            cell.read_votes,
+            "yes" if cell.correct else "NO",
+        ]
+        for cell in result.cells
+    ]
+    return render_table(
+        [
+            "mix",
+            "R/O opt",
+            "readers",
+            "total forces",
+            "messages",
+            "acks",
+            "READ votes",
+            "correct",
+        ],
+        rows,
+        title="C4 — read-only optimization: costs with the READ vote off/on",
+    )

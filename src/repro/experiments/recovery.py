@@ -1,0 +1,187 @@
+"""Experiment R1 — the §4.2 coordinator recovery procedure at work.
+
+We crash the coordinator at characteristic points of commit processing,
+let participants block/inquire, then recover the coordinator and
+measure the recovery work: which transactions were re-initiated from
+log analysis, how many inquiries were answered (and how many by
+presumption), and whether the system converged to a fully-forgotten,
+consistent state.
+
+One scenario per §4.2 log-shape case:
+
+* decision record without initiation (PrN/PrA path),
+* initiation record only → re-initiated abort (PrC/PrAny path),
+* initiation + commit without end → commit re-sent to PrN+PrA
+  participants only (PrAny path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.report import render_table
+from repro.mdbs.recovery import measure_recovery
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.sim.tracing import TraceEvent
+from repro.workloads.generator import COORDINATOR_ID, build_mdbs
+from repro.workloads.mixes import MIXES
+
+
+@dataclass
+class RecoveryScenario:
+    """One coordinator-crash scenario."""
+
+    name: str
+    mix: str
+    coordinator: str
+    outcome: str
+    crash_predicate: Callable[[TraceEvent], bool]
+    expected_log_shape: str
+
+
+@dataclass
+class RecoveryOutcome:
+    scenario: str
+    log_shape: str
+    reinitiated: int
+    inquiries: int
+    presumed_responses: int
+    messages: int
+    converged: bool
+
+
+@dataclass
+class RecoveryExperimentResult:
+    outcomes: list[RecoveryOutcome] = field(default_factory=list)
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(self.outcomes) and all(o.converged for o in self.outcomes)
+
+
+def _crash_after_decide(event: TraceEvent) -> bool:
+    return event.matches("protocol", "decide", site=COORDINATOR_ID)
+
+
+def _crash_after_initiation(event: TraceEvent) -> bool:
+    return event.matches(
+        "log", "append", site=COORDINATOR_ID, type="initiation"
+    )
+
+
+SCENARIOS: list[RecoveryScenario] = [
+    RecoveryScenario(
+        name="PrN: commit decided, crash before acks",
+        mix="all-PrN",
+        coordinator="PrN",
+        outcome="commit",
+        crash_predicate=_crash_after_decide,
+        expected_log_shape="commit",
+    ),
+    RecoveryScenario(
+        name="PrA: commit decided, crash before acks",
+        mix="all-PrA",
+        coordinator="PrA",
+        outcome="commit",
+        crash_predicate=_crash_after_decide,
+        expected_log_shape="commit",
+    ),
+    RecoveryScenario(
+        name="PrC: crash right after initiation (abort presumed)",
+        mix="all-PrC",
+        coordinator="PrC",
+        outcome="commit",  # never reached; crash precedes the decision
+        crash_predicate=_crash_after_initiation,
+        expected_log_shape="init",
+    ),
+    RecoveryScenario(
+        name="PrAny: crash right after initiation (abort re-sent)",
+        mix="PrA+PrC",
+        coordinator="dynamic",
+        outcome="commit",
+        crash_predicate=_crash_after_initiation,
+        expected_log_shape="init+protocols",
+    ),
+    RecoveryScenario(
+        name="PrAny: commit decided, crash before acks",
+        mix="PrA+PrC",
+        coordinator="dynamic",
+        outcome="commit",
+        crash_predicate=_crash_after_decide,
+        expected_log_shape="init+protocols+commit",
+    ),
+]
+
+
+def _run_scenario(scenario: RecoveryScenario, seed: int) -> RecoveryOutcome:
+    mix = MIXES[scenario.mix]
+    mdbs = build_mdbs(mix, coordinator=scenario.coordinator, seed=seed)
+    participants = sorted(mix.site_protocols())
+    txn = GlobalTransaction(
+        txn_id="t-rec",
+        coordinator=COORDINATOR_ID,
+        writes={site: [WriteOp(f"k@{site}", 1)] for site in participants},
+        coordinator_abort=scenario.outcome == "abort",
+    )
+    mdbs.failures.crash_when(
+        COORDINATOR_ID, scenario.crash_predicate, down_for=None
+    )
+    mdbs.submit(txn)
+    mdbs.run(until=120)
+
+    # Capture the coordinator's log shape as recovery will see it.
+    from repro.protocols.recovery import summarize_coordinator_log
+
+    summaries = summarize_coordinator_log(mdbs.site(COORDINATOR_ID).log)
+    log_shape = summaries[0].shape if summaries else "none"
+
+    costs = measure_recovery(mdbs, run_until=600)
+    mdbs.finalize()
+    reports = mdbs.check()
+    return RecoveryOutcome(
+        scenario=scenario.name,
+        log_shape=log_shape,
+        reinitiated=costs.reinitiated_decisions,
+        inquiries=costs.inquiries,
+        presumed_responses=costs.presumed_responses,
+        messages=costs.messages_sent,
+        converged=reports.all_hold,
+    )
+
+
+def recovery_experiment(seed: int = 13) -> RecoveryExperimentResult:
+    """Run every §4.2 recovery scenario."""
+    result = RecoveryExperimentResult()
+    for scenario in SCENARIOS:
+        result.outcomes.append(_run_scenario(scenario, seed))
+    return result
+
+
+def render_recovery(result: RecoveryExperimentResult) -> str:
+    rows = [
+        [
+            o.scenario,
+            o.log_shape,
+            o.reinitiated,
+            o.inquiries,
+            o.presumed_responses,
+            o.messages,
+            "yes" if o.converged else "NO",
+        ]
+        for o in result.outcomes
+    ]
+    return render_table(
+        [
+            "scenario",
+            "log shape at restart",
+            "re-initiated",
+            "inquiries",
+            "presumed replies",
+            "messages",
+            "converged",
+        ],
+        rows,
+        title="R1 — §4.2 coordinator recovery",
+    )

@@ -1,0 +1,116 @@
+"""Experiment C3 — ablation of §4.1's dynamic protocol selection.
+
+A PrAny coordinator consults its APP table and uses the participants'
+own protocol when they are homogeneous, reserving PrAny for mixes. The
+alternative — always using PrAny — is simpler but pays an initiation
+force (vs PrN/PrA) and collects acks a specialized protocol would skip.
+
+We run the same homogeneous workload under both selectors and compare
+coordinator forces, acks and total messages. Expected shape: dynamic
+selection strictly dominates on homogeneous PrN/PrA workloads (no
+initiation record) and on PrC commit workloads it ties (PrAny = PrC +
+protocols in the initiation record); on mixed workloads both selectors
+coincide by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import message_counts
+from repro.analysis.report import render_table
+from repro.mdbs.transaction import simple_transaction
+from repro.workloads.generator import COORDINATOR_ID, build_mdbs
+from repro.workloads.mixes import MIXES
+
+
+@dataclass
+class SelectionPoint:
+    mix: str
+    selector: str
+    coordinator_forces: int
+    acks: int
+    messages: int
+    protocols_used: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SelectionResult:
+    points: list[SelectionPoint] = field(default_factory=list)
+
+    def point(self, mix: str, selector: str) -> SelectionPoint:
+        for p in self.points:
+            if p.mix == mix and p.selector == selector:
+                return p
+        raise KeyError((mix, selector))
+
+    def savings(self, mix: str) -> tuple[int, int]:
+        """(forces saved, acks saved) by dynamic over always-PrAny."""
+        dynamic = self.point(mix, "dynamic")
+        fixed = self.point(mix, "PrAny")
+        return (
+            fixed.coordinator_forces - dynamic.coordinator_forces,
+            fixed.acks - dynamic.acks,
+        )
+
+
+def _run(mix_name: str, selector: str, n_transactions: int, seed: int) -> SelectionPoint:
+    mix = MIXES[mix_name]
+    mdbs = build_mdbs(mix, coordinator=selector, seed=seed)
+    sites = sorted(mix.site_protocols())
+    for i in range(n_transactions):
+        mdbs.submit(
+            simple_transaction(
+                f"t{i:03d}",
+                COORDINATOR_ID,
+                sites,
+                submit_at=i * 30.0,
+                abort=(i % 4 == 3),
+            )
+        )
+    mdbs.run(until=n_transactions * 30.0 + 200.0)
+    used: dict[str, int] = {}
+    for event in mdbs.sim.trace.select(category="protocol", name="select"):
+        protocol = event.details.get("protocol", "?")
+        used[protocol] = used.get(protocol, 0) + 1
+    counts = message_counts(mdbs.sim.trace)
+    return SelectionPoint(
+        mix=mix_name,
+        selector=selector,
+        coordinator_forces=mdbs.site(COORDINATOR_ID).log.force_count,
+        acks=counts.of("ACK"),
+        messages=counts.total,
+        protocols_used=used,
+    )
+
+
+def selection_ablation(
+    mixes: tuple[str, ...] = ("all-PrN", "all-PrA", "all-PrC", "PrA+PrC", "PrN+PrC"),
+    n_transactions: int = 12,
+    seed: int = 17,
+) -> SelectionResult:
+    """Dynamic selection vs always-PrAny over each mix."""
+    result = SelectionResult()
+    for mix_name in mixes:
+        for selector in ("dynamic", "PrAny"):
+            result.points.append(_run(mix_name, selector, n_transactions, seed))
+    return result
+
+
+def render_selection(result: SelectionResult) -> str:
+    rows = [
+        [
+            p.mix,
+            p.selector,
+            ", ".join(f"{k}:{v}" for k, v in sorted(p.protocols_used.items())),
+            p.coordinator_forces,
+            p.acks,
+            p.messages,
+        ]
+        for p in result.points
+    ]
+    return render_table(
+        ["mix", "selector", "protocols used", "coord forces", "acks", "messages"],
+        rows,
+        title="C3 — §4.1 dynamic selection vs always-PrAny",
+    )

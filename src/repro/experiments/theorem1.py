@@ -1,0 +1,179 @@
+"""Experiment T1 — Theorem 1, empirically.
+
+    "It is impossible to ensure global atomicity of distributed
+    transactions executed at both PrA and PrC participants with a
+    coordinator using U2PC."
+
+The proof has three parts — coordinator native protocol PrN, PrA and
+PrC. Each part names an adversarial schedule; we inject exactly that
+schedule and observe the atomicity violation, then replay the identical
+schedule under the PrAny coordinator and observe none.
+
+* **Part I / II** (native PrN / PrA, commit case): the PrC participant
+  crashes before the commit decision reaches it; the coordinator
+  forgets after the PrA participant's ack; the recovered PrC
+  participant's inquiry is answered *abort* by the native presumption.
+* **Part III** (native PrC, abort case): the PrA participant crashes
+  right after enforcing the abort, before its lazy abort record is
+  stable; the coordinator forgets after the PrC participant's ack; the
+  recovered PrA participant's inquiry is answered *commit* by the PrC
+  presumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.mdbs.system import MDBS, RunReports
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+
+_COORD = "tm"
+_PRA_SITE = "alpha_pra"
+_PRC_SITE = "beta_prc"
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of one (proof part, coordinator policy) run."""
+
+    part: str
+    coordinator_policy: str
+    atomicity_violations: int
+    safe_state_violations: int
+    outcomes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def violated(self) -> bool:
+        return self.atomicity_violations > 0
+
+
+@dataclass
+class Theorem1Result:
+    """All proof parts under U2PC and under PrAny."""
+
+    scenarios: list[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def u2pc_all_violate(self) -> bool:
+        """Every U2PC proof part showed the predicted violation."""
+        u2pc = [s for s in self.scenarios if s.coordinator_policy.startswith("U2PC")]
+        return bool(u2pc) and all(s.violated for s in u2pc)
+
+    @property
+    def prany_never_violates(self) -> bool:
+        """PrAny survived every adversarial schedule."""
+        prany = [s for s in self.scenarios if s.coordinator_policy == "dynamic"]
+        return bool(prany) and not any(s.violated for s in prany)
+
+    @property
+    def theorem_demonstrated(self) -> bool:
+        return self.u2pc_all_violate and self.prany_never_violates
+
+
+def _build(coordinator_policy: str, seed: int) -> MDBS:
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site(_PRA_SITE, protocol="PrA")
+    mdbs.add_site(_PRC_SITE, protocol="PrC")
+    mdbs.add_site(_COORD, protocol="PrN", coordinator=coordinator_policy)
+    return mdbs
+
+
+def _commit_case_schedule(mdbs: MDBS) -> GlobalTransaction:
+    """Parts I and II: commit decision; PrC participant misses it."""
+    mdbs.failures.crash_when(
+        _PRC_SITE,
+        lambda e: e.matches("msg", "send", site=_COORD, kind="COMMIT", to=_PRC_SITE),
+        down_for=60.0,
+        label="PrC participant crashes before the commit arrives",
+    )
+    return GlobalTransaction(
+        txn_id="t1",
+        coordinator=_COORD,
+        writes={
+            _PRA_SITE: [WriteOp("a", 1)],
+            _PRC_SITE: [WriteOp("b", 2)],
+        },
+    )
+
+
+def _abort_case_schedule(mdbs: MDBS) -> GlobalTransaction:
+    """Part III: abort decision; PrA participant loses its lazy record."""
+    mdbs.failures.crash_when(
+        _PRA_SITE,
+        lambda e: e.matches("db", "abort", site=_PRA_SITE, txn="t1"),
+        down_for=60.0,
+        label="PrA participant crashes after enforcing, before stability",
+    )
+    return GlobalTransaction(
+        txn_id="t1",
+        coordinator=_COORD,
+        writes={
+            _PRA_SITE: [WriteOp("a", 1)],
+            _PRC_SITE: [WriteOp("b", 2)],
+        },
+        coordinator_abort=True,
+    )
+
+
+_PARTS = {
+    "Part I (PrN commit)": ("U2PC(PrN)", _commit_case_schedule),
+    "Part II (PrA commit)": ("U2PC(PrA)", _commit_case_schedule),
+    "Part III (PrC abort)": ("U2PC(PrC)", _abort_case_schedule),
+}
+
+
+def _run_one(
+    part: str, coordinator_policy: str, schedule, seed: int
+) -> ScenarioOutcome:
+    mdbs = _build(coordinator_policy, seed)
+    mdbs.submit(schedule(mdbs))
+    mdbs.run(until=500)
+    mdbs.finalize()
+    reports: RunReports = mdbs.check()
+    outcomes = {
+        site: outcome.value
+        for site, outcome in mdbs.history().enforcements("t1").items()
+    }
+    return ScenarioOutcome(
+        part=part,
+        coordinator_policy=coordinator_policy,
+        atomicity_violations=len(reports.atomicity.violations),
+        safe_state_violations=len(reports.safe_state.violations),
+        outcomes=outcomes,
+    )
+
+
+def run_theorem1(seed: int = 7) -> Theorem1Result:
+    """Run all three proof parts under U2PC, then under PrAny."""
+    result = Theorem1Result()
+    for part, (policy, schedule) in _PARTS.items():
+        result.scenarios.append(_run_one(part, policy, schedule, seed))
+        result.scenarios.append(_run_one(part, "dynamic", schedule, seed))
+    return result
+
+
+def render_theorem1(result: Theorem1Result) -> str:
+    rows = [
+        [
+            s.part,
+            s.coordinator_policy,
+            s.atomicity_violations,
+            s.safe_state_violations,
+            ", ".join(f"{k}={v}" for k, v in sorted(s.outcomes.items())),
+        ]
+        for s in result.scenarios
+    ]
+    table = render_table(
+        [
+            "proof part",
+            "coordinator",
+            "atomicity viol.",
+            "safe-state viol.",
+            "enforced outcomes",
+        ],
+        rows,
+        title="T1 — Theorem 1: U2PC breaks atomicity; PrAny does not",
+    )
+    verdict = "DEMONSTRATED" if result.theorem_demonstrated else "NOT demonstrated"
+    return f"{table}\n\nTheorem 1 {verdict}"

@@ -1,0 +1,165 @@
+"""Experiment T2 — Theorem 2, empirically.
+
+    "It is impossible to achieve operational correctness if the
+    coordinator is using C2PC and distributed transactions execute at
+    both PrA and PrC participants."
+
+C2PC never forgets a transaction until *every* participant acks. In the
+PrA+PrC mix, committed transactions are never acked by the PrC
+participant and aborted ones never by the PrA participant, so *every*
+terminated transaction is retained forever: the protocol table and the
+un-garbage-collectable log grow linearly with the number of processed
+transactions. Under PrAny both return to zero.
+
+The experiment sweeps the transaction count and records the retained
+protocol-table entries and uncollected log transactions at the
+coordinator after the system has quiesced and every lazy record has
+been flushed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_series, render_table
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import simple_transaction
+
+_COORD = "tm"
+
+
+@dataclass
+class RetentionPoint:
+    """Retention measured after processing ``n_transactions``."""
+
+    coordinator_policy: str
+    n_transactions: int
+    retained_entries: int
+    uncollected_log_txns: int
+    atomic: bool
+    operationally_correct: bool
+
+
+@dataclass
+class Theorem2Result:
+    points: list[RetentionPoint] = field(default_factory=list)
+
+    def series(self, coordinator_policy: str) -> list[tuple[int, int]]:
+        return [
+            (p.n_transactions, p.retained_entries)
+            for p in self.points
+            if p.coordinator_policy == coordinator_policy
+        ]
+
+    @property
+    def c2pc_growth_is_linear(self) -> bool:
+        """C2PC retains every terminated mixed transaction."""
+        series = [
+            p
+            for p in self.points
+            if p.coordinator_policy.startswith("C2PC")
+        ]
+        return bool(series) and all(
+            p.retained_entries == p.n_transactions for p in series
+        )
+
+    @property
+    def prany_retains_nothing(self) -> bool:
+        series = [p for p in self.points if p.coordinator_policy == "dynamic"]
+        return bool(series) and all(p.retained_entries == 0 for p in series)
+
+    @property
+    def c2pc_still_atomic(self) -> bool:
+        """C2PC is functionally correct — only operationally broken."""
+        return all(
+            p.atomic
+            for p in self.points
+            if p.coordinator_policy.startswith("C2PC")
+        )
+
+    @property
+    def theorem_demonstrated(self) -> bool:
+        return (
+            self.c2pc_growth_is_linear
+            and self.prany_retains_nothing
+            and self.c2pc_still_atomic
+        )
+
+
+def _measure(coordinator_policy: str, n_transactions: int, seed: int) -> RetentionPoint:
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site("alpha_pra", protocol="PrA")
+    mdbs.add_site("beta_prc", protocol="PrC")
+    mdbs.add_site(_COORD, protocol="PrN", coordinator=coordinator_policy)
+    for i in range(n_transactions):
+        mdbs.submit(
+            simple_transaction(
+                f"t{i:03d}",
+                _COORD,
+                ["alpha_pra", "beta_prc"],
+                submit_at=i * 40.0,
+                abort=(i % 2 == 1),
+            )
+        )
+    mdbs.run(until=n_transactions * 40.0 + 200.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    tm = mdbs.site(_COORD)
+    assert tm.coordinator is not None
+    return RetentionPoint(
+        coordinator_policy=coordinator_policy,
+        n_transactions=n_transactions,
+        retained_entries=len(tm.coordinator.table),
+        uncollected_log_txns=len(tm.uncollected_log_transactions()),
+        atomic=reports.atomicity.holds,
+        operationally_correct=reports.operational.holds,
+    )
+
+
+def run_theorem2(
+    counts: tuple[int, ...] = (4, 8, 16, 32),
+    c2pc_native: str = "PrN",
+    seed: int = 3,
+) -> Theorem2Result:
+    """Sweep transaction counts under C2PC and PrAny coordinators."""
+    result = Theorem2Result()
+    for policy in (f"C2PC({c2pc_native})", "dynamic"):
+        for n in counts:
+            result.points.append(_measure(policy, n, seed))
+    return result
+
+
+def render_theorem2(result: Theorem2Result) -> str:
+    rows = [
+        [
+            p.coordinator_policy,
+            p.n_transactions,
+            p.retained_entries,
+            p.uncollected_log_txns,
+            "yes" if p.atomic else "NO",
+            "yes" if p.operationally_correct else "NO",
+        ]
+        for p in result.points
+    ]
+    table = render_table(
+        [
+            "coordinator",
+            "txns processed",
+            "retained entries",
+            "uncollected log txns",
+            "atomic",
+            "operational",
+        ],
+        rows,
+        title="T2 — Theorem 2: C2PC must remember terminated txns forever",
+    )
+    charts = []
+    for policy in sorted({p.coordinator_policy for p in result.points}):
+        charts.append(
+            render_series(
+                f"retained entries vs txns ({policy})",
+                result.series(policy),
+            )
+        )
+    verdict = "DEMONSTRATED" if result.theorem_demonstrated else "NOT demonstrated"
+    return "\n\n".join([table, *charts, f"Theorem 2 {verdict}"])

@@ -1,0 +1,22 @@
+"""Multidatabase-system layer: sites, transactions, the whole system."""
+
+from repro.mdbs.recovery import (
+    RecoveryCosts,
+    measure_recovery,
+    recover_all_down_sites,
+)
+from repro.mdbs.site import Site
+from repro.mdbs.system import MDBS, RunReports
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+
+__all__ = [
+    "GlobalTransaction",
+    "MDBS",
+    "RecoveryCosts",
+    "RunReports",
+    "Site",
+    "WriteOp",
+    "measure_recovery",
+    "recover_all_down_sites",
+    "simple_transaction",
+]

@@ -1,0 +1,230 @@
+"""A database site: log + store + local TM + commit-protocol engines.
+
+A :class:`Site` bundles everything that lives at one node of the MDBS:
+
+* a stable log and a KV store with a local transaction manager,
+* a participant engine speaking the site's native 2PC variant,
+* optionally a coordinator engine (any site may coordinate global
+  transactions) with a fixed or dynamic protocol selector,
+* crash/recovery orchestration tying all of the above together.
+
+Message dispatch: the network delivers every message addressed to the
+site to :meth:`deliver`, which routes by message kind — votes, acks and
+inquiries to the coordinator engine; prepares and decisions to the
+participant engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.kv import KVStore
+from repro.db.local_tm import LocalTransactionManager
+from repro.db.recovery import LocalRecoveryReport, recover_engine
+from repro.errors import ProtocolError, SiteDownError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.protocols.base import (
+    ABORT,
+    ACK,
+    CL_CHECKPOINT,
+    CL_RECOVER,
+    CL_REDO,
+    COMMIT,
+    INQUIRY,
+    PREPARE,
+    TimeoutConfig,
+    VOTE_NO,
+    VOTE_READ,
+    VOTE_YES,
+    participant_spec,
+)
+from repro.protocols.coordinator import CoordinatorEngine
+from repro.protocols.participant import ParticipantEngine
+from repro.protocols.registry import PolicySelector
+from repro.sim.kernel import Simulator
+from repro.storage.pcp import CommitProtocolDirectory
+from repro.storage.stable_log import StableLog
+
+
+class Site:
+    """One node of the simulated multidatabase system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pcp: CommitProtocolDirectory,
+        site_id: str,
+        protocol: str,
+        selector: Optional[PolicySelector] = None,
+        timeouts: Optional[TimeoutConfig] = None,
+        read_only_optimization: bool = True,
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self._pcp = pcp
+        self._site_id = site_id
+        self._protocol = protocol
+        self._up = True
+        self.crash_count = 0
+
+        spec = participant_spec(protocol)
+        self.log = StableLog(sim, site_id)
+        self.store = KVStore()
+        self.tm = LocalTransactionManager(
+            sim,
+            site_id,
+            self.log,
+            self.store,
+            force_updates=spec.forces_each_update,
+            logless=spec.logless,
+        )
+        self.participant = ParticipantEngine(
+            sim,
+            site_id,
+            spec,
+            self.tm,
+            self.log,
+            network,
+            timeouts,
+            read_only_optimization=read_only_optimization,
+        )
+        self.coordinator: Optional[CoordinatorEngine] = None
+        if selector is not None:
+            self.coordinator = CoordinatorEngine(
+                sim, site_id, self.log, network, pcp, selector, timeouts
+            )
+        network.register(site_id, self.deliver, is_up=lambda: self._up)
+
+    # -- identity / status ------------------------------------------------------
+
+    @property
+    def site_id(self) -> str:
+        return self._site_id
+
+    @property
+    def protocol(self) -> str:
+        """The 2PC variant this site employs as a participant."""
+        return self._protocol
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    # -- message dispatch ----------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Route one delivered message to the right engine."""
+        if not self._up:  # defensive; the network already checks liveness
+            return
+        kind = message.kind
+        if kind == PREPARE:
+            self.participant.on_prepare(message)
+        elif kind in (COMMIT, ABORT):
+            self.participant.on_decision(message)
+        elif kind in (VOTE_YES, VOTE_NO, VOTE_READ):
+            self._require_coordinator().on_vote(message)
+        elif kind == ACK:
+            self._require_coordinator().on_ack(message)
+        elif kind == INQUIRY:
+            self._require_coordinator().on_inquiry(message)
+        elif kind == CL_RECOVER:
+            self._require_coordinator().on_cl_recover(message)
+        elif kind == CL_CHECKPOINT:
+            self._require_coordinator().on_cl_checkpoint(message)
+        elif kind == CL_REDO:
+            self.participant.on_cl_redo(message)
+        else:
+            raise ProtocolError(
+                f"site {self._site_id!r} received unknown message kind {kind!r}"
+            )
+
+    def _require_coordinator(self) -> CoordinatorEngine:
+        if self.coordinator is None:
+            raise ProtocolError(
+                f"site {self._site_id!r} has no coordinator engine but "
+                f"received coordinator-bound traffic"
+            )
+        return self.coordinator
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: all volatile state is lost, the log closes."""
+        if not self._up:
+            return
+        self._up = False
+        self.crash_count += 1
+        self._sim.record(self._site_id, "site", "crash")
+        self.log.crash()
+        self.tm.crash()
+        self.participant.crash()
+        if self.coordinator is not None:
+            self.coordinator.crash()
+
+    def recover(self) -> LocalRecoveryReport:
+        """Restart: local redo, re-adopt in-doubts, coordinator recovery."""
+        if self._up:
+            raise SiteDownError(f"site {self._site_id!r} is not down")
+        self._up = True
+        self._sim.record(self._site_id, "site", "recover")
+        self.log.reopen()
+        report = recover_engine(self.tm, self.log, self.store)
+        in_doubt = {
+            txn_id: info["coordinator"]
+            for txn_id, info in report.in_doubt.items()
+        }
+        self.participant.recover(in_doubt)
+        if self.participant.spec.logless:
+            # Coordinator-log site: nothing local to analyze — pull the
+            # redo state back from the coordinators.
+            self.participant.request_cl_recovery(self._pcp.coordinators())
+        if self.coordinator is not None:
+            self.coordinator.recover()
+        return report
+
+    # -- operational-correctness views (SiteView protocol) ---------------------------
+
+    def retained_transactions(self) -> set[str]:
+        """Transactions still occupying this site's protocol tables."""
+        retained = set(self.participant.table.entries())
+        if self.coordinator is not None:
+            retained |= set(self.coordinator.table.entries())
+        retained |= set(self.tm.active_transactions())
+        retained |= set(self.tm.in_doubt_transactions())
+        return retained
+
+    def uncollected_log_transactions(self) -> set[str]:
+        """Transactions with stable records still occupying the log."""
+        return self.log.transactions()
+
+    def flush_and_gc(self) -> int:
+        """Background flush + checkpoint + GC sweep.
+
+        Models "eventually": the log buffer is flushed, the store is
+        checkpointed (committed state becomes durable — the write-ahead
+        discipline that makes collecting a committed transaction's redo
+        records safe), and then the GC sweep collects every forgotten
+        transaction whose cover record is stable.
+
+        Returns:
+            Number of transactions whose records were collected.
+        """
+        if not self._up:
+            return 0
+        self.log.flush()
+        self.tm.checkpoint()
+        if self.participant.spec.logless:
+            # The checkpoint made pulled/enforced commits durable here;
+            # the coordinators may now release our redo records.
+            self.participant.announce_checkpoint(self._pcp.coordinators())
+        collected = self.participant.collect_garbage()
+        if self.coordinator is not None:
+            collected += self.coordinator.collect_garbage()
+        return collected
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        roles = "P+C" if self.coordinator is not None else "P"
+        return f"Site({self._site_id!r}, {self._protocol}, {roles}, {state})"

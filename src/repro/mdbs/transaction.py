@@ -1,0 +1,123 @@
+"""Global transactions.
+
+A :class:`GlobalTransaction` describes a unit of distributed work: the
+coordinating site, and a set of writes at each participant site. The
+MDBS layer executes the writes through each site's local transaction
+manager and then runs the coordinator's commit protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One write of a subtransaction."""
+
+    key: str
+    value: Any
+
+
+@dataclass
+class GlobalTransaction:
+    """Specification of one distributed transaction.
+
+    Attributes:
+        txn_id: globally unique id.
+        coordinator: site id of the coordinating transaction manager.
+        writes: participant site id → list of writes to perform there.
+        submit_at: virtual time at which the transaction arrives.
+        force_no_vote_at: participant sites that will unilaterally abort
+            before voting (simulating an integrity violation or local
+            failure) — the knob workloads use to produce aborted
+            transactions deterministically.
+        coordinator_abort: the coordinator decides abort even after a
+            unanimous Yes vote (a coordinator-side abort reason) — this
+            is how the paper's abort-case figures arise with every
+            participant prepared.
+    """
+
+    txn_id: str
+    coordinator: str
+    writes: dict[str, list[WriteOp]] = field(default_factory=dict)
+    #: Participant site → keys to read there. A site appearing only in
+    #: ``reads`` is a *read-only participant*: under the read-only
+    #: optimization it votes READ and drops out of the decision phase.
+    reads: dict[str, list[str]] = field(default_factory=dict)
+    submit_at: float = 0.0
+    force_no_vote_at: frozenset[str] = frozenset()
+    coordinator_abort: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.txn_id:
+            raise WorkloadError("transaction id must be non-empty")
+        if not self.writes and not self.reads:
+            raise WorkloadError(
+                f"transaction {self.txn_id!r} has no participants"
+            )
+        touched = set(self.writes) | set(self.reads)
+        if self.coordinator in touched:
+            raise WorkloadError(
+                f"transaction {self.txn_id!r}: the coordinator site must "
+                f"not also be a participant in this model (use a separate "
+                f"participant site)"
+            )
+        unknown_no_voters = set(self.force_no_vote_at) - touched
+        if unknown_no_voters:
+            raise WorkloadError(
+                f"transaction {self.txn_id!r}: no-vote sites "
+                f"{sorted(unknown_no_voters)} are not participants"
+            )
+
+    @property
+    def participants(self) -> list[str]:
+        """Participant site ids, in a stable order."""
+        return sorted(set(self.writes) | set(self.reads))
+
+    @property
+    def read_only_sites(self) -> set[str]:
+        """Participants that only read (candidates for the READ vote)."""
+        return set(self.reads) - set(self.writes)
+
+    @property
+    def will_abort(self) -> bool:
+        """True if the specification guarantees an abort outcome."""
+        return bool(self.force_no_vote_at) or self.coordinator_abort
+
+
+def simple_transaction(
+    txn_id: str,
+    coordinator: str,
+    participants: Iterable[str],
+    submit_at: float = 0.0,
+    abort: bool = False,
+) -> GlobalTransaction:
+    """Build a one-write-per-participant transaction.
+
+    Each participant writes ``txn_id`` into its own key, which makes
+    post-run state checks trivial: a committed transaction's id is
+    visible at every participant, an aborted one's nowhere.
+
+    Args:
+        abort: when True, the first participant refuses to prepare, so
+            the coordinator is guaranteed to decide abort.
+    """
+    participants = sorted(participants)
+    if not participants:
+        raise WorkloadError(f"transaction {txn_id!r} needs participants")
+    writes = {
+        site: [WriteOp(key=f"{txn_id}@{site}", value=txn_id)]
+        for site in participants
+    }
+    no_vote = frozenset({participants[0]}) if abort else frozenset()
+    return GlobalTransaction(
+        txn_id=txn_id,
+        coordinator=coordinator,
+        writes=writes,
+        submit_at=submit_at,
+        force_no_vote_at=no_vote,
+    )

@@ -1,0 +1,21 @@
+"""Simulated message-passing network with failure injection."""
+
+from repro.net.failures import CrashSchedule, FailureInjector, TriggeredCrash
+from repro.net.message import Message
+from repro.net.network import (
+    ConstantLatency,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
+
+__all__ = [
+    "ConstantLatency",
+    "CrashSchedule",
+    "FailureInjector",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "TriggeredCrash",
+    "UniformLatency",
+]

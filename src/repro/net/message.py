@@ -1,0 +1,41 @@
+"""Network message type.
+
+The network layer is deliberately agnostic about protocol semantics:
+a :class:`Message` carries a string ``kind`` plus a payload dictionary.
+The commit-protocol vocabulary (PREPARE, VOTE_YES, ...) is defined by
+``repro.protocols.base``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message in flight between two sites.
+
+    Attributes:
+        kind: message type tag, e.g. ``"PREPARE"`` or ``"ACK"``.
+        sender: id of the sending site.
+        receiver: id of the destination site.
+        txn_id: id of the transaction this message concerns, or ``""``
+            for transaction-independent traffic.
+        payload: extra data (votes, decisions, protocol names, ...).
+    """
+
+    kind: str
+    sender: str
+    receiver: str
+    txn_id: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into :attr:`payload`."""
+        return self.payload.get(key, default)
+
+    def __str__(self) -> str:
+        extra = ", ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        suffix = f" [{extra}]" if extra else ""
+        return f"{self.kind}({self.txn_id}) {self.sender}->{self.receiver}{suffix}"

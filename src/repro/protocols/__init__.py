@@ -1,0 +1,82 @@
+"""Atomic commit protocols: PrN, PrA, PrC, PrAny, U2PC, C2PC.
+
+The participant side of the three base protocols is a forcing/ack table
+(:data:`~repro.protocols.base.PARTICIPANT_SPECS`); the coordinator side
+is a :class:`~repro.protocols.base.CoordinatorPolicy` driven by the
+generic :class:`~repro.protocols.coordinator.CoordinatorEngine`.
+"""
+
+from repro.protocols.base import (
+    ABORT,
+    ACK,
+    COMMIT,
+    CoordinatorPolicy,
+    DecisionHandling,
+    INQUIRY,
+    PARTICIPANT_SPECS,
+    PREPARE,
+    ParticipantSpec,
+    TimeoutConfig,
+    VOTE_NO,
+    VOTE_YES,
+    participant_spec,
+    participant_will_ack,
+)
+from repro.protocols.c2pc import C2PCCoordinator
+from repro.protocols.coordinator import (
+    CoordinatorEngine,
+    CoordinatorEntry,
+    CoordinatorState,
+)
+from repro.protocols.participant import ParticipantEngine, ParticipantEntry
+from repro.protocols.pra import PrACoordinator
+from repro.protocols.prany import PrAnyCoordinator
+from repro.protocols.prc import PrCCoordinator
+from repro.protocols.prn import PrNCoordinator
+from repro.protocols.recovery import (
+    CoordinatorLogSummary,
+    summarize_coordinator_log,
+)
+from repro.protocols.registry import (
+    DynamicSelector,
+    FixedSelector,
+    PolicySelector,
+    coordinator_policy,
+    selector_for,
+)
+from repro.protocols.u2pc import U2PCCoordinator
+
+__all__ = [
+    "ABORT",
+    "ACK",
+    "COMMIT",
+    "C2PCCoordinator",
+    "CoordinatorEngine",
+    "CoordinatorEntry",
+    "CoordinatorLogSummary",
+    "CoordinatorPolicy",
+    "CoordinatorState",
+    "DecisionHandling",
+    "DynamicSelector",
+    "FixedSelector",
+    "INQUIRY",
+    "PARTICIPANT_SPECS",
+    "PREPARE",
+    "ParticipantEngine",
+    "ParticipantEntry",
+    "ParticipantSpec",
+    "PolicySelector",
+    "PrACoordinator",
+    "PrAnyCoordinator",
+    "PrCCoordinator",
+    "PrNCoordinator",
+    "TimeoutConfig",
+    "U2PCCoordinator",
+    "VOTE_NO",
+    "VOTE_YES",
+    "coordinator_policy",
+    "participant_spec",
+    "participant_will_ack",
+    "selector_for",
+    "summarize_coordinator_log",
+]

@@ -1,0 +1,62 @@
+"""Coordinator 2PC (C2PC) — functionally correct, operationally broken.
+
+Section 3 of the paper: C2PC behaves like U2PC but *never forgets a
+transaction until it has received acknowledgements from every
+participant*. Because PrA participants never ack aborts and PrC
+participants never ack commits, some terminated transactions can never
+be completed with an end record: their protocol-table entries and log
+records must be remembered forever.
+
+C2PC therefore guarantees atomicity (it never answers an inquiry from
+presumption while any participant might still disagree) but violates
+operational correctness — Theorem 2, reproduced by
+``repro.experiments.theorem2`` as unbounded protocol-table and log
+growth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import Outcome
+from repro.protocols.base import CoordinatorPolicy
+from repro.storage.log_records import RecordType
+
+
+class C2PCCoordinator(CoordinatorPolicy):
+    """Conservative integration: wait for acks from *everyone*, always."""
+
+    def __init__(self, native: CoordinatorPolicy) -> None:
+        self._native = native
+        self.name = f"C2PC({native.name})"
+
+    @property
+    def native(self) -> CoordinatorPolicy:
+        return self._native
+
+    def writes_initiation(self) -> bool:
+        return self._native.writes_initiation()
+
+    def initiation_includes_protocols(self) -> bool:
+        return self._native.initiation_includes_protocols()
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        return self._native.forces_decision_record(outcome)
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        # C2PC always wants to close a transaction with an end record —
+        # it just may never be allowed to write it (Theorem 2).
+        return True
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        # Every participant, every decision. Acks that will never be
+        # sent keep the transaction in the protocol table forever.
+        return True
+
+    def gc_cover(self, outcome: Outcome) -> Optional[RecordType]:
+        return RecordType.END
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        # Only reachable for transactions that were fully acked (hence
+        # safe); answer with the native presumption like U2PC.
+        return self._native.respond_unknown(self._native.name)

@@ -1,0 +1,29 @@
+"""Coordinator Log (CL) — the second "future work" integration.
+
+The paper's conclusion names the coordinator log transaction execution
+protocol (its ref [17], Stamos & Cristian) alongside IYV as a protocol
+the operational-correctness criterion should integrate. In CL the
+participants are *log-less*: their redo records travel to the
+coordinator (here: piggybacked on the Yes vote) and are made durable by
+the coordinator's single decision force. A restarted participant pulls
+its redo state back from the coordinators (``CL_RECOVER`` →
+``CL_REDO``) and periodically reports local checkpoints
+(``CL_CHECKPOINT``), which is what finally licenses the coordinator to
+garbage collect the retained redo records — the operational-correctness
+angle: without the checkpoint protocol, a CL coordinator could never
+forget committed transactions.
+
+Coordinator-side knobs are PrN-shaped: both decisions force-logged
+(the commit force is what stabilizes the piggybacked redo records),
+everybody acks, end record after the acks, abort presumption.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.prn import PrNCoordinator
+
+
+class CLCoordinator(PrNCoordinator):
+    """Coordinator policy for a homogeneous coordinator-log set."""
+
+    name = "CL"

@@ -1,0 +1,32 @@
+"""Implicit Yes-Vote (IYV) — the paper's "future work" integration.
+
+The conclusion of the paper names implicit yes-vote (its ref [3],
+Al-Houmaily & Chrysanthis, an ACP for gigabit-networked databases) as a
+protocol the same operational-correctness criterion can integrate. In
+IYV the voting phase disappears: acknowledging an operation *implies* a
+Yes vote, so every participant is continuously prepared. The price is a
+forced log write per update (instead of one deferred prepare force);
+the prize is two fewer message rounds before the decision.
+
+Coordinator-side, IYV behaves like presumed abort: commit decisions are
+force-logged and acknowledged, aborts cost nothing and are answered by
+the abort presumption. The participant-side differences (no PREPARE, no
+explicit vote, per-update forcing, no unilateral abort after executing
+work) live in :data:`repro.protocols.base.PARTICIPANT_SPECS` and the
+engines.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.pra import PrACoordinator
+
+
+class IYVCoordinator(PrACoordinator):
+    """Coordinator policy for a homogeneous IYV participant set.
+
+    Identical knobs to presumed abort — the protocols differ in the
+    *voting* phase, which the coordinator engine skips for implicitly
+    prepared participants, not in logging, acks or presumption.
+    """
+
+    name = "IYV"

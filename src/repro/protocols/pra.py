@@ -1,0 +1,39 @@
+"""Presumed Abort (PrA).
+
+Figure 3 of the paper. Aborts are free at the coordinator: no log
+record is written, no acknowledgements are awaited, and the transaction
+is forgotten the moment the abort decision is made. An inquiry about a
+transaction the coordinator does not remember is answered **abort** —
+the explicit abort presumption.
+
+Commits still pay the full PrN price: a forced commit record, acks from
+every participant, then a non-forced end record.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Outcome
+from repro.protocols.base import CoordinatorPolicy
+
+
+class PrACoordinator(CoordinatorPolicy):
+    """Coordinator-side presumed-abort policy."""
+
+    name = "PrA"
+
+    def writes_initiation(self) -> bool:
+        return False
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        # Only commit decisions are logged (forced); aborts write nothing.
+        return outcome is Outcome.COMMIT
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        return outcome is Outcome.COMMIT
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        # Commit decisions are acknowledged by everyone; aborts by no one.
+        return outcome is Outcome.COMMIT
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        return Outcome.ABORT

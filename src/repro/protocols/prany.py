@@ -1,0 +1,65 @@
+"""Presumed Any (PrAny) — the paper's contribution (§4).
+
+PrAny integrates PrN, PrA and PrC participants under one coordinator:
+
+* The coordinator force-writes an initiation record that — unlike
+  PrC's — also records *the commit protocol of each participant*.
+* Commit: forced commit record; the decision is acknowledged by the
+  PrN and PrA participants only (PrC participants never ack commits);
+  once those acks are in, a non-forced end record is written and the
+  transaction forgotten.
+* Abort: no decision record; the decision is acknowledged by the PrN
+  and PrC participants only (PrA participants never ack aborts); then
+  the end record, then forget.
+* Inquiries about forgotten transactions: PrAny makes **no a priori
+  presumption** — it *dynamically adopts the presumption of the
+  inquiring participant's protocol*. Theorem 3 shows this is always
+  consistent: only participants whose ack was not required can inquire
+  after the forget, and their own presumption matches the outcome.
+
+Protocol selection (§4.1) is implemented by
+:class:`~repro.protocols.registry.DynamicSelector`: a homogeneous
+participant set gets the matching base protocol; any mix gets PrAny.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Outcome
+from repro.core.presumption import presumed_outcome_for_inquirer
+from repro.protocols.base import CoordinatorPolicy
+
+#: Which participant protocols acknowledge each decision under PrAny.
+#: IYV participants follow PrA's discipline (ack commits, never aborts).
+ACKERS: dict[Outcome, frozenset[str]] = {
+    Outcome.COMMIT: frozenset({"PrN", "PrA", "IYV", "CL"}),
+    Outcome.ABORT: frozenset({"PrN", "PrC", "CL"}),
+}
+
+
+class PrAnyCoordinator(CoordinatorPolicy):
+    """Coordinator-side presumed-any policy."""
+
+    name = "PrAny"
+
+    def writes_initiation(self) -> bool:
+        return True
+
+    def initiation_includes_protocols(self) -> bool:
+        return True
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        # Commit records are forced; aborts write no decision record
+        # (Figure 1(b)) — the initiation record plus the abort
+        # presumption of recovery covers them.
+        return outcome is Outcome.COMMIT
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        # Figure 1 shows the end record in both the commit and the
+        # abort case: the initiation record must be covered.
+        return True
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        return participant_protocol in ACKERS[outcome]
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        return Outcome.parse(presumed_outcome_for_inquirer(inquirer_protocol))

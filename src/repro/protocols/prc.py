@@ -1,0 +1,53 @@
+"""Presumed Commit (PrC).
+
+Figure 4 of the paper. Commits are cheap for participants (no forced
+commit record, no ack), paid for by a force-written *initiation*
+(collecting) record at the coordinator before the voting phase: after a
+coordinator crash, an initiation record with no commit/end record means
+the transaction must be aborted, so missing information can safely be
+presumed **commit**.
+
+* Commit (Figure 4a): force initiation, force commit record (logically
+  eliminating the initiation record), send the decision and forget
+  immediately — no acks, no end record.
+* Abort (Figure 4b): no abort record; participants force an abort
+  record and acknowledge; the coordinator writes a non-forced end
+  record once all acks are in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import Outcome
+from repro.protocols.base import CoordinatorPolicy
+from repro.storage.log_records import RecordType
+
+
+class PrCCoordinator(CoordinatorPolicy):
+    """Coordinator-side presumed-commit policy."""
+
+    name = "PrC"
+
+    def writes_initiation(self) -> bool:
+        return True
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        return outcome is Outcome.COMMIT
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        # Commit: forget immediately after the commit force; the forced
+        # commit record already covers the initiation record.
+        return outcome is Outcome.ABORT
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        # Aborts are acknowledged by everyone; commits by no one.
+        return outcome is Outcome.ABORT
+
+    def gc_cover(self, outcome: Outcome) -> Optional[RecordType]:
+        if outcome is Outcome.COMMIT:
+            return RecordType.COMMIT
+        return RecordType.END
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        return Outcome.COMMIT

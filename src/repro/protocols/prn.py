@@ -1,0 +1,40 @@
+"""Presumed Nothing (PrN) — the basic two-phase commit protocol.
+
+Figure 2 of the paper. The coordinator treats commits and aborts
+uniformly: it force-writes the decision record, sends the decision to
+every (yes-voting) participant, waits for *all* acknowledgements and
+then writes a non-forced end record.
+
+PrN's *hidden presumption*: after a coordinator failure, transactions
+with no decision record are considered aborted, so an inquiry about an
+unknown transaction is answered **abort**.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Outcome
+from repro.protocols.base import CoordinatorPolicy
+
+
+class PrNCoordinator(CoordinatorPolicy):
+    """Coordinator-side presumed-nothing policy."""
+
+    name = "PrN"
+
+    def writes_initiation(self) -> bool:
+        return False
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        # PrN force-writes both commit and abort decisions.
+        return True
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        return True
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        # All participants acknowledge both decisions.
+        return True
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        # The hidden presumption of basic 2PC.
+        return Outcome.ABORT

@@ -1,0 +1,86 @@
+"""Coordinator-side log analysis for restart recovery (§4.2).
+
+At the beginning of its recovery procedure a coordinator re-builds its
+protocol table by analyzing its stable log. This module produces, for
+every transaction the log knows about, a :class:`CoordinatorLogSummary`
+capturing exactly the features §4.2's case analysis branches on:
+
+* is there an initiation record, and does it record participant
+  protocols (PrAny) or not (PrC)?
+* is there a (coordinator-side) decision record, and which decision?
+* is there an end record?
+* which participants were recorded?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.events import Outcome
+from repro.storage.log_records import RecordType
+from repro.storage.stable_log import StableLog
+
+
+@dataclass
+class CoordinatorLogSummary:
+    """Everything §4.2 needs to know about one logged transaction."""
+
+    txn_id: str
+    has_initiation: bool = False
+    initiation_protocols: dict[str, str] = field(default_factory=dict)
+    decision: Optional[Outcome] = None
+    has_end: bool = False
+    participants: list[str] = field(default_factory=list)
+
+    @property
+    def shape(self) -> str:
+        """Compact description used in traces and tests."""
+        parts = []
+        if self.has_initiation:
+            parts.append("init+protocols" if self.initiation_protocols else "init")
+        if self.decision is not None:
+            parts.append(self.decision.value)
+        if self.has_end:
+            parts.append("end")
+        return "+".join(parts) if parts else "none"
+
+
+def summarize_coordinator_log(log: StableLog) -> list[CoordinatorLogSummary]:
+    """Summarize the coordinator-side records of every logged txn.
+
+    Participant-side records (UPDATE, PREPARED, and decision records
+    tagged ``by="participant"``) are ignored here — they belong to the
+    site's *local* recovery (``repro.db.recovery``). A transaction with
+    only participant-side records yields no summary.
+    """
+    summaries: dict[str, CoordinatorLogSummary] = {}
+
+    def entry(txn_id: str) -> CoordinatorLogSummary:
+        summary = summaries.get(txn_id)
+        if summary is None:
+            summary = CoordinatorLogSummary(txn_id=txn_id)
+            summaries[txn_id] = summary
+        return summary
+
+    for record in log.stable_records():
+        if record.type is RecordType.INITIATION:
+            summary = entry(record.txn_id)
+            summary.has_initiation = True
+            summary.initiation_protocols = dict(record.get("protocols") or {})
+            summary.participants = list(record.get("participants") or [])
+        elif record.type in (RecordType.COMMIT, RecordType.ABORT):
+            if record.get("by") != "coordinator":
+                continue
+            summary = entry(record.txn_id)
+            summary.decision = (
+                Outcome.COMMIT
+                if record.type is RecordType.COMMIT
+                else Outcome.ABORT
+            )
+            recorded = record.get("participants")
+            if recorded:
+                summary.participants = list(recorded)
+        elif record.type is RecordType.END:
+            entry(record.txn_id).has_end = True
+    return [summaries[txn_id] for txn_id in sorted(summaries)]

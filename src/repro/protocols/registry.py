@@ -1,0 +1,128 @@
+"""Protocol registry and per-transaction protocol selection.
+
+* :func:`coordinator_policy` builds a policy from a name, including the
+  wrapped forms ``"U2PC(PrC)"`` and ``"C2PC(PrN)"``.
+* :class:`DynamicSelector` implements §4.1's selection rule: a PrAny
+  coordinator consults its APP table and uses the participants' own
+  protocol when they are homogeneous, falling back to PrAny for any
+  mix. :class:`FixedSelector` always uses one policy (used both for the
+  pure protocols and for the always-PrAny ablation, experiment C3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Protocol
+
+from repro.errors import UnknownProtocolError
+from repro.protocols.base import CoordinatorPolicy
+from repro.protocols.c2pc import C2PCCoordinator
+from repro.protocols.cl import CLCoordinator
+from repro.protocols.iyv import IYVCoordinator
+from repro.protocols.pra import PrACoordinator
+from repro.protocols.prany import PrAnyCoordinator
+from repro.protocols.prc import PrCCoordinator
+from repro.protocols.prn import PrNCoordinator
+from repro.protocols.u2pc import U2PCCoordinator
+
+_BASE_POLICIES = {
+    "PrN": PrNCoordinator,
+    "PrA": PrACoordinator,
+    "PrC": PrCCoordinator,
+    "IYV": IYVCoordinator,
+    "CL": CLCoordinator,
+    "PrAny": PrAnyCoordinator,
+}
+
+_WRAPPED = re.compile(r"^(U2PC|C2PC)\((PrN|PrA|PrC|IYV)\)$")
+
+
+def coordinator_policy(name: str) -> CoordinatorPolicy:
+    """Build a coordinator policy from its display name.
+
+    Accepts ``"PrN"``, ``"PrA"``, ``"PrC"``, ``"PrAny"``, and the
+    integration wrappers ``"U2PC(<base>)"`` / ``"C2PC(<base>)"``.
+    """
+    base = _BASE_POLICIES.get(name)
+    if base is not None:
+        return base()
+    match = _WRAPPED.match(name)
+    if match is not None:
+        wrapper, native = match.groups()
+        native_policy = _BASE_POLICIES[native]()
+        if wrapper == "U2PC":
+            return U2PCCoordinator(native_policy)
+        return C2PCCoordinator(native_policy)
+    raise UnknownProtocolError(
+        f"unknown coordinator protocol {name!r}; expected one of "
+        f"{sorted(_BASE_POLICIES)} or 'U2PC(<base>)'/'C2PC(<base>)'"
+    )
+
+
+class PolicySelector(Protocol):
+    """Chooses the coordinator policy for one transaction."""
+
+    @property
+    def name(self) -> str: ...
+
+    def select(self, participant_protocols: Mapping[str, str]) -> CoordinatorPolicy:
+        """Policy to commit a transaction with the given participants."""
+
+    def by_name(self, name: str) -> CoordinatorPolicy:
+        """Policy a recovered log record of the named protocol maps to."""
+
+
+class FixedSelector:
+    """Always use one policy, whatever the participant mix."""
+
+    def __init__(self, policy: CoordinatorPolicy) -> None:
+        self._policy = policy
+
+    @property
+    def name(self) -> str:
+        return self._policy.name
+
+    def select(self, participant_protocols: Mapping[str, str]) -> CoordinatorPolicy:
+        return self._policy
+
+    def by_name(self, name: str) -> CoordinatorPolicy:
+        # A fixed coordinator only ever produced records of its own
+        # protocol; recovery always interprets them with that policy.
+        return self._policy
+
+
+class DynamicSelector:
+    """The §4.1 selection rule of a PrAny coordinator.
+
+    * all participants PrN → PrN; all PrA → PrA; all PrC → PrC
+      (the coordinator is trivially in a safe state after forgetting);
+    * any mix → PrAny.
+
+    The paper only spells out mixes that *include* PrA; for the
+    remaining mixed case (PrN+PrC, no PrA) we also select PrAny — a
+    safe choice that costs one initiation force (DESIGN.md §5.1, with
+    an ablation in experiment C3).
+    """
+
+    name = "PrAny-dynamic"
+
+    def __init__(self) -> None:
+        self._policies: dict[str, CoordinatorPolicy] = {
+            name: cls() for name, cls in _BASE_POLICIES.items()
+        }
+
+    def select(self, participant_protocols: Mapping[str, str]) -> CoordinatorPolicy:
+        distinct = set(participant_protocols.values())
+        if len(distinct) == 1:
+            return self._policies[next(iter(distinct))]
+        return self._policies["PrAny"]
+
+    def by_name(self, name: str) -> CoordinatorPolicy:
+        return self._policies[name]
+
+
+def selector_for(name: str) -> PolicySelector:
+    """Build a selector: ``"dynamic"`` or any coordinator policy name."""
+    if name == "dynamic":
+        return DynamicSelector()
+    return FixedSelector(coordinator_policy(name))

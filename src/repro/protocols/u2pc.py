@@ -1,0 +1,65 @@
+"""Union 2PC (U2PC) — the naive integration Theorem 1 breaks.
+
+Section 2 of the paper: a U2PC coordinator follows its own *native*
+protocol (PrN, PrA or PrC), knows what messages to expect from each
+participant, and ignores protocol-violating messages. Critically, it
+**forgets a transaction as soon as every ack that will actually come
+has come** — e.g. a PrC-native coordinator that aborted a transaction
+forgets it once the PrC participants ack, knowing the PrA participants
+never will.
+
+That premature forgetting is the bug: a later inquiry (from a
+participant that crashed in the enforcement window) is answered with
+the *native* presumption, which can contradict the actual outcome.
+Theorem 1 shows this breaks atomicity for every choice of native
+protocol once a transaction spans both PrA and PrC participants;
+``repro.experiments.theorem1`` reproduces all three proof parts.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Outcome
+from repro.protocols.base import (
+    CoordinatorPolicy,
+    participant_will_ack,
+)
+
+
+class U2PCCoordinator(CoordinatorPolicy):
+    """Union-2PC policy wrapping a native coordinator policy."""
+
+    def __init__(self, native: CoordinatorPolicy) -> None:
+        self._native = native
+        self.name = f"U2PC({native.name})"
+
+    @property
+    def native(self) -> CoordinatorPolicy:
+        return self._native
+
+    def writes_initiation(self) -> bool:
+        return self._native.writes_initiation()
+
+    def initiation_includes_protocols(self) -> bool:
+        return self._native.initiation_includes_protocols()
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        return self._native.forces_decision_record(outcome)
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        return self._native.writes_end(outcome)
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        # Wait only for acks the native protocol wants AND the
+        # participant's protocol will actually send — the premature
+        # forget at the heart of Theorem 1.
+        return self._native.ack_expected(
+            participant_protocol, outcome
+        ) and participant_will_ack(participant_protocol, outcome)
+
+    def gc_cover(self, outcome: Outcome):
+        return self._native.gc_cover(outcome)
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        # The native presumption, regardless of who asks — wrong for
+        # inquirers whose own presumption differs.
+        return self._native.respond_unknown(self._native.name)

@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel provides a virtual clock, an ordered event queue, cancellable
+timers, seeded random-number streams and a trace recorder. All higher
+layers (network, sites, protocols) are driven exclusively by this kernel
+so that every run is reproducible from its seed and schedule.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.export import diff_traces, dump_trace, load_trace
+from repro.sim.event_queue import EventQueue, ScheduledEvent
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceEvent, TraceRecorder
+
+__all__ = [
+    "EventQueue",
+    "diff_traces",
+    "dump_trace",
+    "load_trace",
+    "RandomStreams",
+    "ScheduledEvent",
+    "Simulator",
+    "Timer",
+    "TraceEvent",
+    "TraceRecorder",
+    "VirtualClock",
+]

@@ -1,0 +1,40 @@
+"""Virtual clock for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    Time is a float measured in abstract "time units"; the network and
+    workload layers decide what one unit means (we treat it as one
+    millisecond in the documentation of defaults, but nothing in the
+    kernel depends on that).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            ClockError: if ``when`` is earlier than the current time.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {when!r}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now!r})"

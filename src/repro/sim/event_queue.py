@@ -1,0 +1,102 @@
+"""Priority event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)`` where the sequence number is
+assigned at scheduling time. Two events scheduled for the same instant
+therefore fire in scheduling order, which keeps runs deterministic
+without relying on heap tie-breaking accidents.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class ScheduledEvent:
+    """A callback scheduled to fire at a point in virtual time.
+
+    Instances are created by :class:`EventQueue.push` and can be
+    cancelled; cancelled events stay in the heap but are skipped when
+    popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "action", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing when its time comes."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.time, self.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"ScheduledEvent(t={self.time!r}, seq={self.seq}, "
+            f"label={self.label!r}, {state})"
+        )
+
+
+class EventQueue:
+    """A min-heap of :class:`ScheduledEvent` ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for __, __, ev in self._heap if not ev.cancelled)
+
+    @property
+    def raw_size(self) -> int:
+        """Heap size including cancelled (not yet reaped) events."""
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``action`` to fire at virtual time ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        event = ScheduledEvent(time, self._next_seq, action, label)
+        self._next_seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._reap()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._reap()
+        if not self._heap:
+            return None
+        __, __, event = heapq.heappop(self._heap)
+        return event
+
+    def _reap(self) -> None:
+        """Drop cancelled events from the front of the heap."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)

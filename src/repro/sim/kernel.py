@@ -1,0 +1,161 @@
+"""The discrete-event simulator kernel.
+
+:class:`Simulator` ties together the virtual clock, the event queue,
+the random streams and the trace recorder. All higher layers schedule
+work through :meth:`Simulator.schedule` / :meth:`Simulator.set_timer`
+and never sleep or touch wall-clock time, which makes every run a pure
+function of ``(code, seed, schedule)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.event_queue import EventQueue, ScheduledEvent
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceRecorder
+
+
+class Timer:
+    """A cancellable timer handle returned by :meth:`Simulator.set_timer`."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def deadline(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "cancelled"
+        return f"Timer(deadline={self.deadline!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator(seed=7)
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.random = RandomStreams(seed)
+        self.trace = TraceRecorder()
+        self._steps_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def steps_executed(self) -> int:
+        """Number of events the kernel has fired so far."""
+        return self._steps_executed
+
+    def record(self, site: str, category: str, name: str, **details: Any):
+        """Record a trace event stamped with the current virtual time."""
+        return self.trace.record(self.now, site, category, name, **details)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.queue.push(self.now + delay, action, label)
+
+    def schedule_at(
+        self,
+        when: float,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``action`` to run at absolute virtual time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when!r}, which is before now ({self.now!r})"
+            )
+        return self.queue.push(when, action, label)
+
+    def set_timer(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        label: str = "timer",
+    ) -> Timer:
+        """Like :meth:`schedule`, but returns a cancellable :class:`Timer`."""
+        return Timer(self.schedule(delay, action, label))
+
+    def step(self) -> bool:
+        """Fire the next pending event.
+
+        Returns:
+            True if an event fired, False if the queue was empty.
+        """
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._steps_executed += 1
+        event.action()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_steps: int = 10_000_000,
+    ) -> None:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Args:
+            until: stop once the next event would fire after this time;
+                the clock is then advanced exactly to ``until``.
+            max_steps: safety valve against runaway schedules.
+
+        Raises:
+            SimulationError: if ``max_steps`` events fire without the
+                queue draining, which indicates a scheduling loop.
+        """
+        steps = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            steps += 1
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"simulation did not quiesce within {max_steps} steps"
+                )
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now!r}, pending={len(self.queue)}, "
+            f"steps={self._steps_executed})"
+        )

@@ -1,0 +1,143 @@
+"""Run tracing.
+
+Every observable action in a simulation — a log write, a message send
+or delivery, a protocol decision, a crash, a recovery step — is recorded
+as a :class:`TraceEvent`. The trace is the raw material for:
+
+* the executable ACTA history (``repro.core.history``),
+* the correctness checkers (``repro.core.correctness``),
+* the figure-flow renderers (``repro.experiments.flows``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded occurrence in a simulation run.
+
+    Attributes:
+        time: virtual time at which the event occurred.
+        seq: global sequence number; totally orders the trace, including
+            events that share a timestamp.
+        site: identifier of the site where the event happened, or ``""``
+            for system-level events.
+        category: coarse event class, e.g. ``"log"``, ``"msg"``,
+            ``"protocol"``, ``"crash"``, ``"recovery"``, ``"db"``.
+        name: event name within the category, e.g. ``"force_write"``,
+            ``"send"``, ``"decide"``.
+        details: free-form payload (transaction id, record type, ...).
+    """
+
+    time: float
+    seq: int
+    site: str
+    category: str
+    name: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def matches(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        site: Optional[str] = None,
+        **details: Any,
+    ) -> bool:
+        """True if this event matches every given criterion."""
+        if category is not None and self.category != category:
+            return False
+        if name is not None and self.name != name:
+            return False
+        if site is not None and self.site != site:
+            return False
+        for key, value in details.items():
+            if self.details.get(key) != value:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        payload = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        where = self.site or "<system>"
+        return f"[{self.time:10.3f} #{self.seq:>6}] {where}: {self.category}.{self.name} ({payload})"
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceEvent` for one simulation run."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._next_seq = 0
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Immutable snapshot of the trace so far."""
+        return tuple(self._events)
+
+    def record(
+        self,
+        time: float,
+        site: str,
+        category: str,
+        name: str,
+        **details: Any,
+    ) -> TraceEvent:
+        """Append an event to the trace and notify subscribers."""
+        event = TraceEvent(
+            time=time,
+            seq=self._next_seq,
+            site=site,
+            category=category,
+            name=name,
+            details=dict(details),
+        )
+        self._next_seq += 1
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` for every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        site: Optional[str] = None,
+        **details: Any,
+    ) -> list[TraceEvent]:
+        """All events matching the given criteria, in trace order."""
+        return [
+            event
+            for event in self._events
+            if event.matches(category=category, name=name, site=site, **details)
+        ]
+
+    def first(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        site: Optional[str] = None,
+        **details: Any,
+    ) -> Optional[TraceEvent]:
+        """First matching event, or ``None``."""
+        for event in self._events:
+            if event.matches(category=category, name=name, site=site, **details):
+                return event
+        return None
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line rendering of the trace."""
+        events = self._events if limit is None else self._events[:limit]
+        return "\n".join(str(event) for event in events)

@@ -1,0 +1,14 @@
+"""Stable storage: write-ahead logs, protocol tables, PCP/APP tables."""
+
+from repro.storage.log_records import LogRecord, RecordType
+from repro.storage.pcp import CommitProtocolDirectory
+from repro.storage.protocol_table import ProtocolTable
+from repro.storage.stable_log import StableLog
+
+__all__ = [
+    "CommitProtocolDirectory",
+    "LogRecord",
+    "ProtocolTable",
+    "RecordType",
+    "StableLog",
+]

@@ -1,0 +1,147 @@
+"""Log record types shared by the commit protocols and the local DBMS.
+
+The record vocabulary follows the paper and its appendix:
+
+* ``INITIATION`` — force-written by a PrC or PrAny coordinator before
+  the voting phase; carries the participant identities (and, for PrAny,
+  the commit protocol of each participant).
+* ``PREPARED`` — force-written by a participant before voting Yes.
+* ``COMMIT`` / ``ABORT`` — decision records. Whether they are forced and
+  by whom differs per protocol; the ``forced`` flag on the record
+  captures what actually happened in a run.
+* ``END`` — non-forced record marking that a transaction's records may
+  be garbage collected.
+* ``UPDATE`` — a local DBMS redo/undo record (before- and after-images).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class RecordType(enum.Enum):
+    """Kinds of records a site can write to its stable log."""
+
+    INITIATION = "initiation"
+    PREPARED = "prepared"
+    COMMIT = "commit"
+    ABORT = "abort"
+    END = "end"
+    UPDATE = "update"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_DECISION_TYPES = frozenset({RecordType.COMMIT, RecordType.ABORT})
+
+_record_ids = itertools.count(1)
+
+
+@dataclass
+class LogRecord:
+    """A single write-ahead-log record.
+
+    Attributes:
+        type: the record kind.
+        txn_id: transaction the record belongs to.
+        payload: type-specific data — participant lists, each
+            participant's protocol, before/after images, the decision.
+        lsn: log sequence number, assigned when appended to a log.
+        forced: True once the record is on stable storage *because of a
+            force* that included it (set by :class:`StableLog`).
+        record_id: globally unique id, useful in traces and tests.
+    """
+
+    type: RecordType
+    txn_id: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    lsn: Optional[int] = None
+    forced: bool = False
+    record_id: int = field(default_factory=lambda: next(_record_ids))
+
+    @property
+    def is_decision(self) -> bool:
+        """True for COMMIT and ABORT records."""
+        return self.type in _DECISION_TYPES
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into :attr:`payload`."""
+        return self.payload.get(key, default)
+
+    def __str__(self) -> str:
+        lsn = self.lsn if self.lsn is not None else "?"
+        flags = "F" if self.forced else " "
+        return f"<{lsn}:{flags} {self.type.value} txn={self.txn_id}>"
+
+
+def initiation_record(
+    txn_id: str,
+    participants: list[str],
+    protocols: Optional[dict[str, str]] = None,
+) -> LogRecord:
+    """Build an initiation (collecting) record.
+
+    For PrAny, ``protocols`` maps each participant to its commit
+    protocol name, as required by §4.1 of the paper.
+    """
+    payload: dict[str, Any] = {"participants": list(participants)}
+    if protocols is not None:
+        payload["protocols"] = dict(protocols)
+    return LogRecord(RecordType.INITIATION, txn_id, payload)
+
+
+def prepared_record(txn_id: str, coordinator: str) -> LogRecord:
+    """Build a participant's prepared record (remembers its coordinator)."""
+    return LogRecord(RecordType.PREPARED, txn_id, {"coordinator": coordinator})
+
+
+def decision_record(
+    txn_id: str,
+    decision: str,
+    participants: Optional[list[str]] = None,
+    role: str = "participant",
+) -> LogRecord:
+    """Build a COMMIT or ABORT decision record.
+
+    Args:
+        decision: ``"commit"`` or ``"abort"``.
+        participants: recorded by coordinators so that the decision
+            phase can be re-initiated after a crash.
+        role: ``"coordinator"`` for a coordinator's decision record,
+            ``"participant"`` for a participant's enforcement record.
+            A site can play both roles for different transactions in
+            the same log, so recovery filters on this tag.
+    """
+    if decision == "commit":
+        record_type = RecordType.COMMIT
+    elif decision == "abort":
+        record_type = RecordType.ABORT
+    else:
+        raise ValueError(f"unknown decision {decision!r}")
+    payload: dict[str, Any] = {"by": role}
+    if participants is not None:
+        payload["participants"] = list(participants)
+    return LogRecord(record_type, txn_id, payload)
+
+
+def end_record(txn_id: str) -> LogRecord:
+    """Build an end record (transaction records may now be GC'd)."""
+    return LogRecord(RecordType.END, txn_id)
+
+
+def update_record(
+    txn_id: str,
+    key: str,
+    before: Any,
+    after: Any,
+) -> LogRecord:
+    """Build a local-DBMS redo/undo record with before/after images."""
+    return LogRecord(
+        RecordType.UPDATE,
+        txn_id,
+        {"key": key, "before": before, "after": after},
+    )

@@ -1,0 +1,85 @@
+"""In-memory protocol table.
+
+Each coordinator (and participant) keeps per-transaction volatile state
+in a *protocol table*. The table is the object the paper's operational
+correctness criterion (Definition 1, item 2) constrains: the coordinator
+must *eventually* be able to delete every terminated transaction from
+it. We therefore track residency statistics — peak size, inserts,
+deletes and the set of entries that a protocol has marked as
+un-forgettable — so Theorem 2's unbounded growth is directly measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class ProtocolTable:
+    """Volatile per-transaction protocol state for one site."""
+
+    def __init__(self, sim: Simulator, site_id: str, role: str = "coordinator") -> None:
+        self._sim = sim
+        self._site_id = site_id
+        self._role = role
+        self._entries: dict[str, Any] = {}
+        self.peak_size = 0
+        self.insert_count = 0
+        self.delete_count = 0
+
+    @property
+    def role(self) -> str:
+        """``"coordinator"`` or ``"participant"`` — tags forget events."""
+        return self._role
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, txn_id: str) -> bool:
+        return txn_id in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def insert(self, txn_id: str, entry: Any) -> None:
+        """Add (or replace) the entry for ``txn_id``."""
+        if txn_id not in self._entries:
+            self.insert_count += 1
+        self._entries[txn_id] = entry
+        self.peak_size = max(self.peak_size, len(self._entries))
+
+    def get(self, txn_id: str) -> Optional[Any]:
+        """The entry for ``txn_id``, or ``None`` if forgotten/unknown."""
+        return self._entries.get(txn_id)
+
+    def delete(self, txn_id: str) -> bool:
+        """Forget ``txn_id``; True if an entry was actually removed.
+
+        Emits a ``protocol.forget`` trace event — the event the
+        SafeState predicate (Definition 2) is anchored on.
+        """
+        if txn_id not in self._entries:
+            return False
+        del self._entries[txn_id]
+        self.delete_count += 1
+        self._sim.record(
+            self._site_id, "protocol", "forget", txn=txn_id, role=self._role
+        )
+        return True
+
+    def clear_volatile(self) -> int:
+        """Drop every entry (a crash wipes the table). Returns count."""
+        lost = len(self._entries)
+        self._entries.clear()
+        return lost
+
+    def entries(self) -> dict[str, Any]:
+        """Snapshot copy of the table contents."""
+        return dict(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolTable(site={self._site_id!r}, size={len(self)}, "
+            f"peak={self.peak_size})"
+        )

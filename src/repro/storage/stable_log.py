@@ -1,0 +1,226 @@
+"""Write-ahead stable log with force semantics and crash truncation.
+
+A :class:`StableLog` models one site's log device:
+
+* ``append`` puts a record in a *volatile* buffer;
+* ``force`` flushes the buffer to the stable portion and blocks the
+  caller (conceptually) until it is durable — we count forces because
+  they are the dominant cost the presumed protocols compete on;
+* ``crash`` discards the volatile buffer: non-forced records are lost,
+  exactly the window the paper's adversarial scenarios exploit;
+* ``garbage_collect`` logically removes a terminated transaction's
+  records once an END record (or a protocol presumption) covers them.
+
+The log also records ``log.append`` / ``log.force`` trace events so the
+figure-flow experiments can regenerate the paper's diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.errors import LogClosedError, StorageError
+from repro.sim.kernel import Simulator
+from repro.storage.log_records import LogRecord, RecordType
+
+
+class StableLog:
+    """One site's write-ahead log."""
+
+    def __init__(self, sim: Simulator, site_id: str) -> None:
+        self._sim = sim
+        self._site_id = site_id
+        self._stable: list[LogRecord] = []
+        self._buffer: list[LogRecord] = []
+        self._next_lsn = 1
+        self._open = True
+        # Cost counters.
+        self.force_count = 0
+        self.append_count = 0
+        self.flush_count = 0
+        self.gc_record_count = 0
+
+    # -- status -------------------------------------------------------------
+
+    @property
+    def site_id(self) -> str:
+        return self._site_id
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def stable_record_count(self) -> int:
+        return len(self._stable)
+
+    @property
+    def buffered_record_count(self) -> int:
+        return len(self._buffer)
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> LogRecord:
+        """Append ``record`` to the volatile buffer (non-forced write)."""
+        self._require_open()
+        record.lsn = self._next_lsn
+        self._next_lsn += 1
+        self._buffer.append(record)
+        self.append_count += 1
+        self._sim.record(
+            self._site_id,
+            "log",
+            "append",
+            type=record.type.value,
+            txn=record.txn_id,
+            lsn=record.lsn,
+        )
+        return record
+
+    def force(self) -> None:
+        """Flush the volatile buffer to stable storage."""
+        self._require_open()
+        self.force_count += 1
+        for record in self._buffer:
+            record.forced = True
+            self._stable.append(record)
+        flushed = len(self._buffer)
+        self._buffer.clear()
+        self._sim.record(
+            self._site_id,
+            "log",
+            "force",
+            flushed=flushed,
+        )
+
+    def force_append(self, record: LogRecord) -> LogRecord:
+        """Append ``record`` and immediately force the log."""
+        self.append(record)
+        self.force()
+        return record
+
+    def flush(self) -> int:
+        """Background flush: buffered records become stable.
+
+        Unlike :meth:`force`, a flush is not a protocol cost — it models
+        the log buffer being written out as a side effect of unrelated
+        activity ("lazily"), so it is counted separately.
+
+        Returns:
+            The number of records flushed.
+        """
+        self._require_open()
+        flushed = len(self._buffer)
+        if flushed:
+            for record in self._buffer:
+                record.forced = True
+                self._stable.append(record)
+            self._buffer.clear()
+            self.flush_count += 1
+            self._sim.record(self._site_id, "log", "flush", flushed=flushed)
+        return flushed
+
+    # -- crash / recovery -----------------------------------------------------
+
+    def crash(self) -> int:
+        """Simulate a site crash: the volatile buffer is lost.
+
+        Returns:
+            The number of records that were lost.
+        """
+        lost = len(self._buffer)
+        self._buffer.clear()
+        self._open = False
+        self._sim.record(self._site_id, "log", "crash", lost_records=lost)
+        return lost
+
+    def reopen(self) -> None:
+        """Re-open the log after a crash (recovery reads the stable part)."""
+        if self._open:
+            raise StorageError(f"log of {self._site_id!r} is already open")
+        self._open = True
+        self._sim.record(self._site_id, "log", "reopen")
+
+    # -- reading ------------------------------------------------------------
+
+    def stable_records(self) -> tuple[LogRecord, ...]:
+        """Records guaranteed to survive a crash, in LSN order."""
+        return tuple(self._stable)
+
+    def records_for(self, txn_id: str) -> tuple[LogRecord, ...]:
+        """Stable records belonging to ``txn_id``, in LSN order."""
+        return tuple(r for r in self._stable if r.txn_id == txn_id)
+
+    def has_record(self, txn_id: str, record_type: RecordType) -> bool:
+        """True if a stable record of the given type exists for the txn."""
+        return any(
+            r.txn_id == txn_id and r.type == record_type for r in self._stable
+        )
+
+    def last_record(
+        self, txn_id: str, record_type: Optional[RecordType] = None
+    ) -> Optional[LogRecord]:
+        """Latest stable record for the txn (optionally of one type)."""
+        for record in reversed(self._stable):
+            if record.txn_id != txn_id:
+                continue
+            if record_type is None or record.type == record_type:
+                return record
+        return None
+
+    def transactions(self) -> set[str]:
+        """Ids of all transactions with at least one stable record."""
+        return {r.txn_id for r in self._stable if r.txn_id}
+
+    def uncollected_transactions(self) -> set[str]:
+        """Transactions whose records are still occupying the stable log."""
+        return self.transactions()
+
+    # -- garbage collection ----------------------------------------------------
+
+    def garbage_collect(self, txn_id: str) -> int:
+        """Remove every stable record of ``txn_id``.
+
+        The caller (the protocol layer) is responsible for invoking this
+        only when the protocol's rules allow it — typically after an END
+        record was written, or when a presumption covers the outcome.
+
+        Returns:
+            The number of records collected.
+        """
+        before = len(self._stable)
+        self._stable = [r for r in self._stable if r.txn_id != txn_id]
+        collected = before - len(self._stable)
+        if collected:
+            self.gc_record_count += collected
+            self._sim.record(
+                self._site_id, "log", "gc", txn=txn_id, collected=collected
+            )
+        return collected
+
+    def garbage_collect_where(self, keep: Callable[[LogRecord], bool]) -> int:
+        """Remove stable records for which ``keep`` returns False."""
+        before = len(self._stable)
+        self._stable = [r for r in self._stable if keep(r)]
+        collected = before - len(self._stable)
+        self.gc_record_count += collected
+        return collected
+
+    # -- internals --------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise LogClosedError(
+                f"log of {self._site_id!r} is closed (site crashed)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"StableLog(site={self._site_id!r}, stable={len(self._stable)}, "
+            f"buffered={len(self._buffer)}, forces={self.force_count})"
+        )
+
+
+def count_forced(records: Iterable[LogRecord]) -> int:
+    """Number of records in ``records`` that reached stable storage."""
+    return sum(1 for r in records if r.forced)

@@ -1,0 +1,29 @@
+"""Workload generation: topologies, transaction streams, failure plans."""
+
+from repro.workloads.failure_schedules import (
+    CrashPoint,
+    coordinator_crash_points,
+    participant_crash_points,
+)
+from repro.workloads.generator import WorkloadSpec, build_mdbs, generate_transactions
+from repro.workloads.mixes import (
+    MIXES,
+    ProtocolMix,
+    homogeneous,
+    mixed_pra_prc,
+    three_way,
+)
+
+__all__ = [
+    "CrashPoint",
+    "MIXES",
+    "ProtocolMix",
+    "WorkloadSpec",
+    "build_mdbs",
+    "coordinator_crash_points",
+    "generate_transactions",
+    "homogeneous",
+    "mixed_pra_prc",
+    "participant_crash_points",
+    "three_way",
+]

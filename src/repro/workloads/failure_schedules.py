@@ -1,0 +1,143 @@
+"""Crash-point catalogues.
+
+A :class:`CrashPoint` names one instant in commit processing at which a
+site can fail, expressed as a trace predicate. The Theorem 3 stress
+(experiment T3) iterates the full catalogue — every protocol step of
+coordinator and participants, for both outcomes — and checks that PrAny
+stays atomic and operationally correct through each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.tracing import TraceEvent
+
+Predicate = Callable[[TraceEvent], bool]
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One named instant at which a site may crash.
+
+    Attributes:
+        name: human-readable label, e.g. ``"coord-after-initiation"``.
+        role: ``"coordinator"`` or ``"participant"`` — which site the
+            failure is injected at.
+        make_predicate: builds the trace predicate for a concrete
+            (site, txn) pair.
+    """
+
+    name: str
+    role: str
+    make_predicate: Callable[[str, str], Predicate]
+
+
+def _log_force_of(record_type: str) -> Callable[[str, str], Predicate]:
+    def build(site: str, txn: str) -> Predicate:
+        return lambda e: e.matches("log", "append", site=site, type=record_type, txn=txn)
+
+    return build
+
+
+def _protocol_event(name: str, **extra) -> Callable[[str, str], Predicate]:
+    def build(site: str, txn: str) -> Predicate:
+        return lambda e: e.matches("protocol", name, site=site, txn=txn, **extra)
+
+    return build
+
+
+def _msg_send(kind: str) -> Callable[[str, str], Predicate]:
+    def build(site: str, txn: str) -> Predicate:
+        return lambda e: e.matches("msg", "send", site=site, kind=kind, txn=txn)
+
+    return build
+
+
+def _msg_send_to(kind: str) -> Callable[[str, str], Predicate]:
+    """Crash the *receiver* when ``kind`` is sent to it (lost in flight)."""
+
+    def build(site: str, txn: str) -> Predicate:
+        return lambda e: e.matches("msg", "send", kind=kind, txn=txn, to=site)
+
+    return build
+
+
+def _db_event(name: str) -> Callable[[str, str], Predicate]:
+    def build(site: str, txn: str) -> Predicate:
+        return lambda e: e.matches("db", name, site=site, txn=txn)
+
+    return build
+
+
+def coordinator_crash_points() -> list[CrashPoint]:
+    """Crash instants at the coordinator, ordered along the protocol."""
+    return [
+        CrashPoint(
+            "coord-after-initiation",
+            "coordinator",
+            _log_force_of("initiation"),
+        ),
+        CrashPoint(
+            "coord-after-prepare-sent",
+            "coordinator",
+            _msg_send("PREPARE"),
+        ),
+        CrashPoint(
+            "coord-after-decide",
+            "coordinator",
+            _protocol_event("decide"),
+        ),
+        CrashPoint(
+            "coord-after-decision-sent-commit",
+            "coordinator",
+            _msg_send("COMMIT"),
+        ),
+        CrashPoint(
+            "coord-after-decision-sent-abort",
+            "coordinator",
+            _msg_send("ABORT"),
+        ),
+        CrashPoint(
+            "coord-after-end-append",
+            "coordinator",
+            _log_force_of("end"),
+        ),
+    ]
+
+
+def participant_crash_points() -> list[CrashPoint]:
+    """Crash instants at a participant, ordered along the protocol."""
+    return [
+        CrashPoint(
+            "part-before-vote",
+            "participant",
+            _msg_send_to("PREPARE"),
+        ),
+        CrashPoint(
+            "part-after-prepared",
+            "participant",
+            _db_event("prepared"),
+        ),
+        CrashPoint(
+            "part-before-decision-commit",
+            "participant",
+            _msg_send_to("COMMIT"),
+        ),
+        CrashPoint(
+            "part-before-decision-abort",
+            "participant",
+            _msg_send_to("ABORT"),
+        ),
+        CrashPoint(
+            "part-after-enforce-commit",
+            "participant",
+            _db_event("commit"),
+        ),
+        CrashPoint(
+            "part-after-enforce-abort",
+            "participant",
+            _db_event("abort"),
+        ),
+    ]

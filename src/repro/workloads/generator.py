@@ -1,0 +1,122 @@
+"""Topology building and transaction-stream generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.net.network import LatencyModel
+from repro.protocols.base import TimeoutConfig
+from repro.sim.rng import RandomStreams
+from repro.workloads.mixes import ProtocolMix
+
+#: Site id used for the coordinating transaction manager.
+COORDINATOR_ID = "tm"
+
+
+def build_mdbs(
+    mix: ProtocolMix,
+    coordinator: str = "dynamic",
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    timeouts: Optional[TimeoutConfig] = None,
+    read_only_optimization: bool = True,
+) -> MDBS:
+    """Build an MDBS with one participant site per mix entry.
+
+    The coordinator lives at its own site (``"tm"``), running PrN as a
+    participant protocol (it never participates in these workloads) and
+    the given coordinator policy/selector.
+    """
+    mdbs = MDBS(seed=seed, latency=latency, timeouts=timeouts)
+    for site_id, protocol in mix.site_protocols().items():
+        mdbs.add_site(
+            site_id,
+            protocol=protocol,
+            read_only_optimization=read_only_optimization,
+        )
+    mdbs.add_site(COORDINATOR_ID, protocol="PrN", coordinator=coordinator)
+    return mdbs
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A stream of generated transactions.
+
+    Attributes:
+        n_transactions: how many transactions to generate.
+        abort_fraction: probability that a transaction is forced to
+            abort via a No-voting participant.
+        participants_min/max: each transaction touches a uniform-random
+            number of participants in this range (bounded by the site
+            pool size).
+        inter_arrival: mean time between submissions (exponential).
+        hot_keys: number of shared keys contended across transactions;
+            0 gives every transaction private keys (no lock conflicts).
+        seed: workload randomness, independent of the simulator seed.
+    """
+
+    n_transactions: int = 20
+    abort_fraction: float = 0.25
+    participants_min: int = 2
+    participants_max: int = 3
+    inter_arrival: float = 25.0
+    hot_keys: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_transactions < 0:
+            raise WorkloadError("n_transactions must be non-negative")
+        if not 0.0 <= self.abort_fraction <= 1.0:
+            raise WorkloadError("abort_fraction must be within [0, 1]")
+        if self.participants_min < 1 or self.participants_max < self.participants_min:
+            raise WorkloadError(
+                f"invalid participant range "
+                f"[{self.participants_min}, {self.participants_max}]"
+            )
+
+
+def generate_transactions(
+    spec: WorkloadSpec,
+    sites: list[str],
+    coordinator: str = COORDINATOR_ID,
+) -> list[GlobalTransaction]:
+    """Generate the transaction stream described by ``spec``.
+
+    Deterministic in ``spec.seed``: the same spec over the same site
+    list always yields the same stream.
+    """
+    if not sites:
+        raise WorkloadError("need at least one participant site")
+    rng = RandomStreams(spec.seed).stream("workload")
+    transactions: list[GlobalTransaction] = []
+    now = 0.0
+    for index in range(spec.n_transactions):
+        now += rng.expovariate(1.0 / spec.inter_arrival)
+        count = rng.randint(
+            min(spec.participants_min, len(sites)),
+            min(spec.participants_max, len(sites)),
+        )
+        chosen = sorted(rng.sample(sites, count))
+        txn_id = f"t{index:04d}"
+        writes: dict[str, list[WriteOp]] = {}
+        for site_id in chosen:
+            if spec.hot_keys > 0:
+                key = f"hot{rng.randrange(spec.hot_keys)}"
+            else:
+                key = f"{txn_id}@{site_id}"
+            writes[site_id] = [WriteOp(key=key, value=txn_id)]
+        abort = rng.random() < spec.abort_fraction
+        transactions.append(
+            GlobalTransaction(
+                txn_id=txn_id,
+                coordinator=coordinator,
+                writes=writes,
+                submit_at=now,
+                force_no_vote_at=frozenset({chosen[0]}) if abort else frozenset(),
+            )
+        )
+    return transactions

@@ -1,0 +1,95 @@
+"""Protocol mixes: which 2PC variant each participant site employs.
+
+A :class:`ProtocolMix` is an ordered assignment of commit protocols to
+participant sites. The paper's scenarios revolve around three shapes:
+
+* homogeneous (all PrN / all PrA / all PrC) — the safe, boring case
+  where §4.1's dynamic selection falls back to the base protocol;
+* PrA+PrC — the adversarial mix of Theorems 1 and 2;
+* three-way — PrN, PrA and PrC together, the general PrAny case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+_KNOWN = ("PrN", "PrA", "PrC", "IYV", "CL")
+
+
+@dataclass(frozen=True)
+class ProtocolMix:
+    """An assignment of participant protocols for a site pool."""
+
+    name: str
+    protocols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise WorkloadError(f"mix {self.name!r} has no participants")
+        unknown = set(self.protocols) - set(_KNOWN)
+        if unknown:
+            raise WorkloadError(
+                f"mix {self.name!r} uses unknown protocols {sorted(unknown)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.protocols)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(set(self.protocols)) == 1
+
+    @property
+    def has_pra_and_prc(self) -> bool:
+        """True for the adversarial shape of Theorems 1 and 2."""
+        return "PrA" in self.protocols and "PrC" in self.protocols
+
+    def site_protocols(self, prefix: str = "site") -> dict[str, str]:
+        """Site id → protocol for a fresh topology using this mix."""
+        return {
+            f"{prefix}{i}_{protocol.lower()}": protocol
+            for i, protocol in enumerate(self.protocols)
+        }
+
+    def extended_to(self, n_sites: int) -> "ProtocolMix":
+        """The same mix pattern cycled out to ``n_sites`` participants."""
+        if n_sites < 1:
+            raise WorkloadError(f"need at least one site, got {n_sites}")
+        protocols = tuple(
+            self.protocols[i % len(self.protocols)] for i in range(n_sites)
+        )
+        return ProtocolMix(f"{self.name}x{n_sites}", protocols)
+
+
+def homogeneous(protocol: str, n_sites: int = 2) -> ProtocolMix:
+    """All ``n_sites`` participants run ``protocol``."""
+    return ProtocolMix(f"all-{protocol}", (protocol,) * n_sites)
+
+
+def mixed_pra_prc(n_sites: int = 2) -> ProtocolMix:
+    """Alternating PrA / PrC participants — the Theorem 1/2 mix."""
+    return ProtocolMix("PrA+PrC", ("PrA", "PrC")).extended_to(n_sites)
+
+
+def three_way(n_sites: int = 3) -> ProtocolMix:
+    """PrN, PrA and PrC participants together."""
+    return ProtocolMix("PrN+PrA+PrC", ("PrN", "PrA", "PrC")).extended_to(n_sites)
+
+
+#: The named mixes the experiments sweep over.
+MIXES: dict[str, ProtocolMix] = {
+    "all-PrN": homogeneous("PrN"),
+    "all-PrA": homogeneous("PrA"),
+    "all-PrC": homogeneous("PrC"),
+    "PrA+PrC": mixed_pra_prc(),
+    "PrN+PrC": ProtocolMix("PrN+PrC", ("PrN", "PrC")),
+    "PrN+PrA": ProtocolMix("PrN+PrA", ("PrN", "PrA")),
+    "PrN+PrA+PrC": three_way(),
+    # Extension protocols (paper conclusion; DESIGN.md §6).
+    "all-IYV": ProtocolMix("all-IYV", ("IYV", "IYV")),
+    "all-CL": ProtocolMix("all-CL", ("CL", "CL")),
+    "IYV+PrC": ProtocolMix("IYV+PrC", ("IYV", "PrC")),
+    "CL+PrA+PrC": ProtocolMix("CL+PrA+PrC", ("CL", "PrA", "PrC")),
+}

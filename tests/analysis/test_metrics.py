@@ -1,0 +1,75 @@
+"""Unit tests for metric extraction."""
+
+from repro.analysis.metrics import (
+    cost_breakdown,
+    mean,
+    message_counts,
+    site_force_counts,
+)
+from tests.conftest import make_mdbs, run_one_txn
+
+
+class TestMessageCounts:
+    def test_counts_by_kind(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        counts = message_counts(mdbs.sim.trace)
+        assert counts.of("PREPARE") == 2
+        assert counts.of("VOTE_YES") == 2
+        assert counts.of("COMMIT") == 2
+        assert counts.of("ACK") == 1  # PrA participant only
+
+    def test_total(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        counts = message_counts(mdbs.sim.trace)
+        assert counts.total == sum(counts.by_kind.values())
+
+    def test_txn_filter(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"], txn_id="t1")
+        assert message_counts(mdbs.sim.trace, txn_id="ghost").total == 0
+
+    def test_since_seq_filter(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        end = mdbs.sim.trace.events[-1].seq + 1
+        assert message_counts(mdbs.sim.trace, since_seq=end).total == 0
+
+
+class TestCostBreakdown:
+    def test_prany_commit_costs(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        costs = cost_breakdown(mdbs.sim.trace, "t1", "tm")
+        # Coordinator: initiation + commit forced, end non-forced.
+        assert costs.coordinator_forced == 2
+        assert costs.coordinator_writes == 3
+        # Participants: 2 prepared forces + PrA's forced commit record.
+        assert costs.participant_forced == 3
+        assert costs.messages == 7  # 2 prep + 2 yes + 2 commit + 1 ack
+
+    def test_update_records_excluded_by_default(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        with_updates = cost_breakdown(
+            mdbs.sim.trace, "t1", "tm", exclude_update_records=False
+        )
+        without = cost_breakdown(mdbs.sim.trace, "t1", "tm")
+        assert with_updates.participant_writes > without.participant_writes
+
+    def test_total_forced(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        costs = cost_breakdown(mdbs.sim.trace, "t1", "tm")
+        assert costs.total_forced == costs.coordinator_forced + costs.participant_forced
+
+
+class TestSiteForceCounts:
+    def test_per_site_counts(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        counts = site_force_counts(mdbs)
+        assert counts["tm"] == 2
+        assert counts["alpha"] == 2  # prepared + commit
+        assert counts["beta"] == 1  # prepared only (PrC commit is lazy)
+
+
+class TestMean:
+    def test_mean_of_values(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_of_empty(self):
+        assert mean([]) == 0.0

@@ -1,0 +1,127 @@
+"""The closed-form cost model must equal simulation, exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import cost_breakdown
+from repro.analysis.model import predict_costs, predict_homogeneous
+from repro.core.events import Outcome
+from repro.errors import UnknownProtocolError
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+
+
+def measure(participant_protocols, outcome):
+    """Run one transaction and measure its costs from the trace."""
+    mdbs = MDBS(seed=2)
+    for site_id, protocol in participant_protocols.items():
+        mdbs.add_site(site_id, protocol=protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    mdbs.submit(
+        GlobalTransaction(
+            txn_id="t1",
+            coordinator="tm",
+            writes={
+                site: [WriteOp(f"k@{site}", 1)] for site in participant_protocols
+            },
+            coordinator_abort=outcome is Outcome.ABORT,
+        )
+    )
+    mdbs.run(until=400)
+    return cost_breakdown(mdbs.sim.trace, "t1", "tm")
+
+
+def assert_model_matches(participant_protocols, outcome):
+    predicted = predict_costs(participant_protocols, outcome)
+    measured = measure(participant_protocols, outcome)
+    assert predicted.coordinator_forces == measured.coordinator_forced
+    assert predicted.coordinator_writes == measured.coordinator_writes
+    assert predicted.participant_forces == measured.participant_forced
+    assert predicted.participant_writes == measured.participant_writes
+    assert predicted.acks == measured.message_kinds.get("ACK", 0)
+    assert predicted.messages == measured.messages
+
+
+class TestHomogeneousConfigurations:
+    @pytest.mark.parametrize("protocol", ["PrN", "PrA", "PrC"])
+    @pytest.mark.parametrize("outcome", [Outcome.COMMIT, Outcome.ABORT])
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_model_equals_simulation(self, protocol, outcome, n):
+        participants = {f"p{i}": protocol for i in range(n)}
+        assert_model_matches(participants, outcome)
+
+    def test_predict_homogeneous_wrapper(self):
+        direct = predict_costs({"p0": "PrC", "p1": "PrC"}, Outcome.COMMIT)
+        wrapped = predict_homogeneous("PrC", 2, Outcome.COMMIT)
+        assert direct == wrapped
+
+
+class TestMixedConfigurations:
+    @pytest.mark.parametrize("outcome", [Outcome.COMMIT, Outcome.ABORT])
+    def test_pra_prc_mix(self, outcome):
+        assert_model_matches({"a": "PrA", "b": "PrC"}, outcome)
+
+    @pytest.mark.parametrize("outcome", [Outcome.COMMIT, Outcome.ABORT])
+    def test_three_way_mix(self, outcome):
+        assert_model_matches({"a": "PrN", "b": "PrA", "c": "PrC"}, outcome)
+
+    def test_selected_protocol_reported(self):
+        assert predict_costs({"a": "PrA"}, Outcome.COMMIT).protocol == "PrA"
+        assert (
+            predict_costs({"a": "PrA", "b": "PrN"}, Outcome.COMMIT).protocol
+            == "PrAny"
+        )
+
+
+class TestModelShapeFacts:
+    """The paper's qualitative claims, provable from the closed form."""
+
+    def test_pra_abort_is_totally_free_at_coordinator(self):
+        costs = predict_homogeneous("PrA", 3, Outcome.ABORT)
+        assert costs.coordinator_forces == 0
+        assert costs.coordinator_writes == 0
+
+    def test_prc_commit_participant_cost_is_one_force_each(self):
+        costs = predict_homogeneous("PrC", 3, Outcome.COMMIT)
+        assert costs.participant_forces == 3
+
+    def test_prn_dominated_everywhere(self):
+        for outcome in Outcome:
+            prn = predict_homogeneous("PrN", 3, outcome)
+            best_specialized = min(
+                predict_homogeneous(p, 3, outcome).total_forces
+                for p in ("PrA", "PrC")
+            )
+            assert prn.total_forces >= best_specialized
+
+    def test_prany_between_specialized_protocols(self):
+        mixed = predict_costs({"a": "PrA", "b": "PrC"}, Outcome.COMMIT)
+        pra = predict_homogeneous("PrA", 2, Outcome.COMMIT)
+        prc = predict_homogeneous("PrC", 2, Outcome.COMMIT)
+        assert prc.acks <= mixed.acks <= pra.acks
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(UnknownProtocolError):
+            predict_costs({}, Outcome.COMMIT)
+
+
+@given(
+    st.lists(st.sampled_from(["PrN", "PrA", "PrC"]), min_size=1, max_size=4),
+    st.sampled_from([Outcome.COMMIT, Outcome.ABORT]),
+)
+@settings(max_examples=25, deadline=None)
+def test_model_equals_simulation_for_arbitrary_memberships(protocols, outcome):
+    participants = {f"p{i}": protocol for i, protocol in enumerate(protocols)}
+    assert_model_matches(participants, outcome)
+
+
+class TestModelScope:
+    def test_extension_protocols_rejected_explicitly(self):
+        # IYV/CL have different logging shapes; the closed form covers
+        # the paper's variants only and must say so rather than
+        # miscount silently.
+        with pytest.raises(UnknownProtocolError):
+            predict_costs({"a": "IYV"}, Outcome.COMMIT)
+        with pytest.raises(UnknownProtocolError):
+            predict_costs({"a": "CL", "b": "PrA"}, Outcome.ABORT)

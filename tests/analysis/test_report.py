@@ -1,0 +1,46 @@
+"""Unit tests for table/series rendering."""
+
+from repro.analysis.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "a   | b "
+        assert lines[2] == "1   | 22"
+        assert lines[3] == "333 | 4 "
+
+    def test_title_with_rule(self):
+        table = render_table(["x"], [[1]], title="My Table")
+        lines = table.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_empty_rows(self):
+        table = render_table(["col"], [])
+        assert "col" in table
+
+    def test_float_formatting(self):
+        table = render_table(["x"], [[1.5], [2.0]])
+        assert "1.50" in table
+        assert "2 " in table or table.endswith("2")
+
+
+class TestRenderSeries:
+    def test_bars_scale_to_peak(self):
+        chart = render_series("s", [(1, 1.0), (2, 2.0)], width=4)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 2
+        assert lines[2].count("#") == 4
+
+    def test_empty_series(self):
+        assert "(empty)" in render_series("s", [])
+
+    def test_zero_values_no_crash(self):
+        chart = render_series("s", [(1, 0.0), (2, 0.0)])
+        assert "#" not in chart
+
+    def test_labels_present(self):
+        chart = render_series("growth", [(10, 5.0)])
+        assert "growth" in chart and "10" in chart and "5" in chart

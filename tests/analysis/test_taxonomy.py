@@ -1,0 +1,77 @@
+"""Unit tests for the Figure-5 taxonomy model."""
+
+import pytest
+
+from repro.analysis.taxonomy import TAXONOMY, classify, render_taxonomy
+
+
+class TestTree:
+    def test_root_has_three_branches(self):
+        assert [c.name for c in TAXONOMY.children] == [
+            "Externalized",
+            "Non-externalized",
+            "Unified",
+        ]
+
+    def test_find_deep_node(self):
+        assert TAXONOMY.find("Semantic Compensation") is not None
+
+    def test_find_missing_returns_none(self):
+        assert TAXONOMY.find("Blockchain") is None
+
+    def test_path_to_leaf(self):
+        path = TAXONOMY.path_to("Retry")
+        assert path == [
+            "Atomic Commitment in Universal Distributed Environments",
+            "Non-externalized",
+            "Simulate a prepared state",
+            "Commitment before (Undo)",
+            "Retry",
+        ]
+
+    def test_walk_visits_all_nodes(self):
+        names = [node.name for __, node in TAXONOMY.walk()]
+        assert len(names) == len(set(names))
+        assert "Hybrid" in names
+        assert "Data partitioning" in names
+        assert "MDBS Exclusive Right Reservation" in names
+
+    def test_redo_and_undo_branches(self):
+        redo = TAXONOMY.find("Commitment after (Redo)")
+        undo = TAXONOMY.find("Commitment before (Undo)")
+        assert {c.name for c in redo.children} == {
+            "Data partitioning",
+            "Rerouting",
+            "MDBS Exclusive Right Reservation",
+        }
+        assert {c.name for c in undo.children} == {
+            "Retry",
+            "Syntactic Compensation",
+            "Semantic Compensation",
+        }
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "protocol", ["PrN", "PrA", "PrC", "PrAny", "U2PC(PrC)", "C2PC(PrN)"]
+    )
+    def test_every_implemented_protocol_is_externalized(self, protocol):
+        assert classify(protocol)[-1] == "Externalized"
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            classify("3PC")
+
+
+class TestRendering:
+    def test_render_is_indented_tree(self):
+        text = render_taxonomy()
+        lines = text.splitlines()
+        assert lines[0].startswith("Atomic Commitment")
+        assert any(line.startswith("  - ") for line in lines)
+        assert any(line.startswith("        - ") for line in lines)
+
+    def test_render_contains_every_node(self):
+        text = render_taxonomy()
+        for __, node in TAXONOMY.walk():
+            assert node.name in text

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.kv import KVStore
+from repro.db.local_tm import LocalTransactionManager
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import simple_transaction
+from repro.sim.kernel import Simulator
+from repro.storage.stable_log import StableLog
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def log(sim: Simulator) -> StableLog:
+    """A stable log for a site named 's1'."""
+    return StableLog(sim, "s1")
+
+
+@pytest.fixture
+def engine(sim: Simulator, log: StableLog):
+    """(tm, store, log) triple for a single site's database engine."""
+    store = KVStore()
+    tm = LocalTransactionManager(sim, "s1", log, store)
+    return tm, store, log
+
+
+def make_mdbs(
+    coordinator: str = "dynamic",
+    protocols: dict[str, str] | None = None,
+    seed: int = 42,
+) -> MDBS:
+    """An MDBS with a PrA site, a PrC site, a PrN site and a coordinator.
+
+    Override ``protocols`` (site id → protocol) to change the mix.
+    """
+    if protocols is None:
+        protocols = {"alpha": "PrA", "beta": "PrC", "gamma": "PrN"}
+    mdbs = MDBS(seed=seed)
+    for site_id, protocol in protocols.items():
+        mdbs.add_site(site_id, protocol=protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator=coordinator)
+    return mdbs
+
+
+@pytest.fixture
+def mdbs() -> MDBS:
+    """A three-participant MDBS with a dynamic (PrAny) coordinator."""
+    return make_mdbs()
+
+
+def run_one_txn(
+    mdbs: MDBS,
+    participants: list[str],
+    abort: bool = False,
+    txn_id: str = "t1",
+) -> MDBS:
+    """Submit one simple transaction and run the system to quiescence."""
+    mdbs.submit(simple_transaction(txn_id, "tm", participants, abort=abort))
+    mdbs.run(until=300)
+    mdbs.finalize()
+    return mdbs

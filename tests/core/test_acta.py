@@ -1,0 +1,207 @@
+"""Tests for the ACTA formula engine and the Definition 2 formula."""
+
+from repro.core.acta import (
+    And,
+    Atom,
+    Context,
+    Exists,
+    ForAll,
+    Implies,
+    Not,
+    Or,
+    check_safe_state_acta,
+    safe_state_formula,
+    safe_state_holds,
+)
+from repro.core.history import History
+from repro.sim.tracing import TraceRecorder
+
+TRUE = Atom("⊤", lambda ctx: True)
+FALSE = Atom("⊥", lambda ctx: False)
+
+
+def empty_history():
+    return History([])
+
+
+class TestConnectives:
+    def ctx(self):
+        return Context(empty_history())
+
+    def test_atom(self):
+        assert TRUE.evaluate(self.ctx())
+        assert not FALSE.evaluate(self.ctx())
+
+    def test_and(self):
+        assert And(TRUE, TRUE).evaluate(self.ctx())
+        assert not And(TRUE, FALSE).evaluate(self.ctx())
+
+    def test_or(self):
+        assert Or(FALSE, TRUE).evaluate(self.ctx())
+        assert not Or(FALSE, FALSE).evaluate(self.ctx())
+
+    def test_not(self):
+        assert Not(FALSE).evaluate(self.ctx())
+
+    def test_implies_truth_table(self):
+        assert Implies(FALSE, FALSE).evaluate(self.ctx())
+        assert Implies(FALSE, TRUE).evaluate(self.ctx())
+        assert not Implies(TRUE, FALSE).evaluate(self.ctx())
+        assert Implies(TRUE, TRUE).evaluate(self.ctx())
+
+    def test_operator_sugar(self):
+        assert (TRUE & TRUE).evaluate(self.ctx())
+        assert (FALSE | TRUE).evaluate(self.ctx())
+        assert (~FALSE).evaluate(self.ctx())
+        assert FALSE.implies(FALSE).evaluate(self.ctx())
+
+    def test_rendering(self):
+        formula = Or(And(TRUE, Not(FALSE)), Implies(TRUE, FALSE))
+        text = formula.render()
+        assert "∧" in text and "∨" in text and "¬" in text and "⇒" in text
+
+
+class TestQuantifiers:
+    def test_forall_over_empty_domain_is_true(self):
+        formula = ForAll("x", lambda ctx: [], FALSE, "∅")
+        assert formula.holds_in(empty_history())
+
+    def test_forall_checks_every_element(self):
+        is_even = Atom("even(x)", lambda ctx: ctx["x"] % 2 == 0)
+        all_even = ForAll("x", lambda ctx: [2, 4, 6], is_even, "D")
+        not_all = ForAll("x", lambda ctx: [2, 3], is_even, "D")
+        assert all_even.holds_in(empty_history())
+        assert not not_all.holds_in(empty_history())
+
+    def test_exists(self):
+        is_even = Atom("even(x)", lambda ctx: ctx["x"] % 2 == 0)
+        some = Exists("x", lambda ctx: [1, 2], is_even, "D")
+        none = Exists("x", lambda ctx: [1, 3], is_even, "D")
+        assert some.holds_in(empty_history())
+        assert not none.holds_in(empty_history())
+
+    def test_nested_binding(self):
+        lt = Atom("x<y", lambda ctx: ctx["x"] < ctx["y"])
+        formula = ForAll(
+            "x",
+            lambda ctx: [1, 2],
+            Exists("y", lambda ctx: [0, 5], lt, "Y"),
+            "X",
+        )
+        assert formula.holds_in(empty_history())
+
+    def test_quantifier_rendering(self):
+        formula = ForAll("ti", lambda ctx: [], TRUE, "T")
+        assert formula.render() == "∀ti ∈ T: ⊤"
+
+
+def history_of(decision, response, forget=True):
+    trace = TraceRecorder()
+    if decision is not None:
+        trace.record(1.0, "tm", "protocol", "decide", txn="t1", decision=decision)
+    if forget:
+        trace.record(2.0, "tm", "protocol", "forget", txn="t1", role="coordinator")
+    trace.record(3.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p1")
+    if response is not None:
+        trace.record(
+            4.0, "tm", "protocol", "respond", txn="t1", to="p1", decision=response
+        )
+    return History.from_trace(trace)
+
+
+class TestDefinition2Formula:
+    def test_consistent_commit_holds(self):
+        assert safe_state_holds(history_of("commit", "commit"), "t1")
+
+    def test_consistent_abort_holds(self):
+        assert safe_state_holds(history_of("abort", "abort"), "t1")
+
+    def test_contradiction_fails(self):
+        assert not safe_state_holds(history_of("commit", "abort"), "t1")
+        assert not safe_state_holds(history_of("abort", "commit"), "t1")
+
+    def test_unanswered_inquiry_is_pending_not_violated(self):
+        assert safe_state_holds(history_of("commit", None), "t1")
+
+    def test_never_forgotten_is_vacuous(self):
+        assert safe_state_holds(history_of("commit", "abort", forget=False), "t1")
+
+    def test_no_decision_uses_abort_presumption(self):
+        assert safe_state_holds(history_of(None, "abort"), "t1")
+        assert not safe_state_holds(history_of(None, "commit"), "t1")
+
+    def test_formula_renders_like_the_paper(self):
+        text = safe_state_formula("T").render()
+        assert "Decide_C(abort_T) ∈ H" in text
+        assert "Decide_C(commit_T) ∈ H" in text
+        assert "∀inq ∈ INQ_ti after DeletePT_C(T)" in text
+        assert "Respond_C(commit_ti) ∈ H" in text
+        assert " ∨ " in text
+
+    def test_check_all_transactions(self):
+        verdicts = check_safe_state_acta(history_of("commit", "abort"))
+        assert verdicts == {"t1": False}
+
+
+class TestCrossValidationOnRuns:
+    """The declarative formula agrees with the imperative checker."""
+
+    def run_and_compare(self, build):
+        from repro.core.safe_state import check_safe_state
+
+        mdbs = build()
+        history = mdbs.history()
+        imperative = check_safe_state(history)
+        violating = {v.txn_id for v in imperative.violations}
+        declarative = check_safe_state_acta(history)
+        for txn_id, holds in declarative.items():
+            assert holds == (txn_id not in violating), txn_id
+
+    def test_clean_prany_run(self):
+        from tests.conftest import make_mdbs, run_one_txn
+
+        def build():
+            mdbs = make_mdbs()
+            return run_one_txn(mdbs, ["alpha", "beta"])
+
+        self.run_and_compare(build)
+
+    def test_violating_u2pc_run(self):
+        from repro.mdbs.transaction import simple_transaction
+        from tests.conftest import make_mdbs
+
+        def build():
+            mdbs = make_mdbs(coordinator="U2PC(PrN)")
+            mdbs.failures.crash_when(
+                "beta",
+                lambda e: e.matches("msg", "send", kind="COMMIT", to="beta"),
+                down_for=50.0,
+            )
+            mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+            mdbs.run(until=400)
+            mdbs.finalize()
+            return mdbs
+
+        self.run_and_compare(build)
+
+    def test_crashy_prany_workload(self):
+        from repro.mdbs.transaction import simple_transaction
+        from repro.net.failures import CrashSchedule
+        from tests.conftest import make_mdbs
+
+        def build():
+            mdbs = make_mdbs()
+            mdbs.failures.schedule(CrashSchedule("tm", at=12.0, down_for=40.0))
+            mdbs.failures.schedule(CrashSchedule("beta", at=60.0, down_for=30.0))
+            for i in range(6):
+                mdbs.submit(
+                    simple_transaction(
+                        f"t{i}", "tm", ["alpha", "beta"], submit_at=i * 20.0,
+                        abort=(i % 2 == 0),
+                    )
+                )
+            mdbs.run(until=800)
+            mdbs.finalize()
+            return mdbs
+
+        self.run_and_compare(build)

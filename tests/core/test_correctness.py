@@ -1,0 +1,122 @@
+"""Unit tests for the Definition 1 checkers."""
+
+from repro.core.correctness import (
+    check_atomicity,
+    check_operational_correctness,
+)
+from repro.core.history import History
+from repro.sim.tracing import TraceRecorder
+
+
+def agreement_trace(p1_outcome="commit", p2_outcome="commit", decision="commit"):
+    trace = TraceRecorder()
+    if decision is not None:
+        trace.record(1.0, "tm", "protocol", "decide", txn="t1", decision=decision)
+    trace.record(2.0, "p1", "db", p1_outcome, txn="t1")
+    trace.record(3.0, "p2", "db", p2_outcome, txn="t1")
+    return trace
+
+
+class TestAtomicity:
+    def test_unanimous_commit_is_atomic(self):
+        report = check_atomicity(History.from_trace(agreement_trace()))
+        assert report.holds
+        assert report.transactions_checked == 1
+
+    def test_divergent_outcomes_violate(self):
+        report = check_atomicity(
+            History.from_trace(agreement_trace(p2_outcome="abort"))
+        )
+        assert not report.holds
+        violation = report.violations[0]
+        assert ("p1", "commit") in violation.outcomes
+        assert ("p2", "abort") in violation.outcomes
+
+    def test_unanimous_but_contradicting_decision_violates(self):
+        # Both sites aborted while the coordinator decided commit: the
+        # participants agree with each other but not with the decision.
+        report = check_atomicity(
+            History.from_trace(
+                agreement_trace(p1_outcome="abort", p2_outcome="abort")
+            )
+        )
+        assert not report.holds
+
+    def test_no_decision_consistent_enforcement_is_atomic(self):
+        # Abort-by-presumption with no surviving coordinator decision.
+        report = check_atomicity(
+            History.from_trace(
+                agreement_trace(
+                    p1_outcome="abort", p2_outcome="abort", decision=None
+                )
+            )
+        )
+        assert report.holds
+
+    def test_crash_superseded_enforcement_uses_last(self):
+        trace = agreement_trace()
+        trace.record(9.0, "p2", "db", "abort", txn="t1")  # post-recovery flip
+        report = check_atomicity(History.from_trace(trace))
+        assert not report.holds
+
+    def test_stuck_in_doubt_detected(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "p1", "db", "prepared", txn="t1")
+        trace.record(2.0, "p1", "db", "commit", txn="t1")
+        trace.record(3.0, "p2", "db", "prepared", txn="t1")
+        # p2 never enforces anything.
+        report = check_atomicity(History.from_trace(trace), trace)
+        assert report.stuck_in_doubt == {"t1": ["p2"]}
+
+    def test_stuck_detection_requires_trace(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "p1", "db", "prepared", txn="t1")
+        report = check_atomicity(History.from_trace(trace))
+        assert report.stuck_in_doubt == {}
+
+    def test_report_str(self):
+        report = check_atomicity(
+            History.from_trace(agreement_trace(p2_outcome="abort"))
+        )
+        assert "VIOLATION" in str(report)
+
+
+class FakeSiteView:
+    def __init__(self, site_id, retained=(), uncollected=()):
+        self.site_id = site_id
+        self._retained = set(retained)
+        self._uncollected = set(uncollected)
+
+    def retained_transactions(self):
+        return set(self._retained)
+
+    def uncollected_log_transactions(self):
+        return set(self._uncollected)
+
+
+class TestOperationalCorrectness:
+    def test_clean_sites_hold(self):
+        report = check_operational_correctness([FakeSiteView("a"), FakeSiteView("b")])
+        assert report.holds
+
+    def test_retained_entries_violate(self):
+        report = check_operational_correctness([FakeSiteView("a", retained={"t1"})])
+        assert not report.holds
+        assert report.retained_entries == {"a": {"t1"}}
+        assert report.total_retained == 1
+
+    def test_uncollected_logs_violate(self):
+        report = check_operational_correctness(
+            [FakeSiteView("a", uncollected={"t1", "t2"})]
+        )
+        assert not report.holds
+        assert report.total_uncollected == 2
+
+    def test_atomicity_folded_in(self):
+        history = History.from_trace(agreement_trace(p2_outcome="abort"))
+        report = check_operational_correctness([FakeSiteView("a")], history)
+        assert not report.holds  # item 1 of Definition 1 failed
+
+    def test_str_lists_offenders(self):
+        report = check_operational_correctness([FakeSiteView("a", retained={"t1"})])
+        assert "t1" in str(report)

@@ -1,0 +1,48 @@
+"""Unit tests for significant events."""
+
+import pytest
+
+from repro.core.events import EventKind, Outcome, SignificantEvent
+
+
+class TestOutcome:
+    def test_parse(self):
+        assert Outcome.parse("commit") is Outcome.COMMIT
+        assert Outcome.parse("abort") is Outcome.ABORT
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Outcome.parse("maybe")
+
+    def test_opposite(self):
+        assert Outcome.COMMIT.opposite is Outcome.ABORT
+        assert Outcome.ABORT.opposite is Outcome.COMMIT
+
+    def test_str(self):
+        assert str(Outcome.COMMIT) == "commit"
+
+
+class TestSignificantEvent:
+    def test_precedes_follows_seq(self):
+        a = SignificantEvent(EventKind.DECIDE, "t", "c", seq=1, time=0.0)
+        b = SignificantEvent(EventKind.DELETE_PT, "t", "c", seq=2, time=0.0)
+        assert a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_str_includes_kind_outcome_site(self):
+        event = SignificantEvent(
+            EventKind.RESPOND,
+            "t1",
+            "tm",
+            seq=3,
+            time=1.5,
+            outcome=Outcome.ABORT,
+            peer="p1",
+        )
+        text = str(event)
+        assert "respond" in text and "abort" in text and "tm" in text and "p1" in text
+
+    def test_frozen(self):
+        event = SignificantEvent(EventKind.DECIDE, "t", "c", seq=1, time=0.0)
+        with pytest.raises(AttributeError):
+            event.seq = 5

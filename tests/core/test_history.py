@@ -1,0 +1,131 @@
+"""Unit tests for history extraction from traces."""
+
+from repro.core.events import EventKind, Outcome
+from repro.core.history import History
+from repro.sim.tracing import TraceRecorder
+
+
+def build_trace():
+    """A hand-built trace of one committed transaction."""
+    trace = TraceRecorder()
+    trace.record(1.0, "tm", "protocol", "decide", txn="t1", decision="commit")
+    trace.record(2.0, "p1", "db", "commit", txn="t1")
+    trace.record(3.0, "p2", "db", "commit", txn="t1")
+    trace.record(4.0, "tm", "protocol", "forget", txn="t1", role="coordinator")
+    trace.record(5.0, "p1", "protocol", "forget", txn="t1", role="participant")
+    trace.record(6.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p2")
+    trace.record(
+        7.0, "tm", "protocol", "respond", txn="t1", to="p2", decision="commit"
+    )
+    return trace
+
+
+class TestExtraction:
+    def test_event_count(self):
+        history = History.from_trace(build_trace())
+        assert len(history) == 7
+
+    def test_decide_extracted(self):
+        history = History.from_trace(build_trace())
+        decides = history.of_kind(EventKind.DECIDE)
+        assert len(decides) == 1
+        assert decides[0].outcome is Outcome.COMMIT
+
+    def test_forget_role_split(self):
+        history = History.from_trace(build_trace())
+        assert len(history.of_kind(EventKind.DELETE_PT)) == 1
+        assert len(history.of_kind(EventKind.FORGET_P)) == 1
+
+    def test_inquiry_site_is_inquirer(self):
+        history = History.from_trace(build_trace())
+        inquiry = history.of_kind(EventKind.INQUIRY)[0]
+        assert inquiry.site == "p2"
+        assert inquiry.peer == "tm"
+
+    def test_respond_peer_is_target(self):
+        history = History.from_trace(build_trace())
+        respond = history.of_kind(EventKind.RESPOND)[0]
+        assert respond.peer == "p2"
+
+    def test_non_significant_events_ignored(self):
+        trace = build_trace()
+        trace.record(8.0, "p1", "log", "force")
+        trace.record(9.0, "p1", "msg", "send", kind="ACK")
+        history = History.from_trace(trace)
+        assert len(history) == 7
+
+
+class TestQueries:
+    def test_transactions(self):
+        history = History.from_trace(build_trace())
+        assert history.transactions() == {"t1"}
+
+    def test_decision(self):
+        history = History.from_trace(build_trace())
+        assert history.decision("t1") is Outcome.COMMIT
+        assert history.decision("ghost") is None
+
+    def test_last_decide_wins(self):
+        trace = build_trace()
+        trace.record(10.0, "tm", "protocol", "decide", txn="t1", decision="commit", recovered=True)
+        history = History.from_trace(trace)
+        assert history.decision("t1") is Outcome.COMMIT
+
+    def test_coordinator_of(self):
+        history = History.from_trace(build_trace())
+        assert history.coordinator_of("t1") == "tm"
+        assert history.coordinator_of("ghost") is None
+
+    def test_enforcements_last_wins(self):
+        trace = build_trace()
+        # p1 crashes, recovers and enforces abort (wrong answer): the
+        # final state per site is the last enforcement.
+        trace.record(10.0, "p1", "db", "abort", txn="t1")
+        history = History.from_trace(trace)
+        assert history.enforcements("t1")["p1"] is Outcome.ABORT
+
+    def test_inquiries_after_forget(self):
+        history = History.from_trace(build_trace())
+        post = history.inquiries_after_forget("t1")
+        assert len(post) == 1
+        assert post[0].site == "p2"
+
+    def test_inquiries_before_forget_excluded(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "tm", "protocol", "decide", txn="t1", decision="commit")
+        trace.record(2.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p1")
+        trace.record(3.0, "tm", "protocol", "forget", txn="t1", role="coordinator")
+        history = History.from_trace(trace)
+        assert history.inquiries_after_forget("t1") == []
+
+    def test_no_forget_means_no_post_forget_inquiries(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p1")
+        history = History.from_trace(trace)
+        assert history.inquiries_after_forget("t1") == []
+
+    def test_response_to_matches_inquirer(self):
+        history = History.from_trace(build_trace())
+        inquiry = history.of_kind(EventKind.INQUIRY)[0]
+        response = history.response_to(inquiry)
+        assert response is not None
+        assert response.outcome is Outcome.COMMIT
+
+    def test_response_to_other_participant_not_matched(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p1")
+        trace.record(
+            2.0, "tm", "protocol", "respond", txn="t1", to="p9", decision="abort"
+        )
+        history = History.from_trace(trace)
+        inquiry = history.of_kind(EventKind.INQUIRY)[0]
+        assert history.response_to(inquiry) is None
+
+    def test_events_for_orders_by_seq(self):
+        history = History.from_trace(build_trace())
+        events = history.events_for("t1")
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+    def test_render_contains_transaction(self):
+        history = History.from_trace(build_trace())
+        assert "t1" in history.render("t1")

@@ -1,0 +1,47 @@
+"""Unit tests for presumption logic."""
+
+import pytest
+
+from repro.core.presumption import (
+    Presumption,
+    presumed_outcome_for_inquirer,
+    presumption_of_protocol,
+)
+from repro.errors import UnknownProtocolError
+
+
+class TestProtocolPresumptions:
+    def test_prn_hidden_presumption_is_abort(self):
+        assert presumption_of_protocol("PrN") is Presumption.ABORT
+
+    def test_pra_presumes_abort(self):
+        assert presumption_of_protocol("PrA") is Presumption.ABORT
+
+    def test_prc_presumes_commit(self):
+        assert presumption_of_protocol("PrC") is Presumption.COMMIT
+
+    def test_prany_has_no_a_priori_presumption(self):
+        assert presumption_of_protocol("PrAny") is Presumption.NONE
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(UnknownProtocolError):
+            presumption_of_protocol("3PC")
+
+
+class TestDynamicPresumption:
+    """PrAny adopts the presumption of the *inquiring* participant."""
+
+    def test_prc_inquirer_gets_commit(self):
+        assert presumed_outcome_for_inquirer("PrC") == "commit"
+
+    def test_pra_inquirer_gets_abort(self):
+        assert presumed_outcome_for_inquirer("PrA") == "abort"
+
+    def test_prn_inquirer_gets_abort(self):
+        assert presumed_outcome_for_inquirer("PrN") == "abort"
+
+    def test_prany_inquirer_rejected(self):
+        # A participant never "runs PrAny": PrAny is a coordinator-side
+        # integration; its participants keep their own protocols.
+        with pytest.raises(UnknownProtocolError):
+            presumed_outcome_for_inquirer("PrAny")

@@ -1,0 +1,92 @@
+"""Unit tests for the SafeState predicate (Definition 2)."""
+
+from repro.core.history import History
+from repro.core.safe_state import check_safe_state
+from repro.sim.tracing import TraceRecorder
+
+
+def trace_with(decision, response, include_forget=True):
+    trace = TraceRecorder()
+    if decision is not None:
+        trace.record(1.0, "tm", "protocol", "decide", txn="t1", decision=decision)
+    if include_forget:
+        trace.record(2.0, "tm", "protocol", "forget", txn="t1", role="coordinator")
+    trace.record(3.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p1")
+    if response is not None:
+        trace.record(
+            4.0, "tm", "protocol", "respond", txn="t1", to="p1", decision=response
+        )
+    return trace
+
+
+class TestSafeState:
+    def test_consistent_commit_response_is_safe(self):
+        report = check_safe_state(History.from_trace(trace_with("commit", "commit")))
+        assert report.holds
+        assert report.checked_inquiries == 1
+
+    def test_consistent_abort_response_is_safe(self):
+        report = check_safe_state(History.from_trace(trace_with("abort", "abort")))
+        assert report.holds
+
+    def test_commit_decided_abort_answered_violates(self):
+        report = check_safe_state(History.from_trace(trace_with("commit", "abort")))
+        assert not report.holds
+        violation = report.violations[0]
+        assert violation.txn_id == "t1"
+        assert violation.inquirer == "p1"
+
+    def test_abort_decided_commit_answered_violates(self):
+        report = check_safe_state(History.from_trace(trace_with("abort", "commit")))
+        assert not report.holds
+
+    def test_no_decision_effective_abort(self):
+        # Coordinator crashed before deciding; recovery presumes abort.
+        # Answering commit to a post-forget inquiry violates Definition 2.
+        report = check_safe_state(History.from_trace(trace_with(None, "commit")))
+        assert not report.holds
+
+    def test_no_decision_abort_answer_is_safe(self):
+        report = check_safe_state(History.from_trace(trace_with(None, "abort")))
+        assert report.holds
+
+    def test_unanswered_inquiry_not_counted(self):
+        report = check_safe_state(History.from_trace(trace_with("commit", None)))
+        assert report.holds
+        assert report.checked_inquiries == 0
+
+    def test_never_forgotten_txn_skipped(self):
+        report = check_safe_state(
+            History.from_trace(trace_with("commit", "abort", include_forget=False))
+        )
+        # Without a DeletePT event the implication is vacuous.
+        assert report.holds
+        assert report.checked_transactions == 0
+
+    def test_pre_forget_response_not_checked(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "tm", "protocol", "decide", txn="t1", decision="commit")
+        trace.record(2.0, "tm", "protocol", "inquiry", txn="t1", inquirer="p1")
+        trace.record(
+            3.0, "tm", "protocol", "respond", txn="t1", to="p1", decision="commit"
+        )
+        trace.record(4.0, "tm", "protocol", "forget", txn="t1", role="coordinator")
+        report = check_safe_state(History.from_trace(trace))
+        assert report.holds
+        assert report.checked_inquiries == 0
+
+    def test_report_str_mentions_violations(self):
+        report = check_safe_state(History.from_trace(trace_with("commit", "abort")))
+        assert "VIOLATION" in str(report)
+
+    def test_multiple_transactions_independent(self):
+        trace = trace_with("commit", "commit")
+        trace.record(10.0, "tm", "protocol", "decide", txn="t2", decision="abort")
+        trace.record(11.0, "tm", "protocol", "forget", txn="t2", role="coordinator")
+        trace.record(12.0, "tm", "protocol", "inquiry", txn="t2", inquirer="p2")
+        trace.record(
+            13.0, "tm", "protocol", "respond", txn="t2", to="p2", decision="commit"
+        )
+        report = check_safe_state(History.from_trace(trace))
+        assert len(report.violations) == 1
+        assert report.violations[0].txn_id == "t2"

@@ -1,0 +1,73 @@
+"""Unit tests for the crash-aware KV store."""
+
+import pytest
+
+from repro.db.kv import KVStore
+from repro.errors import DatabaseError
+
+
+class TestReadWrite:
+    def test_read_missing_key_is_none(self):
+        assert KVStore().read("x") is None
+
+    def test_write_returns_previous_value(self):
+        store = KVStore()
+        assert store.write("x", 1) is None
+        assert store.write("x", 2) == 1
+
+    def test_delete_returns_previous(self):
+        store = KVStore({"x": 1})
+        assert store.delete("x") == 1
+        assert store.read("x") is None
+
+    def test_initial_state_copied_to_volatile(self):
+        store = KVStore({"x": 1})
+        assert store.read("x") == 1
+
+    def test_snapshot_is_copy(self):
+        store = KVStore({"x": 1})
+        snap = store.snapshot()
+        snap["x"] = 99
+        assert store.read("x") == 1
+
+
+class TestCrashRecovery:
+    def test_crash_marks_down(self):
+        store = KVStore()
+        store.crash()
+        assert not store.is_up
+
+    def test_access_while_down_raises(self):
+        store = KVStore()
+        store.crash()
+        with pytest.raises(DatabaseError):
+            store.read("x")
+        with pytest.raises(DatabaseError):
+            store.write("x", 1)
+
+    def test_restart_loses_unpersisted_writes(self):
+        store = KVStore({"x": 1})
+        store.write("x", 2)
+        store.crash()
+        store.restart()
+        assert store.read("x") == 1
+
+    def test_checkpoint_then_restart_keeps_state(self):
+        store = KVStore()
+        store.write("x", 2)
+        store.checkpoint(store.snapshot())
+        store.crash()
+        store.restart()
+        assert store.read("x") == 2
+
+    def test_load_recovered_installs_state(self):
+        store = KVStore()
+        store.crash()
+        store.load_recovered({"y": 9})
+        assert store.is_up
+        assert store.read("y") == 9
+
+    def test_durable_snapshot_unaffected_by_writes(self):
+        store = KVStore({"x": 1})
+        store.write("x", 5)
+        assert store.durable_snapshot() == {"x": 1}

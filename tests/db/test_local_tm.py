@@ -1,0 +1,240 @@
+"""Unit tests for the local transaction manager."""
+
+import pytest
+
+from repro.db.local_tm import TxnStatus
+from repro.errors import LockError, SiteDownError, TransactionError
+from repro.storage.log_records import RecordType
+
+
+class TestExecution:
+    def test_begin_creates_active_txn(self, engine):
+        tm, __, __log = engine
+        txn = tm.begin("t1", "tm")
+        assert txn.status is TxnStatus.ACTIVE
+        assert txn.coordinator == "tm"
+
+    def test_duplicate_begin_raises(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        with pytest.raises(TransactionError):
+            tm.begin("t1")
+
+    def test_write_applies_to_store(self, engine):
+        tm, store, __ = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 42)
+        assert store.read("x") == 42
+
+    def test_write_logs_update_record(self, engine):
+        tm, __, log = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 42)
+        log.flush()
+        records = log.records_for("t1")
+        assert records[0].type is RecordType.UPDATE
+        assert records[0].get("after") == 42
+
+    def test_read_returns_current_value(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 1)
+        assert tm.read("t1", "x") == 1
+
+    def test_conflicting_writes_denied(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.begin("t2")
+        tm.write("t1", "x", 1)
+        with pytest.raises(LockError):
+            tm.write("t2", "x", 2)
+
+    def test_write_on_unknown_txn_raises(self, engine):
+        tm, __, __log = engine
+        with pytest.raises(TransactionError):
+            tm.write("ghost", "x", 1)
+
+
+class TestPrepare:
+    def test_prepare_forces_prepared_record(self, engine):
+        tm, __, log = engine
+        tm.begin("t1", "tm")
+        tm.write("t1", "x", 1)
+        assert tm.prepare("t1")
+        assert log.has_record("t1", RecordType.PREPARED)
+        assert log.has_record("t1", RecordType.UPDATE)  # WAL rule: flushed too
+
+    def test_prepare_moves_to_prepared(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.prepare("t1")
+        assert tm.transaction("t1").status is TxnStatus.PREPARED
+        assert tm.in_doubt_transactions() == ["t1"]
+
+    def test_prepare_unknown_txn_returns_false(self, engine):
+        tm, __, __log = engine
+        assert not tm.prepare("ghost")
+
+    def test_prepare_terminated_txn_returns_false(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.abort("t1", force_decision=False)
+        assert not tm.prepare("t1")
+
+
+class TestCommit:
+    def test_commit_releases_locks(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 1)
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=True)
+        tm.begin("t2")
+        tm.write("t2", "x", 2)  # no conflict anymore
+
+    def test_commit_forced_writes_stable_record(self, engine):
+        tm, __, log = engine
+        tm.begin("t1")
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=True)
+        record = log.last_record("t1", RecordType.COMMIT)
+        assert record is not None and record.forced
+
+    def test_commit_lazy_leaves_record_buffered(self, engine):
+        tm, __, log = engine
+        tm.begin("t1")
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=False)
+        assert log.last_record("t1", RecordType.COMMIT) is None  # not stable yet
+        log.flush()
+        assert log.last_record("t1", RecordType.COMMIT) is not None
+
+    def test_commit_is_idempotent(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=True)
+        tm.commit("t1", force_decision=True)  # no error
+
+    def test_commit_of_unknown_txn_is_footnote5_noop(self, engine):
+        tm, __, __log = engine
+        tm.commit("ghost", force_decision=True)  # must not raise
+
+    def test_commit_after_abort_raises(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.abort("t1", force_decision=False)
+        with pytest.raises(TransactionError):
+            tm.commit("t1", force_decision=True)
+
+
+class TestAbort:
+    def test_abort_undoes_updates(self, engine):
+        tm, store, __ = engine
+        store.write("x", "old")
+        tm.begin("t1")
+        tm.write("t1", "x", "new")
+        tm.abort("t1", force_decision=False)
+        assert store.read("x") == "old"
+
+    def test_abort_removes_created_keys(self, engine):
+        tm, store, __ = engine
+        tm.begin("t1")
+        tm.write("t1", "fresh", 1)
+        tm.abort("t1", force_decision=False)
+        assert store.read("fresh") is None
+
+    def test_abort_undo_is_reverse_order(self, engine):
+        tm, store, __ = engine
+        store.write("x", "v0")
+        tm.begin("t1")
+        tm.write("t1", "x", "v1")
+        tm.write("t1", "x", "v2")
+        tm.abort("t1", force_decision=False)
+        assert store.read("x") == "v0"
+
+    def test_abort_is_idempotent(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.abort("t1", force_decision=False)
+        tm.abort("t1", force_decision=False)
+
+    def test_abort_after_commit_raises(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.commit("t1", force_decision=True)
+        with pytest.raises(TransactionError):
+            tm.abort("t1", force_decision=False)
+
+
+class TestForget:
+    def test_forget_gcs_log(self, engine):
+        tm, __, log = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 1)
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=True)
+        tm.forget("t1")
+        assert log.records_for("t1") == ()
+
+    def test_forget_of_active_txn_raises(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        with pytest.raises(TransactionError):
+            tm.forget("t1")
+
+    def test_drop_volatile_keeps_log(self, engine):
+        tm, __, log = engine
+        tm.begin("t1")
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=True)
+        tm.drop_volatile("t1")
+        assert tm.transaction("t1") is None
+        assert log.has_record("t1", RecordType.COMMIT)
+
+    def test_drop_volatile_refuses_active(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.drop_volatile("t1")
+        assert tm.transaction("t1") is not None  # still there
+
+
+class TestCrash:
+    def test_operations_rejected_while_down(self, engine):
+        tm, __, __log = engine
+        tm.crash()
+        with pytest.raises(SiteDownError):
+            tm.begin("t1")
+
+    def test_crash_clears_txn_table(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.crash()
+        tm.restart_empty()
+        assert tm.transaction("t1") is None
+
+    def test_adopt_in_doubt_reacquires_locks(self, engine):
+        tm, __, __log = engine
+        tm.crash()
+        tm.restart_empty()
+        tm.adopt_in_doubt("t1", "tm", [("x", None, 5)])
+        tm.begin("t2")
+        with pytest.raises(LockError):
+            tm.write("t2", "x", 9)
+
+    def test_adopted_txn_commits_by_redo(self, engine):
+        tm, store, __ = engine
+        tm.crash()
+        tm.restart_empty()
+        tm.adopt_in_doubt("t1", "tm", [("x", None, 5)])
+        assert store.read("x") is None  # withheld while in doubt
+        tm.commit("t1", force_decision=True)
+        assert store.read("x") == 5
+
+    def test_adopted_txn_abort_leaves_store_untouched(self, engine):
+        tm, store, __ = engine
+        tm.crash()
+        tm.restart_empty()
+        tm.adopt_in_doubt("t1", "tm", [("x", None, 5)])
+        tm.abort("t1", force_decision=True)
+        assert store.read("x") is None

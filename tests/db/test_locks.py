@@ -1,0 +1,125 @@
+"""Unit tests for the strict-2PL lock manager."""
+
+import pytest
+
+from repro.db.locks import LockManager, LockMode
+from repro.errors import LockError
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+class TestGrants:
+    def test_exclusive_granted_on_free_key(self, locks):
+        assert locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        assert locks.holders("k") == {"t1"}
+
+    def test_shared_locks_are_compatible(self, locks):
+        assert locks.acquire("t1", "k", LockMode.SHARED)
+        assert locks.acquire("t2", "k", LockMode.SHARED)
+        assert locks.holders("k") == {"t1", "t2"}
+
+    def test_exclusive_conflicts_with_shared(self, locks):
+        locks.acquire("t1", "k", LockMode.SHARED)
+        with pytest.raises(LockError):
+            locks.acquire("t2", "k", LockMode.EXCLUSIVE, no_wait=True)
+
+    def test_shared_conflicts_with_exclusive(self, locks):
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        with pytest.raises(LockError):
+            locks.acquire("t2", "k", LockMode.SHARED, no_wait=True)
+
+    def test_reentrant_acquire_by_holder(self, locks):
+        locks.acquire("t1", "k", LockMode.SHARED)
+        assert locks.acquire("t1", "k", LockMode.EXCLUSIVE)  # upgrade, sole holder
+        assert locks.mode("k") is LockMode.EXCLUSIVE
+
+    def test_wait_without_callback_raises(self, locks):
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        with pytest.raises(LockError):
+            locks.acquire("t2", "k", LockMode.EXCLUSIVE)
+
+    def test_counters(self, locks):
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        try:
+            locks.acquire("t2", "k", LockMode.EXCLUSIVE, no_wait=True)
+        except LockError:
+            pass
+        assert locks.grant_count == 1
+        assert locks.denial_count == 1
+
+
+class TestQueuedWaits:
+    def test_queued_request_granted_on_release(self, locks):
+        granted = []
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        assert not locks.acquire(
+            "t2", "k", LockMode.EXCLUSIVE, on_grant=lambda: granted.append("t2")
+        )
+        callbacks = locks.release_all("t1")
+        for cb in callbacks:
+            cb()
+        assert granted == ["t2"]
+        assert locks.holders("k") == {"t2"}
+
+    def test_fifo_order_of_waiters(self, locks):
+        granted = []
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        locks.acquire("t2", "k", LockMode.EXCLUSIVE, on_grant=lambda: granted.append("t2"))
+        locks.acquire("t3", "k", LockMode.EXCLUSIVE, on_grant=lambda: granted.append("t3"))
+        for cb in locks.release_all("t1"):
+            cb()
+        # Only the head waiter gets the exclusive lock.
+        assert granted == ["t2"]
+        assert locks.waiting_count("k") == 1
+
+    def test_shared_waiters_granted_together(self, locks):
+        granted = []
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        locks.acquire("t2", "k", LockMode.SHARED, on_grant=lambda: granted.append("t2"))
+        locks.acquire("t3", "k", LockMode.SHARED, on_grant=lambda: granted.append("t3"))
+        for cb in locks.release_all("t1"):
+            cb()
+        assert sorted(granted) == ["t2", "t3"]
+
+    def test_compatible_request_waits_behind_queue(self, locks):
+        # Fairness: a shared request must not jump over a queued
+        # exclusive request.
+        locks.acquire("t1", "k", LockMode.SHARED)
+        locks.acquire("t2", "k", LockMode.EXCLUSIVE, on_grant=lambda: None)
+        with pytest.raises(LockError):
+            locks.acquire("t3", "k", LockMode.SHARED, no_wait=True)
+
+
+class TestRelease:
+    def test_release_all_frees_every_key(self, locks):
+        locks.acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.acquire("t1", "b", LockMode.SHARED)
+        locks.release_all("t1")
+        assert locks.holders("a") == set()
+        assert locks.keys_held_by("t1") == set()
+
+    def test_release_unknown_txn_is_noop(self, locks):
+        assert locks.release_all("ghost") == []
+
+    def test_clear_wipes_everything(self, locks):
+        locks.acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.clear()
+        assert locks.holders("a") == set()
+
+    def test_mode_cleared_when_unheld(self, locks):
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE)
+        locks.release_all("t1")
+        assert locks.mode("k") is None
+
+
+class TestModeCompatibility:
+    def test_shared_compatible_with_shared(self):
+        assert LockMode.SHARED.compatible_with(LockMode.SHARED)
+
+    def test_exclusive_incompatible_with_everything(self):
+        assert not LockMode.EXCLUSIVE.compatible_with(LockMode.SHARED)
+        assert not LockMode.EXCLUSIVE.compatible_with(LockMode.EXCLUSIVE)
+        assert not LockMode.SHARED.compatible_with(LockMode.EXCLUSIVE)

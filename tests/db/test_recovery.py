@@ -1,0 +1,126 @@
+"""Unit tests for local (single-site) crash recovery."""
+
+from repro.db.kv import KVStore
+from repro.db.local_tm import LocalTransactionManager, TxnStatus
+from repro.db.recovery import analyze_log, recover_engine
+from repro.storage.log_records import decision_record
+
+
+def run_txn(tm, txn_id, key, value, fate):
+    tm.begin(txn_id, "tm")
+    tm.write(txn_id, key, value)
+    if fate == "active":
+        return
+    tm.prepare(txn_id)
+    if fate == "prepared":
+        return
+    if fate == "committed":
+        tm.commit(txn_id, force_decision=True)
+    elif fate == "committed-lazy":
+        tm.commit(txn_id, force_decision=False)
+    elif fate == "aborted":
+        tm.abort(txn_id, force_decision=True)
+
+
+class TestAnalyzeLog:
+    def test_committed_txn_classified(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "committed")
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t1" in report.committed
+        assert report.recovered_state["x"] == 1
+
+    def test_prepared_txn_is_in_doubt(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "prepared")
+        tm.crash()
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t1" in report.in_doubt
+        assert report.in_doubt["t1"]["coordinator"] == "tm"
+        assert report.in_doubt["t1"]["updates"] == [("x", None, 1)]
+        # In-doubt updates are withheld from the recovered state.
+        assert "x" not in report.recovered_state
+
+    def test_active_txn_implicitly_aborted(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "active")
+        log.flush()  # make the update record visible without a prepare
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t1" in report.implicitly_aborted
+        assert "x" not in report.recovered_state
+
+    def test_lazy_commit_lost_in_crash_stays_in_doubt(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "committed-lazy")
+        tm.crash()  # the buffered commit record is lost
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t1" in report.in_doubt
+        assert "t1" not in report.committed
+
+    def test_lazy_commit_flushed_before_crash_is_committed(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "committed-lazy")
+        log.flush()
+        tm.crash()
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t1" in report.committed
+
+    def test_aborted_txn_classified(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "aborted")
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t1" in report.aborted
+        assert "x" not in report.recovered_state
+
+    def test_coordinator_decision_records_ignored(self, engine):
+        __, store, log = engine
+        log.force_append(decision_record("t9", "commit", role="coordinator"))
+        report = analyze_log(log, store.durable_snapshot())
+        assert "t9" not in report.committed
+
+    def test_redo_applies_in_lsn_order(self, engine):
+        tm, store, log = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 1)
+        tm.write("t1", "x", 2)
+        tm.prepare("t1")
+        tm.commit("t1", force_decision=True)
+        report = analyze_log(log, store.durable_snapshot())
+        assert report.recovered_state["x"] == 2
+
+    def test_in_doubt_count(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "x", 1, "prepared")
+        run_txn(tm, "t2", "y", 2, "prepared")
+        report = analyze_log(log, store.durable_snapshot())
+        assert report.in_doubt_count == 2
+
+
+class TestRecoverEngine:
+    def test_full_recovery_cycle(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "a", 1, "committed")
+        run_txn(tm, "t2", "b", 2, "prepared")
+        tm.crash()
+        report = recover_engine(tm, log, store)
+        assert store.read("a") == 1  # committed work redone
+        assert store.read("b") is None  # in-doubt withheld
+        assert tm.transaction("t2").status is TxnStatus.PREPARED
+        assert report.in_doubt_count == 1
+
+    def test_recovered_in_doubt_can_commit_later(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "a", 1, "prepared")
+        tm.crash()
+        recover_engine(tm, log, store)
+        tm.commit("t1", force_decision=True)
+        assert store.read("a") == 1
+
+    def test_double_crash_recovery_is_stable(self, engine):
+        tm, store, log = engine
+        run_txn(tm, "t1", "a", 1, "prepared")
+        tm.crash()
+        recover_engine(tm, log, store)
+        tm.crash()
+        recover_engine(tm, log, store)
+        assert tm.transaction("t1").status is TxnStatus.PREPARED

@@ -1,0 +1,94 @@
+"""Flow-level checks for the extension protocols (IYV, CL).
+
+These are not paper figures, but the same lane-extraction machinery
+pins down the wire/log behaviour the extensions promise.
+"""
+
+import pytest
+
+from repro.experiments.flows import flow_lanes, normalize_lane
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+
+
+def run_extension_flow(protocols: dict[str, str], outcome: str):
+    mdbs = MDBS(seed=3)
+    for site_id, protocol in protocols.items():
+        mdbs.add_site(site_id, protocol=protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    mdbs.submit(
+        GlobalTransaction(
+            txn_id="t-ext",
+            coordinator="tm",
+            writes={site: [WriteOp(f"k@{site}", 1)] for site in protocols},
+            coordinator_abort=outcome == "abort",
+        )
+    )
+    mdbs.run(until=400)
+    mdbs.finalize()
+    assert mdbs.check().all_hold
+    return flow_lanes(mdbs.sim.trace, "t-ext")
+
+
+class TestIYVFlow:
+    def test_iyv_commit_lane(self):
+        lanes = run_extension_flow({"i1": "IYV"}, "commit")
+        lane = normalize_lane(lanes["i1"])
+        # Continuously prepared: forced prepared record up front, forced
+        # update on execution, then the decision + forced commit + ack —
+        # with no PREPARE/VOTE exchange anywhere.
+        assert lane == [
+            "force(prepared)",
+            "recv(COMMIT)",
+            "force(commit)",
+            "send(ACK)",
+            "forget",
+        ]
+
+    def test_iyv_coordinator_lane_has_no_voting_phase(self):
+        lanes = run_extension_flow({"i1": "IYV"}, "commit")
+        lane = normalize_lane(lanes["tm"])
+        assert "send(PREPARE)" not in lane
+        assert "recv(VOTE_YES)" not in lane
+        assert lane[0] == "decide(commit)"  # decided at submission
+
+    def test_iyv_abort_lane_is_silent(self):
+        lanes = run_extension_flow({"i1": "IYV"}, "abort")
+        lane = normalize_lane(lanes["i1"])
+        # Abort: lazy (no record beyond the up-front forces), no ack.
+        assert "send(ACK)" not in lane
+        assert "force(abort)" not in lane
+
+
+class TestCLFlow:
+    def test_cl_participant_lane_has_no_log_activity(self):
+        lanes = run_extension_flow({"c1": "CL"}, "commit")
+        lane = normalize_lane(lanes["c1"])
+        assert not any(token.startswith(("force(", "write(")) for token in lane)
+        assert lane == [
+            "recv(PREPARE)",
+            "send(VOTE_YES)",
+            "recv(COMMIT)",
+            "send(ACK)",
+            "forget",
+        ]
+
+    def test_cl_coordinator_logs_the_participants_updates(self):
+        lanes = run_extension_flow({"c1": "CL"}, "commit")
+        lane = lanes["tm"]
+        # The piggybacked update stabilizes with the commit force — it
+        # appears in the coordinator's lane as a forced update record.
+        assert "force(update)" in lane
+
+    def test_cl_abort_is_forced_like_prn(self):
+        lanes = run_extension_flow({"c1": "CL"}, "abort")
+        coordinator = normalize_lane(lanes["tm"])
+        # The CL coordinator policy is PrN-shaped: the abort decision is
+        # force-written (the piggybacked updates stabilize with it,
+        # harmlessly — aborted redo is never shipped back).
+        assert "force(abort)" in coordinator
+
+    @pytest.mark.parametrize("outcome", ["commit", "abort"])
+    def test_mixed_cl_prc_flows_are_correct(self, outcome):
+        lanes = run_extension_flow({"c1": "CL", "p1": "PrC"}, outcome)
+        assert "c1" in lanes and "p1" in lanes and "tm" in lanes

@@ -1,0 +1,33 @@
+"""Tests for the C5 IYV-vs-PrA experiment."""
+
+import pytest
+
+from repro.experiments.iyv import render_iyv, run_iyv_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_iyv_experiment(update_counts=(1, 4))
+
+
+class TestIYVExperiment:
+    def test_all_runs_correct(self, result):
+        assert result.all_correct
+
+    def test_iyv_decides_earlier(self, result):
+        assert result.iyv_always_decides_earlier
+
+    def test_iyv_uses_fewer_messages(self, result):
+        assert result.iyv_always_uses_fewer_messages
+
+    def test_force_growth_shapes(self, result):
+        assert result.pra_forces_grow_slower
+
+    def test_iyv_message_savings_is_two_rounds(self, result):
+        # 3 participants: PrA = prepare + vote + decision + ack = 4×3;
+        # IYV = decision + ack = 2×3.
+        assert result.point("PrA", 1).messages == 12
+        assert result.point("IYV", 1).messages == 6
+
+    def test_render(self, result):
+        assert "C5" in render_iyv(result)

@@ -1,0 +1,119 @@
+"""The crash matrix: every crash point × every mix × both outcomes.
+
+This is the test-suite twin of experiment T3: it pins down that the
+full PrAny stack stays correct under every single-site crash at every
+protocol step. Failures here point at the exact (mix, outcome, crash
+point, victim) combination that broke.
+"""
+
+import pytest
+
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.workloads.failure_schedules import (
+    coordinator_crash_points,
+    participant_crash_points,
+)
+from repro.workloads.generator import COORDINATOR_ID, build_mdbs
+from repro.workloads.mixes import MIXES
+
+MATRIX_MIXES = ("PrA+PrC", "PrN+PrA+PrC")
+POINTS = {p.name: p for p in coordinator_crash_points() + participant_crash_points()}
+
+
+def run_case(mix_name, outcome, point_name, victim_role):
+    mix = MIXES[mix_name]
+    mdbs = build_mdbs(mix, coordinator="dynamic", seed=31)
+    participants = sorted(mix.site_protocols())
+    point = POINTS[point_name]
+    victim = COORDINATOR_ID if victim_role == "coordinator" else participants[0]
+    txn = GlobalTransaction(
+        txn_id="tx",
+        coordinator=COORDINATOR_ID,
+        writes={site: [WriteOp(f"k@{site}", 1)] for site in participants},
+        coordinator_abort=outcome == "abort",
+    )
+    mdbs.failures.crash_when(
+        victim, point.make_predicate(victim, "tx"), down_for=60.0
+    )
+    mdbs.submit(txn)
+    mdbs.run(until=800)
+    mdbs.finalize()
+    return mdbs.check()
+
+
+@pytest.mark.parametrize("mix_name", MATRIX_MIXES)
+@pytest.mark.parametrize("outcome", ["commit", "abort"])
+@pytest.mark.parametrize(
+    "point_name",
+    [p.name for p in coordinator_crash_points()],
+)
+def test_coordinator_crashes(mix_name, outcome, point_name):
+    reports = run_case(mix_name, outcome, point_name, "coordinator")
+    assert reports.all_hold, str(reports)
+
+
+@pytest.mark.parametrize("mix_name", MATRIX_MIXES)
+@pytest.mark.parametrize("outcome", ["commit", "abort"])
+@pytest.mark.parametrize(
+    "point_name",
+    [p.name for p in participant_crash_points()],
+)
+def test_participant_crashes(mix_name, outcome, point_name):
+    reports = run_case(mix_name, outcome, point_name, "participant")
+    assert reports.all_hold, str(reports)
+
+
+@pytest.mark.parametrize("outcome", ["commit", "abort"])
+def test_double_crash_coordinator_then_participant(outcome):
+    """Two overlapping outages: coordinator at decide, participant at
+    enforcement."""
+    mix = MIXES["PrA+PrC"]
+    mdbs = build_mdbs(mix, coordinator="dynamic", seed=32)
+    participants = sorted(mix.site_protocols())
+    txn = GlobalTransaction(
+        txn_id="tx",
+        coordinator=COORDINATOR_ID,
+        writes={site: [WriteOp(f"k@{site}", 1)] for site in participants},
+        coordinator_abort=outcome == "abort",
+    )
+    mdbs.failures.crash_when(
+        COORDINATOR_ID,
+        lambda e: e.matches("protocol", "decide", site=COORDINATOR_ID),
+        down_for=50.0,
+    )
+    mdbs.failures.crash_when(
+        participants[0],
+        lambda e: e.matches("db", outcome, site=participants[0], txn="tx"),
+        down_for=70.0,
+    )
+    mdbs.submit(txn)
+    mdbs.run(until=1000)
+    mdbs.finalize()
+    assert mdbs.check().all_hold
+
+
+def test_repeated_coordinator_crashes():
+    """The coordinator crashes twice during one transaction's life."""
+    mix = MIXES["PrA+PrC"]
+    mdbs = build_mdbs(mix, coordinator="dynamic", seed=33)
+    participants = sorted(mix.site_protocols())
+    txn = GlobalTransaction(
+        txn_id="tx",
+        coordinator=COORDINATOR_ID,
+        writes={site: [WriteOp(f"k@{site}", 1)] for site in participants},
+    )
+    mdbs.failures.crash_when(
+        COORDINATOR_ID,
+        lambda e: e.matches("log", "append", site=COORDINATOR_ID, type="initiation"),
+        down_for=30.0,
+    )
+    # Second crash mid-recovery, triggered by the recovered decide.
+    mdbs.failures.crash_when(
+        COORDINATOR_ID,
+        lambda e: e.matches("protocol", "decide", site=COORDINATOR_ID, recovered=True),
+        down_for=30.0,
+    )
+    mdbs.submit(txn)
+    mdbs.run(until=1200)
+    mdbs.finalize()
+    assert mdbs.check().all_hold

@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the full stack."""
+
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+from repro.net.network import UniformLatency
+from repro.workloads.generator import WorkloadSpec, build_mdbs, generate_transactions
+from repro.workloads.mixes import MIXES
+from tests.conftest import make_mdbs
+
+
+class TestQuickstartScenario:
+    """The README quickstart, as a test."""
+
+    def test_quickstart(self):
+        mdbs = MDBS(seed=42)
+        mdbs.add_site("alpha", protocol="PrA")
+        mdbs.add_site("beta", protocol="PrC")
+        mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+
+class TestLargeWorkloads:
+    def test_fifty_transactions_three_way_mix(self):
+        mix = MIXES["PrN+PrA+PrC"]
+        mdbs = build_mdbs(mix, seed=21)
+        sites = sorted(mix.site_protocols())
+        spec = WorkloadSpec(n_transactions=50, abort_fraction=0.3, seed=21)
+        txns = generate_transactions(spec, sites)
+        for txn in txns:
+            mdbs.submit(txn)
+        mdbs.run(until=max(t.submit_at for t in txns) + 400)
+        mdbs.finalize()
+        reports = mdbs.check()
+        assert reports.all_hold
+        assert reports.atomicity.transactions_checked == 50
+
+    def test_contended_workload_with_hot_keys(self):
+        mix = MIXES["PrA+PrC"]
+        mdbs = build_mdbs(mix, seed=8)
+        sites = sorted(mix.site_protocols())
+        spec = WorkloadSpec(
+            n_transactions=30, abort_fraction=0.1, hot_keys=2, seed=8,
+            inter_arrival=5.0,
+        )
+        txns = generate_transactions(spec, sites)
+        for txn in txns:
+            mdbs.submit(txn)
+        mdbs.run(until=max(t.submit_at for t in txns) + 400)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+    def test_jittered_network(self):
+        mdbs = make_mdbs()
+        mdbs.network.set_latency(UniformLatency(mdbs.sim, 0.2, 3.0))
+        for i in range(20):
+            mdbs.submit(
+                simple_transaction(
+                    f"t{i}", "tm", ["alpha", "beta", "gamma"], submit_at=i * 15.0
+                )
+            )
+        mdbs.run(until=800)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+    def test_lossy_network_still_converges(self):
+        mdbs = make_mdbs()
+        mdbs.network.set_loss_probability(0.10)
+        for i in range(10):
+            mdbs.submit(
+                simple_transaction(
+                    f"t{i}", "tm", ["alpha", "beta"], submit_at=i * 40.0
+                )
+            )
+        mdbs.run(until=3000)
+        mdbs.network.set_loss_probability(0.0)  # eventually reliable
+        mdbs.run(until=4000)
+        mdbs.finalize()
+        reports = mdbs.check()
+        assert reports.atomicity.holds
+        assert reports.safe_state.holds
+
+
+class TestMultiCoordinator:
+    def test_two_coordinators_share_participants(self):
+        mdbs = MDBS(seed=5)
+        mdbs.add_site("p1", protocol="PrA")
+        mdbs.add_site("p2", protocol="PrC")
+        mdbs.add_site("tm1", protocol="PrN", coordinator="dynamic")
+        mdbs.add_site("tm2", protocol="PrN", coordinator="dynamic")
+        mdbs.submit(simple_transaction("t1", "tm1", ["p1", "p2"]))
+        mdbs.submit(simple_transaction("t2", "tm2", ["p1", "p2"], submit_at=1.0))
+        mdbs.run(until=300)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+    def test_coordinator_site_participates_for_other_coordinator(self):
+        # tm2 coordinates a transaction in which tm1 is a participant:
+        # one site's log holds coordinator records for t1 and
+        # participant records for t2 simultaneously.
+        mdbs = MDBS(seed=5)
+        mdbs.add_site("p1", protocol="PrA")
+        mdbs.add_site("tm1", protocol="PrN", coordinator="dynamic")
+        mdbs.add_site("tm2", protocol="PrC", coordinator="dynamic")
+        mdbs.submit(simple_transaction("t1", "tm1", ["p1", "tm2"]))
+        mdbs.submit(simple_transaction("t2", "tm2", ["p1", "tm1"], submit_at=1.0))
+        mdbs.run(until=300)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+
+class TestDataIntegrity:
+    def test_committed_data_survives_participant_crash_cycle(self):
+        mdbs = make_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=200)
+        mdbs.finalize()
+        # Crash alpha afterwards; its committed (forced) state recovers.
+        mdbs.site("alpha").crash()
+        mdbs.site("alpha").recover()
+        assert mdbs.site("alpha").store.read("t1@alpha") == "t1"
+
+    def test_prc_lazy_commit_survives_via_flush(self):
+        mdbs = make_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=200)
+        mdbs.site("beta").log.flush()  # make the lazy commit stable
+        mdbs.site("beta").crash()
+        mdbs.site("beta").recover()
+        assert mdbs.site("beta").store.read("t1@beta") == "t1"
+
+    def test_prc_lazy_commit_lost_then_resolved_by_presumption(self):
+        # Crash beta before its lazy commit record is flushed: on
+        # recovery the txn is in doubt; the coordinator has forgotten;
+        # the PrC presumption (commit) resolves it — correctly.
+        mdbs = make_mdbs()
+        mdbs.failures.crash_when(
+            "beta",
+            lambda e: e.matches("db", "commit", site="beta", txn="t1"),
+            down_for=60.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=500)
+        mdbs.finalize()
+        assert mdbs.site("beta").store.read("t1@beta") == "t1"
+        assert mdbs.check().all_hold
+
+    def test_multi_write_transactions(self):
+        mdbs = make_mdbs()
+        txn = GlobalTransaction(
+            txn_id="t1",
+            coordinator="tm",
+            writes={
+                "alpha": [WriteOp("k1", 1), WriteOp("k2", 2), WriteOp("k1", 3)],
+                "beta": [WriteOp("k9", "x")],
+            },
+        )
+        mdbs.submit(txn)
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.site("alpha").store.read("k1") == 3
+        assert mdbs.site("alpha").store.read("k2") == 2
+        assert mdbs.check().all_hold

@@ -1,0 +1,56 @@
+"""Tests for the periodic background flusher."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mdbs.transaction import simple_transaction
+from tests.conftest import make_mdbs
+
+
+class TestPeriodicFlush:
+    def test_invalid_interval_rejected(self):
+        mdbs = make_mdbs()
+        with pytest.raises(WorkloadError):
+            mdbs.enable_periodic_flush(0.0, until=100.0)
+        with pytest.raises(WorkloadError):
+            mdbs.enable_periodic_flush(-1.0, until=100.0)
+
+    def test_flusher_stabilizes_lazy_records(self):
+        mdbs = make_mdbs()
+        mdbs.enable_periodic_flush(2.0, until=50.0)
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=50.0)
+        # The PrC participant's lazy commit record was flushed by the
+        # background flusher without any finalize() call.
+        from repro.storage.log_records import RecordType
+
+        beta = mdbs.site("beta")
+        assert beta.log.has_record("t1", RecordType.COMMIT)
+        assert beta.log.flush_count >= 1
+
+    def test_flusher_stops_at_horizon(self):
+        mdbs = make_mdbs()
+        mdbs.enable_periodic_flush(5.0, until=20.0)
+        mdbs.run()  # must quiesce: the flusher re-arms only until 20
+        assert mdbs.sim.now <= 20.0
+
+    def test_flusher_skips_down_sites(self):
+        mdbs = make_mdbs()
+        mdbs.enable_periodic_flush(2.0, until=30.0)
+        mdbs.site("alpha").crash()
+        mdbs.run(until=30.0)  # must not raise LogClosedError
+        assert not mdbs.site("alpha").is_up
+
+    def test_flush_does_not_break_correctness(self):
+        mdbs = make_mdbs()
+        mdbs.enable_periodic_flush(3.0, until=200.0)
+        for i in range(5):
+            mdbs.submit(
+                simple_transaction(
+                    f"t{i}", "tm", ["alpha", "beta"], submit_at=i * 30.0,
+                    abort=(i % 2 == 1),
+                )
+            )
+        mdbs.run(until=400)
+        mdbs.finalize()
+        assert mdbs.check().all_hold

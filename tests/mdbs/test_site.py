@@ -1,0 +1,78 @@
+"""Unit/integration tests for the Site composite."""
+
+import pytest
+
+from repro.errors import ProtocolError, SiteDownError
+from repro.mdbs.transaction import simple_transaction
+from repro.net.message import Message
+from tests.conftest import make_mdbs, run_one_txn
+
+
+class TestDispatch:
+    def test_unknown_kind_raises(self, mdbs):
+        with pytest.raises(ProtocolError):
+            mdbs.site("alpha").deliver(Message("WAT", "tm", "alpha", "t"))
+
+    def test_coordinator_traffic_to_plain_site_raises(self, mdbs):
+        with pytest.raises(ProtocolError):
+            mdbs.site("alpha").deliver(Message("ACK", "beta", "alpha", "t"))
+
+    def test_repr_shows_roles(self, mdbs):
+        assert "P+C" in repr(mdbs.site("tm"))
+        assert "P," in repr(mdbs.site("alpha")).replace("P, ", "P,")
+
+
+class TestCrashRecover:
+    def test_crash_marks_down_and_closes_everything(self, mdbs):
+        site = mdbs.site("alpha")
+        site.crash()
+        assert not site.is_up
+        assert not site.log.is_open
+        assert not site.tm.is_up
+        assert site.crash_count == 1
+
+    def test_double_crash_is_noop(self, mdbs):
+        site = mdbs.site("alpha")
+        site.crash()
+        site.crash()
+        assert site.crash_count == 1
+
+    def test_recover_up_site_raises(self, mdbs):
+        with pytest.raises(SiteDownError):
+            mdbs.site("alpha").recover()
+
+    def test_crash_recover_cycle_traced(self, mdbs):
+        site = mdbs.site("alpha")
+        site.crash()
+        site.recover()
+        assert mdbs.sim.trace.first(category="site", name="crash", site="alpha")
+        assert mdbs.sim.trace.first(category="site", name="recover", site="alpha")
+
+    def test_recovery_returns_local_report(self, mdbs):
+        site = mdbs.site("alpha")
+        site.tm.begin("t1", "tm")
+        site.tm.write("t1", "x", 1)
+        site.tm.prepare("t1")
+        site.crash()
+        report = site.recover()
+        assert "t1" in report.in_doubt
+
+
+class TestSiteViews:
+    def test_clean_site_retains_nothing(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        for site_id in ("alpha", "beta", "tm"):
+            site = mdbs.site(site_id)
+            assert site.retained_transactions() == set()
+            assert site.uncollected_log_transactions() == set()
+
+    def test_in_doubt_txn_is_retained(self, mdbs):
+        site = mdbs.site("alpha")
+        site.participant.begin_work("t1", "tm")
+        site.tm.prepare("t1")
+        assert "t1" in site.retained_transactions()
+
+    def test_flush_and_gc_on_down_site_is_zero(self, mdbs):
+        site = mdbs.site("alpha")
+        site.crash()
+        assert site.flush_and_gc() == 0

@@ -1,0 +1,134 @@
+"""Integration tests for the MDBS orchestrator."""
+
+import pytest
+
+from repro.errors import ProtocolError, WorkloadError
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+from tests.conftest import make_mdbs, run_one_txn
+
+
+class TestTopology:
+    def test_duplicate_site_rejected(self):
+        mdbs = MDBS()
+        mdbs.add_site("a", protocol="PrN")
+        with pytest.raises(WorkloadError):
+            mdbs.add_site("a", protocol="PrA")
+
+    def test_sites_registered_in_pcp(self, mdbs):
+        assert mdbs.pcp.protocol_of("alpha") == "PrA"
+        assert mdbs.pcp.protocol_of("beta") == "PrC"
+
+    def test_site_lookup(self, mdbs):
+        assert mdbs.site("alpha").protocol == "PrA"
+
+    def test_coordinator_engine_only_when_requested(self, mdbs):
+        assert mdbs.site("alpha").coordinator is None
+        assert mdbs.site("tm").coordinator is not None
+
+
+class TestSubmission:
+    def test_unknown_coordinator_rejected(self, mdbs):
+        with pytest.raises(WorkloadError):
+            mdbs.submit(simple_transaction("t", "ghost", ["alpha"]))
+
+    def test_non_coordinator_site_rejected(self, mdbs):
+        with pytest.raises(ProtocolError):
+            mdbs.submit(simple_transaction("t", "alpha", ["beta"]))
+
+    def test_unknown_participant_rejected(self, mdbs):
+        with pytest.raises(WorkloadError):
+            mdbs.submit(simple_transaction("t", "tm", ["ghost"]))
+
+    def test_submitted_listed(self, mdbs):
+        txn = simple_transaction("t", "tm", ["alpha"])
+        mdbs.submit(txn)
+        assert mdbs.submitted == [txn]
+
+
+class TestEndToEnd:
+    def test_commit_updates_all_stores(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta", "gamma"])
+        for site in ("alpha", "beta", "gamma"):
+            assert mdbs.site(site).store.read(f"t1@{site}") == "t1"
+        assert mdbs.check().all_hold
+
+    def test_abort_leaves_no_trace_anywhere(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta", "gamma"], abort=True)
+        for site in ("alpha", "beta", "gamma"):
+            assert mdbs.site(site).store.read(f"t1@{site}") is None
+        assert mdbs.check().all_hold
+
+    def test_many_sequential_transactions(self, mdbs):
+        for i in range(10):
+            mdbs.submit(
+                simple_transaction(
+                    f"t{i}",
+                    "tm",
+                    ["alpha", "beta"],
+                    submit_at=i * 30.0,
+                    abort=(i % 3 == 0),
+                )
+            )
+        mdbs.run(until=600)
+        mdbs.finalize()
+        reports = mdbs.check()
+        assert reports.all_hold
+        assert reports.atomicity.transactions_checked >= 10
+
+    def test_concurrent_transactions_disjoint_keys(self, mdbs):
+        for i in range(5):
+            mdbs.submit(
+                simple_transaction(f"t{i}", "tm", ["alpha", "beta"], submit_at=0.0)
+            )
+        mdbs.run(until=400)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+    def test_lock_conflict_causes_unilateral_abort(self):
+        mdbs = make_mdbs()
+        shared = {"alpha": [WriteOp("hot", 1)], "beta": [WriteOp("x", 1)]}
+        shared2 = {"alpha": [WriteOp("hot", 2)], "beta": [WriteOp("y", 2)]}
+        mdbs.submit(GlobalTransaction(txn_id="t1", coordinator="tm", writes=shared))
+        mdbs.submit(GlobalTransaction(txn_id="t2", coordinator="tm", writes=shared2))
+        mdbs.run(until=400)
+        mdbs.finalize()
+        reports = mdbs.check()
+        assert reports.all_hold
+        history = mdbs.history()
+        outcomes = {
+            txn: history.decision(txn) for txn in ("t1", "t2")
+        }
+        # The loser of the hot-key conflict must have aborted.
+        assert any(o is not None and o.value == "abort" for o in outcomes.values())
+
+    def test_participant_down_at_submit_aborts_txn(self, mdbs):
+        mdbs.site("beta").crash()
+        run_one_txn(mdbs, ["alpha", "beta"])
+        history = mdbs.history()
+        assert history.decision("t1").value == "abort"
+
+    def test_coordinator_down_at_submit_skips_txn(self, mdbs):
+        mdbs.site("tm").crash()
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha"]))
+        mdbs.run(until=100)
+        assert mdbs.sim.trace.first(category="system", name="txn_not_started")
+
+
+class TestReports:
+    def test_check_returns_bundle(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        reports = mdbs.check()
+        assert reports.atomicity.holds
+        assert reports.safe_state.holds
+        assert reports.operational.holds
+        assert "ATOMIC" in str(reports)
+
+    def test_finalize_is_idempotent(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        mdbs.finalize()
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+    def test_repr(self, mdbs):
+        assert "sites=4" in repr(mdbs)

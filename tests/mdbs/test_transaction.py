@@ -1,0 +1,67 @@
+"""Unit tests for global transaction specifications."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+
+
+class TestValidation:
+    def test_empty_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            GlobalTransaction(txn_id="", coordinator="tm", writes={"a": []})
+
+    def test_no_participants_rejected(self):
+        with pytest.raises(WorkloadError):
+            GlobalTransaction(txn_id="t", coordinator="tm", writes={})
+
+    def test_coordinator_as_participant_rejected(self):
+        with pytest.raises(WorkloadError):
+            GlobalTransaction(
+                txn_id="t", coordinator="tm", writes={"tm": [WriteOp("k", 1)]}
+            )
+
+    def test_no_vote_site_must_be_participant(self):
+        with pytest.raises(WorkloadError):
+            GlobalTransaction(
+                txn_id="t",
+                coordinator="tm",
+                writes={"a": [WriteOp("k", 1)]},
+                force_no_vote_at=frozenset({"ghost"}),
+            )
+
+    def test_participants_sorted(self):
+        txn = GlobalTransaction(
+            txn_id="t",
+            coordinator="tm",
+            writes={"z": [WriteOp("k", 1)], "a": [WriteOp("k", 1)]},
+        )
+        assert txn.participants == ["a", "z"]
+
+    def test_will_abort_flags(self):
+        base = dict(coordinator="tm", writes={"a": [WriteOp("k", 1)]})
+        assert not GlobalTransaction(txn_id="t", **base).will_abort
+        assert GlobalTransaction(
+            txn_id="t", force_no_vote_at=frozenset({"a"}), **base
+        ).will_abort
+        assert GlobalTransaction(
+            txn_id="t", coordinator_abort=True, **base
+        ).will_abort
+
+
+class TestSimpleTransaction:
+    def test_one_write_per_participant(self):
+        txn = simple_transaction("t1", "tm", ["a", "b"])
+        assert set(txn.writes) == {"a", "b"}
+        assert txn.writes["a"] == [WriteOp("t1@a", "t1")]
+
+    def test_abort_flag_picks_first_participant(self):
+        txn = simple_transaction("t1", "tm", ["b", "a"], abort=True)
+        assert txn.force_no_vote_at == frozenset({"a"})
+
+    def test_no_participants_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_transaction("t1", "tm", [])
+
+    def test_submit_time(self):
+        assert simple_transaction("t", "tm", ["a"], submit_at=9.0).submit_at == 9.0

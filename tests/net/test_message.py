@@ -1,0 +1,33 @@
+"""Unit tests for the message type."""
+
+from repro.net.message import Message
+
+
+class TestMessage:
+    def test_get_with_default(self):
+        message = Message("PING", "a", "b", "t1", {"x": 1})
+        assert message.get("x") == 1
+        assert message.get("missing", 7) == 7
+
+    def test_str_includes_route_and_kind(self):
+        text = str(Message("PREPARE", "tm", "p1", "t9"))
+        assert "PREPARE" in text and "tm->p1" in text and "t9" in text
+
+    def test_str_includes_payload(self):
+        text = str(Message("ACK", "p", "tm", "t", {"decision": "commit"}))
+        assert "decision=commit" in text
+
+    def test_frozen(self):
+        message = Message("PING", "a", "b")
+        try:
+            message.kind = "PONG"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_default_payload_is_independent(self):
+        a = Message("PING", "a", "b")
+        b = Message("PING", "a", "b")
+        a.payload["k"] = 1
+        assert "k" not in b.payload

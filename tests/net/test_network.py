@@ -1,0 +1,182 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownNodeError
+from repro.net.message import Message
+from repro.net.network import ConstantLatency, Network, UniformLatency
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def net(sim):
+    network = Network(sim, ConstantLatency(1.0))
+    return network
+
+
+def attach(net, node_id, up=lambda: True):
+    inbox = []
+    net.register(node_id, inbox.append, is_up=up)
+    return inbox
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert len(inbox) == 1
+        assert sim.now == 1.0
+
+    def test_unknown_receiver_raises(self, sim, net):
+        attach(net, "a")
+        with pytest.raises(UnknownNodeError):
+            net.send(Message("PING", "a", "nobody"))
+
+    def test_duplicate_registration_rejected(self, net):
+        attach(net, "a")
+        with pytest.raises(NetworkError):
+            net.register("a", lambda m: None)
+
+    def test_send_to_self_works(self, sim, net):
+        inbox = attach(net, "a")
+        net.send(Message("PING", "a", "a"))
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_counters(self, sim, net):
+        attach(net, "a")
+        attach(net, "b")
+        net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert net.sent_count == 1
+        assert net.delivered_count == 1
+        assert net.dropped_count == 0
+
+    def test_delivery_ordering_preserved_with_constant_latency(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.send(Message("ONE", "a", "b"))
+        net.send(Message("TWO", "a", "b"))
+        sim.run()
+        assert [m.kind for m in inbox] == ["ONE", "TWO"]
+
+
+class TestReceiverLiveness:
+    def test_message_to_down_receiver_is_lost(self, sim, net):
+        up = {"b": True}
+        inbox = attach(net, "b", up=lambda: up["b"])
+        attach(net, "a")
+        net.send(Message("PING", "a", "b"))
+        up["b"] = False  # crashes while the message is in flight
+        sim.run()
+        assert inbox == []
+        assert net.dropped_count == 1
+
+    def test_loss_recorded_in_trace(self, sim, net):
+        up = {"b": False}
+        attach(net, "b", up=lambda: up["b"])
+        attach(net, "a")
+        net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert sim.trace.first(category="msg", name="lost_receiver_down")
+
+
+class TestOmissionFailures:
+    def test_drop_next_drops_exactly_n(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.drop_next("a", "b", count=2)
+        for __ in range(3):
+            net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_drop_is_directional(self, sim, net):
+        inbox_a = attach(net, "a")
+        inbox_b = attach(net, "b")
+        net.drop_next("a", "b")
+        net.send(Message("X", "a", "b"))
+        net.send(Message("Y", "b", "a"))
+        sim.run()
+        assert inbox_b == []
+        assert len(inbox_a) == 1
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self, sim, net):
+        inbox_a = attach(net, "a")
+        inbox_b = attach(net, "b")
+        net.partition("a", "b")
+        net.send(Message("X", "a", "b"))
+        net.send(Message("Y", "b", "a"))
+        sim.run()
+        assert inbox_a == [] and inbox_b == []
+
+    def test_heal_restores_traffic(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.partition("a", "b")
+        net.heal("a", "b")
+        net.send(Message("X", "a", "b"))
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_heal_all(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.partition("a", "b")
+        net.heal_all()
+        net.send(Message("X", "a", "b"))
+        sim.run()
+        assert len(inbox) == 1
+
+
+class TestProbabilisticLoss:
+    def test_invalid_probability_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.set_loss_probability(1.5)
+
+    def test_full_loss_drops_everything(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.set_loss_probability(1.0)
+        for __ in range(5):
+            net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert inbox == []
+
+    def test_zero_loss_drops_nothing(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.set_loss_probability(0.0)
+        for __ in range(5):
+            net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert len(inbox) == 5
+
+
+class TestLatencyModels:
+    def test_constant_latency_rejects_negative(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_latency_bounds(self):
+        sim = Simulator(seed=5)
+        model = UniformLatency(sim, 0.5, 2.0)
+        for __ in range(100):
+            assert 0.5 <= model.delay("a", "b") <= 2.0
+
+    def test_uniform_latency_rejects_bad_range(self):
+        sim = Simulator(seed=5)
+        with pytest.raises(NetworkError):
+            UniformLatency(sim, 2.0, 1.0)
+
+    def test_set_latency_takes_effect(self, sim, net):
+        attach(net, "a")
+        attach(net, "b")
+        net.set_latency(ConstantLatency(9.0))
+        net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert sim.now == 9.0

@@ -1,0 +1,94 @@
+"""Property-based tests for the lock manager's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.locks import LockManager, LockMode
+from repro.errors import LockError
+
+txn_ids = st.sampled_from(["t1", "t2", "t3", "t4"])
+keys = st.sampled_from(["a", "b", "c"])
+modes = st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE])
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), txn_ids, keys, modes),
+        st.tuples(st.just("release"), txn_ids, keys, modes),
+    ),
+    max_size=60,
+)
+
+
+def check_invariants(locks: LockManager, all_keys=("a", "b", "c")):
+    for key in all_keys:
+        holders = locks.holders(key)
+        mode = locks.mode(key)
+        if not holders:
+            assert mode is None
+            continue
+        if mode is LockMode.EXCLUSIVE:
+            # An exclusive key has exactly one holder.
+            assert len(holders) == 1
+        # Holder bookkeeping is symmetric.
+        for txn in holders:
+            assert key in locks.keys_held_by(txn)
+
+
+@given(actions)
+@settings(max_examples=200)
+def test_no_interleaving_breaks_lock_invariants(steps):
+    locks = LockManager()
+    for action in steps:
+        if action[0] == "acquire":
+            __, txn, key, mode = action
+            try:
+                locks.acquire(txn, key, mode, no_wait=True)
+            except LockError:
+                pass
+        else:
+            __, txn, __key, __mode = action
+            for callback in locks.release_all(txn):
+                callback()
+        check_invariants(locks)
+
+
+@given(actions)
+@settings(max_examples=100)
+def test_release_all_leaves_no_residue(steps):
+    locks = LockManager()
+    seen_txns = set()
+    for action in steps:
+        if action[0] == "acquire":
+            __, txn, key, mode = action
+            seen_txns.add(txn)
+            try:
+                locks.acquire(txn, key, mode, no_wait=True)
+            except LockError:
+                pass
+    for txn in seen_txns:
+        for callback in locks.release_all(txn):
+            callback()
+    # After releasing every txn (and granting whatever was queued, which
+    # given no_wait acquires is nothing), nothing can remain held.
+    for txn in seen_txns:
+        assert locks.keys_held_by(txn) == set()
+
+
+@given(
+    st.lists(st.tuples(txn_ids, keys), min_size=1, max_size=30),
+)
+@settings(max_examples=100)
+def test_exclusive_exclusion_is_total(requests):
+    """No two distinct txns ever hold X on the same key simultaneously."""
+    locks = LockManager()
+    granted: dict[str, str] = {}
+    for txn, key in requests:
+        try:
+            locks.acquire(txn, key, LockMode.EXCLUSIVE, no_wait=True)
+        except LockError:
+            owner = granted.get(key)
+            assert owner is not None and owner != txn
+            continue
+        existing = granted.get(key)
+        assert existing is None or existing == txn
+        granted[key] = txn

@@ -1,0 +1,114 @@
+"""Property-based tests over whole protocol runs.
+
+These are the heavyweight properties: for arbitrary workloads, crash
+schedules and protocol mixes, a PrAny (dynamic) MDBS must preserve
+atomicity, SafeState and operational correctness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import simple_transaction
+from repro.net.failures import CrashSchedule
+
+PROTOCOLS = ("PrN", "PrA", "PrC", "IYV", "CL")
+
+
+def build(protocol_choices, seed):
+    mdbs = MDBS(seed=seed)
+    for index, protocol in enumerate(protocol_choices):
+        mdbs.add_site(f"s{index}", protocol=protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    return mdbs
+
+
+workload = st.tuples(
+    st.lists(st.sampled_from(PROTOCOLS), min_size=2, max_size=4),  # sites
+    st.lists(st.booleans(), min_size=1, max_size=6),  # abort flags
+    st.integers(min_value=0, max_value=2**16),  # seed
+)
+
+
+@given(workload)
+@settings(max_examples=30, deadline=None)
+def test_prany_runs_are_always_fully_correct_without_failures(case):
+    protocols, abort_flags, seed = case
+    mdbs = build(protocols, seed)
+    sites = [f"s{i}" for i in range(len(protocols))]
+    for index, abort in enumerate(abort_flags):
+        mdbs.submit(
+            simple_transaction(
+                f"t{index}", "tm", sites, submit_at=index * 25.0, abort=abort
+            )
+        )
+    mdbs.run(until=len(abort_flags) * 25.0 + 300.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    assert reports.all_hold, str(reports)
+
+
+crash_case = st.tuples(
+    st.lists(st.sampled_from(PROTOCOLS), min_size=2, max_size=3),
+    st.integers(min_value=0, max_value=2**16),
+    st.integers(min_value=0, max_value=3),  # which site crashes (3 = tm)
+    st.floats(min_value=1.0, max_value=80.0),  # crash time
+    st.floats(min_value=10.0, max_value=60.0),  # outage length
+    st.booleans(),  # abort workload?
+)
+
+
+@given(crash_case)
+@settings(max_examples=40, deadline=None)
+def test_prany_survives_arbitrary_single_crashes(case):
+    protocols, seed, victim_index, crash_at, down_for, abort = case
+    mdbs = build(protocols, seed)
+    sites = [f"s{i}" for i in range(len(protocols))]
+    victim = "tm" if victim_index >= len(sites) else sites[victim_index]
+    mdbs.failures.schedule(
+        CrashSchedule(site_id=victim, at=crash_at, down_for=down_for)
+    )
+    for index in range(3):
+        mdbs.submit(
+            simple_transaction(
+                f"t{index}", "tm", sites, submit_at=index * 20.0, abort=abort
+            )
+        )
+    mdbs.run(until=1000.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    assert reports.atomicity.holds, str(reports.atomicity)
+    assert reports.safe_state.holds, str(reports.safe_state)
+    assert reports.operational.holds, str(reports.operational)
+
+
+@given(
+    st.lists(st.sampled_from(PROTOCOLS), min_size=1, max_size=5),
+)
+@settings(max_examples=60)
+def test_dynamic_selection_matches_specification(protocols):
+    """§4.1: homogeneous → that protocol; any mix → PrAny."""
+    from repro.protocols.registry import DynamicSelector
+
+    mapping = {f"s{i}": p for i, p in enumerate(protocols)}
+    selected = DynamicSelector().select(mapping)
+    if len(set(protocols)) == 1:
+        assert selected.name == protocols[0]
+    else:
+        assert selected.name == "PrAny"
+
+
+@given(
+    st.sampled_from(["PrN", "PrA", "PrC", "IYV"]),
+    st.sampled_from(["commit", "abort"]),
+)
+def test_participant_ack_iff_forced_decision_record(protocol, outcome_name):
+    """In the logging 2PC variants a participant acks a decision exactly
+    when it force-writes that decision's record — the table's symmetry.
+    (CL is excluded: it acks both decisions but has no local log to
+    force, by construction.)"""
+    from repro.core.events import Outcome
+    from repro.protocols.base import participant_spec
+
+    handling = participant_spec(protocol).handling(Outcome.parse(outcome_name))
+    assert handling.acknowledge == handling.force_record

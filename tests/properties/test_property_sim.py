@@ -1,0 +1,82 @@
+"""Property-based tests for the simulation kernel and event queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.event_queue import EventQueue
+from repro.sim.kernel import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=60))
+def test_events_always_pop_in_nondecreasing_time_order(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, lambda: None)
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40),
+    st.data(),
+)
+def test_cancellation_removes_exactly_the_cancelled(times, data):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None, label=str(i)) for i, t in enumerate(times)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(times) - 1))
+    )
+    for index in to_cancel:
+        events[index].cancel()
+    surviving = set()
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        surviving.add(int(event.label))
+    assert surviving == set(range(len(times))) - to_cancel
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), max_size=30))
+@settings(max_examples=50)
+def test_clock_never_goes_backwards(delays):
+    sim = Simulator(seed=0)
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert all(t >= 0 for t in observed)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_rng_streams_reproducible(seed, name):
+    from repro.sim.rng import RandomStreams
+
+    a = [RandomStreams(seed).stream(name).random() for __ in range(3)]
+    b = [RandomStreams(seed).stream(name).random() for __ in range(3)]
+    assert a == b
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.integers(0, 5)), max_size=30))
+@settings(max_examples=50)
+def test_same_time_events_fire_in_push_order(pairs):
+    queue = EventQueue()
+    for i, (t, bucket) in enumerate(pairs):
+        # Quantize times so ties actually occur.
+        queue.push(float(bucket), lambda: None, label=str(i))
+    last_seq_per_time: dict[float, int] = {}
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        previous = last_seq_per_time.get(event.time, -1)
+        assert event.seq > previous
+        last_seq_per_time[event.time] = event.seq

@@ -1,0 +1,84 @@
+"""Unit tests for the protocol base vocabulary."""
+
+import pytest
+
+from repro.core.events import Outcome
+from repro.errors import UnknownProtocolError
+from repro.protocols.base import (
+    PARTICIPANT_SPECS,
+    outcome_of_kind,
+    participant_spec,
+    participant_will_ack,
+)
+
+
+class TestMessageKinds:
+    def test_outcome_of_kind(self):
+        assert outcome_of_kind("COMMIT") is Outcome.COMMIT
+        assert outcome_of_kind("ABORT") is Outcome.ABORT
+
+    def test_outcome_of_non_decision_raises(self):
+        with pytest.raises(ValueError):
+            outcome_of_kind("PREPARE")
+
+
+class TestParticipantSpecs:
+    """The forcing/ack table at the heart of the three variants."""
+
+    def test_prn_forces_and_acks_both(self):
+        spec = participant_spec("PrN")
+        for outcome in Outcome:
+            assert spec.handling(outcome).force_record
+            assert spec.handling(outcome).acknowledge
+
+    def test_pra_commit_forced_and_acked(self):
+        handling = participant_spec("PrA").on_commit
+        assert handling.force_record and handling.acknowledge
+
+    def test_pra_abort_lazy_and_silent(self):
+        handling = participant_spec("PrA").on_abort
+        assert not handling.force_record and not handling.acknowledge
+
+    def test_prc_commit_lazy_and_silent(self):
+        handling = participant_spec("PrC").on_commit
+        assert not handling.force_record and not handling.acknowledge
+
+    def test_prc_abort_forced_and_acked(self):
+        handling = participant_spec("PrC").on_abort
+        assert handling.force_record and handling.acknowledge
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(UnknownProtocolError):
+            participant_spec("PrX")
+
+    def test_will_ack_helper(self):
+        assert participant_will_ack("PrA", Outcome.COMMIT)
+        assert not participant_will_ack("PrA", Outcome.ABORT)
+        assert not participant_will_ack("PrC", Outcome.COMMIT)
+        assert participant_will_ack("PrC", Outcome.ABORT)
+        assert participant_will_ack("PrN", Outcome.COMMIT)
+        assert participant_will_ack("PrN", Outcome.ABORT)
+
+    def test_specs_cover_the_implemented_protocols(self):
+        assert set(PARTICIPANT_SPECS) == {"PrN", "PrA", "PrC", "IYV", "CL"}
+
+    def test_only_iyv_is_implicitly_prepared(self):
+        for name, spec in PARTICIPANT_SPECS.items():
+            assert spec.implicitly_prepared == (name == "IYV")
+            assert spec.forces_each_update == (name == "IYV")
+
+    def test_only_cl_is_logless(self):
+        for name, spec in PARTICIPANT_SPECS.items():
+            assert spec.logless == (name == "CL")
+
+    def test_cl_acks_both_decisions(self):
+        spec = PARTICIPANT_SPECS["CL"]
+        assert spec.on_commit.acknowledge and spec.on_abort.acknowledge
+        assert not spec.on_commit.force_record  # nothing local to force
+        assert not spec.on_abort.force_record
+
+    def test_iyv_decision_handling_matches_pra(self):
+        iyv = PARTICIPANT_SPECS["IYV"]
+        pra = PARTICIPANT_SPECS["PrA"]
+        assert iyv.on_commit == pra.on_commit
+        assert iyv.on_abort == pra.on_abort

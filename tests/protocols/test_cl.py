@@ -1,0 +1,205 @@
+"""Tests for the Coordinator Log (CL) integration."""
+
+import pytest
+
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+from repro.storage.log_records import RecordType
+
+
+def make_cl_mdbs(seed=6, second_protocol="CL"):
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site("cl1", protocol="CL")
+    mdbs.add_site("p2", protocol=second_protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    return mdbs
+
+
+def run_txn(mdbs, txn_id="t1", submit_at=0.0, **kwargs):
+    mdbs.submit(
+        simple_transaction(txn_id, "tm", ["cl1", "p2"], submit_at=submit_at, **kwargs)
+    )
+    mdbs.run(until=submit_at + 400)
+    mdbs.finalize()
+    return mdbs
+
+
+class TestLoglessParticipation:
+    def test_cl_site_never_writes_its_log(self):
+        mdbs = run_txn(make_cl_mdbs())
+        assert mdbs.site("cl1").log.append_count == 0
+        assert mdbs.site("cl1").log.force_count == 0
+        assert mdbs.check().all_hold
+
+    def test_redo_records_piggybacked_on_vote(self):
+        mdbs = make_cl_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["cl1", "p2"]))
+        mdbs.run(until=10)
+        vote = mdbs.sim.trace.first(
+            category="msg", name="send", site="cl1", kind="VOTE_YES"
+        )
+        assert vote is not None
+        assert vote.details.get("updates")  # the redo rode along
+
+    def test_coordinator_logs_cl_updates(self):
+        mdbs = run_txn(make_cl_mdbs())
+        # Before GC releases them, the coordinator's log held UPDATE
+        # records tagged with the CL site; verify via the trace.
+        appended = mdbs.sim.trace.select(
+            category="log", name="append", site="tm", type="update"
+        )
+        assert appended
+
+    def test_homogeneous_cl_selects_cl_policy(self):
+        mdbs = run_txn(make_cl_mdbs())
+        select = mdbs.sim.trace.first(category="protocol", name="select")
+        assert select.details["protocol"] == "CL"
+
+    def test_mixed_cl_selects_prany(self):
+        mdbs = run_txn(make_cl_mdbs(second_protocol="PrC"))
+        select = mdbs.sim.trace.first(category="protocol", name="select")
+        assert select.details["protocol"] == "PrAny"
+        assert mdbs.check().all_hold
+
+    def test_cl_acks_both_outcomes(self):
+        mdbs = make_cl_mdbs(second_protocol="PrA")
+        mdbs.submit(simple_transaction("t1", "tm", ["cl1", "p2"]))
+        mdbs.submit(
+            simple_transaction("t2", "tm", ["cl1", "p2"], submit_at=50.0, abort=True)
+        )
+        mdbs.run(until=400)
+        mdbs.finalize()
+        acks = [
+            e
+            for e in mdbs.sim.trace.select(category="msg", name="send", kind="ACK")
+            if e.site == "cl1"
+        ]
+        assert len(acks) == 2  # one per outcome
+        assert mdbs.check().all_hold
+
+
+class TestCLRecovery:
+    def test_committed_state_pulled_from_coordinator(self):
+        mdbs = run_txn(make_cl_mdbs(second_protocol="PrA"))
+        mdbs.site("cl1").crash()  # after commit, before any checkpoint
+        mdbs.site("cl1").recover()
+        mdbs.run(until=600)
+        mdbs.finalize()
+        assert mdbs.site("cl1").store.read("t1@cl1") == "t1"
+        assert mdbs.check().all_hold
+
+    def test_recovery_sends_cl_recover_to_coordinators(self):
+        mdbs = run_txn(make_cl_mdbs())
+        mdbs.site("cl1").crash()
+        mdbs.site("cl1").recover()
+        mdbs.run(until=600)
+        requests = mdbs.sim.trace.select(
+            category="msg", name="send", site="cl1", kind="CL_RECOVER"
+        )
+        assert {e.details["to"] for e in requests} == {"tm"}
+
+    def test_crash_before_decision_recovered_via_redo(self):
+        mdbs = make_cl_mdbs(second_protocol="PrA")
+        mdbs.failures.crash_when(
+            "cl1",
+            lambda e: e.matches("msg", "send", kind="COMMIT", to="cl1", txn="t1"),
+            down_for=50.0,
+        )
+        run_txn(mdbs)
+        assert mdbs.site("cl1").store.read("t1@cl1") == "t1"
+        assert mdbs.check().all_hold
+
+    def test_aborted_txn_not_redone(self):
+        mdbs = make_cl_mdbs(second_protocol="PrA")
+        run_txn(mdbs, abort=True)
+        mdbs.site("cl1").crash()
+        mdbs.site("cl1").recover()
+        mdbs.run(until=600)
+        mdbs.finalize()
+        assert mdbs.site("cl1").store.read("t1@cl1") is None
+        assert mdbs.check().all_hold
+
+    def test_checkpoint_then_crash_uses_durable_state(self):
+        mdbs = run_txn(make_cl_mdbs())  # finalize checkpointed cl1
+        mdbs.site("cl1").crash()
+        mdbs.site("cl1").recover()
+        mdbs.run(until=600)
+        mdbs.finalize()
+        # Even if the coordinator GC'd the redo, the checkpointed
+        # durable snapshot already holds the data.
+        assert mdbs.site("cl1").store.read("t1@cl1") == "t1"
+
+
+class TestCLGarbageCollectionGating:
+    def test_coordinator_retains_redo_until_checkpoint(self):
+        mdbs = make_cl_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["cl1", "p2"]))
+        mdbs.run(until=300)
+        # No finalize yet: no CL checkpoint has been announced, so the
+        # coordinator must still hold t1's records even though all acks
+        # arrived and the end record was written.
+        tm_site = mdbs.site("tm")
+        tm_site.log.flush()
+        assert tm_site.coordinator is not None
+        tm_site.coordinator.collect_garbage()
+        assert "t1" in tm_site.uncollected_log_transactions()
+
+    def test_checkpoint_releases_retention(self):
+        mdbs = run_txn(make_cl_mdbs())  # finalize → checkpoints → GC
+        assert mdbs.site("tm").uncollected_log_transactions() == set()
+
+    def test_coordinator_crash_re_retains_conservatively(self):
+        mdbs = make_cl_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["cl1", "p2"]))
+        mdbs.run(until=300)
+        mdbs.site("tm").crash()
+        mdbs.site("tm").recover()
+        # Retention was rebuilt from the log; only a fresh checkpoint
+        # announcement releases it.
+        tm_site = mdbs.site("tm")
+        tm_site.log.flush()
+        tm_site.coordinator.collect_garbage()
+        assert "t1" in tm_site.uncollected_log_transactions()
+        mdbs.run(until=700)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+        assert tm_site.uncollected_log_transactions() == set()
+
+
+class TestCLStress:
+    def test_workload_with_crashes_stays_correct(self):
+        mdbs = make_cl_mdbs(second_protocol="PrC")
+        from repro.net.failures import CrashSchedule
+
+        mdbs.failures.schedule(CrashSchedule("cl1", at=35.0, down_for=40.0))
+        for i in range(6):
+            mdbs.submit(
+                simple_transaction(
+                    f"t{i}", "tm", ["cl1", "p2"], submit_at=i * 25.0,
+                    abort=(i % 3 == 2),
+                )
+            )
+        mdbs.run(until=800)
+        mdbs.finalize()
+        reports = mdbs.check()
+        assert reports.all_hold, str(reports)
+
+
+class TestCLObliviousAbort:
+    def test_crashed_prepared_cl_site_enforces_abort_by_oblivion(self):
+        # The CL site prepares (vote lost with the crash), the
+        # coordinator times out into an abort, and keeps resending it
+        # until the recovered, memory-less site blindly acknowledges.
+        # The blind ack counts as enforcement — nothing is stuck.
+        mdbs = make_cl_mdbs(second_protocol="PrA")
+        mdbs.failures.crash_when(
+            "cl1",
+            lambda e: e.matches("db", "prepared", site="cl1", txn="t1"),
+            down_for=60.0,
+        )
+        mdbs.network.drop_next("cl1", "tm", count=1, kind="VOTE_YES")
+        run_txn(mdbs)
+        reports = mdbs.check()
+        assert reports.atomicity.stuck_in_doubt == {}
+        assert reports.all_hold, str(reports)
+        assert mdbs.site("cl1").store.read("t1@cl1") is None

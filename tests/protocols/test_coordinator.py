@@ -1,0 +1,281 @@
+"""Behavioural tests for the coordinator engine (through a live MDBS)."""
+
+import pytest
+
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+from repro.storage.log_records import RecordType
+from tests.conftest import make_mdbs, run_one_txn
+
+
+def commit_txn(mdbs, txn_id="t1", participants=("alpha", "beta")):
+    return run_one_txn(mdbs, list(participants), txn_id=txn_id)
+
+
+class TestVotingPhase:
+    def test_all_yes_leads_to_commit(self, mdbs):
+        commit_txn(mdbs)
+        decide = mdbs.sim.trace.first(category="protocol", name="decide")
+        assert decide.details["decision"] == "commit"
+
+    def test_single_no_vote_aborts(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"], abort=True)
+        decide = mdbs.sim.trace.first(category="protocol", name="decide")
+        assert decide.details["decision"] == "abort"
+
+    def test_missing_vote_times_out_to_abort(self):
+        mdbs = make_mdbs()
+        mdbs.site("beta").crash()  # never votes
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=100)
+        assert mdbs.sim.trace.first(category="protocol", name="vote_timeout")
+        decide = mdbs.sim.trace.first(category="protocol", name="decide")
+        assert decide.details["decision"] == "abort"
+
+    def test_prepare_sent_to_every_participant(self, mdbs):
+        commit_txn(mdbs)
+        sends = mdbs.sim.trace.select(category="msg", name="send", kind="PREPARE")
+        assert {e.details["to"] for e in sends} == {"alpha", "beta"}
+
+    def test_selection_traced(self, mdbs):
+        commit_txn(mdbs)
+        select = mdbs.sim.trace.first(category="protocol", name="select")
+        assert select.details["protocol"] == "PrAny"  # PrA+PrC mix
+
+
+class TestDecisionPhase:
+    def test_commit_record_forced_before_decision_sent(self, mdbs):
+        commit_txn(mdbs)
+        trace = mdbs.sim.trace
+        force = trace.first(
+            category="log", name="append", site="tm", type="commit"
+        )
+        first_send = trace.first(category="msg", name="send", kind="COMMIT")
+        assert force.seq < first_send.seq
+
+    def test_commit_sent_to_all_participants(self, mdbs):
+        commit_txn(mdbs)
+        sends = mdbs.sim.trace.select(category="msg", name="send", kind="COMMIT")
+        assert {e.details["to"] for e in sends} == {"alpha", "beta"}
+
+    def test_prany_waits_only_for_pra_ack_on_commit(self, mdbs):
+        commit_txn(mdbs)
+        acks = mdbs.sim.trace.select(category="msg", name="send", kind="ACK")
+        assert {e.site for e in acks} == {"alpha"}  # PrA only
+
+    def test_prany_abort_acked_by_prc_only(self):
+        mdbs = make_mdbs()
+        run_one_txn(mdbs, ["alpha", "beta"], abort=True)
+        acks = mdbs.sim.trace.select(category="msg", name="send", kind="ACK")
+        # alpha (PrA) voted No here, so the only expected acker is beta.
+        assert {e.site for e in acks} == {"beta"}
+
+    def test_forget_after_expected_acks(self, mdbs):
+        commit_txn(mdbs)
+        tm = mdbs.site("tm")
+        assert len(tm.coordinator.table) == 0
+
+    def test_end_record_written_before_forget(self, mdbs):
+        commit_txn(mdbs)
+        trace = mdbs.sim.trace
+        end = trace.first(category="log", name="append", site="tm", type="end")
+        forget = trace.first(
+            category="protocol", name="forget", site="tm", role="coordinator"
+        )
+        assert end.seq < forget.seq
+
+    def test_log_garbage_collected_after_finalize(self, mdbs):
+        commit_txn(mdbs)
+        assert mdbs.site("tm").uncollected_log_transactions() == set()
+
+    def test_coordinator_abort_override(self):
+        mdbs = make_mdbs()
+        txn = GlobalTransaction(
+            txn_id="t1",
+            coordinator="tm",
+            writes={
+                "alpha": [WriteOp("a", 1)],
+                "beta": [WriteOp("b", 2)],
+            },
+            coordinator_abort=True,
+        )
+        mdbs.submit(txn)
+        mdbs.run(until=200)
+        decide = mdbs.sim.trace.first(category="protocol", name="decide")
+        assert decide.details["decision"] == "abort"
+
+
+class TestAckResend:
+    def test_lost_ack_triggers_resend(self):
+        mdbs = make_mdbs()
+        mdbs.network.drop_next("alpha", "tm", count=1, kind="ACK")
+        commit_txn(mdbs)
+        resends = mdbs.sim.trace.select(
+            category="msg", name="send", kind="COMMIT", to="alpha"
+        )
+        assert len(resends) >= 2
+        assert len(mdbs.site("tm").coordinator.table) == 0
+
+    def test_forgotten_participant_blind_acks_resend(self):
+        # Participant enforces + forgets; the ack is lost; the resent
+        # decision hits a site with no memory — footnote 5 applies.
+        mdbs = make_mdbs()
+        mdbs.network.drop_next("alpha", "tm", count=1, kind="ACK")
+        commit_txn(mdbs)
+        assert mdbs.site("alpha").participant.blind_acks >= 1
+
+    def test_stale_ack_ignored(self, mdbs):
+        commit_txn(mdbs)
+        # Inject a duplicate ACK for the long-forgotten txn: no crash.
+        from repro.net.message import Message
+
+        mdbs.network.send(Message("ACK", "alpha", "tm", "t1"))
+        mdbs.run(until=400)
+
+
+class TestInquiries:
+    def test_inquiry_during_wait_answered_from_table(self):
+        mdbs = make_mdbs()
+        # Drop the COMMIT to beta AND alpha's first acks: the entry is
+        # still in the table when beta's inquiry arrives, so the answer
+        # comes from the recorded decision, not a presumption.
+        mdbs.network.drop_next("tm", "beta", count=1, kind="COMMIT")
+        mdbs.network.drop_next("alpha", "tm", count=2, kind="ACK")
+        commit_txn(mdbs)
+        respond = mdbs.sim.trace.first(category="protocol", name="respond")
+        assert respond is not None
+        assert respond.details["decision"] == "commit"
+        assert respond.details["presumed"] is False
+
+    def test_unknown_inquiry_uses_dynamic_presumption(self):
+        mdbs = make_mdbs()
+        commit_txn(mdbs)
+        from repro.net.message import Message
+
+        mdbs.network.send(Message("INQUIRY", "beta", "tm", "t1"))
+        mdbs.run(until=400)
+        respond = mdbs.sim.trace.first(
+            category="protocol", name="respond", presumed=True
+        )
+        assert respond.details["decision"] == "commit"  # PrC inquirer
+
+    def test_unknown_inquiry_from_pra_presumes_abort(self):
+        mdbs = make_mdbs()
+        commit_txn(mdbs, txn_id="t0")  # warm up; then ask about ghost txn
+        from repro.net.message import Message
+
+        mdbs.network.send(Message("INQUIRY", "alpha", "tm", "ghost"))
+        mdbs.run(until=400)
+        respond = mdbs.sim.trace.first(
+            category="protocol", name="respond", txn="ghost"
+        )
+        assert respond.details["decision"] == "abort"
+
+    def test_inquiry_event_recorded(self):
+        mdbs = make_mdbs()
+        mdbs.network.drop_next("tm", "beta", count=1, kind="COMMIT")
+        commit_txn(mdbs)
+        assert mdbs.sim.trace.first(category="protocol", name="inquiry")
+
+
+class TestCrashRecovery:
+    def test_commit_reinitiated_after_crash(self):
+        mdbs = make_mdbs()
+        mdbs.failures.crash_when(
+            "tm",
+            lambda e: e.matches("protocol", "decide", site="tm"),
+            down_for=40.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        redecide = mdbs.sim.trace.first(
+            category="protocol", name="decide", recovered=True
+        )
+        assert redecide is not None
+        assert mdbs.check().all_hold
+
+    def test_initiation_only_recovers_to_abort(self):
+        mdbs = make_mdbs()
+        mdbs.failures.crash_when(
+            "tm",
+            lambda e: e.matches("log", "append", site="tm", type="initiation"),
+            down_for=40.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        redecide = mdbs.sim.trace.first(
+            category="protocol", name="decide", recovered=True
+        )
+        assert redecide.details["decision"] == "abort"
+        assert mdbs.check().all_hold
+
+    def test_recovery_resends_only_to_expected_ackers(self):
+        # PrAny commit recovery: PrC participants are NOT contacted.
+        mdbs = make_mdbs()
+        mdbs.failures.crash_when(
+            "tm",
+            lambda e: e.matches("protocol", "decide", site="tm"),
+            down_for=40.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        crash_seq = mdbs.sim.trace.first(category="site", name="crash").seq
+        post = [
+            e
+            for e in mdbs.sim.trace.select(category="msg", name="send", kind="COMMIT")
+            if e.seq > crash_seq and e.site == "tm"
+        ]
+        assert {e.details["to"] for e in post} == {"alpha"}
+
+    def test_vote_timer_does_not_fire_across_crash_epochs(self):
+        mdbs = make_mdbs()
+        mdbs.failures.crash_when(
+            "tm",
+            lambda e: e.matches("msg", "send", site="tm", kind="PREPARE"),
+            down_for=5.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        # The pre-crash vote timer must not decide for the recovered
+        # incarnation; everything still converges.
+        assert mdbs.check().all_hold
+
+
+class TestGuards:
+    def test_coordinator_must_not_be_participant(self):
+        with pytest.raises(Exception):
+            GlobalTransaction(
+                txn_id="t1",
+                coordinator="tm",
+                writes={"tm": [WriteOp("x", 1)]},
+            )
+
+    def test_decisions_made_counter(self, mdbs):
+        commit_txn(mdbs)
+        assert mdbs.site("tm").coordinator.decisions_made == 1
+
+    def test_gc_pending_snapshot_is_copy(self, mdbs):
+        commit_txn(mdbs)
+        snapshot = mdbs.site("tm").coordinator.gc_pending
+        snapshot["x"] = None
+        assert "x" not in mdbs.site("tm").coordinator.gc_pending
+
+
+class TestHomogeneousSelections:
+    @pytest.mark.parametrize(
+        "protocol,expect_init",
+        [("PrN", False), ("PrA", False), ("PrC", True)],
+    )
+    def test_dynamic_uses_base_protocol(self, protocol, expect_init):
+        mdbs = make_mdbs(protocols={"p1": protocol, "p2": protocol})
+        run_one_txn(mdbs, ["p1", "p2"])
+        select = mdbs.sim.trace.first(category="protocol", name="select")
+        assert select.details["protocol"] == protocol
+        init = mdbs.sim.trace.first(
+            category="log", name="append", site="tm", type="initiation"
+        )
+        assert (init is not None) == expect_init
+        assert mdbs.check().all_hold

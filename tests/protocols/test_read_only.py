@@ -1,0 +1,154 @@
+"""Tests for the read-only (READ vote) optimization."""
+
+import pytest
+
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from tests.conftest import make_mdbs
+
+
+def mixed_txn(reader="beta", writer="alpha", txn_id="t1"):
+    return GlobalTransaction(
+        txn_id=txn_id,
+        coordinator="tm",
+        writes={writer: [WriteOp("x", 1)]},
+        reads={reader: ["catalog"]},
+    )
+
+
+def all_read_txn(txn_id="t1"):
+    return GlobalTransaction(
+        txn_id=txn_id,
+        coordinator="tm",
+        reads={"alpha": ["a"], "beta": ["b"]},
+    )
+
+
+class TestReadVote:
+    def test_read_only_participant_votes_read(self, mdbs):
+        mdbs.submit(mixed_txn())
+        mdbs.run(until=200)
+        votes = mdbs.sim.trace.select(category="msg", name="send", kind="VOTE_READ")
+        assert {e.site for e in votes} == {"beta"}
+        assert mdbs.site("beta").participant.read_votes == 1
+
+    def test_read_only_participant_writes_no_log_records(self, mdbs):
+        mdbs.submit(mixed_txn())
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.site("beta").log.append_count == 0
+        assert mdbs.site("beta").log.force_count == 0
+
+    def test_read_only_participant_gets_no_decision(self, mdbs):
+        mdbs.submit(mixed_txn())
+        mdbs.run(until=200)
+        decisions_to_beta = mdbs.sim.trace.select(
+            category="msg", name="send", kind="COMMIT", to="beta"
+        )
+        assert decisions_to_beta == []
+
+    def test_writer_still_commits_normally(self, mdbs):
+        mdbs.submit(mixed_txn())
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.site("alpha").store.read("x") == 1
+        assert mdbs.check().all_hold
+
+    def test_locks_released_at_read_vote(self, mdbs):
+        mdbs.submit(mixed_txn())
+        mdbs.run(until=200)
+        assert mdbs.site("beta").tm.locks.keys_held_by("t1") == set()
+
+    def test_all_read_only_transaction_skips_decision_phase(self, mdbs):
+        mdbs.submit(all_read_txn())
+        mdbs.run(until=200)
+        mdbs.finalize()
+        trace = mdbs.sim.trace
+        assert trace.select(category="msg", name="send", kind="COMMIT") == []
+        assert trace.select(category="msg", name="send", kind="ABORT") == []
+        assert mdbs.check().all_hold
+
+    def test_all_read_only_with_initiation_writes_end(self, mdbs):
+        # The PrA+PrC mix selects PrAny, which forces an initiation
+        # record before the votes arrive; the all-READ outcome must
+        # still cover it with an end record so the log can be GC'd.
+        mdbs.submit(all_read_txn())
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.site("tm").uncollected_log_transactions() == set()
+
+    def test_optimization_can_be_disabled(self):
+        mdbs = make_mdbs()
+        # Rebuild beta without the optimization.
+        from repro.mdbs.system import MDBS
+
+        plain = MDBS(seed=1)
+        plain.add_site("alpha", protocol="PrA")
+        plain.add_site("beta", protocol="PrC", read_only_optimization=False)
+        plain.add_site("tm", protocol="PrN", coordinator="dynamic")
+        plain.submit(mixed_txn())
+        plain.run(until=200)
+        plain.finalize()
+        votes = plain.sim.trace.select(category="msg", name="send", kind="VOTE_READ")
+        assert votes == []
+        # Unoptimized: beta prepares (forced) and receives the decision.
+        assert plain.site("beta").log.force_count >= 1
+        assert plain.check().all_hold
+
+    def test_read_only_under_abort_stays_consistent(self, mdbs):
+        txn = GlobalTransaction(
+            txn_id="t1",
+            coordinator="tm",
+            writes={"alpha": [WriteOp("x", 1)]},
+            reads={"beta": ["catalog"]},
+            coordinator_abort=True,
+        )
+        mdbs.submit(txn)
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.site("alpha").store.read("x") is None
+        assert mdbs.check().all_hold
+
+    def test_read_write_same_site_is_not_read_only(self, mdbs):
+        txn = GlobalTransaction(
+            txn_id="t1",
+            coordinator="tm",
+            writes={"alpha": [WriteOp("x", 1)]},
+            reads={"alpha": ["catalog"], "beta": ["c"]},
+        )
+        assert txn.read_only_sites == {"beta"}
+        mdbs.submit(txn)
+        mdbs.run(until=200)
+        mdbs.finalize()
+        votes = mdbs.sim.trace.select(category="msg", name="send", kind="VOTE_READ")
+        assert {e.site for e in votes} == {"beta"}
+        assert mdbs.check().all_hold
+
+
+class TestTMReadOnlySupport:
+    def test_is_read_only(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        assert tm.is_read_only("t1")
+        tm.write("t1", "x", 1)
+        assert not tm.is_read_only("t1")
+
+    def test_finish_read_only_rejects_writers(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.write("t1", "x", 1)
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            tm.finish_read_only("t1")
+
+    def test_finish_read_only_releases_locks(self, engine):
+        tm, __, __log = engine
+        tm.begin("t1")
+        tm.read("t1", "x")
+        tm.finish_read_only("t1")
+        assert tm.locks.keys_held_by("t1") == set()
+        assert tm.transaction("t1") is None
+
+    def test_finish_unknown_is_noop(self, engine):
+        tm, __, __log = engine
+        tm.finish_read_only("ghost")

@@ -1,0 +1,96 @@
+"""Unit tests for the §4.2 coordinator log analysis."""
+
+from repro.core.events import Outcome
+from repro.protocols.recovery import summarize_coordinator_log
+from repro.storage.log_records import (
+    decision_record,
+    end_record,
+    initiation_record,
+    prepared_record,
+    update_record,
+)
+
+
+def summaries_of(log):
+    return {s.txn_id: s for s in summarize_coordinator_log(log)}
+
+
+class TestClassification:
+    def test_prany_initiation_detected(self, log):
+        log.force_append(
+            initiation_record("t1", ["a", "b"], {"a": "PrA", "b": "PrC"})
+        )
+        summary = summaries_of(log)["t1"]
+        assert summary.has_initiation
+        assert summary.initiation_protocols == {"a": "PrA", "b": "PrC"}
+        assert summary.shape == "init+protocols"
+
+    def test_prc_initiation_has_no_protocols(self, log):
+        log.force_append(initiation_record("t1", ["a"]))
+        summary = summaries_of(log)["t1"]
+        assert summary.has_initiation
+        assert summary.initiation_protocols == {}
+        assert summary.shape == "init"
+
+    def test_decision_without_initiation(self, log):
+        log.force_append(
+            decision_record("t1", "commit", participants=["a"], role="coordinator")
+        )
+        summary = summaries_of(log)["t1"]
+        assert not summary.has_initiation
+        assert summary.decision is Outcome.COMMIT
+        assert summary.participants == ["a"]
+        assert summary.shape == "commit"
+
+    def test_abort_decision(self, log):
+        log.force_append(
+            decision_record("t1", "abort", participants=["a"], role="coordinator")
+        )
+        assert summaries_of(log)["t1"].decision is Outcome.ABORT
+
+    def test_end_record_detected(self, log):
+        log.force_append(
+            decision_record("t1", "commit", participants=["a"], role="coordinator")
+        )
+        log.force_append(end_record("t1"))
+        summary = summaries_of(log)["t1"]
+        assert summary.has_end
+        assert summary.shape == "commit+end"
+
+    def test_full_prany_commit_shape(self, log):
+        log.force_append(initiation_record("t1", ["a"], {"a": "PrA"}))
+        log.force_append(
+            decision_record("t1", "commit", participants=["a"], role="coordinator")
+        )
+        assert summaries_of(log)["t1"].shape == "init+protocols+commit"
+
+
+class TestFiltering:
+    def test_participant_records_ignored(self, log):
+        log.force_append(prepared_record("t1", "tm"))
+        log.force_append(update_record("t1", "k", 0, 1))
+        log.force_append(decision_record("t1", "commit"))  # participant role
+        assert summarize_coordinator_log(log) == []
+
+    def test_mixed_roles_in_one_log(self, log):
+        # The site participates in t1 and coordinates t2.
+        log.force_append(prepared_record("t1", "other"))
+        log.force_append(decision_record("t1", "commit"))
+        log.force_append(
+            decision_record("t2", "commit", participants=["a"], role="coordinator")
+        )
+        summaries = summaries_of(log)
+        assert set(summaries) == {"t2"}
+
+    def test_buffered_records_invisible(self, log):
+        log.append(initiation_record("t1", ["a"]))  # never forced
+        assert summarize_coordinator_log(log) == []
+
+    def test_summaries_sorted_by_txn(self, log):
+        for txn in ("t3", "t1", "t2"):
+            log.force_append(initiation_record(txn, ["a"]))
+        assert [s.txn_id for s in summarize_coordinator_log(log)] == [
+            "t1",
+            "t2",
+            "t3",
+        ]

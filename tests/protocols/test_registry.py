@@ -1,0 +1,94 @@
+"""Unit tests for the protocol registry and §4.1 dynamic selection."""
+
+import pytest
+
+from repro.errors import UnknownProtocolError
+from repro.protocols.registry import (
+    DynamicSelector,
+    FixedSelector,
+    coordinator_policy,
+    selector_for,
+)
+
+
+class TestCoordinatorPolicyFactory:
+    @pytest.mark.parametrize("name", ["PrN", "PrA", "PrC", "PrAny"])
+    def test_base_policies(self, name):
+        assert coordinator_policy(name).name == name
+
+    @pytest.mark.parametrize(
+        "name", ["U2PC(PrN)", "U2PC(PrA)", "U2PC(PrC)", "C2PC(PrN)", "C2PC(PrC)"]
+    )
+    def test_wrapped_policies(self, name):
+        assert coordinator_policy(name).name == name
+
+    @pytest.mark.parametrize("name", ["3PC", "U2PC(PrAny)", "U2PC", "C2PC()"])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(UnknownProtocolError):
+            coordinator_policy(name)
+
+
+class TestFixedSelector:
+    def test_always_returns_same_policy(self):
+        selector = FixedSelector(coordinator_policy("PrC"))
+        assert selector.select({"a": "PrA"}).name == "PrC"
+        assert selector.select({"a": "PrA", "b": "PrN"}).name == "PrC"
+
+    def test_by_name_ignores_argument(self):
+        selector = FixedSelector(coordinator_policy("U2PC(PrC)"))
+        assert selector.by_name("PrN").name == "U2PC(PrC)"
+
+    def test_name(self):
+        assert FixedSelector(coordinator_policy("PrAny")).name == "PrAny"
+
+
+class TestDynamicSelector:
+    """The §4.1 selection rule."""
+
+    selector = DynamicSelector()
+
+    def test_homogeneous_prn(self):
+        assert self.selector.select({"a": "PrN", "b": "PrN"}).name == "PrN"
+
+    def test_homogeneous_pra(self):
+        assert self.selector.select({"a": "PrA", "b": "PrA"}).name == "PrA"
+
+    def test_homogeneous_prc(self):
+        assert self.selector.select({"a": "PrC", "b": "PrC"}).name == "PrC"
+
+    def test_pra_prc_mix_selects_prany(self):
+        assert self.selector.select({"a": "PrA", "b": "PrC"}).name == "PrAny"
+
+    def test_prn_pra_mix_selects_prany(self):
+        assert self.selector.select({"a": "PrN", "b": "PrA"}).name == "PrAny"
+
+    def test_prn_prc_mix_selects_prany(self):
+        # The corner case the paper leaves open — we choose PrAny
+        # (DESIGN.md §5.1; ablated in experiment C3).
+        assert self.selector.select({"a": "PrN", "b": "PrC"}).name == "PrAny"
+
+    def test_three_way_mix_selects_prany(self):
+        protocols = {"a": "PrN", "b": "PrA", "c": "PrC"}
+        assert self.selector.select(protocols).name == "PrAny"
+
+    def test_single_participant_uses_its_protocol(self):
+        assert self.selector.select({"a": "PrC"}).name == "PrC"
+
+    def test_by_name_resolves_each_base(self):
+        for name in ("PrN", "PrA", "PrC", "PrAny"):
+            assert self.selector.by_name(name).name == name
+
+    def test_policies_are_reused(self):
+        first = self.selector.select({"a": "PrA"})
+        second = self.selector.select({"b": "PrA"})
+        assert first is second
+
+
+class TestSelectorFor:
+    def test_dynamic_keyword(self):
+        assert isinstance(selector_for("dynamic"), DynamicSelector)
+
+    def test_policy_name_gives_fixed(self):
+        selector = selector_for("U2PC(PrN)")
+        assert isinstance(selector, FixedSelector)
+        assert selector.name == "U2PC(PrN)"

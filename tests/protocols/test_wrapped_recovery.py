@@ -1,0 +1,130 @@
+"""Recovery behaviour of the wrapped (U2PC / C2PC) coordinators.
+
+Theorem 1's violations arise in *normal* processing plus participant
+crashes; this module pins down what the flawed integrations do when the
+*coordinator itself* crashes — their recovery must still follow their
+native protocol's log discipline.
+"""
+
+import pytest
+
+from repro.mdbs.system import MDBS
+from repro.mdbs.transaction import simple_transaction
+
+
+def build(policy, seed=19):
+    mdbs = MDBS(seed=seed)
+    mdbs.add_site("alpha", protocol="PrA")
+    mdbs.add_site("beta", protocol="PrC")
+    mdbs.add_site("tm", protocol="PrN", coordinator=policy)
+    return mdbs
+
+
+def crash_coordinator_at_decide(mdbs, down_for=40.0):
+    mdbs.failures.crash_when(
+        "tm",
+        lambda e: e.matches("protocol", "decide", site="tm"),
+        down_for=down_for,
+    )
+
+
+class TestU2PCCoordinatorRecovery:
+    @pytest.mark.parametrize("native", ["PrN", "PrA", "PrC"])
+    def test_commit_reinitiated_with_native_log_shape(self, native):
+        mdbs = build(f"U2PC({native})")
+        crash_coordinator_at_decide(mdbs)
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        # No participant crash here: recovery itself must not break
+        # atomicity, whatever the native protocol.
+        reports = mdbs.check()
+        assert reports.atomicity.holds, str(reports.atomicity)
+
+    def test_u2pc_prc_initiation_only_recovery(self):
+        mdbs = build("U2PC(PrC)")
+        mdbs.failures.crash_when(
+            "tm",
+            lambda e: e.matches("log", "append", site="tm", type="initiation"),
+            down_for=40.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        redecide = mdbs.sim.trace.first(
+            category="protocol", name="decide", recovered=True
+        )
+        assert redecide is not None
+        assert redecide.details["decision"] == "abort"
+        assert mdbs.check().atomicity.holds
+
+
+class TestC2PCCoordinatorBehaviour:
+    def test_c2pc_crash_then_recovery_still_retains(self):
+        # C2PC's retention problem reappears after a crash: the
+        # recovered coordinator re-enters the decision phase and again
+        # waits for acks that will never come.
+        mdbs = build("C2PC(PrN)")
+        crash_coordinator_at_decide(mdbs)
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        tm = mdbs.site("tm")
+        assert len(tm.coordinator.table) == 1  # still waiting, forever
+        assert mdbs.check().atomicity.holds  # but functionally correct
+
+    def test_c2pc_inquiries_answered_from_table_forever(self):
+        # Because C2PC never forgets the mixed transaction, late
+        # inquiries are answered from the table — correctly.
+        mdbs = build("C2PC(PrN)")
+        mdbs.network.drop_next("tm", "beta", count=1, kind="COMMIT")
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        respond = mdbs.sim.trace.first(category="protocol", name="respond")
+        assert respond is not None
+        assert respond.details["presumed"] is False
+        assert respond.details["decision"] == "commit"
+        assert mdbs.check().atomicity.holds
+
+    def test_c2pc_homogeneous_prn_is_fully_correct(self):
+        # With only PrN participants every ack arrives: C2PC degenerates
+        # to plain 2PC and is even operationally correct.
+        mdbs = MDBS(seed=19)
+        mdbs.add_site("p1", protocol="PrN")
+        mdbs.add_site("p2", protocol="PrN")
+        mdbs.add_site("tm", protocol="PrN", coordinator="C2PC(PrN)")
+        mdbs.submit(simple_transaction("t1", "tm", ["p1", "p2"]))
+        mdbs.run(until=300)
+        mdbs.finalize()
+        assert mdbs.check().all_hold
+
+
+class TestU2PCNoViolationWithoutTheMix:
+    """Theorem 1 needs BOTH PrA and PrC participants; remove one and
+    U2PC is safe — the impossibility is about the mix."""
+
+    @pytest.mark.parametrize(
+        "native,participants",
+        [
+            ("PrN", {"p1": "PrN", "p2": "PrN"}),
+            ("PrA", {"p1": "PrA", "p2": "PrA"}),
+            ("PrC", {"p1": "PrC", "p2": "PrC"}),
+        ],
+    )
+    def test_homogeneous_u2pc_survives_participant_crash(
+        self, native, participants
+    ):
+        mdbs = MDBS(seed=19)
+        for site_id, protocol in participants.items():
+            mdbs.add_site(site_id, protocol=protocol)
+        mdbs.add_site("tm", protocol="PrN", coordinator=f"U2PC({native})")
+        mdbs.failures.crash_when(
+            "p2",
+            lambda e: e.matches("msg", "send", kind="COMMIT", to="p2"),
+            down_for=50.0,
+        )
+        mdbs.submit(simple_transaction("t1", "tm", ["p1", "p2"]))
+        mdbs.run(until=600)
+        mdbs.finalize()
+        assert mdbs.check().atomicity.holds

@@ -1,0 +1,36 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.5).now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.999)
+
+    def test_repr_mentions_now(self):
+        assert "3.0" in repr(VirtualClock(3.0))

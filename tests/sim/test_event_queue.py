@@ -1,0 +1,85 @@
+"""Unit tests for the simulator event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event_queue import EventQueue
+
+
+def noop():
+    pass
+
+
+class TestEventQueuePushPop:
+    def test_empty_queue_pops_none(self):
+        assert EventQueue().pop() is None
+
+    def test_empty_queue_peeks_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_returns_earliest(self):
+        q = EventQueue()
+        q.push(5.0, noop, "late")
+        q.push(1.0, noop, "early")
+        assert q.pop().label == "early"
+
+    def test_fifo_within_same_timestamp(self):
+        q = EventQueue()
+        q.push(2.0, noop, "first")
+        q.push(2.0, noop, "second")
+        q.push(2.0, noop, "third")
+        assert [q.pop().label for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek_time_matches_next_pop(self):
+        q = EventQueue()
+        q.push(7.0, noop)
+        q.push(3.0, noop)
+        assert q.peek_time() == 3.0
+        assert q.pop().time == 3.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-0.1, noop)
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert len(q) == 2
+
+
+class TestCancellation:
+    def test_cancelled_event_not_popped(self):
+        q = EventQueue()
+        event = q.push(1.0, noop, "gone")
+        q.push(2.0, noop, "kept")
+        event.cancel()
+        assert q.pop().label == "kept"
+
+    def test_cancelled_event_excluded_from_len(self):
+        q = EventQueue()
+        event = q.push(1.0, noop)
+        q.push(2.0, noop)
+        event.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        event = q.push(1.0, noop)
+        q.push(5.0, noop)
+        event.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_cancel_all_empties_queue(self):
+        q = EventQueue()
+        events = [q.push(float(i), noop) for i in range(5)]
+        for event in events:
+            event.cancel()
+        assert q.pop() is None
+
+    def test_raw_size_includes_cancelled_until_reaped(self):
+        q = EventQueue()
+        first = q.push(1.0, noop)
+        q.push(2.0, noop)
+        first.cancel()
+        assert q.raw_size == 2

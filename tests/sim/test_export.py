@@ -1,0 +1,82 @@
+"""Tests for trace export/import/diff."""
+
+import pytest
+
+from repro.core.history import History
+from repro.errors import SimulationError
+from repro.mdbs.transaction import simple_transaction
+from repro.sim.export import diff_traces, dump_trace, load_trace
+from tests.conftest import make_mdbs, run_one_txn
+
+
+def run_system(seed=42):
+    mdbs = make_mdbs(seed=seed)
+    return run_one_txn(mdbs, ["alpha", "beta"])
+
+
+class TestRoundTrip:
+    def test_dump_and_load_preserve_every_event(self, tmp_path):
+        mdbs = run_system()
+        path = tmp_path / "run.jsonl"
+        written = dump_trace(mdbs.sim.trace, path)
+        loaded = load_trace(path)
+        assert written == len(mdbs.sim.trace)
+        assert diff_traces(mdbs.sim.trace, loaded) == []
+
+    def test_history_from_loaded_trace_matches(self, tmp_path):
+        mdbs = run_system()
+        path = tmp_path / "run.jsonl"
+        dump_trace(mdbs.sim.trace, path)
+        original = History.from_trace(mdbs.sim.trace)
+        reloaded = History.from_trace(load_trace(path))
+        assert len(original) == len(reloaded)
+        assert original.decision("t1") == reloaded.decision("t1")
+        assert original.enforcements("t1") == reloaded.enforcements("t1")
+
+    def test_checkers_run_on_loaded_trace(self, tmp_path):
+        from repro.core.correctness import check_atomicity
+
+        mdbs = run_system()
+        path = tmp_path / "run.jsonl"
+        dump_trace(mdbs.sim.trace, path)
+        loaded = load_trace(path)
+        report = check_atomicity(History.from_trace(loaded), loaded)
+        assert report.holds
+
+    def test_corrupted_sequence_rejected(self, tmp_path):
+        mdbs = run_system()
+        path = tmp_path / "run.jsonl"
+        dump_trace(mdbs.sim.trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]))  # drop the first event
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        mdbs = run_system()
+        path = tmp_path / "run.jsonl"
+        dump_trace(mdbs.sim.trace, path)
+        path.write_text(path.read_text() + "\n\n")
+        loaded = load_trace(path)
+        assert len(loaded) == len(mdbs.sim.trace)
+
+
+class TestDiff:
+    def test_identical_seeds_produce_identical_traces(self):
+        a = run_system(seed=9)
+        b = run_system(seed=9)
+        assert diff_traces(a.sim.trace, b.sim.trace) == []
+
+    def test_different_workloads_diverge(self):
+        a = run_system()
+        b = make_mdbs()
+        b.submit(simple_transaction("t1", "tm", ["alpha", "beta"], abort=True))
+        b.run(until=300)
+        b.finalize()
+        differences = diff_traces(a.sim.trace, b.sim.trace)
+        assert differences
+
+    def test_shorter_trace_reports_missing(self):
+        a = run_system()
+        differences = diff_traces(a.sim.trace, list(a.sim.trace)[:-2])
+        assert differences[-1][2] == "<missing>"

@@ -1,0 +1,54 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_independent_of_each_other(self):
+        # Drawing from stream "a" must not change what "b" later yields.
+        lone = RandomStreams(1)
+        expected = lone.stream("b").random()
+
+        mixed = RandomStreams(1)
+        for __ in range(100):
+            mixed.stream("a").random()
+        assert mixed.stream("b").random() == expected
+
+    def test_different_names_give_different_sequences(self):
+        streams = RandomStreams(1)
+        a = [streams.stream("a").random() for __ in range(5)]
+        b = [streams.stream("b").random() for __ in range(5)]
+        assert a != b
+
+    def test_deterministic_across_instances(self):
+        one = RandomStreams(7).stream("net").random()
+        two = RandomStreams(7).stream("net").random()
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        assert (
+            RandomStreams(1).stream("x").random()
+            != RandomStreams(2).stream("x").random()
+        )
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(1).fork("child").stream("s").random()
+        b = RandomStreams(1).fork("child").stream("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RandomStreams(1)
+        child = parent.fork("child")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    def test_master_seed_property(self):
+        assert RandomStreams(99).master_seed == 99
+
+    def test_repr_lists_created_streams(self):
+        streams = RandomStreams(1)
+        streams.stream("zeta")
+        assert "zeta" in repr(streams)

@@ -1,0 +1,87 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.tracing import TraceRecorder
+
+
+def make_trace():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", "log", "force", txn="t1")
+    trace.record(2.0, "b", "msg", "send", kind="PREPARE", txn="t1")
+    trace.record(3.0, "a", "log", "force", txn="t2")
+    return trace
+
+
+class TestRecording:
+    def test_sequence_numbers_are_monotonic(self):
+        trace = make_trace()
+        assert [e.seq for e in trace] == [0, 1, 2]
+
+    def test_len(self):
+        assert len(make_trace()) == 3
+
+    def test_events_snapshot_is_immutable_tuple(self):
+        trace = make_trace()
+        assert isinstance(trace.events, tuple)
+
+    def test_details_are_copied(self):
+        trace = TraceRecorder()
+        payload = {"txn": "t"}
+        event = trace.record(0.0, "s", "c", "n", **payload)
+        payload["txn"] = "mutated"
+        assert event.details["txn"] == "t"
+
+
+class TestSelection:
+    def test_select_by_category(self):
+        assert len(make_trace().select(category="log")) == 2
+
+    def test_select_by_site(self):
+        assert len(make_trace().select(site="b")) == 1
+
+    def test_select_by_detail(self):
+        assert len(make_trace().select(txn="t1")) == 2
+
+    def test_select_combined(self):
+        trace = make_trace()
+        hits = trace.select(category="log", txn="t2")
+        assert len(hits) == 1
+        assert hits[0].time == 3.0
+
+    def test_first_returns_earliest_match(self):
+        assert make_trace().first(category="log").time == 1.0
+
+    def test_first_returns_none_when_absent(self):
+        assert make_trace().first(category="db") is None
+
+    def test_matches_rejects_wrong_detail(self):
+        event = make_trace().events[0]
+        assert not event.matches(txn="other")
+
+
+class TestSubscription:
+    def test_subscriber_sees_subsequent_events(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(0.0, "s", "c", "n")
+        assert len(seen) == 1
+
+    def test_subscriber_does_not_see_past_events(self):
+        trace = make_trace()
+        seen = []
+        trace.subscribe(seen.append)
+        assert seen == []
+
+
+class TestRendering:
+    def test_render_contains_all_events(self):
+        rendered = make_trace().render()
+        assert rendered.count("\n") == 2
+
+    def test_render_limit(self):
+        rendered = make_trace().render(limit=1)
+        assert "\n" not in rendered
+
+    def test_str_includes_site_and_name(self):
+        text = str(make_trace().events[0])
+        assert "a" in text and "log.force" in text

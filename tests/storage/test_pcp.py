@@ -1,0 +1,74 @@
+"""Unit tests for the PCP directory and its APP view."""
+
+import pytest
+
+from repro.errors import UnknownProtocolError
+from repro.storage.pcp import CommitProtocolDirectory
+
+
+@pytest.fixture
+def pcp():
+    directory = CommitProtocolDirectory()
+    directory.register_site("a", "PrA")
+    directory.register_site("b", "PrC")
+    return directory
+
+
+class TestRegistration:
+    def test_protocol_of_registered_site(self, pcp):
+        assert pcp.protocol_of("a") == "PrA"
+
+    def test_unknown_site_raises(self, pcp):
+        with pytest.raises(UnknownProtocolError):
+            pcp.protocol_of("ghost")
+
+    def test_unknown_protocol_rejected(self, pcp):
+        with pytest.raises(UnknownProtocolError):
+            pcp.register_site("x", "3PC")
+
+    def test_knows(self, pcp):
+        assert pcp.knows("a")
+        assert not pcp.knows("ghost")
+
+    def test_reregistration_updates(self, pcp):
+        pcp.register_site("a", "PrN")
+        assert pcp.protocol_of("a") == "PrN"
+
+    def test_deregister_removes(self, pcp):
+        pcp.deregister_site("a")
+        assert not pcp.knows("a")
+
+    def test_protocols_of_many(self, pcp):
+        assert pcp.protocols_of(["a", "b"]) == {"a": "PrA", "b": "PrC"}
+
+    def test_len_and_snapshot(self, pcp):
+        assert len(pcp) == 2
+        assert pcp.snapshot() == {"a": "PrA", "b": "PrC"}
+
+
+class TestAPPView:
+    def test_activate_loads_app(self, pcp):
+        pcp.activate(["a"])
+        assert pcp.app == {"a": "PrA"}
+
+    def test_deactivate_drops_from_app(self, pcp):
+        pcp.activate(["a", "b"])
+        pcp.deactivate(["a"])
+        assert pcp.app == {"b": "PrC"}
+
+    def test_activate_unknown_raises(self, pcp):
+        with pytest.raises(UnknownProtocolError):
+            pcp.activate(["ghost"])
+
+    def test_crash_clears_app_but_not_pcp(self, pcp):
+        pcp.activate(["a"])
+        pcp.crash()
+        assert pcp.app == {}
+        # PCP is stable storage: survives the crash.
+        assert pcp.protocol_of("a") == "PrA"
+
+    def test_app_snapshot_is_copy(self, pcp):
+        pcp.activate(["a"])
+        view = pcp.app
+        view["z"] = "PrN"
+        assert "z" not in pcp.app

@@ -1,0 +1,78 @@
+"""Unit tests for the protocol table."""
+
+from repro.storage.protocol_table import ProtocolTable
+
+
+def make(sim, role="coordinator"):
+    return ProtocolTable(sim, "s1", role=role)
+
+
+class TestBasics:
+    def test_insert_and_get(self, sim):
+        table = make(sim)
+        table.insert("t1", {"x": 1})
+        assert table.get("t1") == {"x": 1}
+
+    def test_get_unknown_returns_none(self, sim):
+        assert make(sim).get("t") is None
+
+    def test_contains_and_len(self, sim):
+        table = make(sim)
+        table.insert("t1", 1)
+        assert "t1" in table
+        assert len(table) == 1
+
+    def test_delete_removes(self, sim):
+        table = make(sim)
+        table.insert("t1", 1)
+        assert table.delete("t1")
+        assert "t1" not in table
+
+    def test_delete_unknown_returns_false(self, sim):
+        assert not make(sim).delete("ghost")
+
+    def test_entries_snapshot_is_copy(self, sim):
+        table = make(sim)
+        table.insert("t1", 1)
+        snapshot = table.entries()
+        snapshot["t2"] = 2
+        assert "t2" not in table
+
+
+class TestMetrics:
+    def test_peak_size_tracks_high_water_mark(self, sim):
+        table = make(sim)
+        table.insert("t1", 1)
+        table.insert("t2", 2)
+        table.delete("t1")
+        assert table.peak_size == 2
+
+    def test_insert_and_delete_counters(self, sim):
+        table = make(sim)
+        table.insert("t1", 1)
+        table.insert("t1", 2)  # replacement does not double-count
+        table.delete("t1")
+        assert table.insert_count == 1
+        assert table.delete_count == 1
+
+
+class TestForgetEvents:
+    def test_delete_emits_forget_trace_with_role(self, sim):
+        table = make(sim, role="participant")
+        table.insert("t1", 1)
+        table.delete("t1")
+        event = sim.trace.first(category="protocol", name="forget")
+        assert event is not None
+        assert event.details["role"] == "participant"
+        assert event.details["txn"] == "t1"
+
+    def test_clear_volatile_emits_no_forget(self, sim):
+        # A crash wipes the table but is NOT a DeletePT event — the
+        # SafeState predicate must not see crashes as forgetting.
+        table = make(sim)
+        table.insert("t1", 1)
+        assert table.clear_volatile() == 1
+        assert sim.trace.first(category="protocol", name="forget") is None
+
+    def test_role_property(self, sim):
+        assert make(sim, role="participant").role == "participant"

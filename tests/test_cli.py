@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "figure F1a" in out
+        assert "theorem 1" in out
+
+    def test_figure(self, capsys):
+        code, out = run_cli(capsys, "figure", "F1a")
+        assert code == 0
+        assert "Figure 1(a)" in out
+        assert "lane match vs paper figure" in out
+        assert "'coordinator': True" in out
+
+    def test_theorem_1(self, capsys):
+        code, out = run_cli(capsys, "theorem", "1")
+        assert code == 0
+        assert "Theorem 1 DEMONSTRATED" in out
+
+    def test_theorem_2(self, capsys):
+        code, out = run_cli(capsys, "theorem", "2")
+        assert code == 0
+        assert "Theorem 2 DEMONSTRATED" in out
+
+    def test_costs(self, capsys):
+        code, out = run_cli(capsys, "costs", "--participants", "3")
+        assert code == 0
+        assert "C1" in out and "all-PrC" in out
+
+    def test_selection(self, capsys):
+        code, out = run_cli(capsys, "selection")
+        assert code == 0
+        assert "C3" in out
+
+    def test_readonly(self, capsys):
+        code, out = run_cli(capsys, "readonly")
+        assert code == 0
+        assert "C4" in out
+
+    def test_recovery(self, capsys):
+        code, out = run_cli(capsys, "recovery")
+        assert code == 0
+        assert "R1" in out
+
+    def test_taxonomy(self, capsys):
+        code, out = run_cli(capsys, "taxonomy")
+        assert code == 0
+        assert "Externalized" in out
+        assert "PrAny:" in out
+
+    def test_seed_flag(self, capsys):
+        code, out = run_cli(capsys, "--seed", "99", "figure", "F2-commit")
+        assert code == 0
+        assert "Figure 2" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "F99"])
+
+    def test_unknown_theorem_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["theorem", "4"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

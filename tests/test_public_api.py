@@ -1,0 +1,77 @@
+"""Tests for the error hierarchy and the top-level public API."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_correctness_violations_form_a_family(self):
+        for cls in (
+            errors.AtomicityViolation,
+            errors.SafeStateViolation,
+            errors.OperationalCorrectnessViolation,
+        ):
+            assert issubclass(cls, errors.CorrectnessViolation)
+
+    def test_storage_errors(self):
+        assert issubclass(errors.LogClosedError, errors.StorageError)
+
+    def test_db_errors(self):
+        assert issubclass(errors.LockError, errors.DatabaseError)
+        assert issubclass(errors.TransactionError, errors.DatabaseError)
+
+    def test_protocol_errors(self):
+        assert issubclass(errors.ProtocolViolationError, errors.ProtocolError)
+        assert issubclass(errors.UnknownProtocolError, errors.ProtocolError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LockError("conflict")
+
+
+class TestTopLevelAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_main_abstractions_exported(self):
+        for name in (
+            "MDBS",
+            "Simulator",
+            "History",
+            "GlobalTransaction",
+            "simple_transaction",
+            "check_atomicity",
+            "check_safe_state",
+            "check_operational_correctness",
+            "coordinator_policy",
+            "participant_spec",
+        ):
+            assert name in repro.__all__
+
+    def test_docstring_quickstart_is_runnable(self):
+        # The module docstring's quickstart must actually work.
+        from repro import MDBS, simple_transaction
+
+        mdbs = MDBS(seed=42)
+        mdbs.add_site("alpha", protocol="PrA")
+        mdbs.add_site("beta", protocol="PrC")
+        mdbs.add_site("tm", protocol="PrN", coordinator="dynamic")
+        mdbs.submit(simple_transaction("t1", "tm", ["alpha", "beta"]))
+        mdbs.run(until=200)
+        mdbs.finalize()
+        assert mdbs.check().all_hold

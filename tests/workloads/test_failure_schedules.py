@@ -1,0 +1,77 @@
+"""Unit tests for the crash-point catalogues."""
+
+from repro.sim.tracing import TraceRecorder
+from repro.workloads.failure_schedules import (
+    coordinator_crash_points,
+    participant_crash_points,
+)
+
+
+def record_samples():
+    trace = TraceRecorder()
+    trace.record(1.0, "tm", "log", "append", type="initiation", txn="t1", lsn=1)
+    trace.record(2.0, "tm", "msg", "send", kind="PREPARE", to="p1", txn="t1")
+    trace.record(3.0, "p1", "db", "prepared", txn="t1")
+    trace.record(4.0, "tm", "protocol", "decide", txn="t1", decision="commit")
+    trace.record(5.0, "tm", "msg", "send", kind="COMMIT", to="p1", txn="t1")
+    trace.record(6.0, "p1", "db", "commit", txn="t1")
+    trace.record(7.0, "tm", "log", "append", type="end", txn="t1", lsn=2)
+    return list(trace)
+
+
+class TestCatalogues:
+    def test_coordinator_points_have_role(self):
+        assert all(p.role == "coordinator" for p in coordinator_crash_points())
+
+    def test_participant_points_have_role(self):
+        assert all(p.role == "participant" for p in participant_crash_points())
+
+    def test_names_unique_across_catalogues(self):
+        names = [
+            p.name
+            for p in coordinator_crash_points() + participant_crash_points()
+        ]
+        assert len(names) == len(set(names))
+
+
+class TestPredicates:
+    def match_counts(self, point, site, txn="t1"):
+        predicate = point.make_predicate(site, txn)
+        return sum(1 for e in record_samples() if predicate(e))
+
+    def test_initiation_point_matches_once(self):
+        point = next(
+            p
+            for p in coordinator_crash_points()
+            if p.name == "coord-after-initiation"
+        )
+        assert self.match_counts(point, "tm") == 1
+
+    def test_decide_point_matches(self):
+        point = next(
+            p for p in coordinator_crash_points() if p.name == "coord-after-decide"
+        )
+        assert self.match_counts(point, "tm") == 1
+
+    def test_participant_prepared_point(self):
+        point = next(
+            p for p in participant_crash_points() if p.name == "part-after-prepared"
+        )
+        assert self.match_counts(point, "p1") == 1
+
+    def test_receiver_crash_point_matches_on_send_to_victim(self):
+        point = next(
+            p
+            for p in participant_crash_points()
+            if p.name == "part-before-decision-commit"
+        )
+        # Predicate is keyed on the *receiver*, not the sender site.
+        assert self.match_counts(point, "p1") == 1
+        assert self.match_counts(point, "p2") == 0
+
+    def test_wrong_txn_never_matches(self):
+        point = next(
+            p for p in coordinator_crash_points() if p.name == "coord-after-decide"
+        )
+        predicate = point.make_predicate("tm", "other-txn")
+        assert not any(predicate(e) for e in record_samples())

@@ -1,0 +1,116 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import (
+    COORDINATOR_ID,
+    WorkloadSpec,
+    build_mdbs,
+    generate_transactions,
+)
+from repro.workloads.mixes import MIXES
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_transactions=-1)
+
+    def test_bad_abort_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(abort_fraction=1.5)
+
+    def test_bad_participant_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(participants_min=3, participants_max=2)
+
+
+class TestGeneration:
+    sites = ["s1", "s2", "s3", "s4"]
+
+    def test_deterministic_per_seed(self):
+        spec = WorkloadSpec(n_transactions=10, seed=5)
+        a = generate_transactions(spec, self.sites)
+        b = generate_transactions(spec, self.sites)
+        assert [t.txn_id for t in a] == [t.txn_id for t in b]
+        assert [t.submit_at for t in a] == [t.submit_at for t in b]
+        assert [t.participants for t in a] == [t.participants for t in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_transactions(WorkloadSpec(n_transactions=10, seed=1), self.sites)
+        b = generate_transactions(WorkloadSpec(n_transactions=10, seed=2), self.sites)
+        assert [t.participants for t in a] != [t.participants for t in b]
+
+    def test_count(self):
+        txns = generate_transactions(WorkloadSpec(n_transactions=7), self.sites)
+        assert len(txns) == 7
+
+    def test_submit_times_increase(self):
+        txns = generate_transactions(WorkloadSpec(n_transactions=10), self.sites)
+        times = [t.submit_at for t in txns]
+        assert times == sorted(times)
+
+    def test_participant_counts_within_range(self):
+        spec = WorkloadSpec(n_transactions=50, participants_min=2, participants_max=3)
+        for txn in generate_transactions(spec, self.sites):
+            assert 2 <= len(txn.participants) <= 3
+
+    def test_abort_fraction_zero_means_no_aborts(self):
+        spec = WorkloadSpec(n_transactions=30, abort_fraction=0.0)
+        assert not any(
+            t.will_abort for t in generate_transactions(spec, self.sites)
+        )
+
+    def test_abort_fraction_one_means_all_aborts(self):
+        spec = WorkloadSpec(n_transactions=30, abort_fraction=1.0)
+        assert all(t.will_abort for t in generate_transactions(spec, self.sites))
+
+    def test_hot_keys_produce_contention(self):
+        spec = WorkloadSpec(n_transactions=30, hot_keys=2, seed=3)
+        keys = {
+            op.key
+            for txn in generate_transactions(spec, self.sites)
+            for ops in txn.writes.values()
+            for op in ops
+        }
+        assert keys <= {"hot0", "hot1"}
+
+    def test_private_keys_by_default(self):
+        spec = WorkloadSpec(n_transactions=5)
+        keys = [
+            op.key
+            for txn in generate_transactions(spec, self.sites)
+            for ops in txn.writes.values()
+            for op in ops
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_empty_site_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_transactions(WorkloadSpec(), [])
+
+
+class TestBuildMDBS:
+    def test_builds_one_site_per_mix_entry_plus_tm(self):
+        mdbs = build_mdbs(MIXES["PrN+PrA+PrC"])
+        assert len(mdbs.sites) == 4
+        assert COORDINATOR_ID in mdbs.sites
+
+    def test_coordinator_policy_applied(self):
+        mdbs = build_mdbs(MIXES["all-PrA"], coordinator="U2PC(PrN)")
+        assert mdbs.site(COORDINATOR_ID).coordinator.selector.name == "U2PC(PrN)"
+
+    def test_generated_workload_runs_clean(self):
+        mix = MIXES["PrN+PrA+PrC"]
+        mdbs = build_mdbs(mix, seed=4)
+        sites = sorted(mix.site_protocols())
+        spec = WorkloadSpec(n_transactions=8, abort_fraction=0.25, seed=4)
+        for txn in generate_transactions(spec, sites):
+            mdbs.submit(txn)
+        mdbs.run(until=1500)
+        mdbs.finalize()
+        assert mdbs.check().all_hold

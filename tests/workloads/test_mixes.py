@@ -1,0 +1,66 @@
+"""Unit tests for protocol mixes."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mixes import (
+    MIXES,
+    ProtocolMix,
+    homogeneous,
+    mixed_pra_prc,
+    three_way,
+)
+
+
+class TestProtocolMix:
+    def test_empty_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            ProtocolMix("bad", ())
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(WorkloadError):
+            ProtocolMix("bad", ("3PC",))
+
+    def test_homogeneity(self):
+        assert homogeneous("PrA").is_homogeneous
+        assert not mixed_pra_prc().is_homogeneous
+
+    def test_adversarial_shape_detection(self):
+        assert mixed_pra_prc().has_pra_and_prc
+        assert three_way().has_pra_and_prc
+        assert not homogeneous("PrA").has_pra_and_prc
+        assert not MIXES["PrN+PrC"].has_pra_and_prc
+
+    def test_site_protocols_naming(self):
+        protocols = mixed_pra_prc().site_protocols()
+        assert protocols == {"site0_pra": "PrA", "site1_prc": "PrC"}
+
+    def test_extended_to_cycles_pattern(self):
+        mix = mixed_pra_prc().extended_to(5)
+        assert mix.protocols == ("PrA", "PrC", "PrA", "PrC", "PrA")
+        assert len(mix) == 5
+
+    def test_extended_to_zero_rejected(self):
+        with pytest.raises(WorkloadError):
+            homogeneous("PrN").extended_to(0)
+
+    def test_named_mixes_catalogue(self):
+        assert set(MIXES) == {
+            "all-PrN",
+            "all-PrA",
+            "all-PrC",
+            "PrA+PrC",
+            "PrN+PrC",
+            "PrN+PrA",
+            "PrN+PrA+PrC",
+            "all-IYV",
+            "all-CL",
+            "IYV+PrC",
+            "CL+PrA+PrC",
+        }
+
+    def test_extension_protocols_accepted(self):
+        assert ProtocolMix("x", ("IYV", "CL")).protocols == ("IYV", "CL")
+
+    def test_three_way_contains_all(self):
+        assert set(three_way().protocols) == {"PrN", "PrA", "PrC"}
