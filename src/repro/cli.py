@@ -8,15 +8,19 @@ Examples::
     python -m repro costs --participants 4
     python -m repro taxonomy             # Figure 5
     python -m repro all                  # everything, in order
+    python -m repro explore --seeds 0:200 --protocol u2pc
+    python -m repro explore --replay tests/explore/artifacts/<file>.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.taxonomy import classify, render_taxonomy
+from repro.errors import ReproError
 from repro.experiments.ablation import render_ablation, run_ablation
 from repro.experiments.coordinator_log import render_cl, run_cl_experiment
 from repro.experiments.costs import cost_table, run_cost_experiment
@@ -56,6 +60,7 @@ def _cmd_list(args: argparse.Namespace) -> str:
         "  recovery           R1: §4.2 coordinator recovery",
         "  taxonomy           F5: atomic-commitment taxonomy",
         "  all                everything above, in order",
+        "  explore            fuzz adversarial schedules (VOPR-style)",
     ]
     return "\n".join(lines)
 
@@ -118,6 +123,122 @@ def _cmd_taxonomy(args: argparse.Namespace) -> str:
     return render_taxonomy() + "\n\nClassification of this repo's protocols:\n" + classifications
 
 
+def _parse_seed_range(text: str) -> range:
+    """``"A:B"`` → ``range(A, B)``; a bare ``"N"`` → ``range(0, N)``."""
+    if ":" in text:
+        low, high = text.split(":", 1)
+        start, stop = int(low), int(high)
+    else:
+        start, stop = 0, int(text)
+    if stop <= start:
+        raise argparse.ArgumentTypeError(f"empty seed range {text!r}")
+    return range(start, stop)
+
+
+def _cmd_explore(args: argparse.Namespace) -> str:
+    # Imported lazily: the explorer pulls in multiprocessing machinery
+    # that none of the other (fast, figure-style) commands need.
+    from repro.explore import (
+        Artifact,
+        AdversaryGenerator,
+        GeneratorConfig,
+        ParallelRunner,
+        replay_artifact,
+        run_scenario,
+        save_artifact,
+        shrink,
+    )
+    from repro.explore.adversary import PROTOCOL_FAMILIES
+
+    if args.replay is not None:
+        try:
+            result = replay_artifact(args.replay)
+        except (ReproError, OSError, ValueError) as exc:
+            # Missing file, malformed JSON, or a JSON file that is not
+            # an artifact: a message, not a traceback.
+            raise SystemExit(f"cannot replay {args.replay}: {exc}")
+        if not result.exact:
+            args.exit_code = 1
+        return result.describe()
+
+    if args.protocol not in PROTOCOL_FAMILIES:
+        raise SystemExit(
+            f"unknown protocol family {args.protocol!r}; "
+            f"expected one of {sorted(PROTOCOL_FAMILIES)}"
+        )
+    seeds = range(0, 50) if args.smoke and args.seeds is None else (
+        args.seeds if args.seeds is not None else range(0, 100)
+    )
+    budget = 30.0 if args.smoke and args.budget is None else args.budget
+    config = GeneratorConfig(protocol=args.protocol, mix=args.mix, salt=args.salt)
+
+    def progress(done: int, violations: int) -> None:
+        print(
+            f"  ... {done} seeds swept, {violations} violation(s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    runner = ParallelRunner(config, jobs=args.jobs, progress=progress)
+    sweep = runner.sweep(seeds, time_budget=budget)
+
+    lines = [
+        f"explore — {args.protocol} over "
+        + (args.mix or "sampled mixes")
+        + f", seeds {seeds.start}:{seeds.stop}",
+        f"  seeds swept:      {sweep.seeds_scanned}"
+        + (" (wall-clock budget exhausted)" if sweep.budget_exhausted else ""),
+        f"  elapsed:          {sweep.elapsed_seconds:.1f}s"
+        f" ({sweep.seeds_scanned / max(sweep.elapsed_seconds, 1e-9):.0f} seeds/s,"
+        f" jobs={runner.jobs})",
+        f"  violations:       {len(sweep.violations)}",
+    ]
+    for category, count in sweep.category_counts().items():
+        lines.append(f"    - {category}: {count}")
+
+    if sweep.violations:
+        args.exit_code = 1
+        generator = AdversaryGenerator(config)
+        artifacts_dir = Path(args.artifacts)
+        shrunk = 0
+        for summary in sweep.violations:
+            if shrunk >= args.max_counterexamples:
+                lines.append(
+                    f"  (stopping after {shrunk} shrunk counterexamples; "
+                    f"{len(sweep.violations) - shrunk} more violating seeds)"
+                )
+                break
+            if args.no_shrink:
+                lines.append(f"  seed {summary.seed}: {summary.summary}")
+                continue
+            result = shrink(generator.generate(summary.seed))
+            artifact = Artifact.from_outcome(
+                result.outcome,
+                note=(
+                    f"found by `repro explore --protocol {args.protocol}"
+                    f"{' --mix ' + args.mix if args.mix else ''}"
+                    f" --salt {args.salt}` at seed {summary.seed}; "
+                    f"shrunk from {len(result.original.actions)} to "
+                    f"{len(result.minimized.actions)} action(s)"
+                ),
+            )
+            name = f"{args.protocol}-seed{summary.seed}.json"
+            path = save_artifact(artifact, artifacts_dir / name)
+            shrunk += 1
+            lines.append(
+                f"  seed {summary.seed}: {summary.summary}"
+                f" -> shrunk to {len(result.minimized.actions)} action(s) "
+                f"in {result.runs} runs, exported {path}"
+            )
+            lines.extend(
+                "      " + line
+                for line in result.outcome.verdict.describe().splitlines()
+            )
+    else:
+        lines.append("  no oracle violations — every run atomic, safe and forgetful")
+    return "\n".join(lines)
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     sections: list[str] = []
     for figure_id in sorted(FIGURES):
@@ -165,6 +286,75 @@ def build_parser() -> argparse.ArgumentParser:
     theorem.add_argument("number", type=int, choices=(1, 2, 3))
     theorem.set_defaults(handler=_cmd_theorem)
 
+    explore = sub.add_parser(
+        "explore",
+        help="fuzz adversarial schedules against the invariant oracle",
+    )
+    explore.add_argument(
+        "--seeds",
+        type=_parse_seed_range,
+        default=None,
+        metavar="A:B",
+        help="seed range to sweep (default 0:100; 0:50 with --smoke)",
+    )
+    explore.add_argument(
+        "--protocol",
+        default="prany",
+        help="coordinator family: prany, u2pc, c2pc, prn, pra, prc",
+    )
+    explore.add_argument(
+        "--mix",
+        default=None,
+        help="pin the participant mix (default: sample per seed)",
+    )
+    explore.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count; 1 = in-process)",
+    )
+    explore.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; stop issuing new seeds once exceeded",
+    )
+    explore.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: seeds 0:50 under a 30s budget",
+    )
+    explore.add_argument(
+        "--salt",
+        type=int,
+        default=0,
+        help="schedule-space salt: same seeds, different schedules",
+    )
+    explore.add_argument(
+        "--artifacts",
+        default="explore-artifacts",
+        help="directory for shrunk counterexample artifacts",
+    )
+    explore.add_argument(
+        "--max-counterexamples",
+        type=int,
+        default=3,
+        help="shrink and export at most this many violating seeds",
+    )
+    explore.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violating seeds without minimizing them",
+    )
+    explore.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-simulate an exported artifact and verify it bit-exactly",
+    )
+    explore.set_defaults(handler=_cmd_explore)
+
     costs = sub.add_parser("costs", help="C1: measured cost table")
     costs.add_argument("--participants", type=int, default=2)
     costs.set_defaults(handler=_cmd_costs)
@@ -196,7 +386,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:
         # Output was piped into something that closed early (e.g. head).
         return 0
-    return 0
+    # Commands with a pass/fail notion (explore) set exit_code; the
+    # reproduction commands always succeed once they print.
+    return getattr(args, "exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

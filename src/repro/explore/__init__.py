@@ -1,0 +1,76 @@
+"""Deterministic adversarial schedule exploration (VOPR-style fuzzing).
+
+The explorer turns the repo's hand-written adversarial schedules into a
+search: a seeded :class:`~repro.explore.adversary.AdversaryGenerator`
+composes random-but-reproducible failure schedules (triggered and timed
+crashes, partitions, targeted omissions, probabilistic loss, latency
+jitter) over random workloads, an
+:class:`~repro.explore.oracle.InvariantOracle` checks every finished
+run against the paper's correctness definitions, a
+:class:`~repro.explore.runner.ParallelRunner` sweeps seed ranges across
+cores, and :func:`~repro.explore.shrink.shrink` delta-debugs any
+violating schedule down to a minimal, replayable counterexample
+artifact.
+
+Everything is a pure function of the :class:`ScenarioSpec`, so a seed
+(or an exported artifact) reproduces a run — including its full trace —
+byte for byte.
+"""
+
+from repro.explore.adversary import (
+    AdversaryGenerator,
+    CrashAt,
+    CrashWhen,
+    DropNext,
+    GeneratorConfig,
+    LossWindow,
+    PartitionWindow,
+    ScenarioSpec,
+    action_from_dict,
+)
+from repro.explore.artifact import (
+    Artifact,
+    ReplayResult,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+)
+from repro.explore.oracle import InvariantOracle, OracleVerdict
+from repro.explore.runner import (
+    ParallelRunner,
+    RunOutcome,
+    SeedSummary,
+    SweepResult,
+    build_scenario,
+    execute_scenario,
+    run_scenario,
+)
+from repro.explore.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "AdversaryGenerator",
+    "Artifact",
+    "CrashAt",
+    "CrashWhen",
+    "DropNext",
+    "GeneratorConfig",
+    "InvariantOracle",
+    "LossWindow",
+    "OracleVerdict",
+    "ParallelRunner",
+    "PartitionWindow",
+    "ReplayResult",
+    "RunOutcome",
+    "ScenarioSpec",
+    "SeedSummary",
+    "ShrinkResult",
+    "SweepResult",
+    "action_from_dict",
+    "build_scenario",
+    "execute_scenario",
+    "load_artifact",
+    "replay_artifact",
+    "run_scenario",
+    "save_artifact",
+    "shrink",
+]

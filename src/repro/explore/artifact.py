@@ -1,0 +1,147 @@
+"""Counterexample artifacts: export, load and deterministic replay.
+
+An artifact is a small JSON file that fully describes one violating
+(usually shrunk) scenario: the spec, the verdict the oracle returned,
+and the SHA-256 of the run's canonical trace. Replaying re-simulates
+the spec from scratch and checks both — so a checked-in artifact is a
+permanent, bit-exact regression test, and the optional sidecar trace
+(written with :func:`repro.sim.export.dump_trace`) can be diffed when a
+replay ever diverges.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import SimulationError
+from repro.explore.adversary import ScenarioSpec
+from repro.explore.oracle import OracleVerdict
+from repro.explore.runner import RunOutcome, execute_scenario, run_scenario
+from repro.sim.export import dump_trace
+
+PathLike = Union[str, Path]
+
+ARTIFACT_KIND = "repro-explore-counterexample"
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One exported counterexample."""
+
+    spec: ScenarioSpec
+    verdict: OracleVerdict
+    trace_sha256: str
+    trace_events: int
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": ARTIFACT_KIND,
+            "version": ARTIFACT_VERSION,
+            "note": self.note,
+            "spec": self.spec.to_dict(),
+            "verdict": self.verdict.to_dict(),
+            "trace_sha256": self.trace_sha256,
+            "trace_events": self.trace_events,
+        }
+
+    @classmethod
+    def from_outcome(cls, outcome: RunOutcome, note: str = "") -> "Artifact":
+        return cls(
+            spec=outcome.spec,
+            verdict=outcome.verdict,
+            trace_sha256=outcome.trace_sha256,
+            trace_events=outcome.trace_events,
+            note=note,
+        )
+
+
+def save_artifact(
+    artifact: Artifact,
+    path: PathLike,
+    with_trace: bool = False,
+) -> Path:
+    """Write the artifact (and optionally a sidecar ``.trace.jsonl``)."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(artifact.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    if with_trace:
+        # Re-running is cheap and keeps save_artifact stateless; the
+        # digest guards against any divergence.
+        mdbs, outcome = execute_scenario(artifact.spec)
+        if outcome.trace_sha256 != artifact.trace_sha256:
+            raise SimulationError(
+                f"{destination}: trace digest changed between run and export"
+            )
+        dump_trace(mdbs.sim.trace, destination.with_suffix(".trace.jsonl"))
+    return destination
+
+
+def load_artifact(path: PathLike) -> Artifact:
+    """Load and validate an artifact file."""
+    source = Path(path)
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    if payload.get("kind") != ARTIFACT_KIND:
+        raise SimulationError(f"{source}: not a counterexample artifact")
+    if payload.get("version") != ARTIFACT_VERSION:
+        raise SimulationError(
+            f"{source}: unsupported artifact version {payload.get('version')!r}"
+        )
+    return Artifact(
+        spec=ScenarioSpec.from_dict(payload["spec"]),
+        verdict=OracleVerdict.from_dict(payload["verdict"]),
+        trace_sha256=payload["trace_sha256"],
+        trace_events=payload["trace_events"],
+        note=payload.get("note", ""),
+    )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What happened when an artifact was re-simulated."""
+
+    artifact: Artifact
+    outcome: RunOutcome
+
+    @property
+    def verdict_matches(self) -> bool:
+        """Same violated categories as when the artifact was recorded."""
+        return (
+            self.outcome.verdict.categories == self.artifact.verdict.categories
+        )
+
+    @property
+    def trace_matches(self) -> bool:
+        """Byte-for-byte identical trace (equal canonical digests)."""
+        return self.outcome.trace_sha256 == self.artifact.trace_sha256
+
+    @property
+    def exact(self) -> bool:
+        return self.verdict_matches and self.trace_matches
+
+    def describe(self) -> str:
+        lines = [
+            f"replay of seed {self.artifact.spec.seed} "
+            f"({self.artifact.spec.coordinator} over {self.artifact.spec.mix}):",
+            f"  verdict: {self.outcome.verdict.summary()}"
+            + ("" if self.verdict_matches else "  [DIVERGED]"),
+            f"  trace:   {self.outcome.trace_events} events, "
+            f"sha256 {self.outcome.trace_sha256[:16]}… "
+            + ("[exact match]" if self.trace_matches else "[DIVERGED]"),
+        ]
+        if self.artifact.note:
+            lines.append(f"  note:    {self.artifact.note}")
+        return "\n".join(lines)
+
+
+def replay_artifact(source: Union[Artifact, PathLike]) -> ReplayResult:
+    """Re-simulate an artifact's spec and compare against the record."""
+    artifact = source if isinstance(source, Artifact) else load_artifact(source)
+    return ReplayResult(artifact=artifact, outcome=run_scenario(artifact.spec))

@@ -1,0 +1,218 @@
+"""The invariant oracle: judge a finished run against Definition 1.
+
+The oracle bundles the repo's three checkers — global atomicity
+(Definition 1 item 1 / Theorem 1), the safe-state ledger, and
+operational correctness (items 2 and 3 / Theorem 2's eventual-forget
+predicate) — into one JSON-serializable verdict with stable violation
+*categories*, which is what the shrinker minimizes against and the
+regression replayer asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.safe_state import SafeStateViolationRecord
+from repro.sim.tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mdbs.system import MDBS
+
+ATOMICITY = "atomicity"
+SAFE_STATE = "safe-state"
+OPERATIONAL = "operational"
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """What the oracle concluded about one run.
+
+    ``stuck_in_doubt`` is carried as an observation (a liveness smell)
+    but does not by itself fail the verdict — an in-doubt participant
+    always also shows up as a retained protocol-table entry, which does.
+    """
+
+    transactions_checked: int = 0
+    atomicity_violations: tuple[str, ...] = ()
+    safe_state_violations: tuple[str, ...] = ()
+    retained_entries: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    uncollected_logs: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    stuck_in_doubt: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    stale_inquiries: tuple[str, ...] = ()
+
+    @property
+    def categories(self) -> frozenset[str]:
+        """The violated invariant classes (empty iff the run is clean)."""
+        violated = set()
+        if self.atomicity_violations:
+            violated.add(ATOMICITY)
+        if self.safe_state_violations:
+            violated.add(SAFE_STATE)
+        if self.retained_entries or self.uncollected_logs:
+            violated.add(OPERATIONAL)
+        return frozenset(violated)
+
+    @property
+    def holds(self) -> bool:
+        return not self.categories
+
+    def summary(self) -> str:
+        if self.holds:
+            return f"OK ({self.transactions_checked} txns checked)"
+        parts = []
+        if self.atomicity_violations:
+            parts.append(f"{len(self.atomicity_violations)} atomicity")
+        if self.safe_state_violations:
+            parts.append(f"{len(self.safe_state_violations)} safe-state")
+        if self.retained_entries:
+            parts.append(f"{len(self.retained_entries)} site(s) retaining")
+        if self.uncollected_logs:
+            parts.append(f"{len(self.uncollected_logs)} log(s) uncollected")
+        return "VIOLATION: " + ", ".join(parts)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [self.summary()]
+        lines.extend(f"  atomicity: {v}" for v in self.atomicity_violations)
+        lines.extend(f"  safe-state: {v}" for v in self.safe_state_violations)
+        for site, txns in self.retained_entries:
+            lines.append(f"  retained at {site}: {list(txns)}")
+        for site, txns in self.uncollected_logs:
+            lines.append(f"  log not GC'd at {site}: {list(txns)}")
+        for txn, sites in self.stuck_in_doubt:
+            lines.append(f"  still in doubt: {txn} at {list(sites)}")
+        lines.extend(
+            f"  (stale in-flight inquiry ignored: {v})"
+            for v in self.stale_inquiries
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "transactions_checked": self.transactions_checked,
+            "categories": sorted(self.categories),
+            "atomicity_violations": list(self.atomicity_violations),
+            "safe_state_violations": list(self.safe_state_violations),
+            "retained_entries": [
+                [site, list(txns)] for site, txns in self.retained_entries
+            ],
+            "uncollected_logs": [
+                [site, list(txns)] for site, txns in self.uncollected_logs
+            ],
+            "stuck_in_doubt": [
+                [txn, list(sites)] for txn, sites in self.stuck_in_doubt
+            ],
+            "stale_inquiries": list(self.stale_inquiries),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "OracleVerdict":
+        def pairs(key: str) -> tuple[tuple[str, tuple[str, ...]], ...]:
+            return tuple(
+                (name, tuple(items)) for name, items in payload.get(key, [])
+            )
+
+        return cls(
+            transactions_checked=payload.get("transactions_checked", 0),
+            atomicity_violations=tuple(payload.get("atomicity_violations", [])),
+            safe_state_violations=tuple(payload.get("safe_state_violations", [])),
+            retained_entries=pairs("retained_entries"),
+            uncollected_logs=pairs("uncollected_logs"),
+            stuck_in_doubt=pairs("stuck_in_doubt"),
+            stale_inquiries=tuple(payload.get("stale_inquiries", [])),
+        )
+
+
+def _split_stale_inquiries(
+    trace: TraceRecorder,
+    violations: list[SafeStateViolationRecord],
+) -> tuple[list[SafeStateViolationRecord], list[SafeStateViolationRecord]]:
+    """Partition safe-state violations into (genuine, stale).
+
+    A flagged post-forget inquiry is *stale* iff its inquirer had
+    already forgotten the transaction when the inquiry was delivered
+    (participant ``protocol.forget`` precedes the flagged event) and
+    never sent another inquiry for it afterwards: the answer reached a
+    participant that was no longer waiting for one and discarded it.
+    """
+    genuine: list[SafeStateViolationRecord] = []
+    stale: list[SafeStateViolationRecord] = []
+    for violation in violations:
+        forgets = [
+            e.seq
+            for e in trace.select(
+                category="protocol",
+                name="forget",
+                site=violation.inquirer,
+                role="participant",
+                txn=violation.txn_id,
+            )
+            if e.seq < violation.inquiry_seq
+        ]
+        inquiries_after_forget = forgets and any(
+            e.seq > max(forgets)
+            for e in trace.select(
+                category="msg",
+                name="send",
+                site=violation.inquirer,
+                kind="INQUIRY",
+                txn=violation.txn_id,
+            )
+        )
+        if forgets and not inquiries_after_forget:
+            stale.append(violation)
+        else:
+            genuine.append(violation)
+    return genuine, stale
+
+
+class InvariantOracle:
+    """Evaluates a quiesced :class:`~repro.mdbs.system.MDBS` run."""
+
+    def evaluate(self, mdbs: "MDBS") -> OracleVerdict:
+        """Run all checkers and fold the reports into one verdict.
+
+        Call only after the run has settled (all sites recovered,
+        partitions healed, logs flushed) — the operational check's
+        "eventually" must have had its chance, exactly as in
+        :func:`repro.core.correctness.check_operational_correctness`.
+
+        One refinement over the raw safe-state checker: under latency
+        jitter, messages reorder, so an inquiry sent while a participant
+        was briefly in doubt can be *delivered* after the coordinator
+        (safely, all acks in hand) forgot. The participant has already
+        enforced the real decision, forgotten, and ignores the answer —
+        Definition 2's "future inquiries" does not cover a response no
+        one is waiting for. Such violations are demoted to the
+        informational ``stale_inquiries`` list. An inquiry only counts
+        as stale if the inquirer forgot the transaction *before* the
+        inquiry was delivered and never inquired again afterwards — a
+        recovered participant re-inquiring after a crash (the Theorem 1
+        schedules) always trips the genuine-violation path.
+        """
+        reports = mdbs.check()
+        operational = reports.operational
+        genuine, stale = _split_stale_inquiries(
+            mdbs.sim.trace, reports.safe_state.violations
+        )
+        return OracleVerdict(
+            transactions_checked=reports.atomicity.transactions_checked,
+            atomicity_violations=tuple(
+                str(v) for v in reports.atomicity.violations
+            ),
+            safe_state_violations=tuple(str(v) for v in genuine),
+            stale_inquiries=tuple(str(v) for v in stale),
+            retained_entries=tuple(
+                (site, tuple(sorted(txns)))
+                for site, txns in sorted(operational.retained_entries.items())
+            ),
+            uncollected_logs=tuple(
+                (site, tuple(sorted(txns)))
+                for site, txns in sorted(operational.uncollected_logs.items())
+            ),
+            stuck_in_doubt=tuple(
+                (txn, tuple(sites))
+                for txn, sites in sorted(reports.atomicity.stuck_in_doubt.items())
+            ),
+        )

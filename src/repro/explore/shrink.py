@@ -1,0 +1,201 @@
+"""Counterexample minimization by delta debugging.
+
+Given a violating :class:`~repro.explore.adversary.ScenarioSpec`, shrink
+it to a locally minimal spec that *still* violates the oracle in the
+same way: first ddmin over the adversary's action list, then workload
+truncation, then per-action simplification of the numeric knobs. Every
+candidate is judged by actually re-running the (fast, deterministic)
+simulation, so the result is trusted by construction — and small enough
+for a human to read as a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.explore.adversary import (
+    AdversaryAction,
+    CrashAt,
+    CrashWhen,
+    DropNext,
+    LossWindow,
+    PartitionWindow,
+    ScenarioSpec,
+)
+from repro.explore.oracle import OracleVerdict
+from repro.explore.runner import RunOutcome, run_scenario
+
+#: Upper bound on candidate runs per shrink, a safety valve against
+#: pathological schedules; each run is a small simulation.
+DEFAULT_MAX_RUNS = 250
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized spec and the bookkeeping of getting there."""
+
+    original: ScenarioSpec
+    minimized: ScenarioSpec
+    outcome: RunOutcome
+    runs: int
+    improved: bool
+
+    @property
+    def actions_removed(self) -> int:
+        return len(self.original.actions) - len(self.minimized.actions)
+
+
+def shrink(
+    spec: ScenarioSpec,
+    still_fails: Optional[Callable[[OracleVerdict], bool]] = None,
+    max_runs: int = DEFAULT_MAX_RUNS,
+) -> ShrinkResult:
+    """Minimize ``spec`` while ``still_fails(verdict)`` stays true.
+
+    Args:
+        still_fails: the property to preserve; defaults to "violates at
+            least one of the original verdict's categories", so an
+            atomicity counterexample stays an atomicity counterexample.
+    """
+    baseline = run_scenario(spec)
+    runs = 1
+    if still_fails is None:
+        original_categories = baseline.verdict.categories
+        if not original_categories:
+            raise ValueError("cannot shrink: the spec does not violate the oracle")
+        still_fails = lambda v: bool(v.categories & original_categories)
+    elif not still_fails(baseline.verdict):
+        raise ValueError("cannot shrink: still_fails is false on the spec itself")
+
+    best = spec
+    best_outcome = baseline
+
+    def attempt(candidate: ScenarioSpec) -> bool:
+        """Accept ``candidate`` if it still fails; count the run."""
+        nonlocal best, best_outcome, runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        try:
+            outcome = run_scenario(candidate)
+        except Exception:
+            # A malformed candidate (e.g. a crash-when whose txn was
+            # truncated away) is simply not a valid shrink step.
+            return False
+        if still_fails(outcome.verdict):
+            best = candidate
+            best_outcome = outcome
+            return True
+        return False
+
+    _ddmin_actions(attempt, lambda: best)
+    _shrink_workload(attempt, lambda: best)
+    _simplify_actions(attempt, lambda: best)
+    # Action simplification may have unlocked further deletions.
+    _ddmin_actions(attempt, lambda: best)
+
+    return ShrinkResult(
+        original=spec,
+        minimized=best,
+        outcome=best_outcome,
+        runs=runs,
+        improved=best != spec,
+    )
+
+
+def _ddmin_actions(
+    attempt: Callable[[ScenarioSpec], bool],
+    current: Callable[[], ScenarioSpec],
+) -> None:
+    """Classic ddmin over the action tuple: drop ever-smaller chunks.
+
+    Each accepted attempt strictly shortens the action list and each
+    rejected one advances the scan, so the pass terminates; chunk size
+    halves until single-action deletions stop helping.
+    """
+    chunk = max(1, len(current().actions) // 2)
+    while True:
+        removed_any = False
+        start = 0
+        while start < len(current().actions):
+            actions = current().actions
+            complement = actions[:start] + actions[start + chunk :]
+            # An empty complement is allowed: some protocols (C2PC's
+            # unforgettable transactions) violate with no adversary at
+            # all, and "no actions" is the most readable counterexample.
+            if len(complement) != len(actions) and attempt(
+                current().with_actions(complement)
+            ):
+                removed_any = True
+                # Re-scan from the same offset over the shorter list.
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            return
+        chunk = max(1, chunk // 2)
+
+
+def _shrink_workload(
+    attempt: Callable[[ScenarioSpec], bool],
+    current: Callable[[], ScenarioSpec],
+) -> None:
+    """Truncate the workload (a prefix of the stream is the same stream)."""
+    while current().n_transactions > 1:
+        spec = current()
+        if not attempt(replace(spec, n_transactions=spec.n_transactions - 1)):
+            break
+    spec = current()
+    if spec.hot_keys:
+        attempt(replace(spec, hot_keys=0))
+    spec = current()
+    if spec.latency_high > spec.latency_low:
+        attempt(replace(spec, latency_low=1.0, latency_high=1.0))
+
+
+def _simplify_actions(
+    attempt: Callable[[ScenarioSpec], bool],
+    current: Callable[[], ScenarioSpec],
+) -> None:
+    """Canonicalize each surviving action's numeric knobs."""
+    index = 0
+    while index < len(current().actions):
+        for simplified in _action_candidates(current().actions[index]):
+            spec = current()
+            actions = (
+                spec.actions[:index] + (simplified,) + spec.actions[index + 1 :]
+            )
+            if attempt(spec.with_actions(actions)):
+                break
+        index += 1
+
+
+def _action_candidates(action: AdversaryAction) -> list[AdversaryAction]:
+    """Simpler variants of one action, most aggressive first."""
+    candidates: list[AdversaryAction] = []
+    if isinstance(action, CrashWhen):
+        if action.delay:
+            candidates.append(replace(action, delay=0.0))
+        if action.down_for != 60.0:
+            candidates.append(replace(action, down_for=60.0))
+    elif isinstance(action, CrashAt):
+        if action.down_for != 60.0:
+            candidates.append(replace(action, down_for=60.0))
+        rounded = float(int(action.at))
+        if rounded != action.at:
+            candidates.append(replace(action, at=rounded, down_for=60.0))
+    elif isinstance(action, PartitionWindow):
+        rounded = float(int(action.at))
+        if action.heal_at != rounded + 60.0:
+            candidates.append(replace(action, at=rounded, heal_at=rounded + 60.0))
+    elif isinstance(action, DropNext):
+        if action.count > 1:
+            candidates.append(replace(action, count=1))
+        rounded = float(int(action.at))
+        if rounded != action.at:
+            candidates.append(replace(action, at=rounded))
+    elif isinstance(action, LossWindow):
+        rounded = float(int(action.at))
+        if action.until != rounded + 40.0:
+            candidates.append(replace(action, at=rounded, until=rounded + 40.0))
+    return candidates

@@ -13,7 +13,7 @@ registered nodes through the simulator's event queue. Delivery honours:
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.errors import NetworkError, UnknownNodeError
 from repro.net.message import Message
@@ -79,12 +79,15 @@ class Network:
         self._latency = latency if latency is not None else ConstantLatency(1.0)
         self._nodes: dict[str, _NodeEntry] = {}
         self._partitioned: set[frozenset[str]] = set()
-        self._omission_budget: dict[tuple[str, str], int] = {}
+        # Keyed by (sender, receiver, kind); kind=None budgets match any
+        # message on the link.
+        self._omission_budget: dict[tuple[str, str, Optional[str]], int] = {}
         self._loss_probability = 0.0
         self._loss_rng = sim.random.stream("net.loss")
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        self.in_flight = 0
 
     def set_latency(self, model: LatencyModel) -> None:
         """Replace the latency model (affects subsequently sent messages)."""
@@ -169,6 +172,7 @@ class Network:
             )
             return
         delay = self._latency.delay(message.sender, message.receiver)
+        self.in_flight += 1
         self._sim.schedule(
             delay,
             lambda: self._deliver(message),
@@ -189,6 +193,7 @@ class Network:
         return False
 
     def _deliver(self, message: Message) -> None:
+        self.in_flight -= 1
         entry = self._nodes[message.receiver]
         if not entry.is_up():
             # Receiver crashed while the message was in flight: the

@@ -1,0 +1,100 @@
+"""The adversary generator: determinism, serialization, sane samples."""
+
+import pytest
+
+from repro.explore.adversary import (
+    PROTOCOL_FAMILIES,
+    AdversaryGenerator,
+    CrashAt,
+    CrashWhen,
+    DropNext,
+    GeneratorConfig,
+    LossWindow,
+    PartitionWindow,
+    ScenarioSpec,
+    action_from_dict,
+    action_to_dict,
+)
+from repro.workloads.mixes import MIXES
+
+
+def test_same_seed_same_spec():
+    generator = AdversaryGenerator(GeneratorConfig(protocol="prany"))
+    assert generator.generate(7) == generator.generate(7)
+
+
+def test_different_seeds_differ_somewhere():
+    generator = AdversaryGenerator(GeneratorConfig(protocol="prany"))
+    specs = [generator.generate(seed) for seed in range(20)]
+    assert len(set(specs)) > 1
+
+
+def test_salt_perturbs_the_stream():
+    plain = AdversaryGenerator(GeneratorConfig(protocol="prany", salt=0))
+    salted = AdversaryGenerator(GeneratorConfig(protocol="prany", salt=1))
+    assert any(plain.generate(s) != salted.generate(s) for s in range(10))
+
+
+@pytest.mark.parametrize("family", sorted(PROTOCOL_FAMILIES))
+def test_families_sample_valid_mixes_and_coordinators(family):
+    generator = AdversaryGenerator(GeneratorConfig(protocol=family))
+    for seed in range(25):
+        spec = generator.generate(seed)
+        assert spec.mix in MIXES
+        assert spec.coordinator in PROTOCOL_FAMILIES[family]
+        assert 1 <= len(spec.actions) <= generator.config.max_actions
+        assert 1 <= spec.n_transactions <= generator.config.max_transactions
+        assert spec.latency_low <= spec.latency_high
+        assert spec.horizon > 0 and spec.settle > 0
+
+
+def test_spec_round_trips_through_dict():
+    generator = AdversaryGenerator(GeneratorConfig(protocol="u2pc"))
+    for seed in range(25):
+        spec = generator.generate(seed)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize(
+    "action",
+    [
+        CrashAt(site="site0_pra", at=12.5, down_for=60.0),
+        CrashWhen(
+            site="tm",
+            point="coord-after-decide",
+            txn="t0001",
+            down_for=45.0,
+            delay=2.0,
+        ),
+        PartitionWindow(a="tm", b="site0_pra", at=10.0, heal_at=50.0),
+        DropNext(sender="tm", receiver="site0_pra", at=5.0, count=2, kind="COMMIT"),
+        DropNext(sender="a", receiver="b", at=1.0),
+        LossWindow(probability=0.4, at=0.0, until=30.0),
+    ],
+)
+def test_action_round_trips_through_dict(action):
+    assert action_from_dict(action_to_dict(action)) == action
+
+
+def test_action_from_dict_rejects_unknown_type():
+    with pytest.raises(Exception):
+        action_from_dict({"type": "meteor-strike"})
+
+
+def test_crash_when_points_come_from_the_catalogue():
+    from repro.workloads.failure_schedules import (
+        coordinator_crash_points,
+        participant_crash_points,
+    )
+
+    catalogue = {
+        p.name for p in coordinator_crash_points() + participant_crash_points()
+    }
+    generator = AdversaryGenerator(GeneratorConfig(protocol="prany"))
+    sampled = set()
+    for seed in range(200):
+        for action in generator.generate(seed).actions:
+            if isinstance(action, CrashWhen):
+                sampled.add(action.point)
+    assert sampled  # the weights make crash-when the most likely action
+    assert sampled <= catalogue

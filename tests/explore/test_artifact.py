@@ -1,0 +1,87 @@
+"""Artifact export, loading and byte-exact replay."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.explore.adversary import CrashAt, ScenarioSpec
+from repro.explore.artifact import (
+    Artifact,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+)
+from repro.explore.runner import run_scenario
+from repro.sim.export import load_trace
+
+
+def _violating_outcome():
+    spec = ScenarioSpec(
+        seed=1,
+        mix="all-PrC",
+        coordinator="U2PC(PrA)",
+        n_transactions=4,
+        inter_arrival=40.0,
+        horizon=460.0,
+        actions=(CrashAt(site="site1_prc", at=275.0, down_for=60.0),),
+    )
+    return run_scenario(spec)
+
+
+def test_save_load_round_trip(tmp_path):
+    artifact = Artifact.from_outcome(_violating_outcome(), note="unit test")
+    path = save_artifact(artifact, tmp_path / "ce.json")
+    assert load_artifact(path) == artifact
+
+
+def test_replay_is_exact(tmp_path):
+    artifact = Artifact.from_outcome(_violating_outcome())
+    path = save_artifact(artifact, tmp_path / "ce.json")
+    replay = replay_artifact(path)
+    assert replay.exact
+    assert replay.verdict_matches and replay.trace_matches
+    assert "[exact match]" in replay.describe()
+
+
+def test_save_with_trace_writes_matching_sidecar(tmp_path):
+    outcome = _violating_outcome()
+    artifact = Artifact.from_outcome(outcome)
+    save_artifact(artifact, tmp_path / "ce.json", with_trace=True)
+    sidecar = tmp_path / "ce.trace.jsonl"
+    assert sidecar.exists()
+    events = load_trace(sidecar)
+    assert len(events) == outcome.trace_events
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not-an-artifact.json"
+    path.write_text(json.dumps({"kind": "something-else"}))
+    with pytest.raises(SimulationError):
+        load_artifact(path)
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    artifact = Artifact.from_outcome(_violating_outcome())
+    payload = artifact.to_dict()
+    payload["version"] = 999
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SimulationError):
+        load_artifact(path)
+
+
+def test_replay_detects_divergence(tmp_path):
+    """A tampered digest must be reported, not silently accepted."""
+    artifact = Artifact.from_outcome(_violating_outcome())
+    tampered = Artifact(
+        spec=artifact.spec,
+        verdict=artifact.verdict,
+        trace_sha256="0" * 64,
+        trace_events=artifact.trace_events,
+    )
+    replay = replay_artifact(tampered)
+    assert replay.verdict_matches
+    assert not replay.trace_matches
+    assert not replay.exact
+    assert "DIVERGED" in replay.describe()

@@ -1,0 +1,85 @@
+"""The invariant oracle: verdicts, categories and the stale-inquiry split."""
+
+from repro.explore.adversary import AdversaryGenerator, GeneratorConfig, ScenarioSpec
+from repro.explore.oracle import (
+    ATOMICITY,
+    OPERATIONAL,
+    SAFE_STATE,
+    InvariantOracle,
+    OracleVerdict,
+)
+from repro.explore.runner import build_scenario, execute_scenario, run_scenario
+
+
+def test_clean_run_holds():
+    outcome = run_scenario(
+        ScenarioSpec(seed=3, mix="PrA+PrC", coordinator="dynamic")
+    )
+    assert outcome.verdict.holds
+    assert outcome.verdict.categories == frozenset()
+    assert outcome.verdict.transactions_checked == 2
+    assert outcome.verdict.summary().startswith("OK")
+
+
+def test_verdict_round_trips_through_dict():
+    verdict = OracleVerdict(
+        transactions_checked=3,
+        atomicity_violations=("txn t0001: diverged",),
+        retained_entries=(("tm", ("t0001", "t0002")),),
+        stuck_in_doubt=(("t0001", ("site0_pra",)),),
+        stale_inquiries=("txn t0000: stale",),
+    )
+    assert OracleVerdict.from_dict(verdict.to_dict()) == verdict
+    assert verdict.categories == frozenset({ATOMICITY, OPERATIONAL})
+    assert not verdict.holds
+    assert "atomicity" in verdict.summary()
+
+
+def test_stuck_in_doubt_alone_does_not_fail_the_verdict():
+    verdict = OracleVerdict(stuck_in_doubt=(("t0001", ("site0_pra",)),))
+    assert verdict.holds
+
+
+def test_u2pc_counterexample_is_flagged_as_atomicity():
+    # The canonical Theorem 1 schedule: all-PrC under a uniform PrA
+    # table, the PrC participant crashing after the decision point.
+    spec = ScenarioSpec(
+        seed=1,
+        mix="all-PrC",
+        coordinator="U2PC(PrA)",
+        n_transactions=4,
+        inter_arrival=40.0,
+        horizon=460.0,
+        actions=(),
+    )
+    from repro.explore.adversary import CrashAt
+
+    spec = spec.with_actions(
+        (CrashAt(site="site1_prc", at=275.0, down_for=60.0),)
+    )
+    outcome = run_scenario(spec)
+    assert ATOMICITY in outcome.verdict.categories
+    assert SAFE_STATE in outcome.verdict.categories
+
+
+def test_stale_inflight_inquiry_is_demoted_not_flagged():
+    """Seed 140 of the default prany sweep delivers an inquiry after a
+    safe coordinator forget (pure latency reordering, no crash): the
+    oracle must record it as informational, not as a violation."""
+    generator = AdversaryGenerator(GeneratorConfig(protocol="prany"))
+    spec = generator.generate(140)
+    mdbs, outcome = execute_scenario(spec)
+    assert outcome.verdict.holds, outcome.verdict.describe()
+    assert outcome.verdict.stale_inquiries
+    # The raw checker did flag it — the demotion is the oracle's.
+    assert mdbs.check().safe_state.violations
+    assert "stale in-flight inquiry" in outcome.verdict.describe()
+
+
+def test_oracle_evaluates_a_settled_system():
+    spec = ScenarioSpec(seed=9, mix="PrN+PrA+PrC", coordinator="dynamic")
+    mdbs = build_scenario(spec)
+    mdbs.run(until=spec.horizon + spec.settle)
+    mdbs.finalize()
+    verdict = InvariantOracle().evaluate(mdbs)
+    assert verdict.holds

@@ -1,0 +1,75 @@
+"""run_scenario determinism and the ParallelRunner sweep machinery."""
+
+from repro.explore.adversary import (
+    AdversaryGenerator,
+    CrashAt,
+    GeneratorConfig,
+    ScenarioSpec,
+)
+from repro.explore.runner import ParallelRunner, run_scenario
+
+
+def _spec(**overrides):
+    base = dict(
+        seed=5,
+        mix="PrA+PrC",
+        coordinator="dynamic",
+        n_transactions=2,
+        actions=(CrashAt(site="site0_pra", at=30.0, down_for=60.0),),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def test_run_scenario_is_deterministic():
+    first = run_scenario(_spec())
+    second = run_scenario(_spec())
+    assert first.trace_sha256 == second.trace_sha256
+    assert first.trace_events == second.trace_events
+    assert first.verdict == second.verdict
+
+
+def test_run_outcome_counters_are_populated():
+    outcome = run_scenario(_spec())
+    assert outcome.crashes_injected >= 1
+    assert outcome.messages_sent > 0
+    assert outcome.trace_events > 0
+    assert outcome.holds  # PrAny survives a single timed crash
+
+
+def test_generated_specs_run_clean_under_prany():
+    generator = AdversaryGenerator(GeneratorConfig(protocol="prany"))
+    for seed in range(8):
+        outcome = run_scenario(generator.generate(seed))
+        assert outcome.holds, f"seed {seed}: {outcome.verdict.describe()}"
+
+
+def test_serial_sweep_is_deterministic_and_ordered():
+    config = GeneratorConfig(protocol="u2pc")
+    first = ParallelRunner(config, jobs=1).sweep(range(30))
+    second = ParallelRunner(config, jobs=1).sweep(range(30))
+    assert [s.seed for s in first.completed] == list(range(30))
+    assert [(s.seed, s.trace_sha256, s.holds) for s in first.completed] == [
+        (s.seed, s.trace_sha256, s.holds) for s in second.completed
+    ]
+    # The u2pc family must find Theorem 1 violations in any small range.
+    assert first.violations
+    assert "atomicity" in first.category_counts()
+
+
+def test_sweep_respects_time_budget():
+    config = GeneratorConfig(protocol="prany")
+    result = ParallelRunner(config, jobs=1).sweep(range(10_000), time_budget=0.0)
+    assert result.budget_exhausted
+    assert result.seeds_scanned == 0
+
+
+def test_progress_callback_fires_at_least_once():
+    calls = []
+    runner = ParallelRunner(
+        GeneratorConfig(protocol="prany"),
+        jobs=1,
+        progress=lambda done, violations: calls.append((done, violations)),
+    )
+    result = runner.sweep(range(5))
+    assert calls and calls[-1][0] == result.seeds_scanned

@@ -1,0 +1,93 @@
+"""Delta-debugging: shrunk counterexamples stay counterexamples."""
+
+import pytest
+
+from repro.explore.adversary import (
+    CrashAt,
+    DropNext,
+    LossWindow,
+    PartitionWindow,
+    ScenarioSpec,
+)
+from repro.explore.oracle import ATOMICITY, OPERATIONAL
+from repro.explore.shrink import shrink
+
+# The pinned Theorem 1 witness (tests/explore/artifacts/u2pc-seed1.json)
+# padded with three irrelevant actions the shrinker must strip again.
+VIOLATING_CRASH = CrashAt(site="site1_prc", at=275.0, down_for=60.0)
+NOISE = (
+    PartitionWindow(a="tm", b="site0_prc", at=500.0, heal_at=510.0),
+    DropNext(sender="site0_prc", receiver="tm", at=600.0, kind="INQUIRY"),
+    LossWindow(probability=0.05, at=700.0, until=710.0),
+)
+
+
+def _u2pc_spec(actions):
+    return ScenarioSpec(
+        seed=1,
+        mix="all-PrC",
+        coordinator="U2PC(PrA)",
+        n_transactions=4,
+        inter_arrival=40.0,
+        horizon=460.0,
+        actions=tuple(actions),
+    )
+
+
+def test_shrink_strips_irrelevant_actions():
+    padded = _u2pc_spec((VIOLATING_CRASH,) + NOISE)
+    result = shrink(padded)
+    assert result.improved
+    assert len(result.minimized.actions) == 1
+    assert isinstance(result.minimized.actions[0], CrashAt)
+    assert result.minimized.actions[0].site == "site1_prc"
+    assert ATOMICITY in result.outcome.verdict.categories
+    assert result.actions_removed == 3
+    assert result.runs <= 250
+
+
+def test_shrink_preserves_the_violation_category():
+    result = shrink(_u2pc_spec((VIOLATING_CRASH,) + NOISE))
+    # An atomicity counterexample must not degrade into, say, a mere
+    # operational one during minimization.
+    assert ATOMICITY in result.outcome.verdict.categories
+
+
+def test_shrink_can_empty_the_action_list():
+    """C2PC retains terminated transactions on failure-free runs, so
+    its minimal counterexample has no adversary at all."""
+    spec = ScenarioSpec(
+        seed=0,
+        mix="PrA+PrC",
+        coordinator="C2PC(PrN)",
+        n_transactions=2,
+        actions=NOISE,
+    )
+    result = shrink(spec)
+    assert result.minimized.actions == ()
+    assert OPERATIONAL in result.outcome.verdict.categories
+
+
+def test_shrink_truncates_the_workload():
+    spec = ScenarioSpec(
+        seed=0,
+        mix="PrA+PrC",
+        coordinator="C2PC(PrN)",
+        n_transactions=4,
+        actions=(),
+    )
+    result = shrink(spec)
+    assert result.minimized.n_transactions == 1
+
+
+def test_shrink_rejects_a_clean_spec():
+    clean = ScenarioSpec(seed=3, mix="PrA+PrC", coordinator="dynamic")
+    with pytest.raises(ValueError):
+        shrink(clean)
+
+
+def test_shrink_respects_max_runs():
+    result = shrink(_u2pc_spec((VIOLATING_CRASH,) + NOISE), max_runs=2)
+    assert result.runs <= 2
+    # Even starved, the result must still be a valid counterexample.
+    assert not result.outcome.verdict.holds

@@ -4,6 +4,15 @@ This is the test-suite twin of experiment T3: it pins down that the
 full PrAny stack stays correct under every single-site crash at every
 protocol step. Failures here point at the exact (mix, outcome, crash
 point, victim) combination that broke.
+
+The U2PC and C2PC matrices below are the twin of experiments T1/T2:
+they iterate the same catalogue under the paper's two naive fixes and
+assert the *expected* failures — Theorem 1's atomicity violations at
+exactly the cells where a participant whose native presumption
+disagrees with the decision crashes inside its decision window, and
+Theorem 2's unforgettable transactions (a protocol-table entry the
+coordinator retains forever) at every cell where the decision is not
+already implied by the C2PC coordinator's own presumption.
 """
 
 import pytest
@@ -20,12 +29,12 @@ MATRIX_MIXES = ("PrA+PrC", "PrN+PrA+PrC")
 POINTS = {p.name: p for p in coordinator_crash_points() + participant_crash_points()}
 
 
-def run_case(mix_name, outcome, point_name, victim_role):
+def run_matrix_case(coordinator, mix_name, outcome, point_name, victim):
+    """One crash-matrix cell: a single transaction, a single crash."""
     mix = MIXES[mix_name]
-    mdbs = build_mdbs(mix, coordinator="dynamic", seed=31)
+    mdbs = build_mdbs(mix, coordinator=coordinator, seed=31)
     participants = sorted(mix.site_protocols())
     point = POINTS[point_name]
-    victim = COORDINATOR_ID if victim_role == "coordinator" else participants[0]
     txn = GlobalTransaction(
         txn_id="tx",
         coordinator=COORDINATOR_ID,
@@ -39,6 +48,13 @@ def run_case(mix_name, outcome, point_name, victim_role):
     mdbs.run(until=800)
     mdbs.finalize()
     return mdbs.check()
+
+
+def run_case(mix_name, outcome, point_name, victim_role):
+    mix = MIXES[mix_name]
+    participants = sorted(mix.site_protocols())
+    victim = COORDINATOR_ID if victim_role == "coordinator" else participants[0]
+    return run_matrix_case("dynamic", mix_name, outcome, point_name, victim)
 
 
 @pytest.mark.parametrize("mix_name", MATRIX_MIXES)
@@ -61,6 +77,107 @@ def test_coordinator_crashes(mix_name, outcome, point_name):
 def test_participant_crashes(mix_name, outcome, point_name):
     reports = run_case(mix_name, outcome, point_name, "participant")
     assert reports.all_hold, str(reports)
+
+
+# ---------------------------------------------------------------------------
+# U2PC and C2PC over the same catalogue: assert the *expected* failures.
+# ---------------------------------------------------------------------------
+
+NAIVE_MIX = "PrA+PrC"
+NAIVE_PARTICIPANTS = sorted(MIXES[NAIVE_MIX].site_protocols())
+
+# Every (outcome, crash point, victim) cell of the single-crash matrix.
+MATRIX_CELLS = [
+    (outcome, point.name, victim)
+    for outcome in ("commit", "abort")
+    for point in coordinator_crash_points() + participant_crash_points()
+    for victim in (
+        [COORDINATOR_ID] if point.role == "coordinator" else NAIVE_PARTICIPANTS
+    )
+]
+
+# Theorem 1: U2PC breaks atomicity exactly when the participant whose
+# native presumption contradicts the decision crashes inside its
+# decision window (prepared → decision durably enforced).  Under the
+# uniform PrN/PrA tables the endangered participant is the PrC site on
+# commits (its commit record is lazy, so a crash loses it and recovery
+# resolves to the uniform presumed/explicit *abort*); under the uniform
+# PrC table it is the PrA site on aborts (its abort is lazy, and the
+# uniform table presumes *commit*).  Every other cell must stay clean.
+U2PC_EXPECTED_VIOLATIONS = {
+    "U2PC(PrN)": {
+        ("commit", "part-after-prepared", "site1_prc"),
+        ("commit", "part-before-decision-commit", "site1_prc"),
+        ("commit", "part-after-enforce-commit", "site1_prc"),
+    },
+    "U2PC(PrA)": {
+        ("commit", "part-after-prepared", "site1_prc"),
+        ("commit", "part-before-decision-commit", "site1_prc"),
+        ("commit", "part-after-enforce-commit", "site1_prc"),
+    },
+    "U2PC(PrC)": {
+        ("abort", "part-after-prepared", "site0_pra"),
+        ("abort", "part-before-decision-abort", "site0_pra"),
+        ("abort", "part-after-enforce-abort", "site0_pra"),
+    },
+}
+
+# Theorem 2: C2PC keeps every terminated transaction in the
+# coordinator's protocol table forever (operationally incorrect), in
+# every cell except where the decision is already implied by the C2PC
+# coordinator's own presumption, so there is nothing to retain: a
+# pre-decision coordinator crash resolves to presumed abort under PrN
+# and PrA, and a PrA coordinator never needs to remember aborts at all.
+C2PC_EXPECTED_CLEAN = {
+    "C2PC(PrN)": {
+        ("commit", "coord-after-prepare-sent", COORDINATOR_ID),
+        ("abort", "coord-after-prepare-sent", COORDINATOR_ID),
+    },
+    "C2PC(PrA)": {
+        ("commit", "coord-after-prepare-sent", COORDINATOR_ID),
+        ("abort", "coord-after-prepare-sent", COORDINATOR_ID),
+        ("abort", "coord-after-decide", COORDINATOR_ID),
+        ("abort", "coord-after-decision-sent-abort", COORDINATOR_ID),
+    },
+    "C2PC(PrC)": set(),
+}
+
+
+@pytest.mark.parametrize("outcome,point_name,victim", MATRIX_CELLS)
+@pytest.mark.parametrize("policy", sorted(U2PC_EXPECTED_VIOLATIONS))
+def test_u2pc_matrix(policy, outcome, point_name, victim):
+    reports = run_matrix_case(policy, NAIVE_MIX, outcome, point_name, victim)
+    cell = (outcome, point_name, victim)
+    if cell in U2PC_EXPECTED_VIOLATIONS[policy]:
+        assert reports.atomicity.violations, (
+            f"{policy} {cell}: expected a Theorem 1 atomicity violation"
+        )
+        # The divergence is also visible to the other two checkers: the
+        # mis-resolved participant answered an inquiry contra the
+        # decision and ends in a state nobody will ever clean up.
+        assert reports.safe_state.violations
+        assert not reports.operational.holds
+    else:
+        assert reports.all_hold, f"{policy} {cell}: unexpected {reports}"
+
+
+@pytest.mark.parametrize("outcome,point_name,victim", MATRIX_CELLS)
+@pytest.mark.parametrize("policy", sorted(C2PC_EXPECTED_CLEAN))
+def test_c2pc_matrix(policy, outcome, point_name, victim):
+    reports = run_matrix_case(policy, NAIVE_MIX, outcome, point_name, victim)
+    # C2PC never breaks atomicity — that is the whole point of the fix.
+    assert not reports.atomicity.violations, f"{policy}: {reports}"
+    assert not reports.safe_state.violations, f"{policy}: {reports}"
+    cell = (outcome, point_name, victim)
+    if cell in C2PC_EXPECTED_CLEAN[policy]:
+        assert reports.all_hold, f"{policy} {cell}: unexpected {reports}"
+    else:
+        assert not reports.operational.holds, (
+            f"{policy} {cell}: expected an unforgettable transaction"
+        )
+        assert COORDINATOR_ID in reports.operational.retained_entries, (
+            f"{policy} {cell}: {reports.operational.retained_entries}"
+        )
 
 
 @pytest.mark.parametrize("outcome", ["commit", "abort"])

@@ -1,0 +1,96 @@
+"""Annotations across the public net API must actually resolve.
+
+``from __future__ import annotations`` turns every annotation into a
+string that nothing evaluates at runtime, so a missing import (say,
+using ``Optional`` without importing it) is invisible until somebody
+evaluates the annotation — which is exactly what this module does, two
+ways:
+
+* :func:`typing.get_type_hints` over every exported class (and each of
+  its methods) and function — the standard-library resolution path;
+* an AST sweep that evaluates *every* annotation expression in each
+  ``repro.net`` module against the module's own namespace, which also
+  covers annotations :func:`typing.get_type_hints` never sees, such as
+  ``self._omission_budget: dict[tuple[str, str, Optional[str]], int]``
+  inside a method body.
+"""
+
+import ast
+import inspect
+import typing
+
+import pytest
+
+import repro.net
+from repro.net import failures, message, network
+
+NET_MODULES = (network, failures, message)
+
+
+def _public_objects():
+    objects, seen = [], set()
+    for name in repro.net.__all__:
+        obj = getattr(repro.net, name)
+        if id(obj) not in seen:
+            seen.add(id(obj))
+            objects.append((name, obj))
+    return objects
+
+
+@pytest.mark.parametrize(
+    "label,obj", _public_objects(), ids=[l for l, _ in _public_objects()]
+)
+def test_exported_annotations_resolve(label, obj):
+    """get_type_hints must not raise NameError on any exported object."""
+    typing.get_type_hints(obj)
+    if inspect.isclass(obj):
+        for attr in vars(obj).values():
+            if inspect.isfunction(attr):
+                typing.get_type_hints(attr)
+
+
+def _module_annotations(module):
+    """Every annotation expression in the module, as (lineno, source)."""
+    tree = ast.parse(inspect.getsource(module))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            found.append((node.annotation.lineno, ast.unparse(node.annotation)))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in (
+                node.args.posonlyargs
+                + node.args.args
+                + node.args.kwonlyargs
+                + [node.args.vararg, node.args.kwarg]
+            ):
+                if arg is not None and arg.annotation is not None:
+                    found.append(
+                        (arg.annotation.lineno, ast.unparse(arg.annotation))
+                    )
+            if node.returns is not None:
+                found.append((node.returns.lineno, ast.unparse(node.returns)))
+    return found
+
+
+@pytest.mark.parametrize("module", NET_MODULES, ids=[m.__name__ for m in NET_MODULES])
+def test_every_annotation_in_module_resolves(module):
+    """Evaluate each annotation expression in the module's namespace.
+
+    This is the check that catches a ``NameError`` hiding inside an
+    attribute annotation in a method body (evaluated by nothing at
+    runtime once ``from __future__ import annotations`` is active).
+    """
+    # Deliberately only the module's own namespace: padding it with
+    # ``vars(typing)`` would mask exactly the missing-import bug this
+    # test exists to catch.
+    namespace = dict(vars(module))
+    failures_found = []
+    for lineno, expression in _module_annotations(module):
+        try:
+            eval(expression, namespace)  # noqa: S307 - trusted source
+        except NameError as exc:
+            failures_found.append(f"line {lineno}: {expression!r} -> {exc}")
+    assert not failures_found, (
+        f"{module.__name__}: unresolvable annotations:\n"
+        + "\n".join(failures_found)
+    )

@@ -1,0 +1,135 @@
+"""Property-based tests for the network layer's bookkeeping.
+
+Three invariants the explorer's oracle leans on:
+
+* conservation — every sent message is accounted for exactly once:
+  ``sent_count == delivered_count + dropped_count + in_flight`` holds
+  at every instant, and ``in_flight`` is zero once the event queue
+  quiesces;
+* partition symmetry — a partition blocks the pair in both directions,
+  and healing restores both directions;
+* omission budgets — ``drop_next`` consumes its budget exactly once
+  per matching message, and kind-filtered budgets let other kinds
+  through without spending.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.message import Message
+from repro.net.network import ConstantLatency, Network, UniformLatency
+from repro.sim.kernel import Simulator
+
+NODES = ("a", "b", "c")
+KINDS = ("PREPARE", "VOTE_YES", "ACK")
+
+
+def _build(seed=0, jitter=False):
+    sim = Simulator(seed=seed)
+    latency = UniformLatency(sim, 0.5, 2.0) if jitter else ConstantLatency(1.0)
+    net = Network(sim, latency=latency)
+    delivered = []
+    for node in NODES:
+        net.register(
+            node,
+            handler=lambda m, node=node: delivered.append((node, m.kind)),
+        )
+    return sim, net, delivered
+
+
+links = st.tuples(
+    st.sampled_from(NODES), st.sampled_from(NODES), st.sampled_from(KINDS)
+).filter(lambda t: t[0] != t[1])
+
+
+@given(
+    sends=st.lists(links, max_size=60),
+    partitions=st.sets(
+        st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+            lambda t: t[0] != t[1]
+        ),
+        max_size=3,
+    ),
+    loss=st.sampled_from([0.0, 0.0, 0.3, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=100)
+def test_conservation_under_arbitrary_failures(sends, partitions, loss, seed):
+    """sent == delivered + dropped + in_flight, always; in_flight → 0."""
+    sim, net, delivered = _build(seed=seed, jitter=True)
+    for a, b in partitions:
+        net.partition(a, b)
+    net.set_loss_probability(loss)
+    for sender, receiver, kind in sends:
+        net.send(Message(kind=kind, sender=sender, receiver=receiver))
+        assert (
+            net.sent_count
+            == net.delivered_count + net.dropped_count + net.in_flight
+        )
+    sim.run()
+    assert net.in_flight == 0
+    assert net.sent_count == len(sends)
+    assert net.sent_count == net.delivered_count + net.dropped_count
+    assert net.delivered_count == len(delivered)
+
+
+@given(
+    pair=st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+        lambda t: t[0] != t[1]
+    ),
+    kind=st.sampled_from(KINDS),
+)
+@settings(max_examples=40)
+def test_partition_blocks_both_directions_and_heals(pair, kind):
+    a, b = pair
+    sim, net, delivered = _build()
+    # Declared one way, blocks both ways.
+    net.partition(a, b)
+    net.send(Message(kind=kind, sender=a, receiver=b))
+    net.send(Message(kind=kind, sender=b, receiver=a))
+    sim.run()
+    assert delivered == []
+    assert net.dropped_count == 2
+    # Healed the other way round, restores both ways.
+    net.heal(b, a)
+    net.send(Message(kind=kind, sender=a, receiver=b))
+    net.send(Message(kind=kind, sender=b, receiver=a))
+    sim.run()
+    assert sorted(delivered) == sorted([(b, kind), (a, kind)])
+    assert net.sent_count == net.delivered_count + net.dropped_count
+
+
+@given(
+    budget=st.integers(min_value=1, max_value=5),
+    traffic=st.integers(min_value=0, max_value=8),
+    kind_filtered=st.booleans(),
+)
+@settings(max_examples=60)
+def test_drop_next_budget_consumed_exactly_once_per_match(
+    budget, traffic, kind_filtered
+):
+    """A budget of N drops exactly min(N, matching sends), no more."""
+    sim, net, delivered = _build()
+    target_kind = "PREPARE" if kind_filtered else None
+    net.drop_next("a", "b", count=budget, kind=target_kind)
+    for _ in range(traffic):
+        net.send(Message(kind="PREPARE", sender="a", receiver="b"))
+    # Non-matching traffic: different kind on the same link, and the
+    # same kind on the reverse link. Neither may spend the budget.
+    net.send(Message(kind="ACK", sender="a", receiver="b"))
+    net.send(Message(kind="PREPARE", sender="b", receiver="a"))
+    sim.run()
+    expected_dropped = min(budget, traffic) if kind_filtered else min(
+        budget, traffic + 1
+    )
+    assert net.dropped_count == expected_dropped
+    assert net.delivered_count == net.sent_count - expected_dropped
+    # The leftover budget must equal what was not consumed — and a
+    # fresh matching burst must consume it before anything passes.
+    leftover = budget - expected_dropped
+    before = net.dropped_count
+    for _ in range(leftover + 2):
+        net.send(Message(kind="PREPARE", sender="a", receiver="b"))
+    sim.run()
+    assert net.dropped_count - before == leftover
+    assert net.in_flight == 0

@@ -77,3 +77,56 @@ class TestCLI:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestExploreCLI:
+    """The `repro explore` fuzzing entry point."""
+
+    def test_explore_clean_sweep_exits_zero(self, capsys):
+        code, out = run_cli(
+            capsys, "explore", "--seeds", "0:25", "--protocol", "prany",
+            "--jobs", "1",
+        )
+        assert code == 0
+        assert "violations:       0" in out
+
+    def test_explore_u2pc_finds_and_shrinks(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "explore", "--seeds", "0:30", "--protocol", "u2pc",
+            "--jobs", "1", "--artifacts", str(tmp_path),
+            "--max-counterexamples", "1",
+        )
+        assert code == 1
+        assert "atomicity" in out
+        assert "shrunk to" in out
+        exported = list(tmp_path.glob("u2pc-seed*.json"))
+        assert len(exported) == 1
+
+    def test_explore_no_shrink_skips_export(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "explore", "--seeds", "0:30", "--protocol", "u2pc",
+            "--jobs", "1", "--artifacts", str(tmp_path), "--no-shrink",
+        )
+        assert code == 1
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_explore_replay_of_pinned_artifact(self, capsys):
+        from pathlib import Path
+
+        artifact = sorted(
+            (Path(__file__).parent / "explore" / "artifacts").glob("*.json")
+        )[0]
+        code, out = run_cli(capsys, "explore", "--replay", str(artifact))
+        assert code == 0
+        assert "[exact match]" in out
+
+    def test_explore_seed_range_formats(self):
+        parser = build_parser()
+        args = parser.parse_args(["explore", "--seeds", "5:9"])
+        assert list(args.seeds) == [5, 6, 7, 8]
+        args = parser.parse_args(["explore", "--seeds", "4"])
+        assert list(args.seeds) == [0, 1, 2, 3]
+
+    def test_explore_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--seeds", "0:1", "--protocol", "3pc", "--jobs", "1"])
