@@ -1,0 +1,60 @@
+"""Benchmarking and profiling of the simulator itself.
+
+``repro bench`` measures wall-clock throughput (events/sec,
+messages/sec, peak RSS) of deterministic, seed-pinned end-to-end
+scenarios and writes the schema-versioned ``BENCH_sim.json`` perf
+baseline at the repo root. ``repro bench --check`` compares a fresh
+run against the committed baseline and fails on >20% regressions.
+
+This package measures the *simulator's speed*; the ``benchmarks/``
+pytest suite measures the *protocols' costs* (forced writes, message
+counts). See docs/BENCHMARKS.md for the distinction and the schema.
+"""
+
+from repro.bench.report import (
+    OPTIMIZATION_HISTORY,
+    REGRESSION_THRESHOLD,
+    SCHEMA_VERSION,
+    Regression,
+    build_report,
+    compare_reports,
+    load_report,
+    validate_report,
+    write_report,
+)
+from repro.bench.runner import (
+    BenchConfig,
+    ScenarioMeasurement,
+    Stats,
+    measure_scenario,
+    run_bench,
+)
+from repro.bench.scenarios import (
+    BENCH_SEED,
+    SCENARIOS,
+    Scenario,
+    ScenarioResult,
+    get_scenarios,
+)
+
+__all__ = [
+    "BENCH_SEED",
+    "BenchConfig",
+    "OPTIMIZATION_HISTORY",
+    "REGRESSION_THRESHOLD",
+    "Regression",
+    "SCENARIOS",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioMeasurement",
+    "ScenarioResult",
+    "Stats",
+    "build_report",
+    "compare_reports",
+    "get_scenarios",
+    "load_report",
+    "measure_scenario",
+    "run_bench",
+    "validate_report",
+    "write_report",
+]

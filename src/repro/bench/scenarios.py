@@ -1,0 +1,367 @@
+"""The benchmark scenario registry.
+
+Each :class:`Scenario` is a deterministic, end-to-end workload pinned
+to a fixed seed: running it twice produces the same event count, the
+same message count and the same trace — only the wall-clock time
+varies. That is what makes the numbers in ``BENCH_sim.json``
+comparable across commits: a change in *work done* (events, messages)
+is a behaviour change and is flagged as such, while a change in
+*seconds* is a performance change.
+
+The registry covers the paths every future perf PR cares about:
+
+* ``kernel-dispatch`` — the raw event loop of :mod:`repro.sim.kernel`,
+  no protocol work at all. The canonical dispatch-overhead number.
+* ``trace-record`` — :class:`repro.sim.tracing.TraceRecorder` under a
+  record storm, with and without a category filter.
+* ``commit-storm-*`` — whole-MDBS commit processing for PrAny, U2PC
+  and C2PC coordinators over the paper's heterogeneous PrN+PrA+PrC
+  mix.
+* ``crash-recovery`` — a commit storm with scheduled site crashes and
+  §4.2 recovery in the middle of it.
+* ``explore-sweep`` — a fixed-seed in-process slice of the PR 1
+  adversarial explorer, the heaviest composite consumer of the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+#: Seed shared by every registered scenario (pinned; never change it
+#: without bumping the report schema version — numbers stop being
+#: comparable across the change otherwise).
+BENCH_SEED = 7
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """What one execution of a scenario did (deterministic per seed).
+
+    Attributes:
+        events: kernel events dispatched (``Simulator.steps_executed``),
+            or the scenario's natural unit of work where no kernel runs
+            (trace records for ``trace-record``).
+        trace_events: total trace events recorded.
+        messages: network messages sent.
+        checks_passed: the scenario's own correctness gate — benchmarks
+            must never trade correctness for speed silently.
+        detail: free-form scenario-specific counters.
+    """
+
+    events: int
+    trace_events: int
+    messages: int
+    checks_passed: bool
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded benchmark workload.
+
+    Attributes:
+        name: registry key, also the key in ``BENCH_sim.json``.
+        description: one line for ``repro bench --list`` and the report.
+        seed: the pinned seed (always :data:`BENCH_SEED` today).
+        tags: coarse grouping (``"micro"``, ``"system"``, ``"composite"``).
+        run: executes the workload; ``smoke=True`` shrinks it to a
+            CI-friendly size (same shape, fewer iterations).
+    """
+
+    name: str
+    description: str
+    seed: int
+    tags: tuple[str, ...]
+    run: Callable[[bool], ScenarioResult]
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    tags: tuple[str, ...],
+    seed: int = BENCH_SEED,
+) -> Callable[[Callable[[bool], ScenarioResult]], Callable[[bool], ScenarioResult]]:
+    """Decorator: add a scenario runner to the registry."""
+
+    def installer(fn: Callable[[bool], ScenarioResult]) -> Callable[[bool], ScenarioResult]:
+        if name in SCENARIOS:
+            raise ReproError(f"duplicate bench scenario {name!r}")
+        SCENARIOS[name] = Scenario(
+            name=name, description=description, seed=seed, tags=tags, run=fn
+        )
+        return fn
+
+    return installer
+
+
+def get_scenarios(selector: str) -> list[Scenario]:
+    """Resolve a ``--scenario`` argument to scenarios, in registry order.
+
+    ``"all"`` selects everything; otherwise a comma-separated list of
+    registry names (or tags).
+    """
+    if selector == "all":
+        return list(SCENARIOS.values())
+    chosen: list[Scenario] = []
+    for token in selector.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in SCENARIOS:
+            if SCENARIOS[token] not in chosen:
+                chosen.append(SCENARIOS[token])
+            continue
+        tagged = [s for s in SCENARIOS.values() if token in s.tags]
+        if not tagged:
+            raise ReproError(
+                f"unknown bench scenario {token!r}; "
+                f"expected 'all', a name in {sorted(SCENARIOS)} or a tag"
+            )
+        for scenario in tagged:
+            if scenario not in chosen:
+                chosen.append(scenario)
+    if not chosen:
+        raise ReproError(f"empty scenario selection {selector!r}")
+    return chosen
+
+
+# -- micro scenarios ---------------------------------------------------------
+
+
+@register(
+    "kernel-dispatch",
+    "raw event-loop dispatch: chained timers, cancellations, no protocol work",
+    tags=("micro", "kernel"),
+)
+def _kernel_dispatch(smoke: bool = False) -> ScenarioResult:
+    from repro.sim.kernel import Simulator
+
+    n_events = 20_000 if smoke else 200_000
+    sim = Simulator(seed=BENCH_SEED)
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+        if fired[0] < n_events:
+            sim.schedule(1.0, tick)
+            # Every 4th event also exercises the timer path: set one
+            # and cancel it, so lazy deletion stays on the profile.
+            if fired[0] % 4 == 0:
+                sim.set_timer(2.0, _noop).cancel()
+
+    for lane in range(100):
+        sim.schedule(0.1 * (lane % 7), tick)
+    sim.run(max_steps=n_events + 1_000)
+    return ScenarioResult(
+        events=sim.steps_executed,
+        trace_events=len(sim.trace),
+        messages=0,
+        # The other in-flight lanes each fire once more after the
+        # target is reached, so fired lands in [n, n + lanes).
+        checks_passed=n_events <= fired[0] < n_events + 100,
+        detail={"target_events": n_events, "callbacks_fired": fired[0]},
+    )
+
+
+def _noop() -> None:
+    return None
+
+
+@register(
+    "trace-record",
+    "trace-recorder storm: typical message/log payloads, half behind a category filter",
+    tags=("micro", "tracing"),
+)
+def _trace_record(smoke: bool = False) -> ScenarioResult:
+    from repro.sim.tracing import TraceRecorder
+
+    n_records = 20_000 if smoke else 200_000
+    unfiltered = TraceRecorder()
+    for i in range(n_records):
+        unfiltered.record(
+            float(i), "site0_prn", "msg", "send", kind="PREPARE", txn="t0001", to="tm"
+        )
+
+    # Same storm with only the category the checkers need enabled: the
+    # number every trace-heavy caller (the explorer) gets to pay instead.
+    filtered = TraceRecorder()
+    set_filter = getattr(filtered, "set_category_filter", None)
+    if set_filter is not None:
+        set_filter({"protocol"})
+    for i in range(n_records):
+        filtered.record(
+            float(i), "site0_prn", "msg", "send", kind="PREPARE", txn="t0001", to="tm"
+        )
+
+    return ScenarioResult(
+        events=n_records * 2,
+        trace_events=len(unfiltered) + len(filtered),
+        messages=0,
+        checks_passed=len(unfiltered) == n_records,
+        detail={
+            "records_attempted": n_records * 2,
+            "records_kept_unfiltered": len(unfiltered),
+            "records_kept_filtered": len(filtered),
+        },
+    )
+
+
+# -- whole-system scenarios --------------------------------------------------
+
+
+def _commit_storm(coordinator: str, smoke: bool, expect_atomic: bool) -> ScenarioResult:
+    from repro.workloads.generator import WorkloadSpec, build_mdbs, generate_transactions
+    from repro.workloads.mixes import MIXES
+
+    mix = MIXES["PrN+PrA+PrC"]
+    n_transactions = 40 if smoke else 400
+    mdbs = build_mdbs(mix, coordinator=coordinator, seed=BENCH_SEED)
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.2,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=5.0,
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+    for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+        mdbs.submit(txn)
+    mdbs.run(until=spec.inter_arrival * n_transactions + 2_000.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    decided = {
+        event.details["txn"]
+        for event in mdbs.sim.trace.select(category="protocol", name="decide")
+    }
+    if expect_atomic:
+        # PrAny must be atomic, full stop.
+        checks = reports.atomicity.holds and len(decided) == n_transactions
+    else:
+        # U2PC/C2PC are the paper's broken integrations: incompatible
+        # presumptions mis-answer inquiries about forgotten aborts even
+        # failure-free, so atomicity violations are *expected* here —
+        # the gate is only that every transaction reached a decision.
+        checks = len(decided) == n_transactions
+    return ScenarioResult(
+        events=mdbs.sim.steps_executed,
+        trace_events=len(mdbs.sim.trace),
+        messages=mdbs.network.sent_count,
+        checks_passed=checks,
+        detail={
+            "transactions": n_transactions,
+            "coordinator": coordinator,
+            "messages_dropped": mdbs.network.dropped_count,
+            "atomicity_violations": len(reports.atomicity.violations),
+        },
+    )
+
+
+@register(
+    "commit-storm-prany",
+    "400 mixed-presumption transactions under the dynamic PrAny coordinator",
+    tags=("system", "protocol"),
+)
+def _storm_prany(smoke: bool = False) -> ScenarioResult:
+    return _commit_storm("dynamic", smoke, expect_atomic=True)
+
+
+@register(
+    "commit-storm-u2pc",
+    "the same storm under the naive-union U2PC(PrC) coordinator",
+    tags=("system", "protocol"),
+)
+def _storm_u2pc(smoke: bool = False) -> ScenarioResult:
+    return _commit_storm("U2PC(PrC)", smoke, expect_atomic=False)
+
+
+@register(
+    "commit-storm-c2pc",
+    "the same storm under the conservative C2PC(PrN) coordinator",
+    tags=("system", "protocol"),
+)
+def _storm_c2pc(smoke: bool = False) -> ScenarioResult:
+    return _commit_storm("C2PC(PrN)", smoke, expect_atomic=False)
+
+
+@register(
+    "crash-recovery",
+    "commit storm with scheduled participant/coordinator crashes and §4.2 recovery",
+    tags=("system", "recovery"),
+)
+def _crash_recovery(smoke: bool = False) -> ScenarioResult:
+    from repro.net.failures import CrashSchedule
+    from repro.workloads.generator import WorkloadSpec, build_mdbs, generate_transactions
+    from repro.workloads.mixes import MIXES
+
+    mix = MIXES["PrN+PrA+PrC"]
+    n_transactions = 20 if smoke else 200
+    mdbs = build_mdbs(mix, coordinator="dynamic", seed=BENCH_SEED)
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.1,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=8.0,
+        seed=BENCH_SEED,
+    )
+    transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+    for txn in transactions:
+        mdbs.submit(txn)
+    horizon = spec.inter_arrival * n_transactions
+    # Deterministic rolling crashes: every participant goes down once,
+    # spread across the run; the coordinator crashes mid-run too.
+    sites = sorted(mix.site_protocols())
+    for index, site_id in enumerate(sites):
+        at = horizon * (index + 1) / (len(sites) + 2)
+        mdbs.failures.schedule(CrashSchedule(site_id, at=at, down_for=40.0))
+    mdbs.failures.schedule(
+        CrashSchedule("tm", at=horizon * (len(sites) + 1) / (len(sites) + 2), down_for=40.0)
+    )
+    mdbs.run(until=horizon + 3_000.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    return ScenarioResult(
+        events=mdbs.sim.steps_executed,
+        trace_events=len(mdbs.sim.trace),
+        messages=mdbs.network.sent_count,
+        checks_passed=reports.atomicity.holds and reports.safe_state.holds,
+        detail={
+            "transactions": n_transactions,
+            "crashes_injected": mdbs.failures.crashes_injected,
+        },
+    )
+
+
+@register(
+    "explore-sweep",
+    "fixed-seed in-process slice of the adversarial explorer (PrAny, seeds 0:24)",
+    tags=("composite", "explore"),
+)
+def _explore_sweep(smoke: bool = False) -> ScenarioResult:
+    from repro.explore.adversary import GeneratorConfig
+    from repro.explore.runner import ParallelRunner
+
+    seeds = range(0, 6) if smoke else range(0, 24)
+    config = GeneratorConfig(protocol="prany", salt=BENCH_SEED)
+    # jobs=1 keeps the measurement in-process: we are benchmarking the
+    # simulator, not the multiprocessing pool.
+    runner = ParallelRunner(config, jobs=1)
+    sweep = runner.sweep(seeds)
+    trace_events = sum(s.trace_events for s in sweep.completed)
+    return ScenarioResult(
+        events=trace_events,
+        trace_events=trace_events,
+        messages=0,
+        checks_passed=not sweep.violations,
+        detail={
+            "seeds": sweep.seeds_scanned,
+            "violations": len(sweep.violations),
+        },
+    )

@@ -10,6 +10,8 @@ Examples::
     python -m repro all                  # everything, in order
     python -m repro explore --seeds 0:200 --protocol u2pc
     python -m repro explore --replay tests/explore/artifacts/<file>.json
+    python -m repro bench --scenario all --reps 3
+    python -m repro bench --check
 """
 
 from __future__ import annotations
@@ -61,6 +63,7 @@ def _cmd_list(args: argparse.Namespace) -> str:
         "  taxonomy           F5: atomic-commitment taxonomy",
         "  all                everything above, in order",
         "  explore            fuzz adversarial schedules (VOPR-style)",
+        "  bench              measure simulator throughput (BENCH_sim.json)",
     ]
     return "\n".join(lines)
 
@@ -239,6 +242,81 @@ def _cmd_explore(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    # Imported lazily, like the explorer: the bench registry pulls in
+    # the whole workload/explore stack.
+    from repro.bench import (
+        BenchConfig,
+        build_report,
+        compare_reports,
+        get_scenarios,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    if args.list:
+        from repro.bench import SCENARIOS
+
+        lines = ["Registered bench scenarios:", ""]
+        for scenario in SCENARIOS.values():
+            tags = ",".join(scenario.tags)
+            lines.append(f"  {scenario.name:<20} [{tags}] {scenario.description}")
+        return "\n".join(lines)
+
+    try:
+        scenarios = get_scenarios(args.scenario)
+        config = BenchConfig(
+            reps=args.reps,
+            warmup=args.warmup,
+            smoke=args.smoke,
+            profile_dir=Path(args.profile) if args.profile is not None else None,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    def progress(scenario) -> None:
+        print(f"  ... measuring {scenario.name}", file=sys.stderr, flush=True)
+
+    measurements = run_bench(scenarios, config, progress=progress)
+    report = build_report(measurements, config)
+
+    lines = [
+        f"bench — {len(measurements)} scenario(s), reps={config.reps}, "
+        f"warmup={config.warmup}" + (", smoke" if config.smoke else ""),
+    ]
+    for m in measurements:
+        lines.append(
+            f"  {m.scenario.name:<20} {m.events_per_second.median:>12,.0f} ev/s"
+            f"  (wall {m.wall_seconds.median:.3f}s ± {m.wall_seconds.iqr:.3f} IQR,"
+            f" {m.result.events:,} events,"
+            f" {m.messages_per_second.median:,.0f} msg/s,"
+            f" rss {m.peak_rss_kb} KiB)"
+        )
+
+    if args.check:
+        baseline_path = Path(args.baseline)
+        try:
+            baseline = load_report(baseline_path)
+        except ReproError as exc:
+            raise SystemExit(f"--check: {exc}")
+        regressions, notes = compare_reports(report, baseline)
+        for note in notes:
+            lines.append(f"  note: {note}")
+        if regressions:
+            args.exit_code = 1
+            lines.append(f"  REGRESSION vs {baseline_path} (>20% slower):")
+            lines.extend(f"    {regression}" for regression in regressions)
+        else:
+            lines.append(f"  no regressions vs {baseline_path}")
+    else:
+        path = write_report(report, Path(args.output))
+        lines.append(f"  wrote {path}")
+    if args.profile is not None:
+        lines.append(f"  profiles under {args.profile}/")
+    return "\n".join(lines)
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     sections: list[str] = []
     for figure_id in sorted(FIGURES):
@@ -354,6 +432,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-simulate an exported artifact and verify it bit-exactly",
     )
     explore.set_defaults(handler=_cmd_explore)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure simulator throughput and write/compare BENCH_sim.json",
+    )
+    bench.add_argument(
+        "--scenario",
+        default="all",
+        help="'all', or comma-separated scenario names/tags (see --list)",
+    )
+    bench.add_argument(
+        "--reps", type=int, default=3, help="timed repetitions per scenario"
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1, help="untimed warmup runs per scenario"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: shrink every scenario to its small variant",
+    )
+    bench.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="also dump per-scenario cProfile artifacts into DIR",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_sim.json",
+        help="report path (default: BENCH_sim.json at the repo root)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of writing; "
+        "exit 1 on >20%% median events/sec regressions",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="BENCH_sim.json",
+        help="baseline file for --check (default: BENCH_sim.json)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     costs = sub.add_parser("costs", help="C1: measured cost table")
     costs.add_argument("--participants", type=int, default=2)

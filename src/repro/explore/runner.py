@@ -52,23 +52,27 @@ def trace_digest(trace: TraceRecorder) -> str:
     Uses the same canonical form as :func:`repro.sim.export.dump_trace`,
     so equal digests mean byte-identical exported trace files.
     """
-    digest = hashlib.sha256()
-    for event in trace:
-        digest.update(
-            json.dumps(
-                {
-                    "time": event.time,
-                    "seq": event.seq,
-                    "site": event.site,
-                    "category": event.category,
-                    "name": event.name,
-                    "details": event.details,
-                },
-                sort_keys=True,
-            ).encode("utf-8")
+    # One encode + one hash update over the whole trace: identical byte
+    # stream to hashing per-event lines (each line is terminated by the
+    # "\n" the per-event form appended), measurably cheaper on the
+    # 10^4-event traces the sweep produces.
+    dumps = json.dumps
+    lines = [
+        dumps(
+            {
+                "time": event.time,
+                "seq": event.seq,
+                "site": event.site,
+                "category": event.category,
+                "name": event.name,
+                "details": event.details,
+            },
+            sort_keys=True,
         )
-        digest.update(b"\n")
-    return digest.hexdigest()
+        for event in trace
+    ]
+    lines.append("")  # trailing newline after the last event
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

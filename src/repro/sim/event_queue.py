@@ -76,9 +76,12 @@ class EventQueue:
         """Schedule ``action`` to fire at virtual time ``time``."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time!r}")
-        event = ScheduledEvent(time, self._next_seq, action, label)
-        self._next_seq += 1
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        # Times are coerced to float here, once, so the kernel's hot
+        # dispatch loop can assign them to the clock without conversion.
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = ScheduledEvent(float(time), seq, action, label)
+        heapq.heappush(self._heap, (event.time, seq, event))
         return event
 
     def peek_time(self) -> Optional[float]:

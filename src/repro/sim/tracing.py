@@ -7,17 +7,29 @@ as a :class:`TraceEvent`. The trace is the raw material for:
 * the executable ACTA history (``repro.core.history``),
 * the correctness checkers (``repro.core.correctness``),
 * the figure-flow renderers (``repro.experiments.flows``).
+
+:meth:`TraceRecorder.record` is on the hot path of every simulation
+(the ``trace-record`` scenario in ``BENCH_sim.json`` tracks it), so
+:class:`TraceEvent` is a slotted plain class rather than a dataclass,
+the keyword-argument ``details`` dict is adopted rather than copied
+(``**details`` at the call boundary already made it fresh), and the
+site/category/name strings are interned so the equality tests in
+:meth:`TraceEvent.matches` hit CPython's pointer fast path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+import sys
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+_intern = sys.intern
 
 
-@dataclass(frozen=True)
 class TraceEvent:
     """A single recorded occurrence in a simulation run.
+
+    Treat instances as immutable: they are shared by every consumer of
+    the trace (checkers, histories, exports, subscribers).
 
     Attributes:
         time: virtual time at which the event occurred.
@@ -32,12 +44,23 @@ class TraceEvent:
         details: free-form payload (transaction id, record type, ...).
     """
 
-    time: float
-    seq: int
-    site: str
-    category: str
-    name: str
-    details: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "seq", "site", "category", "name", "details")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        site: str,
+        category: str,
+        name: str,
+        details: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.site = site
+        self.category = category
+        self.name = name
+        self.details = {} if details is None else details
 
     def matches(
         self,
@@ -58,6 +81,25 @@ class TraceEvent:
                 return False
         return True
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.seq == other.seq
+            and self.site == other.site
+            and self.category == other.category
+            and self.name == other.name
+            and self.details == other.details
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(time={self.time!r}, seq={self.seq!r}, "
+            f"site={self.site!r}, category={self.category!r}, "
+            f"name={self.name!r}, details={self.details!r})"
+        )
+
     def __str__(self) -> str:
         payload = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
         where = self.site or "<system>"
@@ -71,6 +113,7 @@ class TraceRecorder:
         self._events: list[TraceEvent] = []
         self._next_seq = 0
         self._subscribers: list[Callable[[TraceEvent], None]] = []
+        self._enabled_categories: Optional[frozenset[str]] = None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -83,6 +126,36 @@ class TraceRecorder:
         """Immutable snapshot of the trace so far."""
         return tuple(self._events)
 
+    def set_category_filter(
+        self, categories: Optional[Iterable[str]]
+    ) -> None:
+        """Record only events whose category is in ``categories``.
+
+        ``None`` removes the filter (the default: record everything).
+        Filtered events are dropped entirely — they consume no sequence
+        number, reach no subscriber and never allocate a
+        :class:`TraceEvent`; :meth:`record` returns ``None`` for them.
+
+        This is a throughput lever for trace-heavy callers that only
+        consume a known slice of the trace. It changes what the trace
+        *is*: never enable it where the full trace is load-bearing —
+        checkers that read filtered-out categories, trace digests or
+        exported artifacts (``repro.explore`` replays assert byte-exact
+        digests of *full* traces), or crash injection triggered on
+        filtered-out events.
+        """
+        if categories is None:
+            self._enabled_categories = None
+        else:
+            self._enabled_categories = frozenset(
+                _intern(category) for category in categories
+            )
+
+    @property
+    def category_filter(self) -> Optional[frozenset[str]]:
+        """The enabled categories, or ``None`` when unfiltered."""
+        return self._enabled_categories
+
     def record(
         self,
         time: float,
@@ -90,20 +163,29 @@ class TraceRecorder:
         category: str,
         name: str,
         **details: Any,
-    ) -> TraceEvent:
-        """Append an event to the trace and notify subscribers."""
+    ) -> Optional[TraceEvent]:
+        """Append an event to the trace and notify subscribers.
+
+        Returns the recorded event, or ``None`` when a category filter
+        dropped it. The ``details`` keyword dict is adopted, not copied:
+        the ``**`` call boundary already made it this call's own.
+        """
+        enabled = self._enabled_categories
+        if enabled is not None and category not in enabled:
+            return None
         event = TraceEvent(
-            time=time,
-            seq=self._next_seq,
-            site=site,
-            category=category,
-            name=name,
-            details=dict(details),
+            time,
+            self._next_seq,
+            _intern(site),
+            _intern(category),
+            _intern(name),
+            details,
         )
         self._next_seq += 1
         self._events.append(event)
-        for subscriber in self._subscribers:
-            subscriber(event)
+        if self._subscribers:
+            for subscriber in self._subscribers:
+                subscriber(event)
         return event
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:

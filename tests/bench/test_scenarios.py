@@ -1,0 +1,76 @@
+"""Deterministic smoke tests for the bench scenario registry.
+
+Every scenario runs once at smoke size and must pass its own
+correctness gate and reproduce identical work counters on a second
+run — the property the whole perf trajectory rests on.
+"""
+
+import pytest
+
+from repro.bench.scenarios import BENCH_SEED, SCENARIOS, get_scenarios
+from repro.errors import ReproError
+
+# Micro scenarios are cheap enough to determinism-check twice; the
+# system/composite ones are still run (once) for their gates.
+MICRO = [n for n, s in SCENARIOS.items() if "micro" in s.tags]
+ALL = sorted(SCENARIOS)
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        assert {
+            "kernel-dispatch",
+            "trace-record",
+            "commit-storm-prany",
+            "commit-storm-u2pc",
+            "commit-storm-c2pc",
+            "crash-recovery",
+            "explore-sweep",
+        } <= set(SCENARIOS)
+
+    def test_all_selector(self):
+        assert get_scenarios("all") == list(SCENARIOS.values())
+
+    def test_name_and_tag_selection(self):
+        assert [s.name for s in get_scenarios("kernel-dispatch")] == [
+            "kernel-dispatch"
+        ]
+        micro = get_scenarios("micro")
+        assert {s.name for s in micro} == set(MICRO)
+
+    def test_selection_deduplicates(self):
+        selected = get_scenarios("micro,kernel-dispatch,trace-record")
+        assert len(selected) == len({s.name for s in selected})
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ReproError):
+            get_scenarios("no-such-scenario")
+
+    def test_every_seed_is_pinned(self):
+        assert all(s.seed == BENCH_SEED for s in SCENARIOS.values())
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("name", ALL)
+    def test_smoke_run_passes_its_gate(self, name):
+        result = SCENARIOS[name].run(True)
+        assert result.checks_passed, (name, result.detail)
+        assert result.events > 0
+
+    @pytest.mark.parametrize("name", MICRO)
+    def test_micro_scenarios_are_deterministic(self, name):
+        first = SCENARIOS[name].run(True)
+        second = SCENARIOS[name].run(True)
+        assert (first.events, first.trace_events, first.messages) == (
+            second.events,
+            second.trace_events,
+            second.messages,
+        )
+
+    def test_commit_storm_reports_expected_violation_shape(self):
+        # PrAny is clean; U2PC's failure-free storm shows the paper's
+        # incompatible-presumption violations as recorded data.
+        prany = SCENARIOS["commit-storm-prany"].run(True)
+        u2pc = SCENARIOS["commit-storm-u2pc"].run(True)
+        assert prany.detail["atomicity_violations"] == 0
+        assert u2pc.detail["atomicity_violations"] > 0

@@ -50,3 +50,44 @@ class TestAPIDocGeneration:
         # exist and mention the central class.
         checked_in = (REPO_ROOT / "docs" / "API.md").read_text()
         assert "class MDBS" in checked_in
+
+    def test_checked_in_docs_cover_every_package(self):
+        checked_in = (REPO_ROOT / "docs" / "API.md").read_text()
+        for module in ("repro.explore", "repro.bench", "repro.sim.kernel"):
+            assert f"## `{module}`" in checked_in, module
+
+    def test_generation_is_deterministic(self, generated, tmp_path):
+        # Function-valued defaults used to leak memory addresses into
+        # the rendered signatures, making every regeneration differ.
+        output = tmp_path / "API.md"
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), str(output)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert output.read_text() == generated
+        assert " at 0x" not in generated
+
+    def test_check_mode_detects_staleness(self, tmp_path):
+        stale = tmp_path / "API.md"
+        stale.write_text("# stale\n")
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), "--check", str(stale)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 1
+        assert "stale" in result.stderr
+
+    def test_checked_in_docs_are_not_stale(self):
+        # The same gate CI runs: docs/API.md must match a fresh render.
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), "--check", "docs/API.md"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr or result.stdout

@@ -1,0 +1,111 @@
+"""README's fenced ``repro`` commands must actually parse.
+
+Guards against quickstart drift: every ``python -m repro ...`` command
+inside a fenced code block in README.md is checked against the real
+CLI — the subcommand must exist (``--help`` exits 0) and every long
+flag the README shows must appear in that subcommand's help text. A
+small set of commands additionally runs end to end in smoke form.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+_ENV = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def fenced_repro_commands() -> list[str]:
+    """Every `python -m repro ...` command line in README code fences."""
+    commands = []
+    in_fence = False
+    for raw in README.read_text(encoding="utf-8").splitlines():
+        if raw.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        line = raw.split(" # ")[0].strip()
+        if line.startswith("python -m repro"):
+            commands.append(line)
+    return commands
+
+
+COMMANDS = fenced_repro_commands()
+
+
+def run_repro(*args) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=_ENV,
+        timeout=300,
+    )
+
+
+def test_readme_actually_contains_repro_commands():
+    # The extraction itself must not silently go stale.
+    assert len(COMMANDS) >= 8
+    assert any("explore" in c for c in COMMANDS)
+    assert any("bench" in c for c in COMMANDS)
+
+
+@pytest.mark.parametrize("command", COMMANDS, ids=lambda c: c[len("python -m ") :])
+def test_fenced_command_parses(command):
+    tokens = command.split()
+    assert tokens[:3] == ["python", "-m", "repro"]
+    rest = tokens[3:]
+    # Global options (--seed N) come before the subcommand; skip them.
+    index = 0
+    while index < len(rest) and rest[index].startswith("-"):
+        index += 2
+    assert index < len(rest), f"no subcommand in {command!r}"
+    subcommand = rest[index]
+    result = run_repro(subcommand, "--help")
+    assert result.returncode == 0, (
+        f"README documents `repro {subcommand}` but it fails --help: "
+        f"{result.stderr}"
+    )
+    for flag in (t.split("=")[0] for t in rest if t.startswith("--")):
+        assert flag in result.stdout, (
+            f"README shows {flag} for `repro {subcommand}`, "
+            f"but its --help does not mention it"
+        )
+
+
+class TestSmokeRuns:
+    """A few commands cheap enough to execute for real."""
+
+    def test_list(self):
+        result = run_repro("list")
+        assert result.returncode == 0
+        assert "bench" in result.stdout and "explore" in result.stdout
+
+    def test_theorem_1(self):
+        result = run_repro("theorem", "1")
+        assert result.returncode == 0
+
+    def test_figure_f1a(self):
+        result = run_repro("figure", "F1a")
+        assert result.returncode == 0
+
+    def test_bench_smoke(self, tmp_path):
+        result = run_repro(
+            "bench",
+            "--scenario",
+            "kernel-dispatch",
+            "--reps",
+            "1",
+            "--warmup",
+            "0",
+            "--smoke",
+            "--output",
+            str(tmp_path / "BENCH_sim.json"),
+        )
+        assert result.returncode == 0, result.stderr
