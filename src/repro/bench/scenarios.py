@@ -17,6 +17,15 @@ The registry covers the paths every future perf PR cares about:
 * ``commit-storm-*`` — whole-MDBS commit processing for PrAny, U2PC
   and C2PC coordinators over the paper's heterogeneous PrN+PrA+PrC
   mix.
+* ``commit-storm-log`` / ``commit-storm-log-grouped`` — the
+  storage-layer commit storm: identical bursts of commit-record force
+  requests against a plain :class:`StableLog` vs a
+  :class:`GroupCommitLog`. The pair isolates the group-commit engine's
+  force amortization with identical work counters.
+* ``commit-storm-dense-*`` / ``commit-storm-grouped-*`` — whole-MDBS
+  dense storms (PrAny, PrC, C2PC) run with the group-commit engine off
+  and on; each pair shares one workload so the grouped member's force /
+  kernel-step savings are directly readable from ``detail``.
 * ``crash-recovery`` — a commit storm with scheduled site crashes and
   §4.2 recovery in the middle of it.
 * ``explore-sweep`` — a fixed-seed in-process slice of the PR 1
@@ -43,7 +52,11 @@ class ScenarioResult:
     Attributes:
         events: kernel events dispatched (``Simulator.steps_executed``),
             or the scenario's natural unit of work where no kernel runs
-            (trace records for ``trace-record``).
+            (trace records for ``trace-record``) or where the scenario
+            is one half of a grouped/ungrouped pair (force requests for
+            ``commit-storm-log*``, transactions for the dense storms) —
+            pair members must report identical ``events`` so their
+            events/sec are directly comparable.
         trace_events: total trace events recorded.
         messages: network messages sent.
         checks_passed: the scenario's own correctness gate — benchmarks
@@ -288,6 +301,284 @@ def _storm_u2pc(smoke: bool = False) -> ScenarioResult:
 )
 def _storm_c2pc(smoke: bool = False) -> ScenarioResult:
     return _commit_storm("C2PC(PrN)", smoke, expect_atomic=False)
+
+
+# -- group-commit pair scenarios ---------------------------------------------
+#
+# Each pair runs the *same* deterministic workload with the group-commit
+# engine off (baseline) and on. Pair members report identical ``events``
+# (the shared unit of logical work) so their events/sec medians are
+# directly comparable; ``detail`` carries the physical counters the
+# engine amortizes (device forces, kernel steps, delivery batches).
+
+
+# Pre-built commit records for the log storms, shared across reps so
+# the warmup rep pays for construction and the timed reps measure the
+# log path only. Reuse is safe: append() reassigns lsn and force() only
+# sets the forced flag, so a record behaves identically on every rep.
+_STORM_RECORDS: dict[int, list] = {}
+
+
+def _storm_records(n_requests: int) -> list:
+    from repro.storage.log_records import LogRecord, RecordType
+
+    records = _STORM_RECORDS.get(n_requests)
+    if records is None:
+        records = [
+            LogRecord(type=RecordType.COMMIT, txn_id=f"t{i:06d}")
+            for i in range(n_requests)
+        ]
+        _STORM_RECORDS[n_requests] = records
+    return records
+
+
+def _log_force_storm(grouped: bool, smoke: bool) -> ScenarioResult:
+    """Storm of concurrent commit-record force requests on one log.
+
+    This is the storage-layer commit storm: bursts of transactions all
+    asking ``force_append_async`` for their COMMIT record at the same
+    instant. The baseline :class:`StableLog` pays one device force per
+    request; :class:`GroupCommitLog` coalesces each burst into a single
+    force. Work counters (commit records appended, records stable,
+    completion callbacks) are identical between the pair — only the
+    number of forces differs, which is the optimization.
+    """
+    from repro.sim.kernel import Simulator
+    from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
+    from repro.storage.stable_log import StableLog
+
+    burst = 64
+    n_requests = 4_096 if smoke else 40_960
+    sim = Simulator(seed=BENCH_SEED)
+    log = (
+        GroupCommitLog(
+            sim, "tm", GroupCommitConfig(max_delay=1.0, max_batch=burst)
+        )
+        if grouped
+        else StableLog(sim, "tm")
+    )
+    records = _storm_records(n_requests)
+    completed = [0]
+
+    def on_stable() -> None:
+        completed[0] += 1
+
+    submit = log.force_append_async
+
+    def submit_burst(chunk: list) -> None:
+        for record in chunk:
+            submit(record, on_stable)
+
+    for tick in range(n_requests // burst):
+        sim.schedule(
+            float(tick),
+            lambda c=records[tick * burst : (tick + 1) * burst]: submit_burst(c),
+            label="commit burst",
+        )
+    sim.run()
+    stable = log.stable_records()
+    in_lsn_order = all(a.lsn < b.lsn for a, b in zip(stable, stable[1:]))
+    return ScenarioResult(
+        events=n_requests,
+        trace_events=len(sim.trace),
+        messages=0,
+        checks_passed=(
+            completed[0] == n_requests
+            and len(stable) == n_requests
+            and in_lsn_order
+        ),
+        detail={
+            "counterpart": (
+                "commit-storm-log" if grouped else "commit-storm-log-grouped"
+            ),
+            "force_requests": n_requests,
+            "forces_performed": log.force_count,
+            "requests_per_force": round(n_requests / log.force_count, 2),
+            "kernel_steps": sim.steps_executed,
+            "commits_stable": len(stable),
+            "callbacks_fired": completed[0],
+        },
+    )
+
+
+@register(
+    "commit-storm-log",
+    "bursts of 64 concurrent commit-record forces against a plain StableLog",
+    tags=("micro", "storage", "group-commit"),
+)
+def _log_storm_plain(smoke: bool = False) -> ScenarioResult:
+    return _log_force_storm(grouped=False, smoke=smoke)
+
+
+@register(
+    "commit-storm-log-grouped",
+    "the same bursts against GroupCommitLog: one device force per window",
+    tags=("micro", "storage", "group-commit"),
+)
+def _log_storm_grouped(smoke: bool = False) -> ScenarioResult:
+    return _log_force_storm(grouped=True, smoke=smoke)
+
+
+def _dense_storm(
+    coordinator: str,
+    mix_name: str,
+    grouped: bool,
+    smoke: bool,
+    expect_atomic: bool,
+    counterpart: str,
+) -> ScenarioResult:
+    """Whole-MDBS commit storm dense enough for windows to coalesce.
+
+    Unlike the ``commit-storm-*`` scenarios above (one transaction every
+    5 time units), arrivals here are 10x denser so concurrent
+    transactions actually share force windows and delivery batches.
+    Timeouts are relaxed so the measurement covers the commit path, not
+    resend storms triggered by batching delays. ``events`` is the
+    transaction count — the unit of logical work both pair members
+    complete identically; the simulated resources the engine saves
+    (device forces, kernel steps) are in ``detail``.
+    """
+    from repro.net.batching import NetBatchConfig
+    from repro.protocols.base import TimeoutConfig
+    from repro.storage.group_commit import GroupCommitConfig
+    from repro.workloads.generator import (
+        WorkloadSpec,
+        build_mdbs,
+        generate_transactions,
+    )
+    from repro.workloads.mixes import MIXES
+
+    mix = MIXES[mix_name]
+    n_transactions = 36 if smoke else 360
+    timeouts = TimeoutConfig(
+        vote_timeout=120.0,
+        resend_interval=60.0,
+        inquiry_timeout=90.0,
+        inquiry_retry=60.0,
+        active_timeout=240.0,
+    )
+    mdbs = build_mdbs(
+        mix,
+        coordinator=coordinator,
+        seed=BENCH_SEED,
+        timeouts=timeouts,
+        group_commit=(
+            GroupCommitConfig(max_delay=1.0, max_batch=32) if grouped else None
+        ),
+        net_batching=(
+            NetBatchConfig(window=0.5, max_batch=32) if grouped else None
+        ),
+    )
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.2,
+        participants_min=min(2, len(mix)),
+        participants_max=min(3, len(mix)),
+        inter_arrival=0.5,
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+    for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+        mdbs.submit(txn)
+    mdbs.run(until=spec.inter_arrival * n_transactions + 2_000.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    decided = {
+        event.details["txn"]
+        for event in mdbs.sim.trace.select(category="protocol", name="decide")
+    }
+    forces = sum(site.log.force_count for site in mdbs.sites.values())
+    checks = len(decided) == n_transactions
+    if expect_atomic:
+        checks = checks and reports.atomicity.holds
+    return ScenarioResult(
+        events=n_transactions,
+        trace_events=len(mdbs.sim.trace),
+        messages=mdbs.network.sent_count,
+        checks_passed=checks,
+        detail={
+            "counterpart": counterpart,
+            "coordinator": coordinator,
+            "mix": mix_name,
+            "transactions": n_transactions,
+            "decided": len(decided),
+            "kernel_steps": mdbs.sim.steps_executed,
+            "forces_performed": forces,
+            "batches_delivered": getattr(
+                mdbs.network, "batches_delivered", 0
+            ),
+            "piggybacked_messages": getattr(
+                mdbs.network, "piggybacked_messages", 0
+            ),
+            "atomicity_violations": len(reports.atomicity.violations),
+        },
+    )
+
+
+@register(
+    "commit-storm-dense-prany",
+    "dense PrAny storm over PrN+PrA+PrC, group-commit engine off (pair baseline)",
+    tags=("system", "protocol", "group-commit"),
+)
+def _dense_prany(smoke: bool = False) -> ScenarioResult:
+    return _dense_storm(
+        "dynamic", "PrN+PrA+PrC", False, smoke, True, "commit-storm-grouped-prany"
+    )
+
+
+@register(
+    "commit-storm-grouped-prany",
+    "the same dense PrAny storm on the group-commit engine",
+    tags=("system", "protocol", "group-commit"),
+)
+def _grouped_prany(smoke: bool = False) -> ScenarioResult:
+    return _dense_storm(
+        "dynamic", "PrN+PrA+PrC", True, smoke, True, "commit-storm-dense-prany"
+    )
+
+
+@register(
+    "commit-storm-dense-prc",
+    "dense PrC storm over its own all-PrC mix, group-commit engine off (pair baseline)",
+    tags=("system", "protocol", "group-commit"),
+)
+def _dense_prc(smoke: bool = False) -> ScenarioResult:
+    return _dense_storm(
+        "PrC", "all-PrC", False, smoke, True, "commit-storm-grouped-prc"
+    )
+
+
+@register(
+    "commit-storm-grouped-prc",
+    "the same dense PrC storm on the group-commit engine",
+    tags=("system", "protocol", "group-commit"),
+)
+def _grouped_prc(smoke: bool = False) -> ScenarioResult:
+    return _dense_storm(
+        "PrC", "all-PrC", True, smoke, True, "commit-storm-dense-prc"
+    )
+
+
+@register(
+    "commit-storm-dense-c2pc",
+    "dense C2PC(PrN) storm over PrN+PrA+PrC, group-commit engine off (pair baseline)",
+    tags=("system", "protocol", "group-commit"),
+)
+def _dense_c2pc(smoke: bool = False) -> ScenarioResult:
+    return _dense_storm(
+        "C2PC(PrN)", "PrN+PrA+PrC", False, smoke, False, "commit-storm-grouped-c2pc"
+    )
+
+
+@register(
+    "commit-storm-grouped-c2pc",
+    "the same dense C2PC(PrN) storm on the group-commit engine",
+    tags=("system", "protocol", "group-commit"),
+)
+def _grouped_c2pc(smoke: bool = False) -> ScenarioResult:
+    return _dense_storm(
+        "C2PC(PrN)", "PrN+PrA+PrC", True, smoke, False, "commit-storm-dense-c2pc"
+    )
 
 
 @register(

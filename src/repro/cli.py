@@ -173,7 +173,12 @@ def _cmd_explore(args: argparse.Namespace) -> str:
         args.seeds if args.seeds is not None else range(0, 100)
     )
     budget = 30.0 if args.smoke and args.budget is None else args.budget
-    config = GeneratorConfig(protocol=args.protocol, mix=args.mix, salt=args.salt)
+    config = GeneratorConfig(
+        protocol=args.protocol,
+        mix=args.mix,
+        salt=args.salt,
+        group_commit=args.group_commit,
+    )
 
     def progress(done: int, violations: int) -> None:
         print(
@@ -408,6 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="schedule-space salt: same seeds, different schedules",
+    )
+    explore.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="run scenarios on the group-commit engine (log-force "
+        "coalescing + message batching)",
     )
     explore.add_argument(
         "--artifacts",

@@ -89,6 +89,23 @@ class History:
 
     def __init__(self, events: Iterable[SignificantEvent]) -> None:
         self._events = sorted(events, key=lambda e: e.seq)
+        # Checkers query by (kind), (txn) and (kind, txn) once per
+        # transaction per invariant, which made the linear scans in
+        # of_kind/events_for the dominant cost of every oracle pass
+        # (see the commit-storm profiles in BENCH_sim.json). Build the
+        # three indexes once; each holds events in precedence order
+        # because _events is already sorted.
+        self._by_kind: dict[EventKind, list[SignificantEvent]] = {}
+        self._by_txn: dict[str, list[SignificantEvent]] = {}
+        self._by_kind_txn: dict[
+            tuple[EventKind, str], list[SignificantEvent]
+        ] = {}
+        for event in self._events:
+            self._by_kind.setdefault(event.kind, []).append(event)
+            self._by_txn.setdefault(event.txn_id, []).append(event)
+            self._by_kind_txn.setdefault(
+                (event.kind, event.txn_id), []
+            ).append(event)
 
     @classmethod
     def from_trace(cls, trace: TraceRecorder) -> "History":
@@ -106,21 +123,19 @@ class History:
 
     def events_for(self, txn_id: str) -> list[SignificantEvent]:
         """All significant events of one transaction, in precedence order."""
-        return [e for e in self._events if e.txn_id == txn_id]
+        return list(self._by_txn.get(txn_id, ()))
 
     def of_kind(
         self, kind: EventKind, txn_id: Optional[str] = None
     ) -> list[SignificantEvent]:
         """All events of a kind (optionally restricted to one txn)."""
-        return [
-            e
-            for e in self._events
-            if e.kind is kind and (txn_id is None or e.txn_id == txn_id)
-        ]
+        if txn_id is None:
+            return list(self._by_kind.get(kind, ()))
+        return list(self._by_kind_txn.get((kind, txn_id), ()))
 
     def transactions(self) -> set[str]:
         """Ids of every transaction with at least one significant event."""
-        return {e.txn_id for e in self._events if e.txn_id}
+        return {txn for txn in self._by_txn if txn}
 
     def decision(self, txn_id: str, coordinator: Optional[str] = None) -> Optional[Outcome]:
         """The coordinator's (last) decision for ``txn_id``, if any.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SiteDownError, TransactionError
 from repro.db.kv import KVStore
@@ -58,6 +58,12 @@ class LocalTransaction:
     # True while the after-images are applied to the volatile store.
     updates_in_store: bool = True
     decision_logged: bool = False
+    # True once the decision record is on stable storage (or no record
+    # is required: logless sites, unforced "lazy" decisions are never
+    # marked). Gates actions that presume durability, e.g. re-sending
+    # an ACK for a duplicate decision message while a group-commit
+    # window is still open.
+    decision_stable: bool = False
 
 
 class LocalTransactionManager:
@@ -140,7 +146,9 @@ class LocalTransactionManager:
         txn.updates.append((key, before, value))
         if not self._logless:
             record = update_record(txn_id, key, before, value)
-            if self._force_updates:
+            if self._force_updates and self._log.defers_forces:
+                self._log.force_append_async(record)
+            elif self._force_updates:
                 self._log.force_append(record)
             else:
                 self._log.append(record)
@@ -175,50 +183,99 @@ class LocalTransactionManager:
         del self._txns[txn_id]
         self._sim.record(self._site_id, "db", "read_only_done", txn=txn_id)
 
-    def prepare(self, txn_id: str) -> bool:
+    def prepare(
+        self,
+        txn_id: str,
+        on_stable: Optional[Callable[[], None]] = None,
+    ) -> bool:
         """Enter the prepared (in-doubt) state; True on success.
 
         Forces the log so the PREPARED record *and every update record
         before it* are durable — the write-ahead rule participants rely
         on to redo after a crash.
+
+        Args:
+            on_stable: invoked once the PREPARED record is stable — the
+                point at which a vote may be sent. On a synchronous log
+                (and on logless sites, which write nothing) it runs
+                before this method returns; on a deferring
+                (group-commit) log it runs when the batch window
+                closes. It is *dropped* if the site crashes first.
         """
         self._require_up()
         txn = self._txns.get(txn_id)
         if txn is None or txn.status is not TxnStatus.ACTIVE:
             return False
+        if not self._logless and self._log.defers_forces:
+            record = prepared_record(txn_id, txn.coordinator)
+            self._log.force_append_async(record, on_stable)
+            txn.status = TxnStatus.PREPARED
+            self._sim.record(self._site_id, "db", "prepared", txn=txn_id)
+            return True
         if not self._logless:
             self._log.force_append(prepared_record(txn_id, txn.coordinator))
         txn.status = TxnStatus.PREPARED
         self._sim.record(self._site_id, "db", "prepared", txn=txn_id)
+        if on_stable is not None:
+            on_stable()
         return True
 
-    def commit(self, txn_id: str, force_decision: bool) -> None:
+    def commit(
+        self,
+        txn_id: str,
+        force_decision: bool,
+        on_stable: Optional[Callable[[], None]] = None,
+    ) -> None:
         """Enforce a commit decision.
+
+        Enforcement itself (redo, status change, lock release) is always
+        synchronous; only durability of the decision record may lag on a
+        deferring log.
 
         Args:
             force_decision: whether the protocol requires the commit
                 record to be force-written (PrN/PrA participants: yes;
                 PrC participants: no).
+            on_stable: invoked once the decision record is as durable as
+                the protocol demands — the point at which an ACK may be
+                sent. Runs before return except when ``force_decision``
+                on a deferring (group-commit) log, where it runs when
+                the batch window closes (dropped if the site crashes
+                first). Unforced and logless decisions require no
+                durability, so it runs immediately for them.
         """
         self._require_up()
         txn = self._txns.get(txn_id)
         if txn is None:
             # Footnote 5 of the paper: no memory of the transaction means
             # it was already enforced and forgotten; nothing to do.
+            if on_stable is not None:
+                on_stable()
             return
         if txn.status is TxnStatus.COMMITTED:
+            if on_stable is not None:
+                on_stable()
             return
         if txn.status is TxnStatus.ABORTED:
             raise TransactionError(
                 f"txn {txn_id!r} already aborted at {self._site_id!r}; "
                 f"cannot commit"
             )
+        notify_now = True
         if not self._logless:
             record = decision_record(txn_id, "commit")
-            if force_decision:
+            if force_decision and self._log.defers_forces:
+                notify_now = False
+                self._log.force_append_async(
+                    record, self._decision_stable_callback(txn, on_stable)
+                )
+            elif force_decision:
                 self._log.force_append(record)
+                txn.decision_stable = True
             else:
                 self._log.append(record)
+        else:
+            txn.decision_stable = True
         txn.decision_logged = True
         if not txn.updates_in_store:
             # Post-recovery redo: re-apply after-images.
@@ -228,14 +285,28 @@ class LocalTransactionManager:
         txn.status = TxnStatus.COMMITTED
         self._release(txn)
         self._sim.record(self._site_id, "db", "commit", txn=txn_id)
+        if notify_now and on_stable is not None:
+            on_stable()
 
-    def abort(self, txn_id: str, force_decision: bool) -> None:
-        """Enforce an abort decision, undoing any applied updates."""
+    def abort(
+        self,
+        txn_id: str,
+        force_decision: bool,
+        on_stable: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Enforce an abort decision, undoing any applied updates.
+
+        ``on_stable`` follows the same contract as :meth:`commit`.
+        """
         self._require_up()
         txn = self._txns.get(txn_id)
         if txn is None:
+            if on_stable is not None:
+                on_stable()
             return
         if txn.status is TxnStatus.ABORTED:
+            if on_stable is not None:
+                on_stable()
             return
         if txn.status is TxnStatus.COMMITTED:
             raise TransactionError(
@@ -249,16 +320,27 @@ class LocalTransactionManager:
                 else:
                     self._store.write(key, before)
             txn.updates_in_store = False
+        notify_now = True
         if not self._logless:
             record = decision_record(txn_id, "abort")
-            if force_decision:
+            if force_decision and self._log.defers_forces:
+                notify_now = False
+                self._log.force_append_async(
+                    record, self._decision_stable_callback(txn, on_stable)
+                )
+            elif force_decision:
                 self._log.force_append(record)
+                txn.decision_stable = True
             else:
                 self._log.append(record)
+        else:
+            txn.decision_stable = True
         txn.decision_logged = True
         txn.status = TxnStatus.ABORTED
         self._release(txn)
         self._sim.record(self._site_id, "db", "abort", txn=txn_id)
+        if notify_now and on_stable is not None:
+            on_stable()
 
     def committed_snapshot(self) -> dict[str, Any]:
         """Current store state with all *live* transactions undone.
@@ -364,6 +446,21 @@ class LocalTransactionManager:
         return txn
 
     # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _decision_stable_callback(
+        txn: LocalTransaction,
+        on_stable: Optional[Callable[[], None]],
+    ) -> Callable[[], None]:
+        """Completion for a deferred decision force: mark the txn's
+        record stable, then resume the protocol."""
+
+        def stable() -> None:
+            txn.decision_stable = True
+            if on_stable is not None:
+                on_stable()
+
+        return stable
 
     def _release(self, txn: LocalTransaction) -> None:
         for callback in self._locks.release_all(txn.txn_id):

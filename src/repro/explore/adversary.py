@@ -153,6 +153,9 @@ class ScenarioSpec:
         settle: failure-free virtual time granted (in repair rounds)
             after ``horizon`` so "eventually" can happen before the
             oracle judges the run.
+        group_commit: run on the group-commit engine (log-force
+            coalescing + message batching, default configs) instead of
+            the plain synchronous stack.
         actions: the adversary schedule.
     """
 
@@ -167,6 +170,7 @@ class ScenarioSpec:
     latency_high: float = 1.0
     horizon: float = 400.0
     settle: float = 200.0
+    group_commit: bool = False
     actions: tuple[AdversaryAction, ...] = ()
 
     def __post_init__(self) -> None:
@@ -187,7 +191,7 @@ class ScenarioSpec:
         return tuple(f"t{i:04d}" for i in range(self.n_transactions))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "seed": self.seed,
             "mix": self.mix,
             "coordinator": self.coordinator,
@@ -201,6 +205,11 @@ class ScenarioSpec:
             "settle": self.settle,
             "actions": [action_to_dict(a) for a in self.actions],
         }
+        if self.group_commit:
+            # Emitted only when set, so pinned pre-group-commit artifacts
+            # stay byte-identical (and replay cleanly via from_dict).
+            payload["group_commit"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ScenarioSpec":
@@ -254,6 +263,8 @@ class GeneratorConfig:
         max_transactions: upper bound on workload size per scenario.
         salt: folded into every seed, so differently-salted sweeps
             explore different schedules for the same seed range.
+        group_commit: generate every scenario on the group-commit
+            engine (log-force coalescing + message batching).
     """
 
     protocol: str = "prany"
@@ -261,6 +272,7 @@ class GeneratorConfig:
     max_actions: int = 4
     max_transactions: int = 4
     salt: int = 0
+    group_commit: bool = False
 
     def __post_init__(self) -> None:
         if self.mix is not None and self.mix not in MIXES:
@@ -315,6 +327,7 @@ class AdversaryGenerator:
             latency_high=latency_high,
             horizon=active_until + 180.0,
             settle=200.0,
+            group_commit=cfg.group_commit,
             actions=actions,
         )
 

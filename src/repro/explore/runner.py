@@ -35,8 +35,10 @@ from repro.explore.adversary import (
 )
 from repro.explore.oracle import InvariantOracle, OracleVerdict
 from repro.mdbs.system import MDBS
+from repro.net.batching import NetBatchConfig
 from repro.net.failures import CrashSchedule
 from repro.net.network import ConstantLatency, UniformLatency
+from repro.storage.group_commit import GroupCommitConfig
 from repro.sim.tracing import TraceRecorder
 from repro.workloads.generator import build_mdbs, generate_transactions
 from repro.workloads.generator import WorkloadSpec
@@ -95,7 +97,13 @@ class RunOutcome:
 def build_scenario(spec: ScenarioSpec) -> MDBS:
     """Materialize the spec: topology, latency, workload and adversary."""
     mix = MIXES[spec.mix]
-    mdbs = build_mdbs(mix, coordinator=spec.coordinator, seed=spec.seed)
+    mdbs = build_mdbs(
+        mix,
+        coordinator=spec.coordinator,
+        seed=spec.seed,
+        group_commit=GroupCommitConfig() if spec.group_commit else None,
+        net_batching=NetBatchConfig() if spec.group_commit else None,
+    )
     if spec.latency_high > spec.latency_low:
         mdbs.network.set_latency(
             UniformLatency(mdbs.sim, spec.latency_low, spec.latency_high)

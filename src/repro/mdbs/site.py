@@ -43,6 +43,7 @@ from repro.protocols.coordinator import CoordinatorEngine
 from repro.protocols.participant import ParticipantEngine
 from repro.protocols.registry import PolicySelector
 from repro.sim.kernel import Simulator
+from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
 from repro.storage.pcp import CommitProtocolDirectory
 from repro.storage.stable_log import StableLog
 
@@ -60,6 +61,7 @@ class Site:
         selector: Optional[PolicySelector] = None,
         timeouts: Optional[TimeoutConfig] = None,
         read_only_optimization: bool = True,
+        group_commit: Optional[GroupCommitConfig] = None,
     ) -> None:
         self._sim = sim
         self._network = network
@@ -70,7 +72,11 @@ class Site:
         self.crash_count = 0
 
         spec = participant_spec(protocol)
-        self.log = StableLog(sim, site_id)
+        self.log: StableLog = (
+            GroupCommitLog(sim, site_id, group_commit)
+            if group_commit is not None
+            else StableLog(sim, site_id)
+        )
         self.store = KVStore()
         self.tm = LocalTransactionManager(
             sim,

@@ -32,11 +32,13 @@ from repro.core.safe_state import SafeStateReport, check_safe_state
 from repro.errors import LockError, ProtocolError, WorkloadError
 from repro.mdbs.site import Site
 from repro.mdbs.transaction import GlobalTransaction
+from repro.net.batching import BatchingNetwork, NetBatchConfig
 from repro.net.failures import FailureInjector
 from repro.net.network import LatencyModel, Network
 from repro.protocols.base import TimeoutConfig, participant_spec
 from repro.protocols.registry import selector_for
 from repro.sim.kernel import Simulator
+from repro.storage.group_commit import GroupCommitConfig
 from repro.storage.pcp import CommitProtocolDirectory
 
 
@@ -70,12 +72,28 @@ class MDBS:
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
         timeouts: Optional[TimeoutConfig] = None,
+        group_commit: Optional[GroupCommitConfig] = None,
+        net_batching: Optional[NetBatchConfig] = None,
     ) -> None:
+        """Args beyond the obvious:
+
+        group_commit: when given, every site's log coalesces forces
+            into batched group commits (see ``repro.storage.group_commit``).
+        net_batching: when given, same-destination messages piggyback
+            into batched delivery events (see ``repro.net.batching``).
+            Both default to off, which preserves the paper's
+            one-force-per-record / one-event-per-message accounting.
+        """
         self.sim = Simulator(seed)
-        self.network = Network(self.sim, latency)
+        self.network: Network = (
+            BatchingNetwork(self.sim, latency, net_batching)
+            if net_batching is not None
+            else Network(self.sim, latency)
+        )
         self.pcp = CommitProtocolDirectory()
         self.failures = FailureInjector(self.sim)
         self.timeouts = timeouts if timeouts is not None else TimeoutConfig()
+        self.group_commit = group_commit
         self.sites: dict[str, Site] = {}
         self.submitted: list[GlobalTransaction] = []
 
@@ -112,6 +130,7 @@ class MDBS:
             selector,
             self.timeouts,
             read_only_optimization=read_only_optimization,
+            group_commit=self.group_commit,
         )
         self.sites[site_id] = site
         self.pcp.register_site(site_id, protocol)

@@ -1,5 +1,6 @@
 """Simulated message-passing network with failure injection."""
 
+from repro.net.batching import BatchingNetwork, NetBatchConfig
 from repro.net.failures import CrashSchedule, FailureInjector, TriggeredCrash
 from repro.net.message import Message
 from repro.net.network import (
@@ -10,11 +11,13 @@ from repro.net.network import (
 )
 
 __all__ = [
+    "BatchingNetwork",
     "ConstantLatency",
     "CrashSchedule",
     "FailureInjector",
     "LatencyModel",
     "Message",
+    "NetBatchConfig",
     "Network",
     "TriggeredCrash",
     "UniformLatency",

@@ -173,6 +173,16 @@ class Network:
             return
         delay = self._latency.delay(message.sender, message.receiver)
         self.in_flight += 1
+        self._schedule_delivery(message, delay)
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        """Queue one accepted message for delivery after ``delay``.
+
+        Subclasses may override to change *when* delivery happens (see
+        :class:`~repro.net.batching.BatchingNetwork`); every accepted
+        message must still reach :meth:`_deliver` exactly once so the
+        per-message traces, counters and liveness checks are preserved.
+        """
         self._sim.schedule(
             delay,
             lambda: self._deliver(message),

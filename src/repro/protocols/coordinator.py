@@ -79,6 +79,11 @@ class CoordinatorEntry:
     read_only: set[str] = field(default_factory=set)
     abort_override: bool = False
     decision: Optional[Outcome] = None
+    # True once the decision is as durable as the policy demands (the
+    # forced decision record is stable, or no force was required). The
+    # force-before-send invariant: no decision message — including an
+    # inquiry response — leaves while this is False.
+    decision_stable: bool = False
     acks_pending: set[str] = field(default_factory=set)
     vote_timer: Optional[Timer] = None
     resend_timer: Optional[Timer] = None
@@ -158,13 +163,6 @@ class CoordinatorEngine:
             protocol=policy.name,
             participants=len(participants),
         )
-        if policy.writes_initiation():
-            record = initiation_record(
-                txn_id,
-                participants,
-                protocols if policy.initiation_includes_protocols() else None,
-            )
-            self._log.force_append(record)
         entry = CoordinatorEntry(
             txn_id=txn_id,
             policy_name=policy.name,
@@ -175,21 +173,41 @@ class CoordinatorEngine:
             epoch=self._epoch,
         )
         self.table.insert(txn_id, entry)
+        if policy.writes_initiation():
+            # The initiation record must be stable before any PREPARE is
+            # sent (a PrC/PrAny coordinator that crashes without it
+            # would wrongly presume commit when a prepared participant
+            # inquires), so voting starts from the force's completion —
+            # immediately on a synchronous log, at window close on a
+            # group-commit log.
+            record = initiation_record(
+                txn_id,
+                participants,
+                protocols if policy.initiation_includes_protocols() else None,
+            )
+            self._log.force_append_async(
+                record, self._guarded(txn_id, self._start_voting)
+            )
+            return
+        self._start_voting(entry)
+
+    def _start_voting(self, entry: CoordinatorEntry) -> None:
+        """Send PREPAREs and arm the vote timer (initiation is stable)."""
         # Implicitly prepared participants (IYV) cast no explicit vote:
         # having executed the work *is* the Yes vote, so they are
         # pre-counted and receive no PREPARE message.
-        for participant in participants:
-            if participant_spec(protocols[participant]).implicitly_prepared:
+        for participant in entry.participants:
+            if participant_spec(entry.protocols[participant]).implicitly_prepared:
                 entry.yes_votes.add(participant)
             else:
-                self._send(PREPARE, participant, txn_id)
+                self._send(PREPARE, participant, entry.txn_id)
         if self._votes_complete(entry):
             self._decide_from_votes(entry)
             return
         entry.vote_timer = self._sim.set_timer(
             self._timeouts.vote_timeout,
-            self._guarded(txn_id, self._on_vote_timeout),
-            label=f"vote-timeout {txn_id}",
+            self._guarded(entry.txn_id, self._on_vote_timeout),
+            label=f"vote-timeout {entry.txn_id}",
         )
 
     # -- message handlers ------------------------------------------------------
@@ -249,9 +267,12 @@ class CoordinatorEngine:
         )
         entry = self._live_entry(txn_id)
         if entry is not None:
-            if entry.decision is None:
-                # Still in the voting phase: the participant stays
-                # blocked and will inquire again.
+            if entry.decision is None or not entry.decision_stable:
+                # Still in the voting phase — or decided but the forced
+                # decision record is still in an open group-commit
+                # window (force-before-send applies to inquiry responses
+                # too): the participant stays blocked and will inquire
+                # again.
                 return
             self._respond(txn_id, inquirer, entry.decision, presumed=False)
             return
@@ -422,6 +443,9 @@ class CoordinatorEngine:
             protocols=dict(protocols),
             state=CoordinatorState.DECIDED,
             decision=outcome,
+            # Recovery replays a decision read from (or covered by) the
+            # stable log, so it is durable by construction.
+            decision_stable=True,
             acks_pending=set(ackers),
             epoch=self._epoch,
         )
@@ -480,15 +504,25 @@ class CoordinatorEngine:
         # Read-only participants dropped out at the vote; the decision
         # phase concerns only the updaters.
         updaters = [p for p in entry.participants if p not in entry.read_only]
-        self._sim.record(
-            self._site_id,
-            "protocol",
-            "decide",
-            txn=entry.txn_id,
-            decision=outcome.value,
-            read_only=len(entry.read_only),
-        )
         policy = entry.policy
+        # When the decision record's force is deferred (group commit),
+        # the decision does not exist until that record is stable: a
+        # crash mid-window must leave no evidence of it, so the decide
+        # trace is emitted from the stability callback instead of here.
+        defer_decide = (
+            bool(updaters)
+            and policy.forces_decision_record(outcome)
+            and self._log.defers_forces
+        )
+        if not defer_decide:
+            self._sim.record(
+                self._site_id,
+                "protocol",
+                "decide",
+                txn=entry.txn_id,
+                decision=outcome.value,
+                read_only=len(entry.read_only),
+            )
         if not updaters:
             # Every participant was read-only: the transaction is over
             # with no decision phase at all (the read-only optimization
@@ -497,14 +531,47 @@ class CoordinatorEngine:
             self._finish(entry)
             return
         if policy.forces_decision_record(outcome):
-            self._log.force_append(
+            # Force-before-send: the decision messages go out from the
+            # force's completion callback — immediately on a synchronous
+            # log, at window close on a group-commit log.
+            self._log.force_append_async(
                 decision_record(
                     entry.txn_id,
                     outcome.value,
                     participants=updaters,
                     role="coordinator",
-                )
+                ),
+                self._guarded(
+                    entry.txn_id,
+                    self._stable_decide if defer_decide
+                    else self._complete_decision,
+                ),
             )
+            return
+        self._complete_decision(entry)
+
+    def _stable_decide(self, entry: CoordinatorEntry) -> None:
+        """Deferred-force path: the decision record just became stable,
+        so the decision now officially exists — record it, then run the
+        decision phase."""
+        assert entry.decision is not None
+        self._sim.record(
+            self._site_id,
+            "protocol",
+            "decide",
+            txn=entry.txn_id,
+            decision=entry.decision.value,
+            read_only=len(entry.read_only),
+        )
+        self._complete_decision(entry)
+
+    def _complete_decision(self, entry: CoordinatorEntry) -> None:
+        """Decision durable (or no force required): send it out."""
+        assert entry.decision is not None
+        outcome = entry.decision
+        policy = entry.policy
+        entry.decision_stable = True
+        updaters = [p for p in entry.participants if p not in entry.read_only]
         # Acks are expected from every updater whose protocol acks this
         # decision — even one whose Yes vote was lost (it will blind-ack
         # if it never heard of the transaction, footnote 5).

@@ -115,7 +115,9 @@ class ParticipantEngine:
             # IYV: executing work *is* the promise. Force the prepared
             # record up front (updates are forced per operation), so a
             # crash leaves the subtransaction in doubt, never lost.
-            self._log.force_append(prepared_record(txn_id, coordinator))
+            # Nothing is sent on its stability, so no callback is
+            # needed; a group-commit log may coalesce it.
+            self._log.force_append_async(prepared_record(txn_id, coordinator))
             self._sim.record(
                 self._site_id, "db", "implicitly_prepared", txn=txn_id
             )
@@ -175,9 +177,6 @@ class ParticipantEngine:
             self.read_votes += 1
             self._send(VOTE_READ, coordinator, txn_id)
             return
-        if not self._tm.prepare(txn_id):
-            self._send(VOTE_NO, coordinator, txn_id)
-            return
         entry = self.table.get(txn_id)
         if entry is None:
             entry = ParticipantEntry(txn_id, coordinator, self._epoch)
@@ -185,18 +184,32 @@ class ParticipantEngine:
         entry.coordinator = coordinator
         if entry.active_timer is not None:
             entry.active_timer.cancel()
+        # Force-before-send: the Yes vote goes out from the prepared
+        # force's completion — immediately on a synchronous log, at
+        # window close on a group-commit log. The guard drops the vote
+        # if the transaction is gone by then (crash, or an abort that
+        # arrived while the window was open).
+        if not self._tm.prepare(
+            txn_id, on_stable=self._guarded(txn_id, self._cast_yes_vote)
+        ):
+            self._send(VOTE_NO, coordinator, txn_id)
+
+    def _cast_yes_vote(self, entry: ParticipantEntry) -> None:
+        """Prepared record is stable: send VOTE_YES and start inquiring."""
+        txn = self._tm.transaction(entry.txn_id)
+        if txn is None or txn.status is not TxnStatus.PREPARED:
+            return
         if self._spec.logless:
             # Coordinator log: piggyback the redo records on the vote;
             # the coordinator's decision force makes them durable.
-            txn = self._tm.transaction(txn_id)
-            payload = [[k, b, a] for k, b, a in (txn.updates if txn else [])]
-            self._send(VOTE_YES, coordinator, txn_id, updates=payload)
+            payload = [[k, b, a] for k, b, a in txn.updates]
+            self._send(VOTE_YES, entry.coordinator, entry.txn_id, updates=payload)
         else:
-            self._send(VOTE_YES, coordinator, txn_id)
+            self._send(VOTE_YES, entry.coordinator, entry.txn_id)
         entry.inquiry_timer = self._sim.set_timer(
             self._timeouts.inquiry_timeout,
-            self._guarded(txn_id, self._on_inquiry_timeout),
-            label=f"inquiry-timeout {txn_id}",
+            self._guarded(entry.txn_id, self._on_inquiry_timeout),
+            label=f"inquiry-timeout {entry.txn_id}",
         )
 
     def on_decision(self, message: Message) -> None:
@@ -242,23 +255,48 @@ class ParticipantEngine:
                     received=outcome.value,
                 )
                 return
-            if handling.acknowledge:
+            if handling.acknowledge and txn.decision_stable:
+                # Re-ack only once the decision record is stable: while
+                # it sits in an open group-commit window, the original
+                # enforcement's completion will ack when it closes (an
+                # early re-ack could let the coordinator forget a
+                # decision a crash is about to un-enforce). Every
+                # acking spec forces its decision record or is logless,
+                # so a stable flag is guaranteed to arrive.
                 self._send(ACK, message.sender, txn_id, decision=outcome.value)
             return
+        entry = self.table.get(txn_id)
+        sender = message.sender
+        epoch = self._epoch
+
+        def finish() -> None:
+            # Decision record is as durable as the spec demands: ack
+            # (force-before-send) and forget. Dropped on crash via both
+            # the epoch guard and the group-commit callback discard.
+            if epoch != self._epoch:
+                return
+            if handling.acknowledge:
+                self._send(ACK, sender, txn_id, decision=outcome.value)
+            self._forget(txn_id, outcome)
+
         try:
             if outcome is Outcome.COMMIT:
-                self._tm.commit(txn_id, force_decision=handling.force_record)
+                self._tm.commit(
+                    txn_id,
+                    force_decision=handling.force_record,
+                    on_stable=finish,
+                )
             else:
-                self._tm.abort(txn_id, force_decision=handling.force_record)
+                self._tm.abort(
+                    txn_id,
+                    force_decision=handling.force_record,
+                    on_stable=finish,
+                )
         except TransactionError:
             self.decision_conflicts += 1
             return
-        entry = self.table.get(txn_id)
         if entry is not None:
             entry.cancel_timers()
-        if handling.acknowledge:
-            self._send(ACK, message.sender, txn_id, decision=outcome.value)
-        self._forget(txn_id, outcome)
 
     # -- coordinator-log support ---------------------------------------------------
 

@@ -1,5 +1,6 @@
 """Stable storage: write-ahead logs, protocol tables, PCP/APP tables."""
 
+from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
 from repro.storage.log_records import LogRecord, RecordType
 from repro.storage.pcp import CommitProtocolDirectory
 from repro.storage.protocol_table import ProtocolTable
@@ -7,6 +8,8 @@ from repro.storage.stable_log import StableLog
 
 __all__ = [
     "CommitProtocolDirectory",
+    "GroupCommitConfig",
+    "GroupCommitLog",
     "LogRecord",
     "ProtocolTable",
     "RecordType",

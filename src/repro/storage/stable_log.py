@@ -51,11 +51,32 @@ class StableLog:
         return self._open
 
     @property
+    def defers_forces(self) -> bool:
+        """Whether :meth:`force_append_async` may complete later.
+
+        The base log forces synchronously, so completion callbacks run
+        before ``force_append_async`` returns. A deferring log (see
+        :class:`~repro.storage.group_commit.GroupCommitLog`) coalesces
+        requests and runs the callbacks when the batch window closes.
+        """
+        return False
+
+    @property
     def stable_record_count(self) -> int:
+        """Records that have reached stable storage (crash-survivors).
+
+        ``stable_record_count + buffered_record_count`` is the total
+        record population; :meth:`force`/:meth:`flush` move records from
+        the buffered side to the stable side, :meth:`crash` discards the
+        buffered side, and :meth:`garbage_collect` shrinks the stable
+        side only.
+        """
         return len(self._stable)
 
     @property
     def buffered_record_count(self) -> int:
+        """Records still in the volatile buffer — exactly what a crash
+        at this instant would lose."""
         return len(self._buffer)
 
     # -- writing ------------------------------------------------------------
@@ -78,7 +99,18 @@ class StableLog:
         return record
 
     def force(self) -> None:
-        """Flush the volatile buffer to stable storage."""
+        """Synchronously flush the volatile buffer to stable storage.
+
+        Every invocation is a *protocol cost*: ``force_count`` counts
+        the write barrier itself, so it is incremented (and a
+        ``log.force`` trace event recorded, with ``flushed=0``) even
+        when the buffer happens to be empty — the caller still paid for
+        the device round trip. Contrast :meth:`flush`, which models free
+        background I/O and is a strict no-op (no counter, no trace) on
+        an empty buffer. After a force ``buffered_record_count`` is 0
+        and every previously buffered record counts toward
+        ``stable_record_count``.
+        """
         self._require_open()
         self.force_count += 1
         for record in self._buffer:
@@ -99,12 +131,38 @@ class StableLog:
         self.force()
         return record
 
+    def force_append_async(
+        self,
+        record: LogRecord,
+        on_stable: Optional[Callable[[], None]] = None,
+    ) -> LogRecord:
+        """Append ``record`` and request a force; notify when stable.
+
+        The base log performs the force synchronously, so ``on_stable``
+        (when given) runs before this method returns and the call is
+        behaviourally identical to :meth:`force_append`. A deferring
+        log (:attr:`defers_forces`) instead coalesces concurrent
+        requests into one force per batch window and runs ``on_stable``
+        once the window closes — the group-commit discipline: callers
+        must not act on the record's durability (send a vote, a
+        decision, an ack) before the callback fires.
+        """
+        self.append(record)
+        self.force()
+        if on_stable is not None:
+            on_stable()
+        return record
+
     def flush(self) -> int:
         """Background flush: buffered records become stable.
 
-        Unlike :meth:`force`, a flush is not a protocol cost — it models
-        the log buffer being written out as a side effect of unrelated
-        activity ("lazily"), so it is counted separately.
+        Unlike :meth:`force`, a flush is not a protocol cost — it
+        models the log buffer being written out as a side effect of
+        unrelated activity ("lazily"), so it is counted separately:
+        ``flush_count`` is incremented (and a ``log.flush`` trace event
+        recorded) only when at least one record actually moved from the
+        buffer to stable storage. An empty-buffer flush is free and
+        leaves no trace, unlike an empty-buffer :meth:`force`.
 
         Returns:
             The number of records flushed.

@@ -8,9 +8,11 @@ from typing import Optional
 from repro.errors import WorkloadError
 from repro.mdbs.system import MDBS
 from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.net.batching import NetBatchConfig
 from repro.net.network import LatencyModel
 from repro.protocols.base import TimeoutConfig
 from repro.sim.rng import RandomStreams
+from repro.storage.group_commit import GroupCommitConfig
 from repro.workloads.mixes import ProtocolMix
 
 #: Site id used for the coordinating transaction manager.
@@ -24,14 +26,23 @@ def build_mdbs(
     latency: Optional[LatencyModel] = None,
     timeouts: Optional[TimeoutConfig] = None,
     read_only_optimization: bool = True,
+    group_commit: Optional[GroupCommitConfig] = None,
+    net_batching: Optional[NetBatchConfig] = None,
 ) -> MDBS:
     """Build an MDBS with one participant site per mix entry.
 
     The coordinator lives at its own site (``"tm"``), running PrN as a
     participant protocol (it never participates in these workloads) and
-    the given coordinator policy/selector.
+    the given coordinator policy/selector. ``group_commit`` /
+    ``net_batching`` switch on the group-commit engine (off by default).
     """
-    mdbs = MDBS(seed=seed, latency=latency, timeouts=timeouts)
+    mdbs = MDBS(
+        seed=seed,
+        latency=latency,
+        timeouts=timeouts,
+        group_commit=group_commit,
+        net_batching=net_batching,
+    )
     for site_id, protocol in mix.site_protocols().items():
         mdbs.add_site(
             site_id,

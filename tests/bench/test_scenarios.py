@@ -24,6 +24,14 @@ class TestRegistry:
             "commit-storm-prany",
             "commit-storm-u2pc",
             "commit-storm-c2pc",
+            "commit-storm-log",
+            "commit-storm-log-grouped",
+            "commit-storm-dense-prany",
+            "commit-storm-grouped-prany",
+            "commit-storm-dense-prc",
+            "commit-storm-grouped-prc",
+            "commit-storm-dense-c2pc",
+            "commit-storm-grouped-c2pc",
             "crash-recovery",
             "explore-sweep",
         } <= set(SCENARIOS)
@@ -74,3 +82,49 @@ class TestScenarioRuns:
         u2pc = SCENARIOS["commit-storm-u2pc"].run(True)
         assert prany.detail["atomicity_violations"] == 0
         assert u2pc.detail["atomicity_violations"] > 0
+
+
+class TestGroupCommitPairs:
+    """The grouped/ungrouped pairs must be honestly comparable: same
+    logical work on both sides, fewer physical forces on the grouped
+    side."""
+
+    PAIRS = [
+        ("commit-storm-log", "commit-storm-log-grouped"),
+        ("commit-storm-dense-prany", "commit-storm-grouped-prany"),
+        ("commit-storm-dense-prc", "commit-storm-grouped-prc"),
+        ("commit-storm-dense-c2pc", "commit-storm-grouped-c2pc"),
+    ]
+
+    @pytest.mark.parametrize("plain_name,grouped_name", PAIRS)
+    def test_pair_members_report_identical_work(self, plain_name, grouped_name):
+        plain = SCENARIOS[plain_name].run(True)
+        grouped = SCENARIOS[grouped_name].run(True)
+        assert plain.events == grouped.events
+        assert plain.detail["counterpart"] == grouped_name
+        assert grouped.detail["counterpart"] == plain_name
+        assert grouped.detail["forces_performed"] < plain.detail[
+            "forces_performed"
+        ]
+
+    def test_log_storm_pair_commits_and_outcomes_identical(self):
+        plain = SCENARIOS["commit-storm-log"].run(True)
+        grouped = SCENARIOS["commit-storm-log-grouped"].run(True)
+        for key in ("force_requests", "commits_stable", "callbacks_fired"):
+            assert plain.detail[key] == grouped.detail[key]
+        # The whole point: one force per burst instead of per request.
+        assert grouped.detail["requests_per_force"] >= 32
+
+    @pytest.mark.parametrize(
+        "plain_name,grouped_name",
+        [p for p in PAIRS if "dense" in p[0]],
+    )
+    def test_dense_pairs_decide_every_transaction(
+        self, plain_name, grouped_name
+    ):
+        plain = SCENARIOS[plain_name].run(True)
+        grouped = SCENARIOS[grouped_name].run(True)
+        assert plain.detail["decided"] == plain.detail["transactions"]
+        assert grouped.detail["decided"] == grouped.detail["transactions"]
+        assert grouped.detail["batches_delivered"] > 0
+        assert grouped.detail["piggybacked_messages"] > 0

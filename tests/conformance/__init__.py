@@ -1,0 +1,1 @@
+"""Differential conformance: grouped/batched runs must match ungrouped."""

@@ -1,0 +1,227 @@
+"""Shared machinery for the differential conformance suite.
+
+The suite's claim: switching on the group-commit engine (log-force
+coalescing and/or network message batching) changes *when* work
+happens, never *what* happens. Concretely, for failure-free workloads
+with private keys, a grouped run and its ungrouped twin must have:
+
+* identical per-transaction outcomes — the coordinator's decision and
+  every site's enforcement (Definition 1 operational correctness);
+* identical per-transaction log-record *sets* appended at each site
+  (batching may reorder interleavings across transactions and change
+  LSNs, but never which records a transaction writes where);
+* identical forget/garbage-collection behavior — the same protocol
+  table deletions and the same log-GC sets — and an identical stable
+  residue after ``finalize``;
+* identical final committed store state, and the same verdicts from
+  all three correctness checkers.
+
+:func:`equivalence_summary` extracts exactly that observable footprint
+as a canonical JSON string, so "equivalent" is literally byte equality.
+Timing-dependent observables (message counts, inquiry retries, event
+counts, LSNs) are deliberately excluded — those are the things batching
+is *allowed* to change.
+
+Preconditions for twin-hood, baked into :func:`conformance_spec`:
+``hot_keys=0`` (no lock conflicts, so outcomes cannot depend on
+scheduling) and batch windows small relative to the protocol timeouts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.mdbs.system import MDBS
+from repro.net.batching import NetBatchConfig
+from repro.protocols.base import TimeoutConfig
+from repro.storage.group_commit import GroupCommitConfig
+from repro.workloads.generator import (
+    COORDINATOR_ID,
+    WorkloadSpec,
+    build_mdbs,
+    generate_transactions,
+)
+from repro.workloads.mixes import ProtocolMix, homogeneous, three_way
+
+#: The six protocols of the paper, as (participant mix, coordinator)
+#: setups. PrN/PrA/PrC run homogeneous under their own fixed
+#: coordinator; PrAny is the dynamic coordinator over the heterogeneous
+#: mix; IYV and CL are the extension protocols under the dynamic
+#: coordinator (the only one that integrates them).
+PROTOCOL_SETUPS: dict[str, tuple[ProtocolMix, str]] = {
+    "PrN": (homogeneous("PrN", 3), "PrN"),
+    "PrA": (homogeneous("PrA", 3), "PrA"),
+    "PrC": (homogeneous("PrC", 3), "PrC"),
+    "PrAny": (three_way(3), "dynamic"),
+    "IYV": (homogeneous("IYV", 3), "dynamic"),
+    "CL": (homogeneous("CL", 3), "dynamic"),
+}
+
+#: Window settings the differential suite sweeps: max-delay-bound
+#: coalescing, tight windows, and max-batch-bound closing.
+BATCH_SETTINGS: dict[str, tuple[GroupCommitConfig, NetBatchConfig]] = {
+    "wide-window": (
+        GroupCommitConfig(max_delay=2.0, max_batch=64),
+        NetBatchConfig(window=1.0, max_batch=64),
+    ),
+    "tight-window": (
+        GroupCommitConfig(max_delay=0.25, max_batch=64),
+        NetBatchConfig(window=0.25, max_batch=64),
+    ),
+    "batch-bound": (
+        GroupCommitConfig(max_delay=5.0, max_batch=2),
+        NetBatchConfig(window=2.0, max_batch=3),
+    ),
+}
+
+
+#: Timeouts relaxed so no batch window can race a protocol timer: the
+#: widest setting above adds at most ~5 time units per force and ~2 per
+#: delivery, far below every margin here. Both twins run with the SAME
+#: timeouts, so this changes the comparison's preconditions, not its
+#: strength — a vote timeout firing in one mode but not the other would
+#: be a (correct but) schedule-dependent outcome, exactly what the
+#: private-keys/failure-free setup exists to exclude.
+CONFORMANCE_TIMEOUTS = TimeoutConfig(
+    vote_timeout=120.0,
+    resend_interval=60.0,
+    inquiry_timeout=90.0,
+    inquiry_retry=60.0,
+    active_timeout=240.0,
+)
+
+
+def conformance_spec(
+    seed: int,
+    n_transactions: int = 24,
+    abort_fraction: float = 0.3,
+    inter_arrival: float = 2.0,
+) -> WorkloadSpec:
+    """A workload whose outcome is schedule-independent (private keys)."""
+    return WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=abort_fraction,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=inter_arrival,
+        hot_keys=0,
+        seed=seed,
+    )
+
+
+def run_workload(
+    mix: ProtocolMix,
+    coordinator: str,
+    spec: WorkloadSpec,
+    group_commit: Optional[GroupCommitConfig] = None,
+    net_batching: Optional[NetBatchConfig] = None,
+) -> MDBS:
+    """Run ``spec`` over the given topology to quiescence."""
+    mdbs = build_mdbs(
+        mix,
+        coordinator=coordinator,
+        seed=spec.seed,
+        timeouts=CONFORMANCE_TIMEOUTS,
+        group_commit=group_commit,
+        net_batching=net_batching,
+    )
+    for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+        mdbs.submit(txn)
+    mdbs.run(until=spec.inter_arrival * spec.n_transactions + 500.0)
+    mdbs.finalize()
+    return mdbs
+
+
+def equivalence_summary(mdbs: MDBS) -> dict[str, Any]:
+    """The batching-invariant observable footprint of a finished run."""
+    trace = mdbs.sim.trace
+
+    decisions: dict[str, str] = {}
+    for event in trace.select(category="protocol", name="decide"):
+        decisions[event.details["txn"]] = event.details["decision"]
+
+    enforcements: dict[str, dict[str, str]] = {}
+    for name in ("commit", "abort"):
+        for event in trace.select(category="db", name=name):
+            txn = event.details.get("txn")
+            if txn:
+                enforcements.setdefault(txn, {})[event.site] = name
+
+    appended: dict[str, list[list[str]]] = {}
+    for event in trace.select(category="log", name="append"):
+        txn = event.details.get("txn")
+        if not txn:
+            continue
+        if event.site == COORDINATOR_ID and event.details["type"] == "update":
+            # CL redo records piggybacked on Yes votes are cached at the
+            # coordinator only while it is still VOTING, so whether a
+            # Yes vote racing a No vote gets its updates cached is
+            # schedule-dependent even on the unbatched stack. The cache
+            # is protocol-dead on abort (CL recovery only ships updates
+            # of *committed* decisions), so it is excluded here; on
+            # commit every vote necessarily preceded the decision and
+            # the sets match anyway.
+            continue
+        appended.setdefault(txn, []).append([event.site, event.details["type"]])
+    for records in appended.values():
+        records.sort()
+
+    forgotten: dict[str, list[list[str]]] = {}
+    for event in trace.select(category="protocol", name="forget"):
+        txn = event.details.get("txn")
+        if txn:
+            forgotten.setdefault(txn, []).append(
+                [event.site, event.details.get("role", "")]
+            )
+    for entries in forgotten.values():
+        entries.sort()
+
+    # Which sites collected each txn's records (counts would differ by
+    # the excluded coordinator-side vote cache; emptiness of the stable
+    # residue below proves nothing escaped collection either way).
+    collected: dict[str, list[str]] = {}
+    for event in trace.select(category="log", name="gc"):
+        txn = event.details.get("txn")
+        if txn:
+            collected.setdefault(txn, []).append(event.site)
+    for entries in collected.values():
+        entries.sort()
+
+    stable_residue = {
+        site_id: sorted(
+            [record.type.value, record.txn_id]
+            for record in site.log.stable_records()
+        )
+        for site_id, site in sorted(mdbs.sites.items())
+    }
+    stores = {
+        site_id: dict(sorted(site.store.snapshot().items()))
+        for site_id, site in sorted(mdbs.sites.items())
+    }
+
+    reports = mdbs.check()
+    return {
+        "decisions": dict(sorted(decisions.items())),
+        "enforcements": {
+            txn: dict(sorted(sites.items()))
+            for txn, sites in sorted(enforcements.items())
+        },
+        "appended_records": dict(sorted(appended.items())),
+        "forgotten": dict(sorted(forgotten.items())),
+        "gc": dict(sorted(collected.items())),
+        "stable_residue": stable_residue,
+        "stores": stores,
+        "checks": {
+            "atomicity": reports.atomicity.holds,
+            "safe_state": reports.safe_state.holds,
+            "operational": reports.operational.holds,
+        },
+    }
+
+
+def summary_bytes(mdbs: MDBS) -> bytes:
+    """Canonical byte encoding of :func:`equivalence_summary`."""
+    return json.dumps(
+        equivalence_summary(mdbs), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")

@@ -1,0 +1,121 @@
+"""Differential conformance: grouped == ungrouped, all six protocols.
+
+Each test runs the same seeded workload twice — once on the plain
+synchronous stack, once with the group-commit engine (log-force
+coalescing + message batching) — and demands byte-identical observable
+footprints (see ``harness.equivalence_summary``). Parametrized over the
+paper's six protocols and several batch-window settings, including
+max-batch-bound windows, so both window-close paths are covered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.batching import NetBatchConfig
+from repro.storage.group_commit import GroupCommitConfig
+
+from tests.conformance.harness import (
+    BATCH_SETTINGS,
+    PROTOCOL_SETUPS,
+    conformance_spec,
+    equivalence_summary,
+    run_workload,
+    summary_bytes,
+)
+
+PROTOCOLS = sorted(PROTOCOL_SETUPS)
+SETTINGS = sorted(BATCH_SETTINGS)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("setting", SETTINGS)
+class TestGroupedMatchesUngrouped:
+    def test_full_engine(self, protocol: str, setting: str) -> None:
+        """Log coalescing + net batching together vs the plain stack."""
+        mix, coordinator = PROTOCOL_SETUPS[protocol]
+        group_commit, net_batching = BATCH_SETTINGS[setting]
+        spec = conformance_spec(seed=101)
+        plain = run_workload(mix, coordinator, spec)
+        grouped = run_workload(
+            mix,
+            coordinator,
+            spec,
+            group_commit=group_commit,
+            net_batching=net_batching,
+        )
+        assert summary_bytes(grouped) == summary_bytes(plain)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestEachShimAlone:
+    """Each half of the engine must be independently conformant."""
+
+    def test_log_coalescing_only(self, protocol: str) -> None:
+        mix, coordinator = PROTOCOL_SETUPS[protocol]
+        spec = conformance_spec(seed=202)
+        plain = run_workload(mix, coordinator, spec)
+        grouped = run_workload(
+            mix,
+            coordinator,
+            spec,
+            group_commit=GroupCommitConfig(max_delay=1.0, max_batch=16),
+        )
+        assert summary_bytes(grouped) == summary_bytes(plain)
+
+    def test_net_batching_only(self, protocol: str) -> None:
+        mix, coordinator = PROTOCOL_SETUPS[protocol]
+        spec = conformance_spec(seed=303)
+        plain = run_workload(mix, coordinator, spec)
+        batched = run_workload(
+            mix,
+            coordinator,
+            spec,
+            net_batching=NetBatchConfig(window=1.0, max_batch=16),
+        )
+        assert summary_bytes(batched) == summary_bytes(plain)
+
+
+class TestSummaryIsMeaningful:
+    """Guard the harness itself: the footprint must not be vacuous."""
+
+    def test_summary_covers_every_transaction(self) -> None:
+        mix, coordinator = PROTOCOL_SETUPS["PrAny"]
+        spec = conformance_spec(seed=404, n_transactions=12)
+        summary = equivalence_summary(run_workload(mix, coordinator, spec))
+        assert len(summary["decisions"]) == 12
+        assert summary["enforcements"]
+        assert summary["appended_records"]
+        assert summary["forgotten"]
+        assert summary["checks"]["atomicity"]
+        assert summary["checks"]["safe_state"]
+        assert summary["checks"]["operational"]
+        outcomes = set(summary["decisions"].values())
+        assert outcomes == {"commit", "abort"}
+
+    def test_different_workloads_have_different_footprints(self) -> None:
+        mix, coordinator = PROTOCOL_SETUPS["PrN"]
+        a = run_workload(mix, coordinator, conformance_spec(seed=1, n_transactions=8))
+        b = run_workload(mix, coordinator, conformance_spec(seed=2, n_transactions=8))
+        assert summary_bytes(a) != summary_bytes(b)
+
+    def test_grouped_run_actually_coalesces(self) -> None:
+        """The equivalence claim is only interesting if grouping is on."""
+        mix, coordinator = PROTOCOL_SETUPS["PrAny"]
+        spec = conformance_spec(seed=505)
+        grouped = run_workload(
+            mix,
+            coordinator,
+            spec,
+            group_commit=GroupCommitConfig(max_delay=2.0, max_batch=64),
+            net_batching=NetBatchConfig(window=1.0, max_batch=64),
+        )
+        plain = run_workload(mix, coordinator, spec)
+        total_forces = lambda m: sum(s.log.force_count for s in m.sites.values())
+        requests = sum(
+            s.log.force_requests for s in grouped.sites.values()
+        )
+        assert requests > 0
+        assert total_forces(grouped) < total_forces(plain)
+        assert grouped.network.piggybacked_messages > 0
+        assert grouped.network.batches_delivered < grouped.network.delivered_count

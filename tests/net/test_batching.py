@@ -1,0 +1,201 @@
+"""Unit tests for the batching network shim.
+
+Pins the three batching correctness constraints: never deliver early,
+unpack transparently (per-message traces/counters/liveness identical to
+the plain network), and leave drop handling per message.
+"""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.batching import BatchingNetwork, NetBatchConfig
+from repro.net.message import Message
+from repro.net.network import ConstantLatency
+
+
+@pytest.fixture
+def net(sim):
+    return BatchingNetwork(
+        sim, ConstantLatency(1.0), NetBatchConfig(window=2.0, max_batch=16)
+    )
+
+
+def attach(net, node_id, up=lambda: True):
+    inbox = []
+    net.register(node_id, inbox.append, is_up=up)
+    return inbox
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = NetBatchConfig()
+        assert config.window >= 0
+        assert config.max_batch >= 1
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(NetworkError):
+            NetBatchConfig(window=-0.5)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(NetworkError):
+            NetBatchConfig(max_batch=0)
+
+
+class TestPiggybacking:
+    def test_same_destination_burst_is_one_delivery_event(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        attach(net, "c")
+        net.send(Message("ONE", "a", "b"))
+        net.send(Message("TWO", "c", "b"))
+        net.send(Message("THREE", "a", "b"))
+        sim.run()
+        assert [m.kind for m in inbox] == ["ONE", "TWO", "THREE"]
+        assert net.batches_delivered == 1
+        assert net.piggybacked_messages == 2
+
+    def test_different_destinations_do_not_share_batches(self, sim, net):
+        inbox_b = attach(net, "b")
+        inbox_c = attach(net, "c")
+        attach(net, "a")
+        net.send(Message("X", "a", "b"))
+        net.send(Message("Y", "a", "c"))
+        sim.run()
+        assert len(inbox_b) == len(inbox_c) == 1
+        assert net.batches_delivered == 2
+        assert net.piggybacked_messages == 0
+
+    def test_send_order_preserved_within_batch(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        for kind in ("M1", "M2", "M3", "M4"):
+            net.send(Message(kind, "a", "b"))
+        sim.run()
+        assert [m.kind for m in inbox] == ["M1", "M2", "M3", "M4"]
+
+
+class TestNeverEarly:
+    def test_batch_delivers_at_deadline_not_before(self, sim, net):
+        """First member's natural arrival is 1.0; window 2.0 → 3.0."""
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert len(inbox) == 1
+        assert sim.now == 3.0
+
+    def test_no_member_delivered_before_its_natural_arrival(self, sim, net):
+        """A late joiner arriving exactly at the deadline is still not
+        early; one arriving after the deadline opens a new batch."""
+        attach(net, "b")
+        attach(net, "a")
+        deliveries = []
+        net.send(Message("FIRST", "a", "b"))  # arrival 1.0, deadline 3.0
+        sim.schedule(2.0, lambda: net.send(Message("EDGE", "a", "b")))  # arrival 3.0
+        sim.schedule(2.5, lambda: net.send(Message("LATE", "a", "b")))  # arrival 3.5
+        arrivals = {"FIRST": 1.0, "EDGE": 3.0, "LATE": 3.5}
+        sim.run()
+        for event in sim.trace.select(category="msg", name="deliver"):
+            deliveries.append((event.details["kind"], event.time))
+        for kind, at in deliveries:
+            assert at >= arrivals[kind], f"{kind} delivered before natural arrival"
+        assert dict(deliveries) == {"FIRST": 3.0, "EDGE": 3.0, "LATE": 5.5}
+        assert net.batches_delivered == 2
+
+    def test_zero_window_batches_only_simultaneous_arrivals(self, sim):
+        net = BatchingNetwork(
+            sim, ConstantLatency(1.0), NetBatchConfig(window=0.0, max_batch=16)
+        )
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.send(Message("X", "a", "b"))
+        net.send(Message("Y", "a", "b"))
+        sim.run()
+        assert len(inbox) == 2
+        assert sim.now == 1.0  # no added delay at all
+        assert net.piggybacked_messages == 1
+
+
+class TestMaxBatchBound:
+    def test_full_batch_stops_joiners(self, sim):
+        net = BatchingNetwork(
+            sim, ConstantLatency(1.0), NetBatchConfig(window=2.0, max_batch=2)
+        )
+        inbox = attach(net, "b")
+        attach(net, "a")
+        for kind in ("M1", "M2", "M3"):
+            net.send(Message(kind, "a", "b"))
+        sim.run()
+        assert len(inbox) == 3
+        assert net.batches_delivered == 2  # [M1, M2] and [M3]
+        assert net.piggybacked_messages == 1
+
+    def test_max_batch_one_degenerates_to_per_message_events(self, sim):
+        net = BatchingNetwork(
+            sim, ConstantLatency(1.0), NetBatchConfig(window=2.0, max_batch=1)
+        )
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.send(Message("X", "a", "b"))
+        net.send(Message("Y", "a", "b"))
+        sim.run()
+        assert len(inbox) == 2
+        assert net.batches_delivered == 2
+        assert net.piggybacked_messages == 0
+
+
+class TestTransparentUnpacking:
+    def test_per_message_counters_match_plain_network(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        for __ in range(4):
+            net.send(Message("PING", "a", "b"))
+        sim.run()
+        assert net.sent_count == 4
+        assert net.delivered_count == 4
+        assert net.in_flight == 0
+        assert len(inbox) == 4
+
+    def test_per_message_deliver_traces_recorded(self, sim, net):
+        attach(net, "b")
+        attach(net, "a")
+        net.send(Message("PING", "a", "b", txn_id="t1"))
+        net.send(Message("PONG", "a", "b", txn_id="t2"))
+        sim.run()
+        events = sim.trace.select(category="msg", name="deliver")
+        assert [(e.details["kind"], e.details["txn"]) for e in events] == [
+            ("PING", "t1"),
+            ("PONG", "t2"),
+        ]
+
+    def test_receiver_down_checked_per_message_at_delivery(self, sim, net):
+        up = {"b": True}
+        inbox = attach(net, "b", up=lambda: up["b"])
+        attach(net, "a")
+        net.send(Message("PING", "a", "b"))
+        up["b"] = False  # crashes while the batch is in flight
+        sim.run()
+        assert inbox == []
+        assert net.dropped_count == 1
+        assert sim.trace.first(category="msg", name="lost_receiver_down")
+
+
+class TestDropsUnaffected:
+    def test_dropped_message_never_joins_a_batch(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.drop_next("a", "b", count=1)
+        net.send(Message("DROPPED", "a", "b"))
+        net.send(Message("KEPT", "a", "b"))
+        sim.run()
+        assert [m.kind for m in inbox] == ["KEPT"]
+        assert net.dropped_count == 1
+        assert net.batches_delivered == 1
+
+    def test_partition_still_blocks(self, sim, net):
+        inbox = attach(net, "b")
+        attach(net, "a")
+        net.partition("a", "b")
+        net.send(Message("X", "a", "b"))
+        sim.run()
+        assert inbox == []

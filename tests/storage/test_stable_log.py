@@ -74,6 +74,84 @@ class TestFlush:
         assert log.flush_count == 0
 
 
+class TestBufferedVsStableCounterSemantics:
+    """The documented contract of buffered/stable counters vs force/flush.
+
+    ``buffered_record_count`` is exactly what a crash right now would
+    lose; ``stable + buffered`` is the total record population; a force
+    is a protocol cost even when the buffer is empty, while a flush is
+    only an event when records actually move.
+    """
+
+    def test_buffered_count_is_exactly_the_crash_loss(self, log):
+        log.force_append(rec("t1"))
+        log.append(rec("t2"))
+        log.append(rec("t3"))
+        expected_loss = log.buffered_record_count
+        assert log.crash() == expected_loss == 2
+
+    def test_population_is_conserved_by_force_and_flush(self, log):
+        log.append(rec("t1"))
+        log.append(rec("t2"))
+        total = log.stable_record_count + log.buffered_record_count
+        log.force()
+        assert log.stable_record_count + log.buffered_record_count == total
+        log.append(rec("t3"))
+        log.flush()
+        assert log.stable_record_count + log.buffered_record_count == total + 1
+
+    def test_empty_force_is_still_a_counted_protocol_cost(self, log, sim):
+        log.force()
+        assert log.force_count == 1
+        forces = sim.trace.select(category="log", name="force")
+        assert len(forces) == 1
+        assert forces[0].details["flushed"] == 0
+
+    def test_empty_flush_leaves_no_trace(self, log, sim):
+        log.flush()
+        assert log.flush_count == 0
+        assert not sim.trace.select(category="log", name="flush")
+
+    def test_flush_traces_only_when_records_moved(self, log, sim):
+        log.append(rec())
+        log.flush()
+        log.flush()
+        events = sim.trace.select(category="log", name="flush")
+        assert len(events) == 1
+        assert events[0].details["flushed"] == 1
+        assert log.flush_count == 1
+
+    def test_gc_shrinks_the_stable_side_only(self, log):
+        log.force_append(rec("t1"))
+        log.append(rec("t2"))
+        log.garbage_collect("t1")
+        assert log.stable_record_count == 0
+        assert log.buffered_record_count == 1
+
+
+class TestForceAppendAsync:
+    def test_base_log_notifies_before_returning(self, log):
+        fired = []
+        record = log.force_append_async(rec("t1"), on_stable=lambda: fired.append("now"))
+        assert record.forced
+        assert fired == ["now"]
+
+    def test_base_log_callback_runs_synchronously(self, log):
+        order = []
+        log.force_append_async(rec("t1"), on_stable=lambda: order.append("cb"))
+        order.append("returned")
+        assert order == ["cb", "returned"]
+
+    def test_base_log_defers_forces_is_false(self, log):
+        assert log.defers_forces is False
+
+    def test_behaves_like_force_append(self, log):
+        log.force_append_async(rec("t1"))
+        assert log.stable_record_count == 1
+        assert log.buffered_record_count == 0
+        assert log.force_count == 1
+
+
 class TestCrash:
     def test_crash_loses_buffered_records(self, log):
         log.force_append(rec("t1"))
