@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from statistics import median
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.bench.scenarios import Scenario, ScenarioResult
 from repro.errors import ReproError
@@ -37,12 +37,17 @@ class BenchConfig:
         profile_dir: when set, one extra profiled run per scenario dumps
             ``<scenario>.prof`` (binary, for snakeviz/pstats) and
             ``<scenario>.txt`` (top functions by cumulative time) here.
+        clock: monotonic wall-clock source for the timed reps. The seam
+            that lets sim-bench and live-bench share this runner (and
+            lets tests substitute a fake clock); defaults to
+            ``time.perf_counter``.
     """
 
     reps: int = 3
     warmup: int = 1
     smoke: bool = False
     profile_dir: Optional[Path] = None
+    clock: Callable[[], float] = time.perf_counter
 
     def __post_init__(self) -> None:
         if self.reps < 1:
@@ -131,23 +136,24 @@ def measure_scenario(scenario: Scenario, config: BenchConfig) -> ScenarioMeasure
     results: list[ScenarioResult] = []
     walls: list[float] = []
     for _ in range(config.reps):
-        started = time.perf_counter()
+        started = config.clock()
         result = scenario.run(config.smoke)
-        walls.append(time.perf_counter() - started)
+        walls.append(config.clock() - started)
         results.append(result)
 
     first = results[0]
-    for other in results[1:]:
-        if (other.events, other.trace_events, other.messages) != (
-            first.events,
-            first.trace_events,
-            first.messages,
-        ):
-            raise ReproError(
-                f"scenario {scenario.name!r} is not deterministic across reps: "
-                f"{(first.events, first.trace_events, first.messages)} vs "
-                f"{(other.events, other.trace_events, other.messages)}"
-            )
+    if scenario.deterministic:
+        for other in results[1:]:
+            if (other.events, other.trace_events, other.messages) != (
+                first.events,
+                first.trace_events,
+                first.messages,
+            ):
+                raise ReproError(
+                    f"scenario {scenario.name!r} is not deterministic across reps: "
+                    f"{(first.events, first.trace_events, first.messages)} vs "
+                    f"{(other.events, other.trace_events, other.messages)}"
+                )
 
     profile_top: tuple[str, ...] = ()
     if config.profile_dir is not None:

@@ -82,6 +82,11 @@ class Scenario:
         tags: coarse grouping (``"micro"``, ``"system"``, ``"composite"``).
         run: executes the workload; ``smoke=True`` shrinks it to a
             CI-friendly size (same shape, fewer iterations).
+        deterministic: whether reps must report identical work counters
+            (every simulated scenario). Live wall-clock scenarios
+            (``repro.rt.bench``) set this False — real sockets make
+            trace/message counts rep-dependent — and the runner then
+            skips its cross-rep identity assertion.
     """
 
     name: str
@@ -89,6 +94,7 @@ class Scenario:
     seed: int
     tags: tuple[str, ...]
     run: Callable[[bool], ScenarioResult]
+    deterministic: bool = True
 
 
 SCENARIOS: dict[str, Scenario] = {}

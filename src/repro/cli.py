@@ -64,6 +64,7 @@ def _cmd_list(args: argparse.Namespace) -> str:
         "  all                everything above, in order",
         "  explore            fuzz adversarial schedules (VOPR-style)",
         "  bench              measure simulator throughput (BENCH_sim.json)",
+        "  live               run the engines over real TCP sockets (asyncio)",
     ]
     return "\n".join(lines)
 
@@ -322,6 +323,156 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_live(args: argparse.Namespace) -> str:
+    # Imported lazily: the live runtime pulls in asyncio server
+    # machinery that the simulated commands never need.
+    import asyncio
+    import tempfile
+
+    from repro.rt.cluster import LIVE_TIMEOUTS, RUN_MARGIN, LiveCluster
+    from repro.workloads.generator import WorkloadSpec, generate_transactions
+    from repro.workloads.mixes import homogeneous, three_way
+
+    canonical = {"prn": "PrN", "pra": "PrA", "prc": "PrC"}
+    protocol = args.protocol.lower()
+    if protocol == "prany":
+        mix, coordinator = three_way(args.participants), "dynamic"
+    elif protocol in canonical:
+        fixed = canonical[protocol]
+        mix, coordinator = homogeneous(fixed, args.participants), fixed
+    else:
+        raise SystemExit(
+            f"unknown live protocol {args.protocol!r}; "
+            f"expected prany, prn, pra or prc"
+        )
+
+    if args.bench:
+        from repro.bench import BenchConfig, build_report, write_report
+        from repro.bench.runner import measure_scenario
+        from repro.rt.bench import live_scenario
+
+        config = BenchConfig(reps=args.reps, warmup=1, smoke=args.smoke)
+        measurement = measure_scenario(live_scenario(), config)
+        report = build_report([measurement], config)
+        path = write_report(report, Path(args.bench_output))
+        result = measurement.result
+        if not result.checks_passed:
+            args.exit_code = 1
+        return "\n".join(
+            [
+                f"live bench — {result.detail['transactions']} transactions "
+                f"over real sockets, reps={config.reps}"
+                + (", smoke" if config.smoke else ""),
+                f"  wall (median):    {measurement.wall_seconds.median:.3f}s "
+                f"± {measurement.wall_seconds.iqr:.3f} IQR",
+                f"  transactions/sec: {measurement.events_per_second.median:.1f}",
+                f"  messages (rep 1): {result.messages}",
+                f"  checks passed:    {result.checks_passed}",
+                f"  wrote {path}",
+            ]
+        )
+
+    n_transactions = 6 if args.smoke else args.transactions
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=args.abort_fraction,
+        participants_min=min(2, args.participants),
+        participants_max=min(3, args.participants),
+        inter_arrival=args.inter_arrival,
+        hot_keys=0,
+        seed=args.seed,
+    )
+
+    async def go(data_dir: str) -> list[str]:
+        cluster = LiveCluster(
+            mix,
+            data_dir,
+            coordinator=coordinator,
+            seed=args.seed,
+            timeouts=LIVE_TIMEOUTS,
+            time_scale=args.time_scale,
+            fsync=not args.no_fsync,
+        )
+        await cluster.start()
+        kill_notes: list[str] = []
+        kill_tasks: list[asyncio.Task] = []
+        if args.kill_restart:
+            victim = sorted(mix.site_protocols())[0]
+            loop = asyncio.get_running_loop()
+            armed = [False]
+
+            async def kill_and_restart() -> None:
+                await cluster.kill(victim)
+                killed_at = cluster.sim.now
+                await asyncio.sleep(cluster.sim.to_seconds(30.0))
+                report = await cluster.restart(victim)
+                kill_notes.append(
+                    f"  kill/restart: {victim} killed at {killed_at:.1f}u, "
+                    f"restarted at {cluster.sim.now:.1f}u; recovered from "
+                    f"disk: {len(report.committed)} committed, "
+                    f"{len(report.in_doubt)} in doubt"
+                )
+
+            def on_event(event) -> None:
+                # Kill at the victim's first stable prepared record —
+                # the moment it holds an in-doubt transaction.
+                if (
+                    not armed[0]
+                    and event.site == victim
+                    and event.category == "log"
+                    and event.name == "append"
+                    and event.details.get("type") == "prepared"
+                ):
+                    armed[0] = True
+                    kill_tasks.append(loop.create_task(kill_and_restart()))
+
+            cluster.sim.trace.subscribe(on_event)
+        for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+            cluster.submit(txn)
+        await cluster.run(
+            until=spec.inter_arrival * spec.n_transactions + RUN_MARGIN
+        )
+        for task in kill_tasks:
+            await task
+        await cluster.finalize()
+        outcomes = cluster.outcomes()
+        reports = cluster.check()
+        await cluster.shutdown()
+
+        lines = [
+            f"live run — {mix.name} over {len(mix)} participants, "
+            f"{n_transactions} transactions, "
+            f"{args.time_scale}s/unit (seed {args.seed})",
+        ]
+        for txn in cluster.submitted:
+            lines.append(
+                f"  {txn.txn_id}  {outcomes.get(txn.txn_id, 'UNDECIDED')}"
+            )
+        lines.extend(kill_notes)
+        terminated = sum(
+            1 for txn in cluster.submitted if txn.txn_id in outcomes
+        )
+        lines.append(
+            f"  terminated: {terminated}/{len(cluster.submitted)} "
+            f"({cluster.sim.now:.1f} virtual units)"
+        )
+        lines.append(
+            f"  checks: atomicity={reports.atomicity.holds} "
+            f"safe_state={reports.safe_state.holds} "
+            f"operational={reports.operational.holds}"
+        )
+        if terminated < len(cluster.submitted) or not reports.all_hold:
+            args.exit_code = 1
+        return lines
+
+    if args.data_dir is not None:
+        lines = asyncio.run(go(args.data_dir))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            lines = asyncio.run(go(tmp))
+    return "\n".join(lines)
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     sections: list[str] = []
     for figure_id in sorted(FIGURES):
@@ -490,6 +641,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list registered scenarios and exit"
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    live = sub.add_parser(
+        "live",
+        help="run the protocol engines over real TCP sockets (asyncio)",
+    )
+    live.add_argument(
+        "--protocol",
+        default="prany",
+        help="prany (dynamic over a PrN+PrA+PrC mix), prn, pra or prc",
+    )
+    live.add_argument(
+        "--participants", type=int, default=4, help="participant site count"
+    )
+    live.add_argument(
+        "--transactions", type=int, default=12, help="workload size"
+    )
+    live.add_argument("--abort-fraction", type=float, default=0.25)
+    live.add_argument(
+        "--inter-arrival",
+        type=float,
+        default=1.0,
+        help="mean virtual units between submissions",
+    )
+    live.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.01,
+        help="wall-clock seconds per virtual time unit",
+    )
+    live.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for site WALs/snapshots (default: a temp dir)",
+    )
+    live.add_argument(
+        "--kill-restart",
+        action="store_true",
+        help="kill the first participant at its first prepared record, "
+        "restart it 30 virtual units later (crash-recovery round)",
+    )
+    live.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on log forces (faster; tests only)",
+    )
+    live.add_argument(
+        "--bench",
+        action="store_true",
+        help="measure the live commit scenario instead and write "
+        "BENCH_live.json (wall-clock transactions/sec)",
+    )
+    live.add_argument(
+        "--bench-output",
+        default="BENCH_live.json",
+        help="report path for --bench (default: BENCH_live.json)",
+    )
+    live.add_argument(
+        "--reps", type=int, default=3, help="timed reps for --bench"
+    )
+    live.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: 6 transactions (or the small bench variant)",
+    )
+    live.set_defaults(handler=_cmd_live)
 
     costs = sub.add_parser("costs", help="C1: measured cost table")
     costs.add_argument("--participants", type=int, default=2)

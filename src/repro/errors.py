@@ -28,6 +28,10 @@ class UnknownNodeError(NetworkError):
     """A message was addressed to a node the network does not know."""
 
 
+class CodecError(NetworkError):
+    """A wire frame or message could not be encoded or decoded."""
+
+
 class StorageError(ReproError):
     """A stable-storage (write-ahead log) invariant was violated."""
 

@@ -62,7 +62,13 @@ class Site:
         timeouts: Optional[TimeoutConfig] = None,
         read_only_optimization: bool = True,
         group_commit: Optional[GroupCommitConfig] = None,
+        log: Optional[StableLog] = None,
+        store: Optional[KVStore] = None,
     ) -> None:
+        """``log`` / ``store`` inject alternative storage backends (the
+        live runtime passes file-backed ones); by default the site gets
+        the in-memory log (or a group-commit log) and a fresh KV store,
+        exactly as before."""
         self._sim = sim
         self._network = network
         self._pcp = pcp
@@ -72,12 +78,15 @@ class Site:
         self.crash_count = 0
 
         spec = participant_spec(protocol)
-        self.log: StableLog = (
-            GroupCommitLog(sim, site_id, group_commit)
-            if group_commit is not None
-            else StableLog(sim, site_id)
-        )
-        self.store = KVStore()
+        if log is not None:
+            self.log = log
+        else:
+            self.log = (
+                GroupCommitLog(sim, site_id, group_commit)
+                if group_commit is not None
+                else StableLog(sim, site_id)
+            )
+        self.store = store if store is not None else KVStore()
         self.tm = LocalTransactionManager(
             sim,
             site_id,
@@ -176,6 +185,24 @@ class Site:
         self._up = True
         self._sim.record(self._site_id, "site", "recover")
         self.log.reopen()
+        return self._run_recovery()
+
+    def cold_recover(self) -> LocalRecoveryReport:
+        """Boot-time recovery for a freshly constructed site.
+
+        The live runtime's restart story: the old process died, a new
+        one starts with an *open* log already holding the stable records
+        read back from disk (and a durable store snapshot), but with no
+        volatile state at all. Runs the same analysis/redo/re-adoption
+        sequence as :meth:`recover` without the reopen step — the
+        in-simulator behaviour of :meth:`recover` is untouched.
+        """
+        if not self._up:
+            raise SiteDownError(f"site {self._site_id!r} is down")
+        self._sim.record(self._site_id, "site", "recover")
+        return self._run_recovery()
+
+    def _run_recovery(self) -> LocalRecoveryReport:
         report = recover_engine(self.tm, self.log, self.store)
         in_doubt = {
             txn_id: info["coordinator"]

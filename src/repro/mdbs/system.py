@@ -64,6 +64,58 @@ class RunReports:
         )
 
 
+def start_transaction(
+    sim, sites: dict[str, Site], txn: GlobalTransaction
+) -> None:
+    """Begin one global transaction: local work, then the commit protocol.
+
+    Shared by the simulated :class:`MDBS` and the live cluster
+    (``repro.rt.cluster``) so both runtimes submit work identically;
+    ``sim`` is anything with ``record`` (a ``Simulator`` or a
+    ``LiveRuntime``).
+    """
+    coordinator_site = sites[txn.coordinator]
+    if not coordinator_site.is_up:
+        sim.record(txn.coordinator, "system", "txn_not_started", txn=txn.txn_id)
+        return
+    # An execution failure at an implicitly prepared (IYV) site has
+    # no No-vote channel — the coordinator itself must decide abort.
+    doomed = False
+    for site_id in txn.participants:
+        site = sites[site_id]
+        implicitly_prepared = participant_spec(site.protocol).implicitly_prepared
+        if not site.is_up:
+            # Explicit voters: the missing vote times out into an
+            # abort. Implicit voters cast no vote, so the failure to
+            # even start the work must doom the transaction here.
+            if implicitly_prepared:
+                doomed = True
+            continue
+        site.participant.begin_work(txn.txn_id, txn.coordinator)
+        try:
+            for key in txn.reads.get(site_id, []):
+                site.tm.read(txn.txn_id, key)
+            for op in txn.writes.get(site_id, []):
+                site.tm.write(txn.txn_id, op.key, op.value)
+        except LockError:
+            if implicitly_prepared:
+                doomed = True
+            else:
+                site.participant.unilateral_abort(txn.txn_id)
+            continue
+        if site_id in txn.force_no_vote_at:
+            if implicitly_prepared:
+                doomed = True
+            else:
+                site.participant.unilateral_abort(txn.txn_id)
+    assert coordinator_site.coordinator is not None
+    coordinator_site.coordinator.begin_commit(
+        txn.txn_id,
+        txn.participants,
+        abort_override=txn.coordinator_abort or doomed,
+    )
+
+
 class MDBS:
     """A multidatabase system under simulation."""
 
@@ -168,50 +220,7 @@ class MDBS:
         )
 
     def _start(self, txn: GlobalTransaction) -> None:
-        coordinator_site = self.sites[txn.coordinator]
-        if not coordinator_site.is_up:
-            self.sim.record(
-                txn.coordinator, "system", "txn_not_started", txn=txn.txn_id
-            )
-            return
-        # An execution failure at an implicitly prepared (IYV) site has
-        # no No-vote channel — the coordinator itself must decide abort.
-        doomed = False
-        for site_id in txn.participants:
-            site = self.sites[site_id]
-            implicitly_prepared = participant_spec(
-                site.protocol
-            ).implicitly_prepared
-            if not site.is_up:
-                # Explicit voters: the missing vote times out into an
-                # abort. Implicit voters cast no vote, so the failure to
-                # even start the work must doom the transaction here.
-                if implicitly_prepared:
-                    doomed = True
-                continue
-            site.participant.begin_work(txn.txn_id, txn.coordinator)
-            try:
-                for key in txn.reads.get(site_id, []):
-                    site.tm.read(txn.txn_id, key)
-                for op in txn.writes.get(site_id, []):
-                    site.tm.write(txn.txn_id, op.key, op.value)
-            except LockError:
-                if implicitly_prepared:
-                    doomed = True
-                else:
-                    site.participant.unilateral_abort(txn.txn_id)
-                continue
-            if site_id in txn.force_no_vote_at:
-                if implicitly_prepared:
-                    doomed = True
-                else:
-                    site.participant.unilateral_abort(txn.txn_id)
-        assert coordinator_site.coordinator is not None
-        coordinator_site.coordinator.begin_commit(
-            txn.txn_id,
-            txn.participants,
-            abort_override=txn.coordinator_abort or doomed,
-        )
+        start_transaction(self.sim, self.sites, txn)
 
     def enable_periodic_flush(self, interval: float, until: float) -> None:
         """Flush every site's log buffer periodically (background I/O).

@@ -4,12 +4,23 @@ The network layer is deliberately agnostic about protocol semantics:
 a :class:`Message` carries a string ``kind`` plus a payload dictionary.
 The commit-protocol vocabulary (PREPARE, VOTE_YES, ...) is defined by
 ``repro.protocols.base``.
+
+:meth:`Message.to_wire` / :meth:`Message.from_wire` define the
+transport-independent wire representation used by the live runtime
+(``repro.rt``): a plain JSON-compatible dict. Payloads must therefore
+be JSON-representable when a message is sent over a real transport;
+the simulator imposes no such restriction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.errors import CodecError
+
+#: Keys of the wire dict, in canonical order.
+_WIRE_KEYS = ("kind", "sender", "receiver", "txn", "payload")
 
 
 @dataclass(frozen=True)
@@ -34,6 +45,66 @@ class Message:
     def get(self, key: str, default: Any = None) -> Any:
         """Convenience accessor into :attr:`payload`."""
         return self.payload.get(key, default)
+
+    # -- wire representation ------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-compatible wire form of this message.
+
+        The result is a fresh dict (mutating it cannot corrupt the
+        message); the payload is shallow-copied. Inverse of
+        :meth:`from_wire` for JSON-representable payloads — note that
+        JSON round-trips turn tuples into lists, so senders that care
+        about exact equality must use lists in payloads (the protocol
+        engines already do).
+        """
+        return {
+            "kind": self.kind,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "txn": self.txn_id,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Any) -> "Message":
+        """Rebuild a message from its wire dict, validating the schema.
+
+        Raises:
+            CodecError: if ``data`` is not a dict of the expected shape
+                — wrong type, missing or unknown keys, non-string
+                routing fields, or a non-dict payload.
+        """
+        if not isinstance(data, dict):
+            raise CodecError(
+                f"wire message must be a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_WIRE_KEYS)
+        if unknown:
+            raise CodecError(f"unknown wire keys {sorted(unknown)}")
+        missing = set(_WIRE_KEYS) - set(data)
+        if missing:
+            raise CodecError(f"missing wire keys {sorted(missing)}")
+        for key in ("kind", "sender", "receiver", "txn"):
+            if not isinstance(data[key], str):
+                raise CodecError(
+                    f"wire field {key!r} must be a string, got "
+                    f"{type(data[key]).__name__}"
+                )
+        if not data["kind"]:
+            raise CodecError("wire field 'kind' must be non-empty")
+        payload = data["payload"]
+        if not isinstance(payload, dict):
+            raise CodecError(
+                f"wire payload must be a dict, got {type(payload).__name__}"
+            )
+        return cls(
+            kind=data["kind"],
+            sender=data["sender"],
+            receiver=data["receiver"],
+            txn_id=data["txn"],
+            payload=dict(payload),
+        )
 
     def __str__(self) -> str:
         extra = ", ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))

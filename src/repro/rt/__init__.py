@@ -1,0 +1,52 @@
+"""Live runtime: the unmodified protocol engines over real sockets.
+
+The simulator (``repro.sim``) and this package host the *same* engine,
+TM, log and site code through the same four-member seam (``now`` /
+``record`` / ``schedule`` / ``set_timer`` plus ``network.send``):
+
+* :class:`~repro.rt.runtime.LiveRuntime` — the simulator facade over an
+  asyncio event loop (wall-clock virtual time, timers, shared trace);
+* :mod:`~repro.rt.codec` — length-prefixed JSON wire framing for
+  :class:`~repro.net.message.Message`;
+* :class:`~repro.rt.transport.LiveTransport` — the network facade over
+  TCP streams with the simulator's omission-failure semantics;
+* :class:`~repro.rt.host.SiteHost` — one site as a live service with a
+  file-backed log and store, supporting kill/restart recovery;
+* :class:`~repro.rt.cluster.LiveCluster` — a whole MDBS over sockets,
+  conformant with the simulated one (see ``tests/rt/``).
+"""
+
+from repro.rt.codec import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_body,
+    encode_frame,
+    encode_message,
+    read_frame,
+)
+from repro.rt.cluster import (
+    LIVE_TIMEOUTS,
+    LiveCluster,
+    run_live_workload,
+)
+from repro.rt.host import SiteHost
+from repro.rt.runtime import LiveRuntime, LiveTimer
+from repro.rt.store import FileBackedStore
+from repro.rt.transport import LiveTransport
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "decode_body",
+    "encode_frame",
+    "encode_message",
+    "read_frame",
+    "LIVE_TIMEOUTS",
+    "LiveCluster",
+    "run_live_workload",
+    "SiteHost",
+    "LiveRuntime",
+    "LiveTimer",
+    "FileBackedStore",
+    "LiveTransport",
+]

@@ -1,0 +1,85 @@
+"""Live wall-clock benchmark scenario.
+
+The sim-bench registry (``repro.bench.scenarios``) measures how fast
+the simulator burns virtual work; this module measures the same commit
+workload end to end over real sockets and fsync'd logs — seconds of
+wall clock per committed transaction, not events per second.
+
+The scenario reuses the sim-bench runner plumbing
+(:class:`~repro.bench.runner.BenchConfig` /
+:func:`~repro.bench.runner.measure_scenario`) through two seams added
+for it: the config's ``clock`` source and the scenario's
+``deterministic`` flag (live trace/message counts vary per rep, so the
+runner's cross-rep identity assertion is skipped). It is deliberately
+NOT in the global ``SCENARIOS`` registry: ``repro bench`` stays the
+deterministic simulator baseline; ``repro live --bench`` runs this and
+writes ``BENCH_live.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+from repro.bench.scenarios import BENCH_SEED, Scenario, ScenarioResult
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.mixes import three_way
+
+
+def run_live_scenario(smoke: bool = False) -> ScenarioResult:
+    """One PrAny commit workload over a live 3-participant cluster."""
+    from repro.rt.cluster import run_live_workload
+
+    n_transactions = 8 if smoke else 24
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.25,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=1.0,
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+
+    async def go(data_dir: str):
+        return await run_live_workload(
+            three_way(3), "dynamic", spec, data_dir
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = asyncio.run(go(tmp))
+    outcomes = cluster.outcomes()
+    reports = cluster.check()
+    assert cluster.sim is not None
+    sent = sum(h.transport.sent_count for h in cluster.hosts.values())
+    dropped = sum(h.transport.dropped_count for h in cluster.hosts.values())
+    return ScenarioResult(
+        events=n_transactions,
+        trace_events=len(cluster.sim.trace),
+        messages=sent,
+        checks_passed=reports.all_hold and len(outcomes) == n_transactions,
+        detail={
+            "transactions": n_transactions,
+            "decided": len(outcomes),
+            "committed": sum(1 for d in outcomes.values() if d == "commit"),
+            "virtual_units": round(cluster.sim.now, 1),
+            "timers_fired": cluster.sim.steps_executed,
+            "messages_dropped": dropped,
+        },
+    )
+
+
+def live_scenario() -> Scenario:
+    """The ``BENCH_live.json`` scenario (events = transactions, so the
+    headline number is transactions/second of wall clock)."""
+    return Scenario(
+        name="live-prany-commit",
+        description=(
+            "PrAny commit workload over real TCP sockets and fsync'd "
+            "logs (wall clock; transactions/sec)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system"),
+        run=run_live_scenario,
+        deterministic=False,
+    )

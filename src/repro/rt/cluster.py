@@ -1,0 +1,319 @@
+"""A live MDBS: coordinator + participants over real sockets.
+
+:class:`LiveCluster` is the live counterpart of
+:class:`~repro.mdbs.system.MDBS` with :func:`~repro.workloads.generator.build_mdbs`'s
+topology: one :class:`~repro.rt.host.SiteHost` per participant in the
+protocol mix plus the ``"tm"`` coordinator host, all sharing one
+:class:`~repro.rt.runtime.LiveRuntime` (virtual clock + trace) and one
+commit-protocol directory. Transaction submission, finalization and
+checking deliberately mirror the ``MDBS`` methods line for line — the
+sim/live conformance suite (``tests/rt/``) asserts that the two
+runtimes produce identical observable footprints, so any divergence
+here is a bug by definition.
+
+Duck-typing contract: a finished cluster satisfies the surface that
+``tests/conformance/harness.equivalence_summary`` consumes — ``.sim``
+(with ``.trace``), ``.sites`` and ``.check()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Optional
+
+from repro.core.correctness import (
+    check_atomicity,
+    check_operational_correctness,
+)
+from repro.core.history import History
+from repro.core.safe_state import check_safe_state
+from repro.db.recovery import LocalRecoveryReport
+from repro.errors import ProtocolError, WorkloadError
+from repro.mdbs.site import Site
+from repro.mdbs.system import RunReports, start_transaction
+from repro.mdbs.transaction import GlobalTransaction
+from repro.protocols.base import TimeoutConfig
+from repro.rt.host import SiteHost
+from repro.rt.runtime import LiveRuntime
+from repro.storage.pcp import CommitProtocolDirectory
+from repro.workloads.generator import (
+    COORDINATOR_ID,
+    WorkloadSpec,
+    generate_transactions,
+)
+from repro.workloads.mixes import ProtocolMix
+
+#: Safety margin appended to a workload's span when computing the run
+#: deadline, matching the ``+ 500.0`` the conformance harness uses.
+RUN_MARGIN = 500.0
+
+#: Default live timeouts: generous against wall-clock jitter, the same
+#: values the differential conformance suite uses, so sim and live runs
+#: of a pinned workload are schedule-independent twins.
+LIVE_TIMEOUTS = TimeoutConfig(
+    vote_timeout=120.0,
+    resend_interval=60.0,
+    inquiry_timeout=90.0,
+    inquiry_retry=60.0,
+    active_timeout=240.0,
+)
+
+
+class LiveCluster:
+    """A set of live site hosts executing global transactions.
+
+    Usage (inside a running event loop)::
+
+        cluster = LiveCluster(mix, coordinator="dynamic", data_dir=tmp)
+        await cluster.start()
+        for txn in transactions:
+            cluster.submit(txn)
+        await cluster.run(until=deadline_units)
+        await cluster.finalize()
+        reports = cluster.check()
+        await cluster.shutdown()
+
+    Args:
+        mix: participant protocol mix (same type the simulator uses).
+        coordinator: coordinator policy for the ``tm`` site
+            (``"dynamic"`` = PrAny, or a fixed policy name).
+        data_dir: root directory; each site gets ``data_dir/<site_id>/``
+            for its WAL and store snapshot.
+        seed: seeds the runtime's random streams (API parity; live
+            nondeterminism comes from the network itself).
+        time_scale: wall-clock seconds per virtual time unit.
+        fsync: whether site logs/stores fsync (tests may disable).
+    """
+
+    def __init__(
+        self,
+        mix: ProtocolMix,
+        data_dir: Path | str,
+        coordinator: str = "dynamic",
+        seed: int = 0,
+        timeouts: Optional[TimeoutConfig] = None,
+        time_scale: float = 0.01,
+        fsync: bool = True,
+        read_only_optimization: bool = True,
+    ) -> None:
+        self._mix = mix
+        self._coordinator_policy = coordinator
+        self._seed = seed
+        self._timeouts = timeouts
+        self._time_scale = time_scale
+        self._fsync = fsync
+        self._read_only_optimization = read_only_optimization
+        self.data_dir = Path(data_dir)
+        self.sim: Optional[LiveRuntime] = None
+        self.pcp = CommitProtocolDirectory()
+        self.directory: dict[str, tuple[str, int]] = {}
+        self.hosts: dict[str, SiteHost] = {}
+        self.submitted: list[GlobalTransaction] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up every site host (must run inside an event loop)."""
+        if self.sim is not None:
+            raise WorkloadError("cluster already started")
+        self.sim = LiveRuntime(time_scale=self._time_scale, seed=self._seed)
+        topology = dict(self._mix.site_protocols())
+        for site_id, protocol in topology.items():
+            self._add_host(site_id, protocol, coordinator=None)
+        self._add_host(
+            COORDINATOR_ID, "PrN", coordinator=self._coordinator_policy
+        )
+        for host in self.hosts.values():
+            await host.start()
+
+    def _add_host(
+        self, site_id: str, protocol: str, coordinator: Optional[str]
+    ) -> None:
+        assert self.sim is not None
+        host = SiteHost(
+            self.sim,
+            self.directory,
+            self.pcp,
+            site_id,
+            protocol,
+            self.data_dir / site_id,
+            coordinator=coordinator,
+            timeouts=self._timeouts,
+            read_only_optimization=self._read_only_optimization,
+            fsync=self._fsync,
+        )
+        self.hosts[site_id] = host
+        self.pcp.register_site(site_id, protocol)
+        if coordinator is not None:
+            self.pcp.register_coordinator(site_id)
+
+    async def shutdown(self) -> None:
+        """Orderly teardown: close every port and log file. All
+        in-memory state (sites, traces) stays inspectable."""
+        for host in self.hosts.values():
+            await host.close()
+
+    # -- the MDBS surface ----------------------------------------------------
+
+    @property
+    def sites(self) -> dict[str, Site]:
+        """Live ``Site`` objects, keyed by id (``MDBS.sites`` shape)."""
+        return {
+            site_id: host.site
+            for site_id, host in self.hosts.items()
+            if host.site is not None
+        }
+
+    def submit(self, txn: GlobalTransaction) -> None:
+        """Schedule a global transaction (mirrors ``MDBS.submit``)."""
+        assert self.sim is not None, "cluster not started"
+        coordinator_host = self.hosts.get(txn.coordinator)
+        if coordinator_host is None:
+            raise WorkloadError(f"unknown coordinator site {txn.coordinator!r}")
+        site = coordinator_host.site
+        if site is None or site.coordinator is None:
+            raise ProtocolError(
+                f"site {txn.coordinator!r} cannot coordinate (no engine)"
+            )
+        unknown = (set(txn.writes) | set(txn.reads)) - set(self.hosts)
+        if unknown:
+            raise WorkloadError(
+                f"transaction {txn.txn_id!r} references unknown sites "
+                f"{sorted(unknown)}"
+            )
+        self.submitted.append(txn)
+        self.sim.schedule(
+            max(0.0, txn.submit_at - self.sim.now),
+            lambda: start_transaction(self.sim, self.sites, txn),
+            label=f"start {txn.txn_id}",
+        )
+
+    async def run(
+        self, until: float, poll_interval: float = 0.05
+    ) -> None:
+        """Advance wall-clock time until quiescence or ``until`` (virtual
+        units). Unlike ``Simulator.run`` there is no event queue to
+        drain, so quiescence is detected from the system state: every
+        submitted transaction terminated and every protocol table entry
+        forgotten."""
+        assert self.sim is not None
+        while self.sim.now < until:
+            if self.quiescent():
+                return
+            await asyncio.sleep(poll_interval)
+
+    def quiescent(self) -> bool:
+        """All submitted work decided, delivered and forgotten."""
+        assert self.sim is not None
+        if any(host.transport.backlog for host in self.hosts.values()):
+            return False
+        terminated = set(self.outcomes())
+        for event in self.sim.trace.select(
+            category="system", name="txn_not_started"
+        ):
+            terminated.add(event.details["txn"])
+        if any(txn.txn_id not in terminated for txn in self.submitted):
+            return False
+        return all(
+            not site.retained_transactions()
+            for site in self.sites.values()
+            if site.is_up
+        )
+
+    async def finalize(self, max_rounds: int = 5) -> None:
+        """Flush and GC to a stable residue (mirrors ``MDBS.finalize``)."""
+        assert self.sim is not None
+        for round_index in range(max_rounds):
+            collected = sum(
+                site.flush_and_gc()
+                for site in self.sites.values()
+                if site.is_up
+            )
+            # Let checkpoint/GC coordination messages flow, bounded.
+            await asyncio.sleep(self.sim.to_seconds(10.0))
+            if collected == 0 and round_index > 0:
+                break
+
+    # -- failures ------------------------------------------------------------
+
+    async def kill(self, site_id: str) -> None:
+        """Kill one site (process death: volatile state + port lost)."""
+        await self.hosts[site_id].kill()
+
+    async def restart(self, site_id: str) -> LocalRecoveryReport:
+        """Restart a killed site from its on-disk log and snapshot."""
+        return await self.hosts[site_id].restart()
+
+    # -- checking ------------------------------------------------------------
+
+    def outcomes(self) -> dict[str, str]:
+        """Per-transaction decision (``commit``/``abort``) from the trace."""
+        assert self.sim is not None
+        return {
+            event.details["txn"]: event.details["decision"]
+            for event in self.sim.trace.select(
+                category="protocol", name="decide"
+            )
+        }
+
+    def history(self) -> History:
+        assert self.sim is not None
+        return History.from_trace(self.sim.trace)
+
+    def check(self) -> RunReports:
+        """The three correctness checkers (mirrors ``MDBS.check``)."""
+        assert self.sim is not None
+        history = self.history()
+        return RunReports(
+            atomicity=check_atomicity(history, self.sim.trace),
+            safe_state=check_safe_state(history),
+            operational=check_operational_correctness(
+                self.sites.values(), history, self.sim.trace
+            ),
+        )
+
+    def __repr__(self) -> str:
+        now = f"{self.sim.now:.1f}" if self.sim is not None else "unstarted"
+        return (
+            f"LiveCluster(sites={len(self.hosts)}, "
+            f"txns={len(self.submitted)}, now={now})"
+        )
+
+
+async def run_live_workload(
+    mix: ProtocolMix,
+    coordinator: str,
+    spec: WorkloadSpec,
+    data_dir: Path | str,
+    time_scale: float = 0.01,
+    fsync: bool = True,
+    timeouts: Optional[TimeoutConfig] = None,
+) -> LiveCluster:
+    """Run a generated workload over a live cluster to quiescence.
+
+    The live twin of ``tests/conformance/harness.run_workload``: same
+    topology, same transaction stream, same finalize — the returned
+    (shut-down) cluster is ready for ``equivalence_summary``-style
+    inspection.
+    """
+    cluster = LiveCluster(
+        mix,
+        data_dir,
+        coordinator=coordinator,
+        seed=spec.seed,
+        timeouts=timeouts if timeouts is not None else LIVE_TIMEOUTS,
+        time_scale=time_scale,
+        fsync=fsync,
+    )
+    await cluster.start()
+    try:
+        for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+            cluster.submit(txn)
+        await cluster.run(
+            until=spec.inter_arrival * spec.n_transactions + RUN_MARGIN
+        )
+        await cluster.finalize()
+    finally:
+        await cluster.shutdown()
+    return cluster

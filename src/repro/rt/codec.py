@@ -1,0 +1,163 @@
+"""Length-prefixed JSON wire codec for :class:`~repro.net.message.Message`.
+
+Frame layout, little-endian-free and stream-friendly::
+
+    +----------------+----------------------------+
+    | 4-byte big-    | UTF-8 JSON body             |
+    | endian length  | (Message.to_wire() dict)    |
+    +----------------+----------------------------+
+
+The length counts the body only. A frame larger than
+:data:`MAX_FRAME_BYTES` is rejected *before* the body is buffered, so a
+corrupt or hostile peer cannot make a site allocate unbounded memory —
+the decoder raises :class:`~repro.errors.CodecError` and the transport
+drops the connection (an omission failure, which the protocols already
+tolerate).
+
+Two consumption styles are supported:
+
+* :class:`FrameDecoder` — incremental push parser for raw byte chunks
+  (``feed(data) -> [Message, ...]``), used by tests and any non-asyncio
+  transport;
+* :func:`read_frame` — pull one message from an ``asyncio.StreamReader``,
+  used by the live transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+from repro.errors import CodecError
+from repro.net.message import Message
+
+#: 4-byte unsigned big-endian length prefix.
+HEADER = struct.Struct(">I")
+
+#: Hard ceiling on one frame's JSON body. Generous: the largest real
+#: message (a CL_REDO shipping a whole redo set) is a few KiB.
+MAX_FRAME_BYTES = 1 << 20
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize one message body (no length prefix) to UTF-8 JSON.
+
+    Raises:
+        CodecError: if the payload is not JSON-representable or the
+            body would exceed :data:`MAX_FRAME_BYTES`.
+    """
+    try:
+        body = json.dumps(
+            message.to_wire(), separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"payload of {message.kind!r} is not JSON-representable: {exc}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(
+            f"encoded {message.kind!r} frame is {len(body)} bytes, "
+            f"over the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return body
+
+
+def encode_frame(message: Message) -> bytes:
+    """Serialize one message to a length-prefixed wire frame."""
+    body = encode_message(message)
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Message:
+    """Parse one frame body back into a message.
+
+    Raises:
+        CodecError: on malformed UTF-8, malformed JSON, or a JSON value
+            that is not a valid wire message.
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed frame body: {exc}")
+    return Message.from_wire(data)
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary chunking of the stream.
+
+    Example:
+        >>> from repro.net.message import Message
+        >>> decoder = FrameDecoder()
+        >>> frame = encode_frame(Message("PREPARE", "tm", "p0", "t1"))
+        >>> [m.kind for m in decoder.feed(frame[:3]) + decoder.feed(frame[3:])]
+        ['PREPARE']
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._max = max_frame_bytes
+        self._buffer = bytearray()
+        self._expected: Optional[int] = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet assembled into a message."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Message]:
+        """Consume a chunk; return every message it completed.
+
+        Raises:
+            CodecError: on an oversized frame announcement or a
+                malformed body. The decoder is then poisoned — the
+                caller must drop the connection; resynchronising inside
+                a corrupt length-prefixed stream is not possible.
+        """
+        self._buffer.extend(data)
+        messages: list[Message] = []
+        while True:
+            if self._expected is None:
+                if len(self._buffer) < HEADER.size:
+                    break
+                (self._expected,) = HEADER.unpack(bytes(self._buffer[: HEADER.size]))
+                del self._buffer[: HEADER.size]
+                if self._expected > self._max:
+                    raise CodecError(
+                        f"incoming frame announces {self._expected} bytes, "
+                        f"over the {self._max}-byte limit"
+                    )
+            if len(self._buffer) < self._expected:
+                break
+            body = bytes(self._buffer[: self._expected])
+            del self._buffer[: self._expected]
+            self._expected = None
+            messages.append(decode_body(body))
+        return messages
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Message]:
+    """Read exactly one message from an asyncio stream.
+
+    Returns:
+        The message, or ``None`` on a clean EOF at a frame boundary.
+
+    Raises:
+        CodecError: on an oversized or malformed frame, or an EOF that
+            truncates a frame mid-body.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise CodecError("connection closed mid-header")
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(
+            f"incoming frame announces {length} bytes, "
+            f"over the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise CodecError("connection closed mid-frame")
+    return decode_body(body)

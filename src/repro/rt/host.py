@@ -1,0 +1,142 @@
+"""One live site: unmodified engines over a socket and a real log.
+
+:class:`SiteHost` is the live counterpart of what :class:`~repro.mdbs.system.MDBS`
+does per site under simulation: it builds a :class:`~repro.mdbs.site.Site`
+— the *same* class, hosting the same engine code — but wires it to a
+:class:`~repro.rt.transport.LiveTransport` instead of the simulated
+network and to file-backed storage instead of the in-memory log/store.
+
+Kill/restart semantics match a process death:
+
+* :meth:`kill` crashes the site (volatile state and the unforced log
+  buffer are lost; this is :meth:`Site.crash`) and closes its port —
+  in-flight peers see connection resets, i.e. omission failures.
+* :meth:`restart` rebinds the port and builds a **new** ``Site`` whose
+  log and store are loaded from disk, then runs boot-time recovery
+  (:meth:`Site.cold_recover`): log analysis, redo against the durable
+  snapshot, re-adoption of in-doubt transactions. Nothing from the old
+  object survives, exactly as nothing survives a real process exit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.db.recovery import LocalRecoveryReport
+from repro.errors import SiteDownError
+from repro.mdbs.site import Site
+from repro.protocols.base import TimeoutConfig
+from repro.protocols.registry import selector_for
+from repro.rt.runtime import LiveRuntime
+from repro.rt.store import FileBackedStore
+from repro.rt.transport import LiveTransport
+from repro.storage.file_log import FileStableLog
+from repro.storage.pcp import CommitProtocolDirectory
+
+#: File names inside a site's data directory.
+WAL_FILE = "wal.jsonl"
+STORE_FILE = "store.json"
+
+
+class SiteHost:
+    """Hosts one protocol site as a live TCP service."""
+
+    def __init__(
+        self,
+        rt: LiveRuntime,
+        directory: dict[str, tuple[str, int]],
+        pcp: CommitProtocolDirectory,
+        site_id: str,
+        protocol: str,
+        data_dir: Path | str,
+        coordinator: Optional[str] = None,
+        timeouts: Optional[TimeoutConfig] = None,
+        read_only_optimization: bool = True,
+        fsync: bool = True,
+        port: int = 0,
+    ) -> None:
+        self._rt = rt
+        self._pcp = pcp
+        self.site_id = site_id
+        self.protocol = protocol
+        self._coordinator = coordinator
+        self._timeouts = timeouts
+        self._read_only_optimization = read_only_optimization
+        self._fsync = fsync
+        self.data_dir = Path(data_dir)
+        self.transport = LiveTransport(rt, site_id, directory, port=port)
+        self.site: Optional[Site] = None
+
+    @property
+    def wal_path(self) -> Path:
+        return self.data_dir / WAL_FILE
+
+    @property
+    def store_path(self) -> Path:
+        return self.data_dir / STORE_FILE
+
+    @property
+    def is_up(self) -> bool:
+        return self.site is not None and self.site.is_up
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """First boot: bind the port and build the site over (usually
+        empty) on-disk state. No recovery pass — a site booting on an
+        empty log has nothing to analyze, same as under simulation."""
+        await self.transport.start()
+        self._build_site()
+
+    def _build_site(self) -> None:
+        log = FileStableLog(
+            self._rt, self.site_id, self.wal_path, fsync=self._fsync
+        )
+        store = FileBackedStore(self.store_path, fsync=self._fsync)
+        selector = (
+            selector_for(self._coordinator)
+            if self._coordinator is not None
+            else None
+        )
+        self.site = Site(
+            self._rt,
+            self.transport,
+            self._pcp,
+            self.site_id,
+            self.protocol,
+            selector,
+            self._timeouts,
+            read_only_optimization=self._read_only_optimization,
+            log=log,
+            store=store,
+        )
+
+    async def kill(self) -> None:
+        """Process death: crash the site, close the port."""
+        if self.site is None or not self.site.is_up:
+            raise SiteDownError(f"host {self.site_id!r} is not running")
+        self.site.crash()
+        await self.transport.stop()
+
+    async def restart(self) -> LocalRecoveryReport:
+        """Come back from disk: rebind the port, rebuild the site from
+        the on-disk log and store snapshot, run boot-time recovery."""
+        if self.site is not None and self.site.is_up:
+            raise SiteDownError(f"host {self.site_id!r} is still running")
+        await self.transport.start()
+        self._build_site()
+        assert self.site is not None
+        return self.site.cold_recover()
+
+    async def close(self) -> None:
+        """Orderly shutdown (end of run, not a crash)."""
+        await self.transport.stop()
+        if self.site is not None and self.site.is_up:
+            log = self.site.log
+            if isinstance(log, FileStableLog):
+                log.close()
+
+    def __repr__(self) -> str:
+        state = "up" if self.is_up else "down"
+        return f"SiteHost({self.site_id!r}, {self.protocol}, {state})"

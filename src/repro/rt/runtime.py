@@ -1,0 +1,171 @@
+"""Wall-clock runtime facade: the simulator API over asyncio.
+
+The protocol engines, local TM, stable log and protocol tables never
+import wall-clock time directly — they go through the ``Simulator``
+surface: ``now``, ``record``, ``schedule``, ``set_timer``. That is the
+whole seam the live runtime needs: :class:`LiveRuntime` implements the
+same four members on top of a running asyncio event loop, so the
+*unmodified* engines execute over real time and real sockets.
+
+Virtual-time contract: the engines think in the paper's abstract time
+units (a network hop ~ 1 unit, timeouts in tens of units — see
+:class:`repro.protocols.base.TimeoutConfig`). ``time_scale`` maps one
+unit to a number of wall-clock seconds; ``now`` reports elapsed wall
+time converted back to units, so traces from simulator and live runs
+are directly comparable.
+
+Timers (the *TimerService*) mirror ``Simulator.set_timer`` exactly:
+they return a handle with ``deadline``/``active``/``cancel()``, and a
+cancelled timer never fires — the engines' crash/epoch guards rely on
+both properties.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceRecorder
+
+
+class LiveTimer:
+    """A cancellable wall-clock timer, API-compatible with
+    :class:`repro.sim.kernel.Timer`."""
+
+    __slots__ = ("_handle", "_deadline", "_fired")
+
+    def __init__(self, handle: asyncio.TimerHandle, deadline: float) -> None:
+        self._handle = handle
+        self._deadline = deadline
+        self._fired = False
+
+    @property
+    def deadline(self) -> float:
+        """Virtual-time deadline (units, not seconds)."""
+        return self._deadline
+
+    @property
+    def active(self) -> bool:
+        return not (self._fired or self._handle.cancelled())
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "done"
+        return f"LiveTimer(deadline={self._deadline!r}, {state})"
+
+
+class LiveRuntime:
+    """Drop-in ``Simulator`` replacement driven by the asyncio loop.
+
+    Must be constructed inside a running event loop (it anchors its
+    virtual-time origin to ``loop.time()`` at construction).
+
+    Args:
+        time_scale: wall-clock seconds per virtual time unit. The
+            default (10 ms/unit) keeps the engines' default timeouts in
+            the hundreds of milliseconds while leaving localhost round
+            trips far below one unit, mirroring the simulator's
+            latency/timeout proportions.
+        seed: seeds the ``random`` streams, present only for API
+            compatibility with code that draws jitter from the
+            simulator (live runs take their nondeterminism from the
+            network itself).
+    """
+
+    def __init__(self, time_scale: float = 0.01, seed: int = 0) -> None:
+        if time_scale <= 0:
+            raise SimulationError(f"time_scale must be positive: {time_scale!r}")
+        self._loop = asyncio.get_running_loop()
+        self._time_scale = time_scale
+        self._origin = self._loop.time()
+        self.trace = TraceRecorder()
+        self.random = RandomStreams(seed)
+        self._timers_fired = 0
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def time_scale(self) -> float:
+        return self._time_scale
+
+    @property
+    def now(self) -> float:
+        """Elapsed wall time since construction, in virtual units."""
+        return (self._loop.time() - self._origin) / self._time_scale
+
+    @property
+    def steps_executed(self) -> int:
+        """Timer callbacks fired so far (the live analogue of kernel steps)."""
+        return self._timers_fired
+
+    # -- tracing -------------------------------------------------------------
+
+    def record(self, site: str, category: str, name: str, **details: Any):
+        """Record a trace event stamped with the current virtual time."""
+        return self.trace.record(self.now, site, category, name, **details)
+
+    # -- scheduling (the TimerService) ----------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> LiveTimer:
+        """Run ``action`` ``delay`` virtual units from now (cancellable)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        deadline = self.now + delay
+        timer: Optional[LiveTimer] = None
+
+        def fire() -> None:
+            self._timers_fired += 1
+            assert timer is not None
+            timer._mark_fired()
+            action()
+
+        handle = self._loop.call_later(delay * self._time_scale, fire)
+        timer = LiveTimer(handle, deadline)
+        return timer
+
+    def schedule_at(
+        self,
+        when: float,
+        action: Callable[[], Any],
+        label: str = "",
+    ) -> LiveTimer:
+        """Run ``action`` at absolute virtual time ``when``."""
+        delay = when - self.now
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule at {when!r}, which is before now ({self.now!r})"
+            )
+        return self.schedule(delay, action, label)
+
+    def set_timer(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        label: str = "timer",
+    ) -> LiveTimer:
+        """Like :meth:`schedule`; named to match ``Simulator.set_timer``."""
+        return self.schedule(delay, action, label)
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_seconds(self, units: float) -> float:
+        """Virtual units → wall-clock seconds."""
+        return units * self._time_scale
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveRuntime(now={self.now:.3f}, scale={self._time_scale}, "
+            f"timers_fired={self._timers_fired})"
+        )

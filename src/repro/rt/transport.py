@@ -1,0 +1,351 @@
+"""TCP message fabric for live sites.
+
+One :class:`LiveTransport` per hosted site: it owns the site's listening
+socket and one outbound link per peer. The engines call ``send`` exactly
+as they do on the simulated :class:`~repro.net.network.Network`; this
+class reproduces the same observable contract over asyncio streams:
+
+* per-link FIFO — each peer link is a single ordered TCP connection
+  drained by one writer task, so PREPARE never overtakes a decision;
+* omission failures, not reliability — if a peer cannot be reached
+  (killed site, closed port) the queued messages are *dropped* after a
+  small reconnect budget. The protocol engines' resend/inquiry timers
+  are the recovery mechanism, exactly as in the simulator's loss model;
+* the same trace events (``msg.send`` / ``msg.deliver`` /
+  ``msg.dropped`` / ``msg.lost_receiver_down``) and counters
+  (``sent_count`` / ``delivered_count`` / ``dropped_count``) as
+  :class:`~repro.net.network.Network`, recorded into the shared
+  :class:`~repro.rt.runtime.LiveRuntime` trace;
+* self-delivery without the network — a message addressed to the local
+  site is handed to the handler via ``loop.call_soon``, preserving the
+  simulator's invariant that delivery is never synchronous with send.
+
+``register`` uses *replace* semantics, unlike the simulated network:
+restarting a killed site builds a fresh :class:`~repro.mdbs.site.Site`
+that re-registers its ``deliver`` over the dead one's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro.errors import CodecError, NetworkError, UnknownNodeError
+from repro.net.message import Message
+from repro.rt.codec import encode_frame, read_frame
+from repro.rt.runtime import LiveRuntime
+
+#: Outbound connect attempts before a queued message is dropped.
+CONNECT_ATTEMPTS = 3
+
+#: Wall-clock seconds between outbound connect attempts.
+CONNECT_BACKOFF = 0.05
+
+
+class _PeerLink:
+    """One ordered outbound link: a queue drained by a writer task."""
+
+    def __init__(self, transport: "LiveTransport", peer_id: str) -> None:
+        self._transport = transport
+        self._peer_id = peer_id
+        self.queue: asyncio.Queue[Message] = asyncio.Queue()
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._task: Optional[asyncio.Task] = None
+
+    def ensure_running(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain(), name=f"link:{self._transport.node_id}->{self._peer_id}"
+            )
+
+    async def _connect(self) -> Optional[asyncio.StreamWriter]:
+        """Try to (re)connect within the budget; ``None`` means give up."""
+        host, port = self._transport.peer_address(self._peer_id)
+        for attempt in range(CONNECT_ATTEMPTS):
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+                return writer
+            except OSError:
+                if attempt + 1 < CONNECT_ATTEMPTS:
+                    await asyncio.sleep(CONNECT_BACKOFF)
+        return None
+
+    async def _drain(self) -> None:
+        while True:
+            message = await self.queue.get()
+            try:
+                await self._write(message)
+            except asyncio.CancelledError:
+                self._transport._count_dropped(message)
+                raise
+
+    async def _write(self, message: Message) -> None:
+        if self._writer is None:
+            self._writer = await self._connect()
+            if self._writer is None:
+                # Peer unreachable: an omission failure. The engines'
+                # timers will resend or resolve via inquiry.
+                self._transport._count_dropped(message)
+                return
+        try:
+            self._writer.write(encode_frame(message))
+            await self._writer.drain()
+        except (OSError, ConnectionError):
+            # The connection died under us (peer killed). One fresh
+            # connect attempt for *this* message, then drop it.
+            await self._close_writer()
+            self._writer = await self._connect()
+            if self._writer is None:
+                self._transport._count_dropped(message)
+                return
+            try:
+                self._writer.write(encode_frame(message))
+                await self._writer.drain()
+            except (OSError, ConnectionError):
+                await self._close_writer()
+                self._transport._count_dropped(message)
+
+    async def _close_writer(self) -> None:
+        if self._writer is not None:
+            writer, self._writer = self._writer, None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while not self.queue.empty():
+            self._transport._count_dropped(self.queue.get_nowait())
+        await self._close_writer()
+
+
+class LiveTransport:
+    """Socket-backed stand-in for :class:`~repro.net.network.Network`,
+    scoped to one hosted site.
+
+    Args:
+        rt: the shared live runtime (tracing + virtual clock).
+        node_id: the site this transport serves.
+        directory: shared ``{site_id: (host, port)}`` map; the cluster
+            owns it and this transport publishes its bound port into it.
+        host: interface to bind (loopback by default).
+        port: fixed port, or 0 to bind an ephemeral one on first start.
+            The chosen port is kept across stop/start so a restarted
+            site comes back at the same address.
+    """
+
+    def __init__(
+        self,
+        rt: LiveRuntime,
+        node_id: str,
+        directory: dict[str, tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._rt = rt
+        self.node_id = node_id
+        self._directory = directory
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.Server] = None
+        self._handler: Optional[Callable[[Message], None]] = None
+        self._is_up: Callable[[], bool] = lambda: True
+        self._links: dict[str, _PeerLink] = {}
+        self._inbound: set[asyncio.Task] = set()
+        self._pending_local = 0
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    # -- registration (Site.__init__ calls this) ---------------------------
+
+    def register(
+        self,
+        node_id: str,
+        handler: Callable[[Message], None],
+        is_up: Callable[[], bool] = lambda: True,
+    ) -> None:
+        """Attach the local site's delivery handler (replace semantics)."""
+        if node_id != self.node_id:
+            raise NetworkError(
+                f"transport for {self.node_id!r} cannot host {node_id!r}"
+            )
+        self._handler = handler
+        self._is_up = is_up
+
+    def peer_address(self, peer_id: str) -> tuple[str, int]:
+        try:
+            return self._directory[peer_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown receiver {peer_id!r}")
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._host, self._port)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and publish our address."""
+        if self._server is not None:
+            raise NetworkError(f"transport for {self.node_id!r} already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._directory[self.node_id] = (self._host, self._port)
+
+    async def stop(self) -> None:
+        """Close the port, all inbound connections and outbound links.
+
+        Models process death from the network's point of view: queued
+        outbound messages are lost (dropped), peers' connections reset.
+        The address stays published — a restarted site rebinds it.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._inbound):
+            task.cancel()
+        for task in list(self._inbound):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._inbound.clear()
+        for link in self._links.values():
+            await link.stop()
+        self._links.clear()
+
+    @property
+    def is_listening(self) -> bool:
+        return self._server is not None
+
+    # -- sending (engines call this) ----------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Queue one message for ordered delivery (never synchronous)."""
+        if message.receiver != self.node_id and message.receiver not in self._directory:
+            raise UnknownNodeError(f"unknown receiver {message.receiver!r}")
+        self.sent_count += 1
+        self._rt.record(
+            message.sender,
+            "msg",
+            "send",
+            kind=message.kind,
+            to=message.receiver,
+            txn=message.txn_id,
+            **message.payload,
+        )
+        if message.receiver == self.node_id:
+            self._pending_local += 1
+            asyncio.get_running_loop().call_soon(self._deliver_local, message)
+            return
+        link = self._links.get(message.receiver)
+        if link is None:
+            link = self._links[message.receiver] = _PeerLink(self, message.receiver)
+        link.queue.put_nowait(message)
+        link.ensure_running()
+
+    def _deliver_local(self, message: Message) -> None:
+        self._pending_local -= 1
+        self._deliver(message)
+
+    def _count_dropped(self, message: Message) -> None:
+        self.dropped_count += 1
+        self._rt.record(
+            message.sender,
+            "msg",
+            "dropped",
+            kind=message.kind,
+            to=message.receiver,
+            txn=message.txn_id,
+        )
+
+    # -- receiving -----------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._inbound.add(task)
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except CodecError as exc:
+                    # Corrupt stream: drop the connection. The peer's
+                    # resend timers recover, as for any omission.
+                    self._rt.record(
+                        self.node_id, "msg", "codec_error", error=str(exc)
+                    )
+                    break
+                if message is None:
+                    break
+                self._deliver(message)
+        except asyncio.CancelledError:
+            # stop() tears the connection down; swallowing here keeps
+            # the cancellation out of asyncio's stream callbacks.
+            pass
+        finally:
+            self._inbound.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    def _deliver(self, message: Message) -> None:
+        if self._handler is None or not self._is_up():
+            # Site object crashed but the port is still draining: the
+            # message is lost, matching the omission-failure model.
+            self.dropped_count += 1
+            self._rt.record(
+                message.receiver,
+                "msg",
+                "lost_receiver_down",
+                kind=message.kind,
+                sender=message.sender,
+                txn=message.txn_id,
+            )
+            return
+        self.delivered_count += 1
+        self._rt.record(
+            message.receiver,
+            "msg",
+            "deliver",
+            kind=message.kind,
+            sender=message.sender,
+            txn=message.txn_id,
+            **message.payload,
+        )
+        self._handler(message)
+
+    @property
+    def backlog(self) -> int:
+        """Messages accepted but not yet delivered or dropped (local
+        pending self-deliveries plus queued outbound)."""
+        return self._pending_local + sum(
+            link.queue.qsize() for link in self._links.values()
+        )
+
+    def __repr__(self) -> str:
+        state = "listening" if self.is_listening else "stopped"
+        return (
+            f"LiveTransport({self.node_id!r}, {self._host}:{self._port}, "
+            f"{state}, sent={self.sent_count})"
+        )

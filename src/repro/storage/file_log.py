@@ -1,0 +1,204 @@
+"""File-backed stable log: fsync'd append-only JSONL.
+
+:class:`FileStableLog` gives :class:`~repro.storage.stable_log.StableLog`
+a real durable medium so a *live* site (``repro.rt``) survives process
+restarts: every force writes the buffered records as JSON lines and
+``fsync``\\ s the file before the in-memory stable transition happens —
+the on-disk suffix is always at least as fresh as what the protocol
+layer believes is stable. A new instance opened on the same path
+reloads the stable records, which is exactly the view a restarted
+process gets.
+
+The simulator keeps using the in-memory base class by default; this
+subclass changes *where* stable records live, never *when* they become
+stable, so it can also run under the simulator (the unit tests do) with
+byte-identical protocol behaviour.
+
+Garbage collection compacts the file by atomic rewrite (tmp + rename),
+matching the base class's logical record removal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.errors import StorageError
+from repro.storage.log_records import LogRecord, RecordType
+from repro.storage.stable_log import StableLog
+
+
+def record_to_json(record: LogRecord) -> dict[str, Any]:
+    """The JSON form of one log record (payload must be JSON-safe)."""
+    return {
+        "type": record.type.value,
+        "txn": record.txn_id,
+        "payload": record.payload,
+        "lsn": record.lsn,
+    }
+
+
+def record_from_json(data: dict[str, Any]) -> LogRecord:
+    """Rebuild a stable record from its JSON form.
+
+    Raises:
+        StorageError: on a malformed record dict.
+    """
+    try:
+        record = LogRecord(
+            type=RecordType(data["type"]),
+            txn_id=data["txn"],
+            payload=dict(data["payload"]),
+            lsn=data["lsn"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed log record {data!r}: {exc}")
+    # Everything on disk got there through a force or flush.
+    record.forced = True
+    return record
+
+
+class FileStableLog(StableLog):
+    """A stable log whose stable portion is an fsync'd JSONL file.
+
+    Args:
+        sim: simulator or live runtime (anything with ``record``).
+        site_id: owning site.
+        path: the JSONL file; created (with parents) if absent, loaded
+            if present — loading *is* the restart story.
+        fsync: whether to ``os.fsync`` after each force/flush/compaction.
+            On by default; tests may disable it for speed.
+    """
+
+    def __init__(
+        self,
+        sim,
+        site_id: str,
+        path: Path | str,
+        fsync: bool = True,
+    ) -> None:
+        super().__init__(sim, site_id)
+        self._path = Path(path)
+        self._fsync = fsync
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._path.exists():
+            self._load()
+        self._fh: Optional[Any] = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _load(self) -> None:
+        """Install the on-disk records as the stable portion."""
+        max_lsn = 0
+        with open(self._path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StorageError(
+                        f"{self._path}:{line_no}: malformed JSONL: {exc}"
+                    )
+                record = record_from_json(data)
+                self._stable.append(record)
+                if record.lsn is not None:
+                    max_lsn = max(max_lsn, record.lsn)
+        self._next_lsn = max_lsn + 1
+
+    # -- durability ----------------------------------------------------------
+
+    def _persist_buffer(self) -> None:
+        """Write the volatile buffer to disk and fsync.
+
+        Called *before* the in-memory buffer→stable transition, so a
+        record is never reported stable without being on disk.
+        """
+        if not self._buffer:
+            return
+        if self._fh is None:
+            raise StorageError(f"log file of {self._site_id!r} is closed")
+        for record in self._buffer:
+            self._fh.write(json.dumps(record_to_json(record)) + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def force(self) -> None:
+        self._require_open()
+        self._persist_buffer()
+        super().force()
+
+    def flush(self) -> int:
+        self._require_open()
+        self._persist_buffer()
+        return super().flush()
+
+    # -- crash / recovery -----------------------------------------------------
+
+    def crash(self) -> int:
+        """Process death: the buffer (never written) is lost; the file
+        handle closes. The on-disk suffix is untouched — that is the
+        state a restarted process will reload."""
+        lost = super().crash()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        return lost
+
+    def reopen(self) -> None:
+        super().reopen()
+        self._fh = open(self._path, "a", encoding="utf-8")
+
+    # -- garbage collection ----------------------------------------------------
+
+    def garbage_collect(self, txn_id: str) -> int:
+        collected = super().garbage_collect(txn_id)
+        if collected:
+            self._compact()
+        return collected
+
+    def garbage_collect_where(self, keep: Callable[[LogRecord], bool]) -> int:
+        collected = super().garbage_collect_where(keep)
+        if collected:
+            self._compact()
+        return collected
+
+    def _compact(self) -> None:
+        """Atomically rewrite the file from the surviving stable records."""
+        if self._fh is not None:
+            self._fh.close()
+        tmp_path = self._path.with_suffix(self._path.suffix + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            for record in self._stable:
+                tmp.write(json.dumps(record_to_json(record)) + "\n")
+            tmp.flush()
+            if self._fsync:
+                os.fsync(tmp.fileno())
+        os.replace(tmp_path, self._path)
+        if self._fsync:
+            # Make the rename itself durable.
+            dir_fd = os.open(self._path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        if self._fh is not None:
+            self._fh = open(self._path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Release the file handle (end of process, not a crash)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FileStableLog(site={self._site_id!r}, path={str(self._path)!r}, "
+            f"stable={len(self._stable)}, buffered={len(self._buffer)})"
+        )

@@ -1,6 +1,43 @@
-"""Unit tests for the message type."""
+"""Unit tests for the message type and its wire representation."""
 
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
 from repro.net.message import Message
+
+#: Arbitrary JSON-representable values: scalars (unicode text included)
+#: nested through lists and dicts. Exactly what a payload may carry
+#: over the wire.
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+payloads = st.dictionaries(st.text(max_size=12), json_values, max_size=5)
+idents = st.text(max_size=12)
+
+messages = st.builds(
+    Message,
+    kind=st.text(min_size=1, max_size=12),
+    sender=idents,
+    receiver=idents,
+    txn_id=idents,
+    payload=payloads,
+)
 
 
 class TestMessage:
@@ -31,3 +68,65 @@ class TestMessage:
         b = Message("PING", "a", "b")
         a.payload["k"] = 1
         assert "k" not in b.payload
+
+
+class TestWireRoundTrip:
+    @given(message=messages)
+    def test_to_wire_from_wire_is_identity(self, message):
+        assert Message.from_wire(message.to_wire()) == message
+
+    @given(message=messages)
+    def test_survives_json_serialization(self, message):
+        data = json.loads(json.dumps(message.to_wire(), ensure_ascii=False))
+        assert Message.from_wire(data) == message
+
+    def test_to_wire_returns_fresh_dicts(self):
+        message = Message("ACK", "p", "tm", "t1", {"decision": "commit"})
+        wire = message.to_wire()
+        wire["kind"] = "MUTATED"
+        wire["payload"]["decision"] = "abort"
+        assert message.kind == "ACK"
+        assert message.payload["decision"] == "commit"
+
+    def test_unicode_payload_round_trips(self):
+        message = Message(
+            "PREPARE", "tm", "p0", "t1", {"κλειδί": "значение 💾", "n": [1, {"x": None}]}
+        )
+        body = json.dumps(message.to_wire(), ensure_ascii=False).encode("utf-8")
+        assert Message.from_wire(json.loads(body.decode("utf-8"))) == message
+
+
+class TestFromWireRejections:
+    def test_rejects_non_dict(self):
+        with pytest.raises(CodecError, match="must be a dict"):
+            Message.from_wire(["PREPARE", "tm", "p0"])
+
+    def test_rejects_unknown_keys(self):
+        wire = Message("A", "x", "y").to_wire()
+        wire["extra"] = 1
+        with pytest.raises(CodecError, match="unknown wire keys"):
+            Message.from_wire(wire)
+
+    def test_rejects_missing_keys(self):
+        wire = Message("A", "x", "y").to_wire()
+        del wire["txn"]
+        with pytest.raises(CodecError, match="missing wire keys"):
+            Message.from_wire(wire)
+
+    def test_rejects_non_string_routing_fields(self):
+        wire = Message("A", "x", "y").to_wire()
+        wire["sender"] = 7
+        with pytest.raises(CodecError, match="'sender' must be a string"):
+            Message.from_wire(wire)
+
+    def test_rejects_empty_kind(self):
+        wire = Message("A", "x", "y").to_wire()
+        wire["kind"] = ""
+        with pytest.raises(CodecError, match="non-empty"):
+            Message.from_wire(wire)
+
+    def test_rejects_non_dict_payload(self):
+        wire = Message("A", "x", "y").to_wire()
+        wire["payload"] = [1, 2]
+        with pytest.raises(CodecError, match="payload must be a dict"):
+            Message.from_wire(wire)

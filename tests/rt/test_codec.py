@@ -1,0 +1,123 @@
+"""Wire-codec tests: framing round trips and malformed-frame rejection."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.net.message import Message
+from repro.rt.codec import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_body,
+    encode_frame,
+    encode_message,
+    read_frame,
+)
+from tests.net.test_message import messages
+
+
+def read_stream(data: bytes) -> list[Message]:
+    """Drain ``data`` through the asyncio pull parser."""
+
+    async def go() -> list[Message]:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        out: list[Message] = []
+        while True:
+            message = await read_frame(reader)
+            if message is None:
+                return out
+            out.append(message)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_frame_is_header_plus_json_body(self):
+        message = Message("PREPARE", "tm", "p0", "t1", {"note": "hî"})
+        frame = encode_frame(message)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert json.loads(frame[HEADER.size :].decode("utf-8"))["kind"] == "PREPARE"
+
+    @given(message=messages, chunk=st.integers(min_value=1, max_value=7))
+    def test_round_trip_survives_any_chunking(self, message, chunk):
+        frame = encode_frame(message)
+        decoder = FrameDecoder()
+        out: list[Message] = []
+        for start in range(0, len(frame), chunk):
+            out.extend(decoder.feed(frame[start : start + chunk]))
+        assert out == [message]
+        assert decoder.pending_bytes == 0
+
+    @given(batch=st.lists(messages, min_size=2, max_size=5))
+    def test_many_frames_in_one_feed(self, batch):
+        stream = b"".join(encode_frame(m) for m in batch)
+        assert FrameDecoder().feed(stream) == batch
+
+    @given(message=messages)
+    def test_async_reader_round_trip(self, message):
+        assert read_stream(encode_frame(message) * 2) == [message, message]
+
+
+class TestRejection:
+    def test_oversized_announcement_rejected_before_buffering(self):
+        decoder = FrameDecoder()
+        with pytest.raises(CodecError, match="over the"):
+            decoder.feed(HEADER.pack(MAX_FRAME_BYTES + 1))
+        # The body was never buffered — the limit guards allocation.
+        assert decoder.pending_bytes == 0
+
+    def test_custom_limit(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        with pytest.raises(CodecError):
+            decoder.feed(HEADER.pack(17))
+
+    def test_encode_rejects_oversized_message(self):
+        huge = Message("BLOB", "a", "b", "t", {"data": "x" * (MAX_FRAME_BYTES + 1)})
+        with pytest.raises(CodecError, match="over the"):
+            encode_message(huge)
+
+    def test_encode_rejects_non_json_payload(self):
+        bad = Message("BLOB", "a", "b", "t", {"keys": {1, 2}})
+        with pytest.raises(CodecError, match="not JSON-representable"):
+            encode_message(bad)
+
+    def test_malformed_json_body_rejected(self):
+        body = b"this is not json"
+        with pytest.raises(CodecError, match="malformed frame body"):
+            FrameDecoder().feed(HEADER.pack(len(body)) + body)
+
+    def test_malformed_utf8_body_rejected(self):
+        body = b"\xff\xfe\xfd"
+        with pytest.raises(CodecError, match="malformed frame body"):
+            decode_body(body)
+
+    def test_valid_json_invalid_schema_rejected(self):
+        body = json.dumps({"kind": "A"}).encode()
+        with pytest.raises(CodecError, match="missing wire keys"):
+            decode_body(body)
+
+    def test_reader_clean_eof_returns_none(self):
+        assert read_stream(b"") == []
+
+    def test_reader_eof_mid_header(self):
+        with pytest.raises(CodecError, match="mid-header"):
+            read_stream(b"\x00\x00")
+
+    def test_reader_eof_mid_body(self):
+        frame = encode_frame(Message("PING", "a", "b"))
+        with pytest.raises(CodecError, match="mid-frame"):
+            read_stream(frame[:-1])
+
+    def test_reader_rejects_oversized_announcement(self):
+        with pytest.raises(CodecError, match="over the"):
+            read_stream(HEADER.pack(MAX_FRAME_BYTES + 1) + b"x")

@@ -1,0 +1,72 @@
+"""Sim/live differential conformance: the headline claim of the live
+runtime.
+
+For each protocol of the paper, the same workload run (a) in the
+deterministic simulator and (b) over real TCP sockets with the
+*unmodified* engines must produce the identical observable footprint:
+per-transaction decisions and enforcements, per-site stable-record
+sets, forget/GC behavior, final stores and checker verdicts.
+:func:`tests.conformance.harness.equivalence_summary` already excludes
+everything a transport is allowed to change (message counts, LSNs,
+interleavings), so equality here is the precise statement that the
+asyncio runtime preserves protocol behavior.
+
+The workload preconditions mirror the group-commit conformance suite:
+private keys (``hot_keys=0``), failure-free, relaxed timeouts so no
+localhost hiccup can race a protocol timer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.rt.cluster import run_live_workload
+from tests.conformance.harness import (
+    CONFORMANCE_TIMEOUTS,
+    PROTOCOL_SETUPS,
+    conformance_spec,
+    equivalence_summary,
+    run_workload,
+)
+
+#: Pinned seed: the CI live-smoke job replays this exact comparison.
+CONFORMANCE_SEED = 1303
+
+#: Kept modest — each live case runs a real cluster for a few wall
+#: seconds; the sim twin is instant.
+N_TRANSACTIONS = 10
+
+PROTOCOLS = ("PrN", "PrA", "PrC", "PrAny")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_live_run_matches_simulator(protocol, tmp_path):
+    mix, coordinator = PROTOCOL_SETUPS[protocol]
+    spec = conformance_spec(
+        CONFORMANCE_SEED, n_transactions=N_TRANSACTIONS, inter_arrival=1.0
+    )
+
+    sim_summary = equivalence_summary(run_workload(mix, coordinator, spec))
+
+    cluster = asyncio.run(
+        run_live_workload(
+            mix,
+            coordinator,
+            spec,
+            str(tmp_path),
+            fsync=False,
+            timeouts=CONFORMANCE_TIMEOUTS,
+        )
+    )
+    live_summary = equivalence_summary(cluster)
+
+    assert live_summary == sim_summary
+    # Every submitted transaction terminated and nothing is retained.
+    assert len(live_summary["decisions"]) == N_TRANSACTIONS
+    assert live_summary["checks"] == {
+        "atomicity": True,
+        "safe_state": True,
+        "operational": True,
+    }

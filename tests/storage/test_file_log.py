@@ -1,0 +1,221 @@
+"""File-backed durability: FileStableLog and FileBackedStore.
+
+The restart story under test: everything the protocol layer was told
+is stable must be reloadable by a *new* instance on the same path (a
+fresh process), and nothing that was merely buffered may reappear.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.rt.store import FileBackedStore
+from repro.sim.kernel import Simulator
+from repro.storage.file_log import (
+    FileStableLog,
+    record_from_json,
+    record_to_json,
+)
+from repro.storage.log_records import LogRecord, RecordType
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "wal.jsonl"
+
+
+def rec(txn="t1", type_=RecordType.PREPARED, **payload):
+    return LogRecord(type_, txn, dict(payload))
+
+
+class TestRecordJson:
+    def test_round_trip(self):
+        record = LogRecord(
+            RecordType.COMMIT, "t9", {"by": "coordinator", "sites": ["a", "b"]}
+        )
+        record.lsn = 17
+        twin = record_from_json(record_to_json(record))
+        assert twin.type is RecordType.COMMIT
+        assert twin.txn_id == "t9"
+        assert twin.payload == record.payload
+        assert twin.lsn == 17
+        assert twin.forced  # everything on disk got there via force/flush
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(StorageError, match="malformed log record"):
+            record_from_json({"type": "no-such-type", "txn": "t1"})
+        with pytest.raises(StorageError, match="malformed log record"):
+            record_from_json({"txn": "t1"})
+
+
+class TestPersistence:
+    def test_forced_records_reload_in_new_instance(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1", RecordType.PREPARED, coordinator="tm"))
+        log.force_append(rec("t1", RecordType.COMMIT))
+        log.close()
+
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        records = reborn.stable_records()
+        assert [(r.type, r.txn_id) for r in records] == [
+            (RecordType.PREPARED, "t1"),
+            (RecordType.COMMIT, "t1"),
+        ]
+        assert records[0].payload == {"coordinator": "tm"}
+        assert all(r.forced for r in records)
+
+    def test_lsns_continue_after_reload(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        last = log.force_append(rec())
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        fresh = reborn.force_append(rec("t2"))
+        assert fresh.lsn == last.lsn + 1
+
+    def test_flush_also_persists(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.append(rec())
+        log.flush()
+        log.close()
+        assert len(FileStableLog(sim, "s1", path, fsync=False).stable_records()) == 1
+
+    def test_file_is_jsonl(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1"))
+        log.force_append(rec("t2"))
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["txn"] for line in lines] == ["t1", "t2"]
+
+    def test_fsync_mode_writes_identically(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=True)
+        log.force_append(rec("t1"))
+        log.close()
+        assert len(FileStableLog(sim, "s1", path).stable_records()) == 1
+
+
+class TestCrashRecovery:
+    def test_crash_loses_buffer_keeps_stable(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1"))
+        log.append(rec("t2"))  # buffered, never forced
+        lost = log.crash()
+        assert lost == 1
+
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in reborn.stable_records()] == ["t1"]
+
+    def test_reopen_same_instance_appends_again(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1"))
+        log.crash()
+        log.reopen()
+        log.force_append(rec("t2"))
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in reborn.stable_records()] == ["t1", "t2"]
+
+    def test_closed_log_refuses_persist(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.close()
+        log._buffer.append(rec())
+        with pytest.raises(StorageError, match="closed"):
+            log._persist_buffer()
+
+
+class TestGarbageCollection:
+    def test_gc_compacts_the_file(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1"))
+        log.force_append(rec("t2"))
+        collected = log.garbage_collect("t1")
+        assert collected == 1
+        on_disk = [json.loads(line)["txn"] for line in path.read_text().splitlines()]
+        assert on_disk == ["t2"]
+        # The rewrite is atomic: no tmp residue.
+        assert not path.with_suffix(path.suffix + ".tmp").exists()
+
+    def test_gc_survives_reload(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1"))
+        log.force_append(rec("t2", RecordType.COMMIT))
+        log.garbage_collect_where(lambda r: r.type is RecordType.COMMIT)
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in reborn.stable_records()] == ["t2"]
+
+    def test_gc_after_close_still_compacts(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t1"))
+        log.force_append(rec("t2"))
+        log.close()
+        log.garbage_collect("t1")
+        assert [
+            json.loads(line)["txn"] for line in path.read_text().splitlines()
+        ] == ["t2"]
+
+
+class TestMalformedFiles:
+    def test_malformed_jsonl_line_rejected(self, sim, path):
+        path.write_text('{"type": "prepared", "txn": "t1", "payload": {}, "lsn": 1}\nnot json\n')
+        with pytest.raises(StorageError, match="malformed JSONL"):
+            FileStableLog(sim, "s1", path, fsync=False)
+
+    def test_malformed_record_rejected(self, sim, path):
+        path.write_text('{"type": "zzz", "txn": "t1", "payload": {}, "lsn": 1}\n')
+        with pytest.raises(StorageError, match="malformed log record"):
+            FileStableLog(sim, "s1", path, fsync=False)
+
+    def test_blank_lines_ignored(self, sim, path):
+        path.write_text(
+            '\n{"type": "prepared", "txn": "t1", "payload": {}, "lsn": 1}\n\n'
+        )
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in log.stable_records()] == ["t1"]
+
+
+class TestFileBackedStore:
+    def test_checkpoint_persists_and_reloads(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = FileBackedStore(path, fsync=False)
+        store.checkpoint({"x": "t1", "y": "t2"})
+        reborn = FileBackedStore(path, fsync=False)
+        assert reborn.snapshot() == {"x": "t1", "y": "t2"}
+
+    def test_uncheckpointed_writes_die_with_process(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = FileBackedStore(path, fsync=False)
+        store.checkpoint({"x": "t1"})
+        store.write("y", "t2")  # volatile working state only
+        reborn = FileBackedStore(path, fsync=False)
+        assert reborn.snapshot() == {"x": "t1"}
+
+    def test_checkpoint_is_atomic(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = FileBackedStore(path, fsync=True)
+        store.checkpoint({"x": "t1"})
+        assert not path.with_suffix(path.suffix + ".tmp").exists()
+        assert json.loads(path.read_text()) == {"x": "t1"}
+
+    def test_malformed_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("{broken")
+        with pytest.raises(StorageError, match="cannot load store snapshot"):
+            FileBackedStore(path)
+
+    def test_non_object_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(StorageError, match="not a JSON object"):
+            FileBackedStore(path)
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        store = FileBackedStore(tmp_path / "fresh" / "store.json", fsync=False)
+        assert store.snapshot() == {}

@@ -79,6 +79,58 @@ class TestCLI:
             build_parser().parse_args([])
 
 
+class TestLiveCLI:
+    """The `repro live` real-socket entry point."""
+
+    def test_list_mentions_live(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "live" in out and "sockets" in out
+
+    def test_live_smoke_runs_end_to_end(self, capsys):
+        code, out = run_cli(
+            capsys, "live", "--protocol", "prany", "--participants", "4",
+            "--smoke", "--no-fsync",
+        )
+        assert code == 0
+        assert "live run" in out
+        # Per-transaction outcome lines, all decided.
+        assert "t0000" in out and "UNDECIDED" not in out
+        assert "terminated: 6/6" in out
+        assert "atomicity=True" in out
+
+    def test_live_kill_restart_smoke(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "live", "--protocol", "pra", "--participants", "4",
+            "--smoke", "--no-fsync", "--kill-restart",
+            "--data-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "kill/restart:" in out
+        assert "recovered from disk" in out
+        assert "terminated: 6/6" in out
+        # The victim's WAL actually exists on disk.
+        assert list(tmp_path.glob("*/wal.jsonl"))
+
+    def test_live_bench_writes_report(self, capsys, tmp_path):
+        report_path = tmp_path / "BENCH_live.json"
+        code, out = run_cli(
+            capsys, "live", "--bench", "--smoke", "--reps", "2",
+            "--bench-output", str(report_path),
+        )
+        assert code == 0
+        assert "live bench" in out
+        assert "transactions/sec" in out
+        from repro.bench.report import load_report
+
+        report = load_report(report_path)
+        assert "live-prany-commit" in report["scenarios"]
+
+    def test_live_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["live", "--protocol", "3pc", "--smoke"])
+
+
 class TestExploreCLI:
     """The `repro explore` fuzzing entry point."""
 
