@@ -347,30 +347,68 @@ def _cmd_live(args: argparse.Namespace) -> str:
         )
 
     if args.bench:
-        from repro.bench import BenchConfig, build_report, write_report
-        from repro.bench.runner import measure_scenario
-        from repro.rt.bench import live_scenario
+        from repro.bench import BenchConfig, build_report, load_report, write_report
+        from repro.bench.runner import run_bench
+        from repro.rt.bench import (
+            LIVE_CHECK_THRESHOLD,
+            LIVE_OPTIMIZATION_HISTORY,
+            compare_live_reports,
+            live_scenarios,
+        )
 
         config = BenchConfig(reps=args.reps, warmup=1, smoke=args.smoke)
-        measurement = measure_scenario(live_scenario(), config)
-        report = build_report([measurement], config)
-        path = write_report(report, Path(args.bench_output))
-        result = measurement.result
-        if not result.checks_passed:
-            args.exit_code = 1
-        return "\n".join(
-            [
-                f"live bench — {result.detail['transactions']} transactions "
-                f"over real sockets, reps={config.reps}"
-                + (", smoke" if config.smoke else ""),
-                f"  wall (median):    {measurement.wall_seconds.median:.3f}s "
-                f"± {measurement.wall_seconds.iqr:.3f} IQR",
-                f"  transactions/sec: {measurement.events_per_second.median:.1f}",
-                f"  messages (rep 1): {result.messages}",
-                f"  checks passed:    {result.checks_passed}",
-                f"  wrote {path}",
-            ]
+
+        def progress(scenario) -> None:
+            print(f"  ... measuring {scenario.name}", file=sys.stderr, flush=True)
+
+        measurements = run_bench(live_scenarios(), config, progress=progress)
+        report = build_report(
+            measurements, config, optimizations=LIVE_OPTIMIZATION_HISTORY
         )
+        lines = [
+            f"live bench — {len(measurements)} scenario(s) over real "
+            f"sockets, reps={config.reps}"
+            + (", smoke" if config.smoke else ""),
+        ]
+        for m in measurements:
+            lines.append(
+                f"  {m.scenario.name:<22} "
+                f"{m.events_per_second.median:>7.1f} txn/s"
+                f"  (wall {m.wall_seconds.median:.3f}s "
+                f"± {m.wall_seconds.iqr:.3f} IQR, "
+                f"{m.result.detail['transactions']} txns, "
+                f"checks={'ok' if m.result.checks_passed else 'FAILED'})"
+            )
+            percentiles = m.result.detail.get("latency_ms")
+            if percentiles:
+                lines.append(
+                    f"    decision latency: p50 {percentiles['p50']}ms, "
+                    f"p95 {percentiles['p95']}ms, p99 {percentiles['p99']}ms"
+                )
+            if not m.result.checks_passed:
+                args.exit_code = 1
+        if args.check:
+            baseline_path = Path(args.baseline)
+            try:
+                baseline = load_report(baseline_path)
+            except ReproError as exc:
+                raise SystemExit(f"--check: {exc}")
+            regressions, notes = compare_live_reports(report, baseline)
+            for note in notes:
+                lines.append(f"  note: {note}")
+            if regressions:
+                args.exit_code = 1
+                lines.append(
+                    f"  REGRESSION vs {baseline_path} "
+                    f"(>{LIVE_CHECK_THRESHOLD:.0%} slower):"
+                )
+                lines.extend(f"    {regression}" for regression in regressions)
+            else:
+                lines.append(f"  no regressions vs {baseline_path}")
+        else:
+            path = write_report(report, Path(args.bench_output))
+            lines.append(f"  wrote {path}")
+        return "\n".join(lines)
 
     n_transactions = 6 if args.smoke else args.transactions
     spec = WorkloadSpec(
@@ -689,8 +727,9 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument(
         "--bench",
         action="store_true",
-        help="measure the live commit scenario instead and write "
-        "BENCH_live.json (wall-clock transactions/sec)",
+        help="measure the live bench scenarios instead and write "
+        "BENCH_live.json (wall-clock transactions/sec + latency "
+        "percentiles)",
     )
     live.add_argument(
         "--bench-output",
@@ -699,6 +738,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live.add_argument(
         "--reps", type=int, default=3, help="timed reps for --bench"
+    )
+    live.add_argument(
+        "--check",
+        action="store_true",
+        help="with --bench: compare against the committed baseline "
+        "instead of writing; exit 1 on a live-throughput regression",
+    )
+    live.add_argument(
+        "--baseline",
+        default="BENCH_live.json",
+        help="baseline file for --bench --check (default: BENCH_live.json)",
     )
     live.add_argument(
         "--smoke",

@@ -1,29 +1,137 @@
-"""Live wall-clock benchmark scenario.
+"""Live wall-clock benchmark scenarios.
 
 The sim-bench registry (``repro.bench.scenarios``) measures how fast
 the simulator burns virtual work; this module measures the same commit
 workload end to end over real sockets and fsync'd logs — seconds of
 wall clock per committed transaction, not events per second.
 
-The scenario reuses the sim-bench runner plumbing
+Two scenarios:
+
+* ``live-prany-commit`` — the PR-4 baseline shape: paced arrivals
+  (one transaction per virtual unit), no durability batching, no
+  pipelining. Kept unchanged so ``BENCH_live.json`` regressions stay
+  comparable release over release.
+* ``live-prany-throughput`` — the optimized hot path: open-loop
+  pipelined arrival (:data:`PIPELINE_DEPTH` transactions in flight),
+  group-commit fsync coalescing on every WAL, socket write batching
+  (always on), fsync **on**. Its ``detail`` records decision-latency
+  percentiles (p50/p95/p99 ms) and the fsync amortization counters.
+
+The scenarios reuse the sim-bench runner plumbing
 (:class:`~repro.bench.runner.BenchConfig` /
 :func:`~repro.bench.runner.measure_scenario`) through two seams added
 for it: the config's ``clock`` source and the scenario's
 ``deterministic`` flag (live trace/message counts vary per rep, so the
-runner's cross-rep identity assertion is skipped). It is deliberately
-NOT in the global ``SCENARIOS`` registry: ``repro bench`` stays the
-deterministic simulator baseline; ``repro live --bench`` runs this and
-writes ``BENCH_live.json``.
+runner's cross-rep identity assertion is skipped). They are
+deliberately NOT in the global ``SCENARIOS`` registry: ``repro bench``
+stays the deterministic simulator baseline; ``repro live --bench`` runs
+these and writes ``BENCH_live.json``.
+
+``repro live --bench --check`` compares a fresh run against the
+committed ``BENCH_live.json`` via :func:`compare_live_reports`.
+Transactions/sec is *not* size-invariant (cluster startup and the
+abort-path inquiry tail are fixed costs a small workload cannot
+amortize — the smoke variant measures ~0.2x the full-size number on
+the same machine), so scenarios whose workload sizes differ are noted
+and skipped, mirroring the sim comparison; the CI gate therefore runs
+the full-size workload (a few wall seconds) under a deliberately
+generous threshold (:data:`LIVE_CHECK_THRESHOLD`; wall-clock numbers
+on shared CI hosts are noisy).
 """
 
 from __future__ import annotations
 
 import asyncio
 import tempfile
+from typing import Any
 
+from repro.bench.report import Regression
+from repro.bench.runner import _quantile
 from repro.bench.scenarios import BENCH_SEED, Scenario, ScenarioResult
+from repro.storage.group_commit import GroupCommitConfig
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.mixes import three_way
+
+#: Concurrency cap of the throughput scenario's open-loop driver.
+PIPELINE_DEPTH = 8
+
+#: Group-commit window of the throughput scenario. The delay bound is
+#: deliberately tight (0.1 units = 1 ms at the default time scale):
+#: with 8 transactions in flight, concurrent force requests land within
+#: a window anyway (~4x fsync amortization), while a wide window would
+#: sit on every force's critical path — at the default 0.5-unit delay
+#: the added latency outweighs the coalescing gain on fast-fsync disks.
+THROUGHPUT_GROUP_COMMIT = GroupCommitConfig(max_delay=0.1, max_batch=8)
+
+#: ``--check`` fails when the live median txns/sec drops below this
+#: fraction of the committed baseline. Generous on purpose: the gate
+#: compares a single-rep run on a shared CI host against the
+#: reference-machine median.
+LIVE_CHECK_THRESHOLD = 0.5
+
+#: Pinned before/after measurements for the live-runtime hot paths
+#: optimized in PR 5, all in median transactions/sec of the
+#: ``live-prany-throughput`` workload (128 transactions, fsync on,
+#: reference machine). Each row toggles exactly one optimization off
+#: while keeping the other two on, so ``before`` is the ablated run and
+#: ``after`` the full configuration. Historical records — regenerating
+#: the report carries them forward unchanged.
+LIVE_OPTIMIZATION_HISTORY: list[dict[str, Any]] = [
+    {
+        "path": "src/repro/storage/file_log.py",
+        "change": (
+            "group-commit fsync coalescing: GroupCommitFileLog layers the "
+            "PR-3 window engine over the JSONL WAL — concurrent "
+            "force_append_async requests within one 0.1-unit window are "
+            "persisted by a single blob write + one os.fsync "
+            "(all-or-nothing under crash), cutting device forces ~4x "
+            "(661 force requests -> 167 fsyncs in this workload). before "
+            "= the same pipelined run with a plain FileStableLog (one "
+            "fsync per force request); the wall-clock gain is modest on "
+            "the reference machine's ~0.2 ms fsyncs and grows with fsync "
+            "cost"
+        ),
+        "scenario": "live-prany-throughput",
+        "metric": "events_per_second.median",
+        "before": 77.5,
+        "after": 81.3,
+        "speedup": 1.05,
+    },
+    {
+        "path": "src/repro/rt/transport.py",
+        "change": (
+            "socket write batching: each per-peer writer wakeup drains the "
+            "whole outbound queue — every pending frame written back to "
+            "back, flushed by a single drain() — and frames are encoded "
+            "once, reused by the reconnect retry. before = one "
+            "get/write/drain round trip per message; within noise on "
+            "loopback RTTs, the syscall reduction is the point on real "
+            "links"
+        ),
+        "scenario": "live-prany-throughput",
+        "metric": "events_per_second.median",
+        "before": 80.0,
+        "after": 81.3,
+        "speedup": 1.02,
+    },
+    {
+        "path": "src/repro/rt/cluster.py",
+        "change": (
+            "pipelined in-flight transactions + event-driven completion: "
+            "run_pipelined keeps PIPELINE_DEPTH transactions outstanding "
+            "(slot freed by each decision's asyncio.Event) and run()/"
+            "finalize() wake on trace events instead of sleep-polling. "
+            "before = same batched run at pipeline depth 1 (closed loop); "
+            "vs the PR-4 paced, polling baseline (live-prany-commit at "
+            "16.9 txn/s) the full configuration is ~4.8x"
+        ),
+        "scenario": "live-prany-throughput",
+        "metric": "events_per_second.median",
+        "before": 59.2,
+        "after": 81.3,
+        "speedup": 1.37,
+    },
+]
 
 
 def run_live_scenario(smoke: bool = False) -> ScenarioResult:
@@ -69,9 +177,76 @@ def run_live_scenario(smoke: bool = False) -> ScenarioResult:
     )
 
 
+def run_live_throughput_scenario(smoke: bool = False) -> ScenarioResult:
+    """The optimized hot path: pipelined arrivals, group-commit WALs,
+    batched socket writes, fsync on."""
+    from repro.rt.cluster import run_live_workload
+
+    n_transactions = 16 if smoke else 128
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.25,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=1.0,  # ignored: the pipelined driver is open-loop
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+
+    async def go(data_dir: str):
+        return await run_live_workload(
+            three_way(3),
+            "dynamic",
+            spec,
+            data_dir,
+            group_commit=THROUGHPUT_GROUP_COMMIT,
+            pipeline=PIPELINE_DEPTH,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = asyncio.run(go(tmp))
+    outcomes = cluster.outcomes()
+    reports = cluster.check()
+    assert cluster.sim is not None
+    sent = sum(h.transport.sent_count for h in cluster.hosts.values())
+    dropped = sum(h.transport.dropped_count for h in cluster.hosts.values())
+    latencies = sorted(cluster.decision_latencies().values())
+    logs = [site.log for site in cluster.sites.values()]
+    force_requests = sum(getattr(log, "force_requests", 0) for log in logs)
+    fsync_forces = sum(log.force_count for log in logs)
+    return ScenarioResult(
+        events=n_transactions,
+        trace_events=len(cluster.sim.trace),
+        messages=sent,
+        checks_passed=reports.all_hold and len(outcomes) == n_transactions,
+        detail={
+            "transactions": n_transactions,
+            "decided": len(outcomes),
+            "committed": sum(1 for d in outcomes.values() if d == "commit"),
+            "pipeline_depth": PIPELINE_DEPTH,
+            "latency_ms": {
+                "p50": _latency_ms(latencies, 0.50),
+                "p95": _latency_ms(latencies, 0.95),
+                "p99": _latency_ms(latencies, 0.99),
+            },
+            "fsync_forces": fsync_forces,
+            "force_requests": force_requests,
+            "virtual_units": round(cluster.sim.now, 1),
+            "messages_dropped": dropped,
+        },
+    )
+
+
+def _latency_ms(ordered_seconds: list[float], q: float) -> float:
+    """Quantile of sorted decision latencies, in milliseconds."""
+    if not ordered_seconds:
+        return 0.0
+    return round(_quantile(ordered_seconds, q) * 1000.0, 3)
+
+
 def live_scenario() -> Scenario:
-    """The ``BENCH_live.json`` scenario (events = transactions, so the
-    headline number is transactions/second of wall clock)."""
+    """The baseline scenario (events = transactions, so the headline
+    number is transactions/second of wall clock)."""
     return Scenario(
         name="live-prany-commit",
         description=(
@@ -83,3 +258,64 @@ def live_scenario() -> Scenario:
         run=run_live_scenario,
         deterministic=False,
     )
+
+
+def live_throughput_scenario() -> Scenario:
+    """The optimized-path scenario measured for the PR-5 ledger."""
+    return Scenario(
+        name="live-prany-throughput",
+        description=(
+            "PrAny commit workload over real TCP sockets, fsync on: "
+            f"{PIPELINE_DEPTH} pipelined transactions in flight, "
+            "group-commit fsync coalescing, batched socket writes "
+            "(wall clock; transactions/sec + decision-latency percentiles)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "throughput"),
+        run=run_live_throughput_scenario,
+        deterministic=False,
+    )
+
+
+def live_scenarios() -> list[Scenario]:
+    """Everything ``repro live --bench`` measures, in report order."""
+    return [live_scenario(), live_throughput_scenario()]
+
+
+def compare_live_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = LIVE_CHECK_THRESHOLD,
+) -> tuple[list[Regression], list[str]]:
+    """Regressions and notes comparing two live bench reports.
+
+    Like the sim :func:`~repro.bench.report.compare_reports`, scenarios
+    whose workload sizes differ are skipped with a note rather than
+    compared: live transactions/sec is not size-invariant (cluster
+    startup and the abort-path inquiry tail are fixed costs), so a
+    smoke run against a full-size baseline would always read as a
+    regression. The threshold is generous to absorb host noise.
+    """
+    regressions: list[Regression] = []
+    notes: list[str] = []
+    for name, base_entry in baseline["scenarios"].items():
+        cur_entry = current["scenarios"].get(name)
+        if cur_entry is None:
+            notes.append(f"{name}: in baseline but not measured now (skipped)")
+            continue
+        if cur_entry["events"] != base_entry["events"]:
+            notes.append(
+                f"{name}: workload sizes differ "
+                f"({base_entry['events']} baseline vs "
+                f"{cur_entry['events']} current transactions) — skipped"
+            )
+            continue
+        base_eps = float(base_entry["events_per_second"]["median"])
+        cur_eps = float(cur_entry["events_per_second"]["median"])
+        if base_eps > 0 and cur_eps < base_eps * (1.0 - threshold):
+            regressions.append(
+                Regression(
+                    scenario=name, baseline_eps=base_eps, current_eps=cur_eps
+                )
+            )
+    return regressions, notes

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import asyncio
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.correctness import (
     check_atomicity,
@@ -36,6 +36,8 @@ from repro.mdbs.transaction import GlobalTransaction
 from repro.protocols.base import TimeoutConfig
 from repro.rt.host import SiteHost
 from repro.rt.runtime import LiveRuntime
+from repro.sim.tracing import TraceEvent
+from repro.storage.group_commit import GroupCommitConfig
 from repro.storage.pcp import CommitProtocolDirectory
 from repro.workloads.generator import (
     COORDINATOR_ID,
@@ -84,6 +86,10 @@ class LiveCluster:
             nondeterminism comes from the network itself).
         time_scale: wall-clock seconds per virtual time unit.
         fsync: whether site logs/stores fsync (tests may disable).
+        group_commit: when set, every site's WAL becomes a
+            :class:`~repro.storage.file_log.GroupCommitFileLog` — one
+            blob write + one fsync per coalescing window instead of one
+            per force request (the live durability-batching knob).
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class LiveCluster:
         time_scale: float = 0.01,
         fsync: bool = True,
         read_only_optimization: bool = True,
+        group_commit: Optional[GroupCommitConfig] = None,
     ) -> None:
         self._mix = mix
         self._coordinator_policy = coordinator
@@ -104,12 +111,21 @@ class LiveCluster:
         self._time_scale = time_scale
         self._fsync = fsync
         self._read_only_optimization = read_only_optimization
+        self._group_commit = group_commit
         self.data_dir = Path(data_dir)
         self.sim: Optional[LiveRuntime] = None
         self.pcp = CommitProtocolDirectory()
         self.directory: dict[str, tuple[str, int]] = {}
         self.hosts: dict[str, SiteHost] = {}
         self.submitted: list[GlobalTransaction] = []
+        # Event-driven completion state, installed by start():
+        # per-transaction decision events plus one "anything happened"
+        # event that run()/finalize() wait on instead of polling.
+        self._decision_events: dict[str, asyncio.Event] = {}
+        self._terminated: set[str] = set()
+        self._submitted_at: dict[str, float] = {}
+        self._decided_at: dict[str, float] = {}
+        self._activity: Optional[asyncio.Event] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -118,6 +134,8 @@ class LiveCluster:
         if self.sim is not None:
             raise WorkloadError("cluster already started")
         self.sim = LiveRuntime(time_scale=self._time_scale, seed=self._seed)
+        self._activity = asyncio.Event()
+        self.sim.trace.subscribe(self._on_trace_event)
         topology = dict(self._mix.site_protocols())
         for site_id, protocol in topology.items():
             self._add_host(site_id, protocol, coordinator=None)
@@ -142,6 +160,7 @@ class LiveCluster:
             timeouts=self._timeouts,
             read_only_optimization=self._read_only_optimization,
             fsync=self._fsync,
+            group_commit=self._group_commit,
         )
         self.hosts[site_id] = host
         self.pcp.register_site(site_id, protocol)
@@ -154,6 +173,52 @@ class LiveCluster:
         for host in self.hosts.values():
             await host.close()
 
+    # -- event-driven completion ---------------------------------------------
+
+    def _on_trace_event(self, event: TraceEvent) -> None:
+        """Trace subscriber: resolve per-transaction decision events and
+        wake anything blocked on cluster activity. Runs synchronously
+        with ``trace.record`` inside the event loop, so waiters observe
+        decisions with no polling delay."""
+        if event.category == "protocol" and event.name == "decide":
+            txn = event.details.get("txn")
+            if txn is not None:
+                self._terminated.add(txn)
+                self._decided_at.setdefault(txn, event.time)
+                decision_event = self._decision_events.get(txn)
+                if decision_event is not None:
+                    decision_event.set()
+        elif event.category == "system" and event.name == "txn_not_started":
+            txn = event.details.get("txn")
+            if txn is not None:
+                self._terminated.add(txn)
+                decision_event = self._decision_events.get(txn)
+                if decision_event is not None:
+                    decision_event.set()
+        if self._activity is not None:
+            self._activity.set()
+
+    async def _await_activity(self, max_wait: float) -> None:
+        """Sleep until the next trace event, bounded by ``max_wait``
+        wall seconds (the fallback heartbeat for conditions no trace
+        event announces). Callers must clear ``_activity`` *before*
+        checking their condition, so a wakeup can never be lost."""
+        assert self._activity is not None
+        try:
+            await asyncio.wait_for(self._activity.wait(), timeout=max_wait)
+        except asyncio.TimeoutError:
+            pass
+
+    def decision_latencies(self) -> dict[str, float]:
+        """Wall-clock seconds from submission to the decide trace event,
+        for every decided transaction (the bench percentile source)."""
+        assert self.sim is not None
+        return {
+            txn_id: (decided - self._submitted_at[txn_id]) * self._time_scale
+            for txn_id, decided in self._decided_at.items()
+            if txn_id in self._submitted_at
+        }
+
     # -- the MDBS surface ----------------------------------------------------
 
     @property
@@ -165,8 +230,15 @@ class LiveCluster:
             if host.site is not None
         }
 
-    def submit(self, txn: GlobalTransaction) -> None:
-        """Schedule a global transaction (mirrors ``MDBS.submit``)."""
+    def submit(
+        self, txn: GlobalTransaction, immediate: bool = False
+    ) -> None:
+        """Schedule a global transaction (mirrors ``MDBS.submit``).
+
+        ``immediate`` ignores ``txn.submit_at`` and starts the
+        transaction on the next loop tick — the open-loop arrival mode
+        :meth:`run_pipelined` drives.
+        """
         assert self.sim is not None, "cluster not started"
         coordinator_host = self.hosts.get(txn.coordinator)
         if coordinator_host is None:
@@ -183,37 +255,93 @@ class LiveCluster:
                 f"{sorted(unknown)}"
             )
         self.submitted.append(txn)
+        self._decision_events.setdefault(txn.txn_id, asyncio.Event())
+        self._submitted_at[txn.txn_id] = self.sim.now
         self.sim.schedule(
-            max(0.0, txn.submit_at - self.sim.now),
+            0.0 if immediate else max(0.0, txn.submit_at - self.sim.now),
             lambda: start_transaction(self.sim, self.sites, txn),
             label=f"start {txn.txn_id}",
         )
 
-    async def run(
-        self, until: float, poll_interval: float = 0.05
-    ) -> None:
+    async def run(self, until: float, heartbeat: float = 0.25) -> None:
         """Advance wall-clock time until quiescence or ``until`` (virtual
         units). Unlike ``Simulator.run`` there is no event queue to
         drain, so quiescence is detected from the system state: every
         submitted transaction terminated and every protocol table entry
-        forgotten."""
+        forgotten. Event-driven: the loop wakes on trace activity
+        (decisions, deliveries, forgets), with ``heartbeat`` wall
+        seconds as the fallback poll for anything no event announces."""
         assert self.sim is not None
         while self.sim.now < until:
+            # Clear-before-check: an event recorded after the check
+            # re-sets the flag, so the wait below cannot miss it.
+            assert self._activity is not None
+            self._activity.clear()
             if self.quiescent():
                 return
-            await asyncio.sleep(poll_interval)
+            remaining = self.sim.to_seconds(until - self.sim.now)
+            await self._await_activity(min(remaining, heartbeat))
+
+    async def run_pipelined(
+        self,
+        transactions: Iterable[GlobalTransaction],
+        max_in_flight: int = 8,
+        decision_timeout: float = 120.0,
+    ) -> dict[str, float]:
+        """Open-loop arrival driver with a concurrency cap.
+
+        Submits each transaction the moment a slot frees instead of
+        pacing by ``submit_at``: up to ``max_in_flight`` transactions
+        stay outstanding, each slot released by that transaction's
+        decision event. Throughput is then bounded by fsync windows and
+        RTTs, not by arrival pacing or poll intervals.
+
+        Returns per-transaction decision latency in wall-clock seconds
+        (:meth:`decision_latencies` of the driven transactions).
+
+        Raises:
+            asyncio.TimeoutError: if any transaction's decision takes
+                longer than ``decision_timeout`` wall seconds.
+        """
+        assert self.sim is not None, "cluster not started"
+        if max_in_flight < 1:
+            raise WorkloadError(
+                f"max_in_flight must be >= 1: {max_in_flight!r}"
+            )
+        slots = asyncio.Semaphore(max_in_flight)
+        driven: list[str] = []
+
+        async def drive(txn: GlobalTransaction) -> None:
+            try:
+                self.submit(txn, immediate=True)
+                await asyncio.wait_for(
+                    self._decision_events[txn.txn_id].wait(),
+                    timeout=decision_timeout,
+                )
+            finally:
+                slots.release()
+
+        waiters: list[asyncio.Task] = []
+        try:
+            for txn in transactions:
+                await slots.acquire()
+                driven.append(txn.txn_id)
+                waiters.append(asyncio.create_task(drive(txn)))
+            await asyncio.gather(*waiters)
+        except BaseException:
+            for waiter in waiters:
+                waiter.cancel()
+            await asyncio.gather(*waiters, return_exceptions=True)
+            raise
+        latencies = self.decision_latencies()
+        return {txn_id: latencies[txn_id] for txn_id in driven if txn_id in latencies}
 
     def quiescent(self) -> bool:
         """All submitted work decided, delivered and forgotten."""
         assert self.sim is not None
         if any(host.transport.backlog for host in self.hosts.values()):
             return False
-        terminated = set(self.outcomes())
-        for event in self.sim.trace.select(
-            category="system", name="txn_not_started"
-        ):
-            terminated.add(event.details["txn"])
-        if any(txn.txn_id not in terminated for txn in self.submitted):
+        if any(txn.txn_id not in self._terminated for txn in self.submitted):
             return False
         return all(
             not site.retained_transactions()
@@ -222,18 +350,48 @@ class LiveCluster:
         )
 
     async def finalize(self, max_rounds: int = 5) -> None:
-        """Flush and GC to a stable residue (mirrors ``MDBS.finalize``)."""
+        """Flush and GC to a stable residue (mirrors ``MDBS.finalize``).
+
+        Event-driven: each round lets in-flight coordination messages
+        drain (bounded by 10 virtual units) instead of sleeping the
+        bound out, and the loop exits as soon as a round collects
+        nothing with the network idle — an already-quiet cluster
+        finalizes promptly in a single round.
+        """
         assert self.sim is not None
-        for round_index in range(max_rounds):
+        for _ in range(max_rounds):
             collected = sum(
                 site.flush_and_gc()
                 for site in self.sites.values()
                 if site.is_up
             )
-            # Let checkpoint/GC coordination messages flow, bounded.
-            await asyncio.sleep(self.sim.to_seconds(10.0))
-            if collected == 0 and round_index > 0:
-                break
+            if collected == 0 and not self._network_busy():
+                return
+            await self._drain_network(bound_units=10.0)
+
+    def _network_busy(self) -> bool:
+        """Messages still queued or pending local delivery anywhere."""
+        return any(host.transport.backlog for host in self.hosts.values())
+
+    async def _drain_network(self, bound_units: float) -> None:
+        """Wait (event-driven, bounded) for in-flight messages to land.
+
+        Backlog only counts queued frames, not bytes mid-socket, so
+        after the backlog empties one extra virtual unit of grace lets
+        a just-written frame reach its peer before we conclude quiet.
+        """
+        assert self.sim is not None
+        deadline = self.sim.now + bound_units
+        while self.sim.now < deadline:
+            assert self._activity is not None
+            self._activity.clear()
+            if not self._network_busy():
+                await asyncio.sleep(self.sim.to_seconds(1.0))
+                if not self._network_busy():
+                    return
+                continue
+            remaining = self.sim.to_seconds(deadline - self.sim.now)
+            await self._await_activity(min(remaining, 0.25))
 
     # -- failures ------------------------------------------------------------
 
@@ -289,13 +447,17 @@ async def run_live_workload(
     time_scale: float = 0.01,
     fsync: bool = True,
     timeouts: Optional[TimeoutConfig] = None,
+    group_commit: Optional[GroupCommitConfig] = None,
+    pipeline: Optional[int] = None,
 ) -> LiveCluster:
     """Run a generated workload over a live cluster to quiescence.
 
     The live twin of ``tests/conformance/harness.run_workload``: same
     topology, same transaction stream, same finalize — the returned
     (shut-down) cluster is ready for ``equivalence_summary``-style
-    inspection.
+    inspection. ``group_commit`` turns on durability batching;
+    ``pipeline`` (a concurrency cap) switches the arrival driver to
+    :meth:`LiveCluster.run_pipelined` instead of ``submit_at`` pacing.
     """
     cluster = LiveCluster(
         mix,
@@ -305,14 +467,21 @@ async def run_live_workload(
         timeouts=timeouts if timeouts is not None else LIVE_TIMEOUTS,
         time_scale=time_scale,
         fsync=fsync,
+        group_commit=group_commit,
     )
     await cluster.start()
     try:
-        for txn in generate_transactions(spec, sorted(mix.site_protocols())):
-            cluster.submit(txn)
-        await cluster.run(
-            until=spec.inter_arrival * spec.n_transactions + RUN_MARGIN
-        )
+        transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+        if pipeline is not None:
+            await cluster.run_pipelined(transactions, max_in_flight=pipeline)
+            assert cluster.sim is not None
+            await cluster.run(until=cluster.sim.now + RUN_MARGIN)
+        else:
+            for txn in transactions:
+                cluster.submit(txn)
+            await cluster.run(
+                until=spec.inter_arrival * spec.n_transactions + RUN_MARGIN
+            )
         await cluster.finalize()
     finally:
         await cluster.shutdown()

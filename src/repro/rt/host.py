@@ -31,7 +31,8 @@ from repro.protocols.registry import selector_for
 from repro.rt.runtime import LiveRuntime
 from repro.rt.store import FileBackedStore
 from repro.rt.transport import LiveTransport
-from repro.storage.file_log import FileStableLog
+from repro.storage.file_log import FileStableLog, GroupCommitFileLog
+from repro.storage.group_commit import GroupCommitConfig
 from repro.storage.pcp import CommitProtocolDirectory
 
 #: File names inside a site's data directory.
@@ -55,6 +56,7 @@ class SiteHost:
         read_only_optimization: bool = True,
         fsync: bool = True,
         port: int = 0,
+        group_commit: Optional[GroupCommitConfig] = None,
     ) -> None:
         self._rt = rt
         self._pcp = pcp
@@ -64,6 +66,7 @@ class SiteHost:
         self._timeouts = timeouts
         self._read_only_optimization = read_only_optimization
         self._fsync = fsync
+        self._group_commit = group_commit
         self.data_dir = Path(data_dir)
         self.transport = LiveTransport(rt, site_id, directory, port=port)
         self.site: Optional[Site] = None
@@ -90,9 +93,18 @@ class SiteHost:
         self._build_site()
 
     def _build_site(self) -> None:
-        log = FileStableLog(
-            self._rt, self.site_id, self.wal_path, fsync=self._fsync
-        )
+        if self._group_commit is not None:
+            log: FileStableLog = GroupCommitFileLog(
+                self._rt,
+                self.site_id,
+                self.wal_path,
+                self._group_commit,
+                fsync=self._fsync,
+            )
+        else:
+            log = FileStableLog(
+                self._rt, self.site_id, self.wal_path, fsync=self._fsync
+            )
         store = FileBackedStore(self.store_path, fsync=self._fsync)
         selector = (
             selector_for(self._coordinator)

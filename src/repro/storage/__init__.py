@@ -1,5 +1,6 @@
 """Stable storage: write-ahead logs, protocol tables, PCP/APP tables."""
 
+from repro.storage.file_log import FileStableLog, GroupCommitFileLog
 from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
 from repro.storage.log_records import LogRecord, RecordType
 from repro.storage.pcp import CommitProtocolDirectory
@@ -8,7 +9,9 @@ from repro.storage.stable_log import StableLog
 
 __all__ = [
     "CommitProtocolDirectory",
+    "FileStableLog",
     "GroupCommitConfig",
+    "GroupCommitFileLog",
     "GroupCommitLog",
     "LogRecord",
     "ProtocolTable",

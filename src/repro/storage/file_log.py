@@ -16,6 +16,20 @@ byte-identical protocol behaviour.
 
 Garbage collection compacts the file by atomic rewrite (tmp + rename),
 matching the base class's logical record removal.
+
+Crash-tail discipline: each persist writes its whole batch as ONE blob
+(one buffered write, one flush, one fsync), so under process-crash
+semantics — the failure model of the live runtime, where whatever
+reached the OS page cache survives the process — a batch is on disk
+either whole or not at all. A *torn tail* (a trailing line that does
+not parse, the residue of a device-level crash mid-write) is discarded
+and truncated away at load time instead of refusing to boot; malformed
+lines anywhere *before* the tail still mean corruption and raise.
+
+:class:`GroupCommitFileLog` layers the PR-3 group-commit window engine
+over this file medium: concurrent ``force_append_async`` requests
+coalesce into one blob write + one ``os.fsync`` per window, which is
+the live runtime's durability-batching hot path.
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.errors import StorageError
+from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
 from repro.storage.log_records import LogRecord, RecordType
 from repro.storage.stable_log import StableLog
 
@@ -92,23 +107,51 @@ class FileStableLog(StableLog):
         return self._path
 
     def _load(self) -> None:
-        """Install the on-disk records as the stable portion."""
+        """Install the on-disk records as the stable portion.
+
+        A trailing line that fails to parse is a *torn tail* — the
+        residue of a crash mid-write — and is discarded (and truncated
+        from the file, so later appends never concatenate onto partial
+        bytes). An unparsable line *followed by further records* cannot
+        be a crash artifact and still raises: that is corruption.
+        """
+        raw = self._path.read_bytes()
         max_lsn = 0
-        with open(self._path, "r", encoding="utf-8") as fh:
-            for line_no, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise StorageError(
-                        f"{self._path}:{line_no}: malformed JSONL: {exc}"
-                    )
-                record = record_from_json(data)
-                self._stable.append(record)
-                if record.lsn is not None:
-                    max_lsn = max(max_lsn, record.lsn)
+        offset = 0
+        good_end = 0
+        torn: Optional[tuple[int, str]] = None
+        for line_no, line in enumerate(raw.split(b"\n"), start=1):
+            start, offset = offset, offset + len(line) + 1
+            text = line.strip()
+            if not text:
+                continue
+            if torn is not None:
+                raise StorageError(
+                    f"{self._path}:{torn[0]}: malformed JSONL: {torn[1]}"
+                )
+            try:
+                data = json.loads(text)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                torn = (line_no, str(exc))
+                continue
+            record = record_from_json(data)
+            self._stable.append(record)
+            if record.lsn is not None:
+                max_lsn = max(max_lsn, record.lsn)
+            good_end = min(start + len(line) + 1, len(raw))
+        if torn is not None:
+            with open(self._path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                if self._fsync:
+                    os.fsync(fh.fileno())
+            self._sim.record(
+                self._site_id,
+                "log",
+                "torn_tail",
+                line=torn[0],
+                discarded_bytes=len(raw) - good_end,
+            )
         self._next_lsn = max_lsn + 1
 
     # -- durability ----------------------------------------------------------
@@ -117,14 +160,20 @@ class FileStableLog(StableLog):
         """Write the volatile buffer to disk and fsync.
 
         Called *before* the in-memory buffer→stable transition, so a
-        record is never reported stable without being on disk.
+        record is never reported stable without being on disk. The
+        whole buffer goes down as one blob — one buffered write, one
+        flush, one fsync — so a process crash anywhere inside this
+        method leaves the batch on disk either whole (the write reached
+        the OS) or absent, never a torn prefix of complete lines.
         """
         if not self._buffer:
             return
         if self._fh is None:
             raise StorageError(f"log file of {self._site_id!r} is closed")
-        for record in self._buffer:
-            self._fh.write(json.dumps(record_to_json(record)) + "\n")
+        blob = "".join(
+            json.dumps(record_to_json(record)) + "\n" for record in self._buffer
+        )
+        self._fh.write(blob)
         self._fh.flush()
         if self._fsync:
             os.fsync(self._fh.fileno())
@@ -201,4 +250,46 @@ class FileStableLog(StableLog):
         return (
             f"FileStableLog(site={self._site_id!r}, path={str(self._path)!r}, "
             f"stable={len(self._stable)}, buffered={len(self._buffer)})"
+        )
+
+
+class GroupCommitFileLog(GroupCommitLog, FileStableLog):
+    """Group-commit window coalescing over the fsync'd JSONL file.
+
+    The live runtime's durability-batching engine: concurrent
+    :meth:`~repro.storage.stable_log.StableLog.force_append_async`
+    requests within one window (bounded by
+    :class:`~repro.storage.group_commit.GroupCommitConfig`'s
+    ``max_delay``/``max_batch``) are appended immediately but persisted
+    by a *single* blob write + ``os.fsync`` when the window closes —
+    the flusher is the window-close timer, which the
+    :class:`~repro.rt.runtime.LiveRuntime` runs as a real asyncio
+    timer. Completion callbacks (send the vote, send the ack, record
+    the decision) fire only once the batch is durable, exactly the
+    discipline the PR-3 conformance suite proves behavior-preserving.
+
+    Crash semantics compose from both parents and stay all-or-nothing:
+    a crash mid-window discards the whole batch and its callbacks
+    (:class:`GroupCommitLog`), and the batch reaches the file as one
+    blob (:meth:`FileStableLog._persist_buffer`), so recovery sees it
+    fully forced or not at all — never torn.
+    """
+
+    def __init__(
+        self,
+        sim,
+        site_id: str,
+        path: Path | str,
+        config: Optional[GroupCommitConfig] = None,
+        fsync: bool = True,
+    ) -> None:
+        FileStableLog.__init__(self, sim, site_id, path, fsync=fsync)
+        self._init_group_commit(config)
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupCommitFileLog(site={self._site_id!r}, "
+            f"path={str(self._path)!r}, stable={len(self._stable)}, "
+            f"buffered={len(self._buffer)}, forces={self.force_count}, "
+            f"requests={self.force_requests})"
         )

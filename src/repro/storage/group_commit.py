@@ -69,6 +69,13 @@ class GroupCommitLog(StableLog):
         config: Optional[GroupCommitConfig] = None,
     ) -> None:
         super().__init__(sim, site_id)
+        self._init_group_commit(config)
+
+    def _init_group_commit(self, config: Optional[GroupCommitConfig]) -> None:
+        """Install the window bookkeeping. Split out of ``__init__`` so
+        storage subclasses mixing this engine over another base (the
+        live :class:`~repro.storage.file_log.GroupCommitFileLog`) can
+        run their own base initializer first."""
         self.config = config if config is not None else GroupCommitConfig()
         # Completion callbacks awaiting the current window's force, in
         # request order.

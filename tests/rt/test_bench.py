@@ -1,0 +1,86 @@
+"""Live bench report comparison (the ``repro live --bench --check``
+gate).
+
+Pure-function tests over hand-built report dicts; the scenarios
+themselves run real clusters and are exercised by the CLI smoke job,
+not here.
+"""
+
+from __future__ import annotations
+
+from repro.rt.bench import (
+    LIVE_OPTIMIZATION_HISTORY,
+    compare_live_reports,
+    live_scenarios,
+)
+
+
+def report_with(scenarios):
+    return {"schema": "repro-bench/v1", "scenarios": scenarios}
+
+
+def entry(median, events=128):
+    return {
+        "events": events,
+        "events_per_second": {"median": median},
+    }
+
+
+class TestCompareLiveReports:
+    def test_no_regression_within_threshold(self):
+        regressions, notes = compare_live_reports(
+            report_with({"live-prany-throughput": entry(60.0)}),
+            report_with({"live-prany-throughput": entry(80.0)}),
+            threshold=0.5,
+        )
+        assert regressions == []
+        assert notes == []
+
+    def test_regression_below_threshold_flagged(self):
+        regressions, _ = compare_live_reports(
+            report_with({"live-prany-throughput": entry(30.0)}),
+            report_with({"live-prany-throughput": entry(80.0)}),
+            threshold=0.5,
+        )
+        assert [r.scenario for r in regressions] == ["live-prany-throughput"]
+        assert regressions[0].baseline_eps == 80.0
+        assert regressions[0].current_eps == 30.0
+
+    def test_size_mismatch_skipped_with_note(self):
+        # Live txns/sec is not size-invariant: a smoke run at a fraction
+        # of baseline throughput must not read as a regression.
+        regressions, notes = compare_live_reports(
+            report_with({"live-prany-throughput": entry(16.0, events=16)}),
+            report_with({"live-prany-throughput": entry(80.0, events=128)}),
+        )
+        assert regressions == []
+        assert len(notes) == 1
+        assert "skipped" in notes[0]
+
+    def test_missing_scenario_noted(self):
+        regressions, notes = compare_live_reports(
+            report_with({}),
+            report_with({"live-prany-throughput": entry(80.0)}),
+        )
+        assert regressions == []
+        assert notes == [
+            "live-prany-throughput: in baseline but not measured now "
+            "(skipped)"
+        ]
+
+
+class TestRegistry:
+    def test_live_scenarios_are_nondeterministic_and_named(self):
+        scenarios = live_scenarios()
+        assert [s.name for s in scenarios] == [
+            "live-prany-commit",
+            "live-prany-throughput",
+        ]
+        assert all(not s.deterministic for s in scenarios)
+
+    def test_optimization_ledger_rows_are_complete(self):
+        for row in LIVE_OPTIMIZATION_HISTORY:
+            assert row["scenario"] == "live-prany-throughput"
+            assert row["metric"] == "events_per_second.median"
+            assert row["after"] >= row["before"]
+            assert row["speedup"] >= 1.0

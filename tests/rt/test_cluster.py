@@ -1,0 +1,182 @@
+"""LiveCluster orchestration: event-driven completion and pipelining.
+
+The PR-4 cluster polled (``asyncio.sleep`` loops in ``run`` and fixed
+10-virtual-unit sleeps in ``finalize``); these tests pin the
+event-driven replacements: ``run`` exits the moment the cluster goes
+quiescent, ``finalize`` returns promptly on a quiet cluster, and
+``run_pipelined`` keeps a bounded number of transactions in flight
+while reporting per-transaction decision latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rt.cluster import LIVE_TIMEOUTS, LiveCluster
+from repro.storage.group_commit import GroupCommitConfig
+from repro.workloads.generator import WorkloadSpec, generate_transactions
+from repro.workloads.mixes import homogeneous
+
+SPEC = WorkloadSpec(
+    n_transactions=6,
+    abort_fraction=0.2,
+    participants_min=2,
+    participants_max=3,
+    inter_arrival=1.0,
+    hot_keys=0,
+    seed=42,
+)
+
+
+def make_cluster(tmp_path, **kw):
+    mix = homogeneous("PrA", 3)
+    kw.setdefault("coordinator", "PrA")
+    kw.setdefault("timeouts", LIVE_TIMEOUTS)
+    kw.setdefault("time_scale", 0.005)
+    kw.setdefault("fsync", False)
+    return mix, LiveCluster(mix, tmp_path, **kw)
+
+
+class TestPipelinedRun:
+    def test_decides_every_transaction_and_reports_latencies(self, tmp_path):
+        async def go():
+            mix, cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                txns = list(
+                    generate_transactions(SPEC, sorted(mix.site_protocols()))
+                )
+                latencies = await cluster.run_pipelined(txns, max_in_flight=4)
+                assert set(latencies) == {t.txn_id for t in txns}
+                assert all(lat >= 0.0 for lat in latencies.values())
+                await cluster.run(until=cluster.sim.now + 500.0)
+                await cluster.finalize()
+                assert cluster.quiescent()
+                assert cluster.check().all_hold
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())
+
+    def test_in_flight_never_exceeds_the_cap(self, tmp_path):
+        async def go():
+            mix, cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                txns = list(
+                    generate_transactions(SPEC, sorted(mix.site_protocols()))
+                )
+                cap = 2
+                peak = 0
+
+                def on_event(event):
+                    nonlocal peak
+                    outstanding = len(cluster._submitted_at) - len(
+                        cluster._decided_at
+                    )
+                    peak = max(peak, outstanding)
+
+                cluster.sim.trace.subscribe(on_event)
+                await cluster.run_pipelined(txns, max_in_flight=cap)
+                assert peak <= cap
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        async def go():
+            _, cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                with pytest.raises(WorkloadError, match="max_in_flight"):
+                    await cluster.run_pipelined([], max_in_flight=0)
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())
+
+    def test_works_with_group_commit_wal(self, tmp_path):
+        async def go():
+            mix, cluster = make_cluster(
+                tmp_path,
+                group_commit=GroupCommitConfig(max_delay=2.0, max_batch=4),
+            )
+            await cluster.start()
+            try:
+                txns = list(
+                    generate_transactions(SPEC, sorted(mix.site_protocols()))
+                )
+                latencies = await cluster.run_pipelined(txns, max_in_flight=4)
+                assert len(latencies) == len(txns)
+                await cluster.run(until=cluster.sim.now + 500.0)
+                await cluster.finalize()
+                assert cluster.check().all_hold
+                # The amortization actually happened: fewer device forces
+                # than force requests across the cluster's WALs.
+                logs = [site.log for site in cluster.sites.values()]
+                assert sum(log.force_count for log in logs) < sum(
+                    log.force_requests for log in logs
+                )
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())
+
+
+class TestEventDrivenCompletion:
+    def test_run_exits_at_quiescence_not_at_deadline(self, tmp_path):
+        async def go():
+            mix, cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                for txn in generate_transactions(
+                    SPEC, sorted(mix.site_protocols())
+                ):
+                    cluster.submit(txn)
+                start = time.monotonic()
+                # Waiting this deadline out would take ~500 wall seconds
+                # at this time scale; event-driven exit must not.
+                await cluster.run(until=cluster.sim.now + 100_000.0)
+                assert time.monotonic() - start < 30.0
+                assert cluster.quiescent()
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())
+
+    def test_finalize_returns_promptly_on_quiet_cluster(self, tmp_path):
+        async def go():
+            # At this time scale the PR-4 fixed 10-unit drain sleeps
+            # would cost 5 wall seconds per round; the event-driven
+            # finalize must see the quiet cluster and return at once.
+            _, cluster = make_cluster(tmp_path, time_scale=0.5)
+            await cluster.start()
+            try:
+                start = time.monotonic()
+                await cluster.finalize()
+                assert time.monotonic() - start < 1.0
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())
+
+    def test_decision_latencies_cover_only_submitted_txns(self, tmp_path):
+        async def go():
+            mix, cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                txns = list(
+                    generate_transactions(SPEC, sorted(mix.site_protocols()))
+                )
+                await cluster.run_pipelined(txns[:2], max_in_flight=2)
+                latencies = cluster.decision_latencies()
+                assert set(latencies) == {t.txn_id for t in txns[:2]}
+            finally:
+                await cluster.shutdown()
+
+        asyncio.run(go())

@@ -23,6 +23,7 @@ import asyncio
 import pytest
 
 from repro.rt.cluster import run_live_workload
+from repro.storage.group_commit import GroupCommitConfig
 from tests.conformance.harness import (
     CONFORMANCE_TIMEOUTS,
     PROTOCOL_SETUPS,
@@ -70,3 +71,35 @@ def test_live_run_matches_simulator(protocol, tmp_path):
         "safe_state": True,
         "operational": True,
     }
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_live_batched_pipelined_run_matches_simulator(protocol, tmp_path):
+    """The throughput path changes nothing observable: group-commit
+    fsync coalescing, socket write batching (always on) and pipelined
+    open-loop arrival must leave the equivalence footprint identical to
+    the plain simulator run — batching moves bytes and fsyncs, not
+    protocol behavior."""
+    mix, coordinator = PROTOCOL_SETUPS[protocol]
+    spec = conformance_spec(
+        CONFORMANCE_SEED, n_transactions=N_TRANSACTIONS, inter_arrival=1.0
+    )
+
+    sim_summary = equivalence_summary(run_workload(mix, coordinator, spec))
+
+    cluster = asyncio.run(
+        run_live_workload(
+            mix,
+            coordinator,
+            spec,
+            str(tmp_path),
+            fsync=False,
+            timeouts=CONFORMANCE_TIMEOUTS,
+            group_commit=GroupCommitConfig(max_delay=2.0, max_batch=4),
+            pipeline=4,
+        )
+    )
+    live_summary = equivalence_summary(cluster)
+
+    assert live_summary == sim_summary
+    assert len(live_summary["decisions"]) == N_TRANSACTIONS

@@ -102,6 +102,95 @@ class TestDelivery:
         asyncio.run(go())
 
 
+class TestWriteBatching:
+    def test_burst_sent_before_first_wakeup_drains_as_one_batch(self):
+        async def go():
+            async with Pair() as pair:
+                # The first send creates the link; the writer task only
+                # starts once we yield, so everything queued before then
+                # must go out in one wakeup: one write burst, one flush.
+                pair.a.send(Message("SEQ", "a", "b", "t0", {"i": 0}))
+                link = pair.a._links["b"]
+                batches: list[int] = []
+                real_write = link._write
+
+                async def spy(batch):
+                    batches.append(len(batch))
+                    await real_write(batch)
+
+                link._write = spy
+                for i in range(1, 50):
+                    pair.a.send(Message("SEQ", "a", "b", f"t{i}", {"i": i}))
+                await wait_for(lambda: len(pair.got["b"]) == 50)
+                assert batches == [50]
+                # Batching moves bytes, not semantics: FIFO and the
+                # per-message counters are unchanged.
+                assert [m.payload["i"] for m in pair.got["b"]] == list(range(50))
+                assert pair.a.sent_count == 50
+                assert pair.b.delivered_count == 50
+
+        asyncio.run(go())
+
+    def test_whole_batch_dropped_when_peer_unreachable(self):
+        async def go():
+            async with Pair() as pair:
+                await pair.b.stop()
+                del pair.directory["b"]
+                pair.directory["b"] = ("127.0.0.1", 1)  # nothing listens here
+                for i in range(3):
+                    pair.a.send(Message("PING", "a", "b", f"t{i}"))
+                await wait_for(lambda: pair.a.dropped_count == 3)
+                assert pair.got["b"] == []
+                await pair.b.start()  # let __aexit__ stop it cleanly
+
+        asyncio.run(go())
+
+
+class TestReconnectRetry:
+    def test_retry_reuses_encoded_frames_and_delivers_exactly_once(self, monkeypatch):
+        """A batch whose socket dies mid-write is retried over ONE fresh
+        connection using the already-encoded bytes: each message is
+        encoded once and delivered once."""
+        import repro.rt.transport as transport_mod
+
+        async def go():
+            async with Pair() as pair:
+                pair.a.send(Message("PING", "a", "b", "t0"))
+                await wait_for(lambda: len(pair.got["b"]) == 1)
+                link = pair.a._links["b"]
+
+                encoded: list[str] = []
+                real_encode = transport_mod.encode_frame
+
+                def counting_encode(message):
+                    encoded.append(message.txn_id)
+                    return real_encode(message)
+
+                monkeypatch.setattr(transport_mod, "encode_frame", counting_encode)
+
+                real_write_frames = link._write_frames
+                failures = 0
+
+                async def dead_then_fine(frames):
+                    nonlocal failures
+                    if failures == 0:
+                        failures += 1  # the connection died under us
+                        return False
+                    return await real_write_frames(frames)
+
+                link._write_frames = dead_then_fine
+
+                pair.a.send(Message("DATA", "a", "b", "t1", {"n": 1}))
+                await wait_for(lambda: len(pair.got["b"]) == 2)
+                await asyncio.sleep(0.05)  # would surface any duplicate
+                assert [m.txn_id for m in pair.got["b"]] == ["t0", "t1"]
+                assert failures == 1
+                assert encoded == ["t1"]  # encoded once despite the retry
+                assert pair.a.dropped_count == 0
+
+        asyncio.run(go())
+
+
 class TestFailureModes:
     def test_unknown_receiver_raises(self):
         async def go():

@@ -8,17 +8,24 @@ fresh process), and nothing that was merely buffered may reappear.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import StorageError
 from repro.rt.store import FileBackedStore
 from repro.sim.kernel import Simulator
 from repro.storage.file_log import (
     FileStableLog,
+    GroupCommitFileLog,
     record_from_json,
     record_to_json,
 )
+from repro.storage.group_commit import GroupCommitConfig
 from repro.storage.log_records import LogRecord, RecordType
 
 
@@ -163,8 +170,13 @@ class TestGarbageCollection:
 
 
 class TestMalformedFiles:
-    def test_malformed_jsonl_line_rejected(self, sim, path):
-        path.write_text('{"type": "prepared", "txn": "t1", "payload": {}, "lsn": 1}\nnot json\n')
+    def test_malformed_interior_line_rejected(self, sim, path):
+        # A bad line *followed by further records* cannot be a crash
+        # artifact: refuse to boot rather than silently drop history.
+        path.write_text(
+            'not json\n'
+            '{"type": "prepared", "txn": "t1", "payload": {}, "lsn": 1}\n'
+        )
         with pytest.raises(StorageError, match="malformed JSONL"):
             FileStableLog(sim, "s1", path, fsync=False)
 
@@ -179,6 +191,162 @@ class TestMalformedFiles:
         )
         log = FileStableLog(sim, "s1", path, fsync=False)
         assert [r.txn_id for r in log.stable_records()] == ["t1"]
+
+
+class TestTornTail:
+    GOOD = '{"type": "prepared", "txn": "t1", "payload": {}, "lsn": 1}\n'
+
+    def test_torn_final_line_discarded_and_truncated(self, sim, path):
+        path.write_text(self.GOOD + '{"type": "com')
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in log.stable_records()] == ["t1"]
+        # The partial bytes are gone from the file, so later appends
+        # never concatenate onto them.
+        assert path.read_text() == self.GOOD
+        torn = sim.trace.first("log", "torn_tail")
+        assert torn is not None
+        assert torn.details["discarded_bytes"] > 0
+
+    def test_append_after_torn_tail_reloads_cleanly(self, sim, path):
+        path.write_text(self.GOOD + "garbage tail")
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        log.force_append(rec("t2", RecordType.COMMIT))
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in reborn.stable_records()] == ["t1", "t2"]
+
+    def test_entirely_torn_file_loads_empty(self, sim, path):
+        path.write_text('{"type": "pre')
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        assert log.stable_records() == ()
+        assert path.read_text() == ""
+
+    def test_lsns_continue_from_last_good_record(self, sim, path):
+        path.write_text(self.GOOD + '{"type": "commit", "txn":')
+        log = FileStableLog(sim, "s1", path, fsync=False)
+        fresh = log.force_append(rec("t2", RecordType.COMMIT))
+        assert fresh.lsn == 2
+
+
+class TestGroupCommitFileLog:
+    def make(self, sim, path, **kw):
+        config = GroupCommitConfig(max_delay=1.0, max_batch=8)
+        return GroupCommitFileLog(sim, "s1", path, config, **kw)
+
+    def test_window_coalesces_into_one_persist(self, sim, path):
+        log = self.make(sim, path, fsync=False)
+        order = []
+        for i in range(3):
+            log.force_append_async(rec(f"t{i}"), lambda i=i: order.append(i))
+        assert path.read_text() == ""  # nothing on disk until the window closes
+        sim.run()
+        assert order == [0, 1, 2]
+        assert log.force_count == 1
+        assert log.force_requests == 3
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in reborn.stable_records()] == ["t0", "t1", "t2"]
+
+    def test_crash_mid_window_leaves_disk_at_pre_batch_state(self, sim, path):
+        log = self.make(sim, path, fsync=False)
+        log.force_append(rec("t0"))
+        for i in range(3):
+            log.force_append_async(rec(f"b{i}"))
+        log.crash()
+        reborn = FileStableLog(sim, "s1", path, fsync=False)
+        assert [r.txn_id for r in reborn.stable_records()] == ["t0"]
+
+    def test_batch_bound_forces_early(self, sim, path):
+        config = GroupCommitConfig(max_delay=50.0, max_batch=2)
+        log = GroupCommitFileLog(sim, "s1", path, config, fsync=False)
+        log.force_append_async(rec("t1"))
+        log.force_append_async(rec("t2"))
+        sim.run()
+        assert sim.now == 0.0
+        assert log.force_count == 1
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_synchronous_force_drains_the_open_window(self, sim, path):
+        log = self.make(sim, path, fsync=False)
+        fired = []
+        log.force_append_async(rec("t1"), lambda: fired.append("t1"))
+        log.force_append(rec("t2", RecordType.COMMIT))
+        assert fired == ["t1"]
+        assert log.force_count == 1
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_repr_mentions_amortization_counters(self, sim, path):
+        log = self.make(sim, path, fsync=False)
+        log.force_append_async(rec())
+        assert "requests=1" in repr(log)
+        assert "forces=0" in repr(log)
+
+
+class SimulatedProcessKill(BaseException):
+    """Stands in for the process dying at a precise point in the force."""
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_stable=st.integers(min_value=0, max_value=2),
+    n_batch=st.integers(min_value=1, max_value=5),
+    crash_point=st.sampled_from(["mid_window", "during_fsync", "after_close"]),
+)
+def test_crash_anywhere_in_window_is_all_or_nothing(n_stable, n_batch, crash_point):
+    """Satellite property: kill the process at any point around a live
+    group-commit window — before the flusher runs, between the buffer
+    write and the fsync, or after the force completes — and what a cold
+    restart reloads is the pre-batch log plus either the WHOLE batch or
+    none of it. Never a torn prefix."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wal.jsonl"
+        sim = Simulator(seed=11)
+        log = GroupCommitFileLog(
+            sim, "s1", path, GroupCommitConfig(max_delay=1.0, max_batch=100),
+            fsync=True,
+        )
+        pre_ids = [f"pre{i}" for i in range(n_stable)]
+        for txn in pre_ids:
+            log.force_append(rec(txn))
+        batch_ids = [f"batch{i}" for i in range(n_batch)]
+        fired = []
+        for txn in batch_ids:
+            log.force_append_async(rec(txn), lambda t=txn: fired.append(t))
+
+        if crash_point == "mid_window":
+            log.crash()  # died before the window-close flusher ran
+        elif crash_point == "during_fsync":
+            real_fsync = os.fsync
+
+            def dying_fsync(fd):
+                raise SimulatedProcessKill()
+
+            os.fsync = dying_fsync
+            try:
+                with pytest.raises(SimulatedProcessKill):
+                    sim.run()  # flusher fires; dies between flush and fsync
+            finally:
+                os.fsync = real_fsync
+            log.crash()
+        else:
+            sim.run()  # window closes cleanly, then the process dies
+            log.crash()
+
+        reborn = FileStableLog(Simulator(seed=12), "s1", path, fsync=False)
+        on_disk = [r.txn_id for r in reborn.stable_records()]
+        # The property: all-or-nothing, at every crash point.
+        assert on_disk in (pre_ids, pre_ids + batch_ids), crash_point
+        if crash_point == "mid_window":
+            assert on_disk == pre_ids
+            assert fired == []
+        elif crash_point == "during_fsync":
+            # The blob write+flush reached the OS before the kill, so the
+            # batch is durable — but unacknowledged: no callback fired.
+            assert on_disk == pre_ids + batch_ids
+            assert fired == []
+        else:
+            assert on_disk == pre_ids + batch_ids
+            assert fired == batch_ids
 
 
 class TestFileBackedStore:

@@ -120,11 +120,30 @@ class TestLiveCLI:
         )
         assert code == 0
         assert "live bench" in out
-        assert "transactions/sec" in out
+        assert "txn/s" in out
+        assert "decision latency: p50" in out
         from repro.bench.report import load_report
 
         report = load_report(report_path)
         assert "live-prany-commit" in report["scenarios"]
+        throughput = report["scenarios"]["live-prany-throughput"]
+        assert set(throughput["detail"]["latency_ms"]) == {"p50", "p95", "p99"}
+        # The ablation ledger rides along in every regenerated report.
+        assert {opt["path"] for opt in report["optimizations"]} == {
+            "src/repro/storage/file_log.py",
+            "src/repro/rt/transport.py",
+            "src/repro/rt/cluster.py",
+        }
+
+    def test_live_bench_check_skips_size_mismatch(self, capsys, tmp_path):
+        # A smoke run checked against a full-size baseline must skip the
+        # comparison (live txn/s is not size-invariant), not fail.
+        code, out = run_cli(
+            capsys, "live", "--bench", "--smoke", "--reps", "1", "--check",
+        )
+        assert code == 0
+        assert "workload sizes differ" in out
+        assert "no regressions" in out
 
     def test_live_rejects_unknown_protocol(self):
         with pytest.raises(SystemExit):
