@@ -421,8 +421,13 @@ def _cmd_live(args: argparse.Namespace) -> str:
         seed=args.seed,
     )
 
+    if args.multiprocess:
+        from repro.rt.proc import ProcessCluster as cluster_cls
+    else:
+        cluster_cls = LiveCluster
+
     async def go(data_dir: str) -> list[str]:
-        cluster = LiveCluster(
+        cluster = cluster_cls(
             mix,
             data_dir,
             coordinator=coordinator,
@@ -473,13 +478,19 @@ def _cmd_live(args: argparse.Namespace) -> str:
         for task in kill_tasks:
             await task
         await cluster.finalize()
+        # Shut down first: the multiprocess cluster gathers its sites'
+        # end-of-run footprints during shutdown (the in-process one
+        # keeps them in memory either way).
+        await cluster.shutdown()
         outcomes = cluster.outcomes()
         reports = cluster.check()
-        await cluster.shutdown()
 
+        mode = (
+            "one OS process per site" if args.multiprocess else "in-process"
+        )
         lines = [
-            f"live run — {mix.name} over {len(mix)} participants, "
-            f"{n_transactions} transactions, "
+            f"live run — {mix.name} over {len(mix)} participants "
+            f"({mode}), {n_transactions} transactions, "
             f"{args.time_scale}s/unit (seed {args.seed})",
         ]
         for txn in cluster.submitted:
@@ -718,6 +729,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="kill the first participant at its first prepared record, "
         "restart it 30 virtual units later (crash-recovery round)",
+    )
+    live.add_argument(
+        "--multiprocess",
+        action="store_true",
+        help="run every site as its own supervised OS process "
+        "(recovery-first boot; --kill-restart becomes a real SIGKILL)",
     )
     live.add_argument(
         "--no-fsync",

@@ -209,6 +209,7 @@ class Site:
             for txn_id, info in report.in_doubt.items()
         }
         self.participant.recover(in_doubt)
+        self.participant.requeue_decided_gc(report.committed, report.aborted)
         if self.participant.spec.logless:
             # Coordinator-log site: nothing local to analyze — pull the
             # redo state back from the coordinators.

@@ -64,6 +64,39 @@ class RunReports:
         )
 
 
+def begin_participant_work(site: Site, txn: GlobalTransaction) -> bool:
+    """Run ``txn``'s local work (reads, writes, unilateral aborts) at
+    one participant site.
+
+    Returns True when a local failure *dooms* the transaction: an
+    implicitly prepared (IYV) site has no No-vote channel, so the
+    coordinator itself must be told to decide abort. Explicit voters
+    handle their own failures by unilateral abort and return False.
+
+    Extracted from :func:`start_transaction` so the multi-process
+    cluster (``repro.rt.proc``) can run exactly this logic inside the
+    participant's own process and ship only the doomed bit back.
+    """
+    site_id = site.site_id
+    implicitly_prepared = participant_spec(site.protocol).implicitly_prepared
+    site.participant.begin_work(txn.txn_id, txn.coordinator)
+    try:
+        for key in txn.reads.get(site_id, []):
+            site.tm.read(txn.txn_id, key)
+        for op in txn.writes.get(site_id, []):
+            site.tm.write(txn.txn_id, op.key, op.value)
+    except LockError:
+        if implicitly_prepared:
+            return True
+        site.participant.unilateral_abort(txn.txn_id)
+        return False
+    if site_id in txn.force_no_vote_at:
+        if implicitly_prepared:
+            return True
+        site.participant.unilateral_abort(txn.txn_id)
+    return False
+
+
 def start_transaction(
     sim, sites: dict[str, Site], txn: GlobalTransaction
 ) -> None:
@@ -83,31 +116,14 @@ def start_transaction(
     doomed = False
     for site_id in txn.participants:
         site = sites[site_id]
-        implicitly_prepared = participant_spec(site.protocol).implicitly_prepared
         if not site.is_up:
             # Explicit voters: the missing vote times out into an
             # abort. Implicit voters cast no vote, so the failure to
             # even start the work must doom the transaction here.
-            if implicitly_prepared:
+            if participant_spec(site.protocol).implicitly_prepared:
                 doomed = True
             continue
-        site.participant.begin_work(txn.txn_id, txn.coordinator)
-        try:
-            for key in txn.reads.get(site_id, []):
-                site.tm.read(txn.txn_id, key)
-            for op in txn.writes.get(site_id, []):
-                site.tm.write(txn.txn_id, op.key, op.value)
-        except LockError:
-            if implicitly_prepared:
-                doomed = True
-            else:
-                site.participant.unilateral_abort(txn.txn_id)
-            continue
-        if site_id in txn.force_no_vote_at:
-            if implicitly_prepared:
-                doomed = True
-            else:
-                site.participant.unilateral_abort(txn.txn_id)
+        doomed = begin_participant_work(site, txn) or doomed
     assert coordinator_site.coordinator is not None
     coordinator_site.coordinator.begin_commit(
         txn.txn_id,

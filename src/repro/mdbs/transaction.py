@@ -88,6 +88,48 @@ class GlobalTransaction:
         """True if the specification guarantees an abort outcome."""
         return bool(self.force_no_vote_at) or self.coordinator_abort
 
+    # -- wire form (the multi-process cluster ships transactions as JSON) --
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form; values must themselves be JSON-safe."""
+        return {
+            "txn_id": self.txn_id,
+            "coordinator": self.coordinator,
+            "writes": {
+                site: [[op.key, op.value] for op in ops]
+                for site, ops in self.writes.items()
+            },
+            "reads": {site: list(keys) for site, keys in self.reads.items()},
+            "submit_at": self.submit_at,
+            "force_no_vote_at": sorted(self.force_no_vote_at),
+            "coordinator_abort": self.coordinator_abort,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GlobalTransaction":
+        """Rebuild a transaction from :meth:`to_dict` output.
+
+        Raises:
+            WorkloadError: on a malformed dict.
+        """
+        try:
+            return cls(
+                txn_id=data["txn_id"],
+                coordinator=data["coordinator"],
+                writes={
+                    site: [WriteOp(key=key, value=value) for key, value in ops]
+                    for site, ops in data["writes"].items()
+                },
+                reads={
+                    site: list(keys) for site, keys in data["reads"].items()
+                },
+                submit_at=data.get("submit_at", 0.0),
+                force_no_vote_at=frozenset(data.get("force_no_vote_at", ())),
+                coordinator_abort=data.get("coordinator_abort", False),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(f"malformed transaction dict: {exc}")
+
 
 def simple_transaction(
     txn_id: str,

@@ -349,6 +349,26 @@ class ParticipantEngine:
             self.table.insert(txn_id, entry)
             self._send_inquiry(entry)
 
+    def requeue_decided_gc(self, committed: set[str], aborted: set[str]) -> None:
+        """Re-queue decided transactions found in the log at restart.
+
+        ``_gc_pending`` is volatile: a crash between forgetting a
+        decided transaction and the GC sweep would otherwise strand its
+        records in the log forever (a freshly booted process starts
+        with an empty queue — only the simulator's in-place
+        ``recover()`` happened to keep the old dict alive). Restart
+        analysis already proves the decision record is stable, which is
+        exactly the cover the sweep waits for; if the coordinator is
+        still owed an ack it will resend the decision and get a blind
+        re-ack (footnote 5), so forgetting here is safe.
+        """
+        if self._spec.logless:
+            return
+        for txn_id in sorted(committed):
+            self._gc_pending.setdefault(txn_id, RecordType.COMMIT)
+        for txn_id in sorted(aborted):
+            self._gc_pending.setdefault(txn_id, RecordType.ABORT)
+
     # -- garbage collection ----------------------------------------------------------
 
     def collect_garbage(self) -> int:

@@ -13,7 +13,10 @@ TM, log and site code through the same four-member seam (``now`` /
 * :class:`~repro.rt.host.SiteHost` — one site as a live service with a
   file-backed log and store, supporting kill/restart recovery;
 * :class:`~repro.rt.cluster.LiveCluster` — a whole MDBS over sockets,
-  conformant with the simulated one (see ``tests/rt/``).
+  conformant with the simulated one (see ``tests/rt/``);
+* :mod:`~repro.rt.proc` — the same cluster with every site as its own
+  supervised OS process (``SIGKILL`` crash injection, recovery-first
+  boot, heartbeat monitoring).
 """
 
 from repro.rt.codec import (
@@ -29,7 +32,15 @@ from repro.rt.cluster import (
     LiveCluster,
     run_live_workload,
 )
-from repro.rt.host import SiteHost
+from repro.rt.host import SiteHost, build_site
+from repro.rt.proc import (
+    KillSpec,
+    ProcessCluster,
+    ProcessControlError,
+    SiteProcess,
+    SiteProcessConfig,
+    run_multiprocess_workload,
+)
 from repro.rt.runtime import LiveRuntime, LiveTimer
 from repro.rt.store import FileBackedStore
 from repro.rt.transport import LiveTransport
@@ -45,6 +56,13 @@ __all__ = [
     "LiveCluster",
     "run_live_workload",
     "SiteHost",
+    "build_site",
+    "KillSpec",
+    "ProcessCluster",
+    "ProcessControlError",
+    "SiteProcess",
+    "SiteProcessConfig",
+    "run_multiprocess_workload",
     "LiveRuntime",
     "LiveTimer",
     "FileBackedStore",

@@ -237,6 +237,65 @@ def run_live_throughput_scenario(smoke: bool = False) -> ScenarioResult:
     )
 
 
+def run_live_multiproc_scenario(smoke: bool = False) -> ScenarioResult:
+    """The process-per-site deployment: the throughput workload with
+    every site a supervised OS process (fsync on, group-commit WALs,
+    pipelined arrivals). The delta against ``live-prany-throughput`` is
+    the cost of real process isolation: control-plane round trips per
+    transaction plus cross-process scheduling."""
+    from repro.rt.proc import run_multiprocess_workload
+
+    n_transactions = 8 if smoke else 64
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.25,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=1.0,  # ignored: the pipelined driver is open-loop
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+
+    async def go(data_dir: str):
+        return await run_multiprocess_workload(
+            three_way(3),
+            "dynamic",
+            spec,
+            data_dir,
+            group_commit=THROUGHPUT_GROUP_COMMIT,
+            pipeline=PIPELINE_DEPTH,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = asyncio.run(go(tmp))
+    outcomes = cluster.outcomes()
+    reports = cluster.check()
+    assert cluster.sim is not None
+    latencies = sorted(cluster.decision_latencies().values())
+    return ScenarioResult(
+        events=n_transactions,
+        trace_events=len(cluster.sim.trace),
+        # Message counters live inside the site processes and are not
+        # streamed over the control plane; the footprint of this
+        # scenario is wall clock + latency, not message volume.
+        messages=0,
+        checks_passed=reports.all_hold and len(outcomes) == n_transactions,
+        detail={
+            "transactions": n_transactions,
+            "decided": len(outcomes),
+            "committed": sum(1 for d in outcomes.values() if d == "commit"),
+            "processes": len(cluster.sites),
+            "pipeline_depth": PIPELINE_DEPTH,
+            "latency_ms": {
+                "p50": _latency_ms(latencies, 0.50),
+                "p95": _latency_ms(latencies, 0.95),
+                "p99": _latency_ms(latencies, 0.99),
+            },
+            "virtual_units": round(cluster.sim.now, 1),
+        },
+    )
+
+
 def _latency_ms(ordered_seconds: list[float], q: float) -> float:
     """Quantile of sorted decision latencies, in milliseconds."""
     if not ordered_seconds:
@@ -277,9 +336,30 @@ def live_throughput_scenario() -> Scenario:
     )
 
 
+def live_multiproc_scenario() -> Scenario:
+    """The process-per-site scenario (PR-6): isolation's price tag."""
+    return Scenario(
+        name="live-prany-multiproc",
+        description=(
+            "PrAny commit workload with one supervised OS process per "
+            "site: fsync on, group-commit WALs, "
+            f"{PIPELINE_DEPTH} pipelined transactions in flight "
+            "(wall clock; transactions/sec + decision-latency percentiles)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "multiprocess"),
+        run=run_live_multiproc_scenario,
+        deterministic=False,
+    )
+
+
 def live_scenarios() -> list[Scenario]:
     """Everything ``repro live --bench`` measures, in report order."""
-    return [live_scenario(), live_throughput_scenario()]
+    return [
+        live_scenario(),
+        live_throughput_scenario(),
+        live_multiproc_scenario(),
+    ]
 
 
 def compare_live_reports(

@@ -40,6 +40,51 @@ WAL_FILE = "wal.jsonl"
 STORE_FILE = "store.json"
 
 
+def build_site(
+    rt: LiveRuntime,
+    transport: LiveTransport,
+    pcp: CommitProtocolDirectory,
+    site_id: str,
+    protocol: str,
+    data_dir: Path,
+    coordinator: Optional[str] = None,
+    timeouts: Optional[TimeoutConfig] = None,
+    read_only_optimization: bool = True,
+    fsync: bool = True,
+    group_commit: Optional[GroupCommitConfig] = None,
+) -> Site:
+    """Construct a live :class:`Site` over file-backed storage.
+
+    The one place the live stack decides what a site is made of: a
+    (group-commit) JSONL WAL at ``data_dir/wal.jsonl``, a JSON store
+    snapshot at ``data_dir/store.json``, and the unmodified engines
+    wired to ``transport``. Shared by the in-process :class:`SiteHost`
+    and the out-of-process ``repro.rt.proc.site_process`` entrypoint so
+    both build byte-identical sites from the same directory.
+    """
+    wal_path = data_dir / WAL_FILE
+    if group_commit is not None:
+        log: FileStableLog = GroupCommitFileLog(
+            rt, site_id, wal_path, group_commit, fsync=fsync
+        )
+    else:
+        log = FileStableLog(rt, site_id, wal_path, fsync=fsync)
+    store = FileBackedStore(data_dir / STORE_FILE, fsync=fsync)
+    selector = selector_for(coordinator) if coordinator is not None else None
+    return Site(
+        rt,
+        transport,
+        pcp,
+        site_id,
+        protocol,
+        selector,
+        timeouts,
+        read_only_optimization=read_only_optimization,
+        log=log,
+        store=store,
+    )
+
+
 class SiteHost:
     """Hosts one protocol site as a live TCP service."""
 
@@ -93,35 +138,18 @@ class SiteHost:
         self._build_site()
 
     def _build_site(self) -> None:
-        if self._group_commit is not None:
-            log: FileStableLog = GroupCommitFileLog(
-                self._rt,
-                self.site_id,
-                self.wal_path,
-                self._group_commit,
-                fsync=self._fsync,
-            )
-        else:
-            log = FileStableLog(
-                self._rt, self.site_id, self.wal_path, fsync=self._fsync
-            )
-        store = FileBackedStore(self.store_path, fsync=self._fsync)
-        selector = (
-            selector_for(self._coordinator)
-            if self._coordinator is not None
-            else None
-        )
-        self.site = Site(
+        self.site = build_site(
             self._rt,
             self.transport,
             self._pcp,
             self.site_id,
             self.protocol,
-            selector,
-            self._timeouts,
+            self.data_dir,
+            coordinator=self._coordinator,
+            timeouts=self._timeouts,
             read_only_optimization=self._read_only_optimization,
-            log=log,
-            store=store,
+            fsync=self._fsync,
+            group_commit=self._group_commit,
         )
 
     async def kill(self) -> None:

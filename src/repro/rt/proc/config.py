@@ -1,0 +1,112 @@
+"""Serialized boot configuration for one site process.
+
+The supervisor (``repro.rt.proc.supervisor``) writes one
+``proc.json`` per site into that site's data directory; the child
+process (``repro.rt.proc.site_process``) reads it back as its complete
+world view: who it is, where its WAL/store live, the address directory
+of every peer, the shared virtual-time epoch, and (for crash-injection
+runs) the catalogued instant at which it must ``SIGKILL`` itself.
+
+The file is plain JSON on purpose: it survives the respawn path — a
+restarted child boots from the *same* file, so a supervisor crash
+between spawn and restart cannot change what the site believes — and a
+human post-morteming a CI artifact can read it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import WorkloadError
+from repro.protocols.base import TimeoutConfig
+from repro.storage.group_commit import GroupCommitConfig
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """A self-inflicted ``SIGKILL`` at a catalogued crash point.
+
+    Attributes:
+        point: a :class:`~repro.workloads.failure_schedules.CrashPoint`
+            name (e.g. ``"part-after-prepared"``).
+        txn: the transaction whose event arms the predicate.
+    """
+
+    point: str
+    txn: str
+
+
+@dataclass
+class SiteProcessConfig:
+    """Everything a :class:`~repro.rt.proc.site_process.SiteProcess`
+    needs to boot (JSON-serializable)."""
+
+    site_id: str
+    protocol: str
+    data_dir: str
+    #: Host/port this site's data transport binds (pre-allocated by the
+    #: supervisor so the full directory is known before any child runs).
+    host: str
+    port: int
+    #: Where to reach the supervisor's control server.
+    control_host: str
+    control_port: int
+    #: site id -> [host, port] for every site, self included.
+    directory: dict[str, list[Any]] = field(default_factory=dict)
+    #: site id -> protocol, for the commit-protocol directory (PCP).
+    site_protocols: dict[str, str] = field(default_factory=dict)
+    #: Sites registered as coordinators in the PCP.
+    coordinator_sites: list[str] = field(default_factory=list)
+    #: Coordinator policy for this site (``None`` = participant only).
+    coordinator: Optional[str] = None
+    time_scale: float = 0.01
+    #: Shared ``time.time()`` epoch anchoring every process's virtual 0.
+    wall_epoch: float = 0.0
+    seed: int = 0
+    fsync: bool = True
+    read_only_optimization: bool = True
+    group_commit: Optional[dict[str, Any]] = None
+    timeouts: Optional[dict[str, float]] = None
+    kill: Optional[dict[str, str]] = None
+
+    # -- typed views ---------------------------------------------------------
+
+    def timeout_config(self) -> Optional[TimeoutConfig]:
+        return None if self.timeouts is None else TimeoutConfig(**self.timeouts)
+
+    def group_commit_config(self) -> Optional[GroupCommitConfig]:
+        if self.group_commit is None:
+            return None
+        return GroupCommitConfig(**self.group_commit)
+
+    def kill_spec(self) -> Optional[KillSpec]:
+        return None if self.kill is None else KillSpec(**self.kill)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "SiteProcessConfig":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return cls(**data)
+        except (OSError, json.JSONDecodeError, TypeError) as exc:
+            raise WorkloadError(f"cannot load site config {path}: {exc}")
+
+
+def timeouts_to_dict(timeouts: Optional[TimeoutConfig]) -> Optional[dict]:
+    return None if timeouts is None else dataclasses.asdict(timeouts)
+
+
+def group_commit_to_dict(config: Optional[GroupCommitConfig]) -> Optional[dict]:
+    return None if config is None else dataclasses.asdict(config)

@@ -1,0 +1,348 @@
+"""One protocol site as its own OS process.
+
+``python -m repro.rt.proc.site_process <config.json>`` boots a single
+:class:`~repro.mdbs.site.Site` — the unmodified engines — inside a
+dedicated process, mirroring the reference implementations where each
+transaction manager is a daemon *entered from its RECOVERY state*:
+
+* if the WAL file already exists, the site runs
+  :meth:`~repro.mdbs.site.Site.cold_recover` before serving anything —
+  log analysis, redo against the durable store snapshot, re-adoption of
+  in-doubt transactions. A fresh directory boots without a recovery
+  pass, same as a first boot under simulation.
+* the data plane is the ordinary :class:`~repro.rt.transport.LiveTransport`
+  (peers talk protocol messages straight to this process; the
+  supervisor is not on that path);
+* a control connection back to the supervisor streams trace events and
+  serves the op table below, and is the liveness channel: its EOF *is*
+  the death notification.
+
+Crash injection: when the config carries a kill spec, the first trace
+event matching the catalogued crash-point predicate arms self-death.
+Inbound delivery is blocked immediately (a message arriving after the
+crash instant is lost, as for a dead receiver), already-sent outbound
+frames are allowed to reach the OS — the simulator's model, where a
+scheduled delivery survives its sender — and then the process sends
+itself an unblockable ``SIGKILL``. No flush, no atexit, no log close:
+whatever the WAL's fsync discipline made durable is all that survives,
+which is precisely what the crash-matrix suite tests.
+
+Op table (see ``repro.rt.proc.control`` for framing):
+
+==============  ==========================================================
+``begin_work``  run one transaction's local work here (the extracted
+                :func:`~repro.mdbs.system.begin_participant_work`);
+                replies with the ``doomed`` bit
+``begin_commit``  start the coordinator engine on a transaction
+``status``      liveness/progress snapshot: retained txns, backlog
+``flush_gc``    one :meth:`~repro.mdbs.site.Site.flush_and_gc` round
+``summary``     durable footprint: stable records, store snapshot
+``ping``        heartbeat
+``shutdown``    orderly exit: close WAL, stop transport, exit 0
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.mdbs.site import Site
+from repro.mdbs.system import begin_participant_work
+from repro.mdbs.transaction import GlobalTransaction
+from repro.rt.host import WAL_FILE, build_site
+from repro.rt.proc.config import SiteProcessConfig
+from repro.rt.proc.control import (
+    MAX_CONTROL_LINE,
+    encode_control,
+    read_control,
+    recovery_to_dict,
+)
+from repro.rt.runtime import LiveRuntime
+from repro.rt.transport import LiveTransport
+from repro.sim.tracing import TraceEvent
+from repro.storage.file_log import FileStableLog, record_to_json
+from repro.storage.pcp import CommitProtocolDirectory
+from repro.workloads.failure_schedules import (
+    coordinator_crash_points,
+    participant_crash_points,
+)
+
+#: Name -> CrashPoint over the full catalogue; the kill spec references
+#: these names, so explorer schedules and live SIGKILL injection share
+#: one vocabulary.
+CRASH_POINTS = {
+    point.name: point
+    for point in coordinator_crash_points() + participant_crash_points()
+}
+
+#: File the child writes its pid into (crash forensics + orphan reaping).
+PID_FILE = "site.pid"
+
+#: Wall-second budget for flushing outbound frames before self-SIGKILL.
+DEATH_FLUSH_TIMEOUT = 0.5
+
+
+class SiteProcess:
+    """The in-child runtime: one site, one control connection."""
+
+    def __init__(self, config: SiteProcessConfig) -> None:
+        self.config = config
+        self.data_dir = Path(config.data_dir)
+        self.rt: Optional[LiveRuntime] = None
+        self.transport: Optional[LiveTransport] = None
+        self.site: Optional[Site] = None
+        self._outbox: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        self._pump_busy = False
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._dying = False
+        self._kill_predicate = None
+
+    # -- boot ----------------------------------------------------------------
+
+    async def run(self) -> None:
+        config = self.config
+        self.rt = LiveRuntime(
+            time_scale=config.time_scale,
+            seed=config.seed,
+            wall_epoch=config.wall_epoch,
+        )
+        kill = config.kill_spec()
+        if kill is not None:
+            self._kill_predicate = CRASH_POINTS[kill.point].make_predicate(
+                config.site_id, kill.txn
+            )
+        self.rt.trace.subscribe(self._on_trace_event)
+
+        reader, writer = await asyncio.open_connection(
+            config.control_host, config.control_port, limit=MAX_CONTROL_LINE
+        )
+        self._writer = writer
+        pump = asyncio.ensure_future(self._pump())
+
+        pcp = CommitProtocolDirectory()
+        for site_id, protocol in config.site_protocols.items():
+            pcp.register_site(site_id, protocol)
+        for site_id in config.coordinator_sites:
+            pcp.register_coordinator(site_id)
+        directory = {
+            site_id: (host, port)
+            for site_id, (host, port) in config.directory.items()
+        }
+        self.transport = LiveTransport(
+            self.rt,
+            config.site_id,
+            directory,
+            host=config.host,
+            port=config.port,
+        )
+        await self.transport.start()
+
+        # Recovery-first boot: an existing WAL means a previous
+        # incarnation died here — analyze/redo/re-adopt before serving.
+        recovering = (self.data_dir / WAL_FILE).exists()
+        self.site = build_site(
+            self.rt,
+            self.transport,
+            pcp,
+            config.site_id,
+            config.protocol,
+            self.data_dir,
+            coordinator=config.coordinator,
+            timeouts=config.timeout_config(),
+            read_only_optimization=config.read_only_optimization,
+            fsync=config.fsync,
+            group_commit=config.group_commit_config(),
+        )
+        recovery = self.site.cold_recover() if recovering else None
+
+        (self.data_dir / PID_FILE).write_text(str(os.getpid()), encoding="utf-8")
+        self._emit(
+            {
+                "kind": "hello",
+                "site": config.site_id,
+                "pid": os.getpid(),
+                "port": self.transport.port,
+                "recovery": None if recovery is None else recovery_to_dict(recovery),
+            }
+        )
+
+        try:
+            await self._serve(reader)
+        finally:
+            pump.cancel()
+            await asyncio.gather(pump, return_exceptions=True)
+
+    # -- control plumbing ----------------------------------------------------
+
+    def _emit(self, frame: dict[str, Any]) -> None:
+        self._outbox.put_nowait(frame)
+
+    async def _pump(self) -> None:
+        """Single outbound writer: events and replies leave in the
+        order they were produced, so a reply never overtakes the events
+        its command caused."""
+        assert self._writer is not None
+        while True:
+            frame = await self._outbox.get()
+            self._pump_busy = True
+            try:
+                chunks = [encode_control(frame)]
+                while True:
+                    try:
+                        chunks.append(encode_control(self._outbox.get_nowait()))
+                    except asyncio.QueueEmpty:
+                        break
+                self._writer.write(b"".join(chunks))
+                await self._writer.drain()
+            except (OSError, ConnectionError):
+                return  # supervisor gone; _serve's EOF exits us
+            finally:
+                self._pump_busy = False
+
+    def _on_trace_event(self, event: TraceEvent) -> None:
+        # msg events are the transport's per-message bookkeeping — high
+        # volume and deliberately outside the equivalence footprint.
+        # Everything the checkers and footprints consume is streamed.
+        if event.category != "msg":
+            self._emit(
+                {
+                    "kind": "event",
+                    "time": event.time,
+                    "site": event.site,
+                    "category": event.category,
+                    "name": event.name,
+                    "details": event.details,
+                }
+            )
+        if (
+            self._kill_predicate is not None
+            and not self._dying
+            and self._kill_predicate(event)
+        ):
+            self._dying = True
+            # From this instant the site is dead to the world: block
+            # inbound delivery synchronously (a frame arriving now is
+            # lost, as at a crashed receiver), then flush what was
+            # already sent and pull the trigger.
+            assert self.transport is not None and self.site is not None
+            self.transport.register(
+                self.site.site_id, self.site.deliver, is_up=lambda: False
+            )
+            asyncio.ensure_future(self._die())
+
+    async def _die(self) -> None:
+        """Let already-sent frames reach the OS, then ``SIGKILL`` self.
+
+        The flush mirrors the simulator's crash semantics: a message
+        the engines sent before the crash instant is *in the network*
+        and survives the sender; volatile state (the unforced log
+        buffer, protocol tables, the group-commit window) does not.
+        """
+        try:
+            await asyncio.wait_for(self._flush_for_death(), DEATH_FLUSH_TIMEOUT)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    async def _flush_for_death(self) -> None:
+        assert self.transport is not None and self._writer is not None
+        await self.transport.drain_outbound()
+        while not self._outbox.empty() or self._pump_busy:
+            await asyncio.sleep(0)
+        await self._writer.drain()
+
+    # -- command serving -----------------------------------------------------
+
+    async def _serve(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            frame = await read_control(reader)
+            if frame is None:
+                return  # supervisor died: nothing to serve for
+            if frame.get("kind") != "cmd":
+                continue
+            cmd_id = frame.get("id")
+            try:
+                result = self._dispatch(frame)
+            except Exception as exc:  # noqa: BLE001 — shipped to supervisor
+                self._emit(
+                    {
+                        "kind": "reply",
+                        "id": cmd_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                continue
+            self._emit({"kind": "reply", "id": cmd_id, **result})
+            if frame["op"] == "shutdown":
+                await self._flush_for_death()
+                return
+
+    def _dispatch(self, frame: dict[str, Any]) -> dict[str, Any]:
+        assert self.site is not None and self.transport is not None
+        op = frame["op"]
+        site = self.site
+        if op == "ping":
+            return {}
+        if op == "begin_work":
+            if not site.is_up:
+                return {"status": "down"}
+            txn = GlobalTransaction.from_dict(frame["txn"])
+            return {"status": "ok", "doomed": begin_participant_work(site, txn)}
+        if op == "begin_commit":
+            if not site.is_up or site.coordinator is None:
+                return {"status": "down"}
+            txn = GlobalTransaction.from_dict(frame["txn"])
+            site.coordinator.begin_commit(
+                txn.txn_id,
+                txn.participants,
+                abort_override=bool(frame.get("abort_override", False)),
+            )
+            return {"status": "ok"}
+        if op == "status":
+            return {
+                "is_up": site.is_up,
+                "retained": sorted(site.retained_transactions()),
+                "backlog": self.transport.backlog,
+                "buffered": site.log.buffered_record_count,
+            }
+        if op == "flush_gc":
+            return {"collected": site.flush_and_gc()}
+        if op == "summary":
+            return {
+                "protocol": site.protocol,
+                "is_up": site.is_up,
+                "records": [
+                    record_to_json(record) for record in site.log.stable_records()
+                ],
+                "store": site.store.snapshot(),
+                "retained": sorted(site.retained_transactions()),
+                "uncollected": sorted(site.uncollected_log_transactions()),
+            }
+        if op == "shutdown":
+            if isinstance(site.log, FileStableLog):
+                site.log.close()
+            return {"status": "bye"}
+        raise ValueError(f"unknown control op {op!r}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print(
+            "usage: python -m repro.rt.proc.site_process <config.json>",
+            file=sys.stderr,
+        )
+        return 2
+    config = SiteProcessConfig.load(Path(args[0]))
+    asyncio.run(SiteProcess(config).run())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

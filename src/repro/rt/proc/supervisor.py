@@ -1,0 +1,983 @@
+"""Multi-process cluster supervisor: spawn, monitor, respawn, teardown.
+
+:class:`ProcessCluster` is the multi-process counterpart of
+:class:`~repro.rt.cluster.LiveCluster`: the same MDBS surface (submit /
+run / finalize / kill / restart / check) with every site running as its
+own OS process (``repro.rt.proc.site_process``) instead of a
+:class:`~repro.rt.host.SiteHost` task in the caller's loop. Data-plane
+traffic flows site-process to site-process over the ordinary
+:class:`~repro.rt.transport.LiveTransport` sockets; the supervisor is
+only on the *control* plane:
+
+* it pre-allocates every site's data port, writes each child a complete
+  ``proc.json`` world view, and spawns the children (stdout/stderr to
+  ``<site>/child.log``; pids registered in :data:`SPAWNED_PROCESSES`
+  for the test-suite's orphan reaper);
+* each child holds one control connection back here, streaming its
+  trace events — which the supervisor merges into its own
+  :class:`~repro.rt.runtime.LiveRuntime` trace, so a finished cluster
+  satisfies the exact duck-typed surface the conformance suite's
+  ``equivalence_summary`` consumes (``.sim.trace``, ``.sites``,
+  ``.check()``) — and serving the command ops (begin work, begin
+  commit, status, flush+GC, summary, shutdown);
+* liveness is the control connection itself plus a heartbeat: EOF on
+  the stream is the death notification (a synthetic ``site/crash``
+  trace event is recorded *after* the stream is fully drained, so no
+  post-crash event can appear to follow the crash), and a child that
+  stops answering pings for ``heartbeat_misses`` beats is killed and
+  treated the same way;
+* :meth:`kill` is a real ``SIGKILL`` (nothing flushes, nothing exits
+  cleanly), and :meth:`restart` respawns the child over the same data
+  directory — the child's recovery-first boot does the rest. Config
+  rewritten with the kill spec stripped, so a respawned victim cannot
+  re-trigger its crash point while re-enforcing recovered decisions.
+
+Transactions are driven exactly as the in-process cluster drives them,
+split at the process boundary: local work runs inside each
+participant's process (``begin_work``, the extracted
+:func:`~repro.mdbs.system.begin_participant_work`) and only the doomed
+bit crosses back; then the coordinator's process gets ``begin_commit``.
+From there the commit protocol runs entirely between the site
+processes' own sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+import repro
+from repro.core.correctness import (
+    check_atomicity,
+    check_operational_correctness,
+)
+from repro.core.history import History
+from repro.core.safe_state import check_safe_state
+from repro.db.recovery import LocalRecoveryReport
+from repro.errors import ProtocolError, SiteDownError, StorageError, WorkloadError
+from repro.mdbs.system import RunReports
+from repro.mdbs.transaction import GlobalTransaction
+from repro.protocols.base import TimeoutConfig, participant_spec
+from repro.rt.cluster import LIVE_TIMEOUTS, RUN_MARGIN
+from repro.rt.host import STORE_FILE, WAL_FILE
+from repro.rt.proc.config import (
+    KillSpec,
+    SiteProcessConfig,
+    group_commit_to_dict,
+    timeouts_to_dict,
+)
+from repro.rt.proc.control import (
+    MAX_CONTROL_LINE,
+    ProcessControlError,
+    encode_control,
+    read_control,
+    recovery_from_dict,
+)
+from repro.rt.runtime import LiveRuntime
+from repro.sim.tracing import TraceEvent
+from repro.storage.file_log import record_from_json
+from repro.storage.group_commit import GroupCommitConfig
+from repro.storage.log_records import LogRecord
+from repro.workloads.generator import (
+    COORDINATOR_ID,
+    WorkloadSpec,
+    generate_transactions,
+)
+from repro.workloads.mixes import ProtocolMix
+
+#: Every child Popen ever spawned in this interpreter, newest last.
+#: The test suite's conftest reaper walks this after each test and
+#: SIGKILLs anything still running, so a failing test can never strand
+#: orphan site processes that outlive the suite.
+SPAWNED_PROCESSES: list[subprocess.Popen] = []
+
+#: Wall seconds a child gets to boot (and recover) before hello.
+HELLO_TIMEOUT = 30.0
+
+#: Default wall-second budget for one control command round trip.
+CALL_TIMEOUT = 60.0
+
+#: Wall seconds an orderly shutdown waits before escalating to SIGKILL.
+SHUTDOWN_GRACE = 5.0
+
+
+class _RemoteLog:
+    """Stable-log view of a site process (``SiteView``-shaped)."""
+
+    def __init__(self, records: list[LogRecord]) -> None:
+        self._records = records
+
+    def stable_records(self) -> list[LogRecord]:
+        return list(self._records)
+
+    def transactions(self) -> set[str]:
+        return {record.txn_id for record in self._records}
+
+
+class _RemoteStore:
+    def __init__(self, snapshot: dict[str, Any]) -> None:
+        self._snapshot = snapshot
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self._snapshot)
+
+
+class RemoteSite:
+    """A site process's end-of-run footprint, shaped like the slice of
+    :class:`~repro.mdbs.site.Site` the checkers and
+    ``equivalence_summary`` consume: ``site_id``/``is_up``/``log``/
+    ``store`` plus the two ``SiteView`` methods."""
+
+    def __init__(
+        self,
+        site_id: str,
+        protocol: str,
+        is_up: bool,
+        records: list[LogRecord],
+        store: dict[str, Any],
+        retained: set[str],
+        uncollected: set[str],
+    ) -> None:
+        self.site_id = site_id
+        self.protocol = protocol
+        self.is_up = is_up
+        self.log = _RemoteLog(records)
+        self.store = _RemoteStore(store)
+        self._retained = retained
+        self._uncollected = uncollected
+
+    def retained_transactions(self) -> set[str]:
+        return set(self._retained)
+
+    def uncollected_log_transactions(self) -> set[str]:
+        return set(self._uncollected)
+
+    def __repr__(self) -> str:
+        state = "up" if self.is_up else "down"
+        return f"RemoteSite({self.site_id!r}, {self.protocol}, {state})"
+
+
+class _ChildHandle:
+    """Supervisor-side state for one site process."""
+
+    def __init__(
+        self,
+        site_id: str,
+        protocol: str,
+        config: SiteProcessConfig,
+        config_path: Path,
+    ) -> None:
+        self.site_id = site_id
+        self.protocol = protocol
+        self.config = config
+        self.config_path = config_path
+        self.popen: Optional[subprocess.Popen] = None
+        self.log_fh: Optional[Any] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.alive = False
+        self.pid: Optional[int] = None
+        self.recovery: Optional[LocalRecoveryReport] = None
+        self.hello: Optional[asyncio.Future] = None
+        self.pending: dict[int, asyncio.Future] = {}
+        #: Set when the control stream reaches EOF (process death seen
+        #: and fully drained); reset by each (re)spawn.
+        self.crashed = asyncio.Event()
+        #: True while an orderly shutdown is in progress, so the EOF
+        #: path does not record a synthetic crash for it.
+        self.closing = False
+
+
+class ProcessCluster:
+    """A live MDBS where every site is a supervised OS process.
+
+    Drop-in for :class:`~repro.rt.cluster.LiveCluster`'s surface
+    (including its kill/restart failure interface); construction args
+    match, plus the supervision knobs:
+
+    Args:
+        kills: per-site self-``SIGKILL`` specs
+            (:class:`~repro.rt.proc.config.KillSpec`): the named crash
+            point fires *inside* the victim's own process.
+        heartbeat_interval: wall seconds between pings per child.
+        heartbeat_misses: consecutive unanswered pings before the
+            supervisor declares the child hung and ``SIGKILL``\\ s it.
+        auto_respawn: respawn a crashed child automatically (kill spec
+            stripped, recovery-first boot). Off by default — the
+            conformance and crash-matrix drivers restart explicitly.
+    """
+
+    def __init__(
+        self,
+        mix: ProtocolMix,
+        data_dir: Path | str,
+        coordinator: str = "dynamic",
+        seed: int = 0,
+        timeouts: Optional[TimeoutConfig] = None,
+        time_scale: float = 0.01,
+        fsync: bool = True,
+        read_only_optimization: bool = True,
+        group_commit: Optional[GroupCommitConfig] = None,
+        kills: Optional[dict[str, KillSpec]] = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 5,
+        auto_respawn: bool = False,
+    ) -> None:
+        self._mix = mix
+        self._coordinator_policy = coordinator
+        self._seed = seed
+        self._timeouts = timeouts
+        self._time_scale = time_scale
+        self._fsync = fsync
+        self._read_only_optimization = read_only_optimization
+        self._group_commit = group_commit
+        self._kills = dict(kills) if kills else {}
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_misses = heartbeat_misses
+        self._auto_respawn = auto_respawn
+        self.data_dir = Path(data_dir)
+        self.sim: Optional[LiveRuntime] = None
+        self.submitted: list[GlobalTransaction] = []
+        self._children: dict[str, _ChildHandle] = {}
+        self._server: Optional[asyncio.Server] = None
+        self._control_port = 0
+        self._monitors: list[asyncio.Task] = []
+        self._next_cmd_id = 0
+        self._views: Optional[dict[str, RemoteSite]] = None
+        self._shutting_down = False
+        self._decision_events: dict[str, asyncio.Event] = {}
+        self._terminated: set[str] = set()
+        self._submitted_at: dict[str, float] = {}
+        self._decided_at: dict[str, float] = {}
+        self._activity: Optional[asyncio.Event] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every site process and wait for all of them to report
+        in (recovery-first boot included)."""
+        if self.sim is not None:
+            raise WorkloadError("cluster already started")
+        self._wall_epoch = time.time()
+        self.sim = LiveRuntime(
+            time_scale=self._time_scale,
+            seed=self._seed,
+            wall_epoch=self._wall_epoch,
+        )
+        self._activity = asyncio.Event()
+        self.sim.trace.subscribe(self._on_trace_event)
+        self._server = await asyncio.start_server(
+            self._on_control_connection,
+            "127.0.0.1",
+            0,
+            limit=MAX_CONTROL_LINE,
+        )
+        self._control_port = self._server.sockets[0].getsockname()[1]
+
+        topology = dict(self._mix.site_protocols())
+        topology[COORDINATOR_ID] = "PrN"
+        # Pre-allocate every data port up front so the complete address
+        # directory goes into every child's config — addresses survive
+        # any child's restart without renegotiation.
+        directory = {
+            site_id: ["127.0.0.1", _free_port()] for site_id in sorted(topology)
+        }
+        for site_id, protocol in sorted(topology.items()):
+            coordinator = (
+                self._coordinator_policy if site_id == COORDINATOR_ID else None
+            )
+            kill = self._kills.get(site_id)
+            config = SiteProcessConfig(
+                site_id=site_id,
+                protocol=protocol,
+                data_dir=str(self.data_dir / site_id),
+                host=directory[site_id][0],
+                port=directory[site_id][1],
+                control_host="127.0.0.1",
+                control_port=self._control_port,
+                directory=directory,
+                site_protocols=topology,
+                coordinator_sites=[COORDINATOR_ID],
+                coordinator=coordinator,
+                time_scale=self._time_scale,
+                wall_epoch=self._wall_epoch,
+                seed=self._seed,
+                fsync=self._fsync,
+                read_only_optimization=self._read_only_optimization,
+                group_commit=group_commit_to_dict(self._group_commit),
+                timeouts=timeouts_to_dict(self._timeouts),
+                kill=None if kill is None else {"point": kill.point, "txn": kill.txn},
+            )
+            config_path = self.data_dir / site_id / "proc.json"
+            config.save(config_path)
+            handle = _ChildHandle(site_id, protocol, config, config_path)
+            self._children[site_id] = handle
+        for handle in self._children.values():
+            self._spawn(handle)
+        await asyncio.gather(
+            *(self._await_hello(handle) for handle in self._children.values())
+        )
+        for handle in self._children.values():
+            self._monitors.append(
+                asyncio.ensure_future(self._monitor(handle))
+            )
+
+    def _spawn(self, handle: _ChildHandle) -> None:
+        handle.hello = asyncio.get_running_loop().create_future()
+        handle.crashed = asyncio.Event()
+        handle.closing = False
+        handle.log_fh = open(
+            self.data_dir / handle.site_id / "child.log", "a", encoding="utf-8"
+        )
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        handle.popen = subprocess.Popen(
+            [sys.executable, "-m", "repro.rt.proc.site_process", str(handle.config_path)],
+            stdout=handle.log_fh,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+        SPAWNED_PROCESSES.append(handle.popen)
+
+    async def _await_hello(self, handle: _ChildHandle) -> LocalRecoveryReport:
+        assert handle.hello is not None
+        try:
+            frame = await asyncio.wait_for(handle.hello, HELLO_TIMEOUT)
+        except asyncio.TimeoutError:
+            raise ProcessControlError(
+                f"site process {handle.site_id!r} did not report in within "
+                f"{HELLO_TIMEOUT}s (see {handle.site_id}/child.log)"
+            )
+        handle.pid = frame.get("pid")
+        recovery = frame.get("recovery")
+        handle.recovery = (
+            recovery_from_dict(recovery) if recovery is not None
+            else LocalRecoveryReport()
+        )
+        return handle.recovery
+
+    async def shutdown(self) -> None:
+        """Orderly teardown: collect end-of-run footprints (if not done
+        already), ask every child to exit, escalate to SIGKILL after a
+        grace period, close the control server."""
+        if self.sim is None or self._shutting_down:
+            return
+        if self._views is None:
+            await self.collect()
+        self._shutting_down = True
+        for task in self._monitors:
+            task.cancel()
+        await asyncio.gather(*self._monitors, return_exceptions=True)
+        self._monitors.clear()
+        for handle in self._children.values():
+            handle.closing = True
+        for handle in self._children.values():
+            if handle.alive:
+                try:
+                    await self._call(
+                        handle.site_id, "shutdown", timeout=SHUTDOWN_GRACE
+                    )
+                except (ProcessControlError, asyncio.TimeoutError):
+                    pass
+        deadline = time.monotonic() + SHUTDOWN_GRACE
+        for handle in self._children.values():
+            if handle.popen is None:
+                continue
+            while handle.popen.poll() is None and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            if handle.popen.poll() is None:
+                handle.popen.kill()
+                handle.popen.wait()
+            if handle.log_fh is not None:
+                handle.log_fh.close()
+                handle.log_fh = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- control plane -------------------------------------------------------
+
+    async def _on_control_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One child's control stream, for the life of that incarnation.
+
+        Frames are routed by their ``site`` field, so a recovery-first
+        boot may stream its recovery trace events *before* its hello.
+        EOF means the process died: only after the stream is fully
+        drained is the synthetic ``site/crash`` recorded, preserving
+        "no event follows the crash" in per-site trace order.
+        """
+        handle: Optional[_ChildHandle] = None
+        try:
+            while True:
+                frame = await read_control(reader)
+                if frame is None:
+                    break
+                kind = frame.get("kind")
+                if handle is None:
+                    site_id = frame.get("site")
+                    if kind == "reply":
+                        # Replies carry no site field; they can only
+                        # arrive after hello bound this connection.
+                        break
+                    handle = self._children.get(site_id)
+                    if handle is None:
+                        break
+                    handle.writer = writer
+                    handle.alive = True
+                if kind == "event":
+                    assert self.sim is not None
+                    # Details keys never collide with the positional
+                    # trace fields (no engine passes time/site/category/
+                    # name as a detail), so pass straight through.
+                    self.sim.trace.record(
+                        frame["time"],
+                        frame["site"],
+                        frame["category"],
+                        frame["name"],
+                        **frame["details"],
+                    )
+                elif kind == "hello":
+                    if handle.hello is not None and not handle.hello.done():
+                        handle.hello.set_result(frame)
+                elif kind == "reply":
+                    future = handle.pending.pop(frame.get("id"), None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        except ProcessControlError:
+            pass
+        finally:
+            writer.close()
+            if handle is not None and handle.writer is writer:
+                self._on_child_gone(handle)
+
+    def _on_child_gone(self, handle: _ChildHandle) -> None:
+        handle.alive = False
+        handle.writer = None
+        failure = ProcessControlError(
+            f"site process {handle.site_id!r} died mid-command"
+        )
+        for future in handle.pending.values():
+            if not future.done():
+                future.set_exception(failure)
+        handle.pending.clear()
+        if handle.hello is not None and not handle.hello.done():
+            handle.hello.set_exception(failure)
+        if not handle.closing and not self._shutting_down:
+            assert self.sim is not None
+            # The same event Site.crash records, stamped at the moment
+            # the supervisor finished draining the victim's stream.
+            self.sim.record(handle.site_id, "site", "crash")
+            if self._auto_respawn:
+                asyncio.ensure_future(self.restart(handle.site_id))
+        handle.crashed.set()
+
+    async def _call(
+        self, site_id: str, op: str, timeout: float = CALL_TIMEOUT, **kw: Any
+    ) -> dict[str, Any]:
+        """One command round trip to a child.
+
+        Raises:
+            ProcessControlError: child not running, died mid-command,
+                or the op raised inside the child.
+            asyncio.TimeoutError: no reply within ``timeout``.
+        """
+        handle = self._children[site_id]
+        if not handle.alive or handle.writer is None:
+            raise ProcessControlError(f"site process {site_id!r} is not running")
+        self._next_cmd_id += 1
+        cmd_id = self._next_cmd_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        handle.pending[cmd_id] = future
+        handle.writer.write(
+            encode_control({"kind": "cmd", "id": cmd_id, "op": op, **kw})
+        )
+        try:
+            await handle.writer.drain()
+            reply = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            # Checked before OSError: since 3.11 asyncio.TimeoutError
+            # *is* builtin TimeoutError, a subclass of OSError — the
+            # heartbeat monitor must see timeouts as timeouts, not as
+            # dead-connection errors.
+            handle.pending.pop(cmd_id, None)
+            raise
+        except (OSError, ConnectionError) as exc:
+            handle.pending.pop(cmd_id, None)
+            raise ProcessControlError(
+                f"control write to {site_id!r} failed: {exc}"
+            )
+        if "error" in reply:
+            raise ProcessControlError(
+                f"op {op!r} failed in {site_id!r}: {reply['error']}"
+            )
+        return reply
+
+    async def _monitor(self, handle: _ChildHandle) -> None:
+        """Heartbeat: ping every ``heartbeat_interval``; after
+        ``heartbeat_misses`` consecutive silent beats the child is
+        declared hung and SIGKILLed (the EOF path then treats it as any
+        other crash)."""
+        missed = 0
+        while True:
+            await asyncio.sleep(self._heartbeat_interval)
+            if handle.closing or self._shutting_down or not handle.alive:
+                return
+            try:
+                await self._call(
+                    handle.site_id, "ping", timeout=self._heartbeat_interval
+                )
+                missed = 0
+            except asyncio.TimeoutError:
+                missed += 1
+                if missed >= self._heartbeat_misses:
+                    if handle.popen is not None:
+                        handle.popen.kill()
+                    return
+            except ProcessControlError:
+                return  # already dead; the EOF path handled it
+
+    # -- event-driven completion ---------------------------------------------
+
+    def _on_trace_event(self, event: TraceEvent) -> None:
+        """Same decision/termination tracking as ``LiveCluster`` — the
+        events just arrive over control streams instead of in-process."""
+        if event.category == "protocol" and event.name == "decide":
+            txn = event.details.get("txn")
+            if txn is not None:
+                self._terminated.add(txn)
+                self._decided_at.setdefault(txn, event.time)
+                decision_event = self._decision_events.get(txn)
+                if decision_event is not None:
+                    decision_event.set()
+        elif event.category == "system" and event.name == "txn_not_started":
+            txn = event.details.get("txn")
+            if txn is not None:
+                self._terminated.add(txn)
+                decision_event = self._decision_events.get(txn)
+                if decision_event is not None:
+                    decision_event.set()
+        if self._activity is not None:
+            self._activity.set()
+
+    async def _await_activity(self, max_wait: float) -> None:
+        assert self._activity is not None
+        try:
+            await asyncio.wait_for(self._activity.wait(), timeout=max_wait)
+        except asyncio.TimeoutError:
+            pass
+
+    def decision_latencies(self) -> dict[str, float]:
+        """Submission-to-decision wall seconds per decided transaction."""
+        assert self.sim is not None
+        return {
+            txn_id: (decided - self._submitted_at[txn_id]) * self._time_scale
+            for txn_id, decided in self._decided_at.items()
+            if txn_id in self._submitted_at
+        }
+
+    async def wait_for_crash(
+        self, site_id: str, timeout: float = CALL_TIMEOUT
+    ) -> None:
+        """Block until ``site_id``'s process death has been observed
+        (control stream drained, synthetic crash recorded)."""
+        await asyncio.wait_for(
+            self._children[site_id].crashed.wait(), timeout
+        )
+
+    async def wait_decided(
+        self, txn_id: str, timeout: float = CALL_TIMEOUT
+    ) -> None:
+        """Block until ``txn_id`` has a decision (or was never started)."""
+        event = self._decision_events.get(txn_id)
+        if event is None:
+            raise WorkloadError(f"transaction {txn_id!r} was never submitted")
+        await asyncio.wait_for(event.wait(), timeout)
+
+    # -- the MDBS surface ----------------------------------------------------
+
+    def submit(self, txn: GlobalTransaction, immediate: bool = False) -> None:
+        """Schedule a global transaction (mirrors ``LiveCluster.submit``)."""
+        assert self.sim is not None, "cluster not started"
+        handle = self._children.get(txn.coordinator)
+        if handle is None:
+            raise WorkloadError(f"unknown coordinator site {txn.coordinator!r}")
+        if handle.config.coordinator is None:
+            raise ProtocolError(
+                f"site {txn.coordinator!r} cannot coordinate (no engine)"
+            )
+        unknown = (set(txn.writes) | set(txn.reads)) - set(self._children)
+        if unknown:
+            raise WorkloadError(
+                f"transaction {txn.txn_id!r} references unknown sites "
+                f"{sorted(unknown)}"
+            )
+        self.submitted.append(txn)
+        self._decision_events.setdefault(txn.txn_id, asyncio.Event())
+        self._submitted_at[txn.txn_id] = self.sim.now
+        self.sim.schedule(
+            0.0 if immediate else max(0.0, txn.submit_at - self.sim.now),
+            lambda: asyncio.ensure_future(self._start_txn(txn)),
+            label=f"start {txn.txn_id}",
+        )
+
+    async def _start_txn(self, txn: GlobalTransaction) -> None:
+        """The process-boundary split of
+        :func:`~repro.mdbs.system.start_transaction`: local work in
+        each participant's process, doomed bits back, then the
+        coordinator's ``begin_commit``."""
+        assert self.sim is not None
+        wire = txn.to_dict()
+        coordinator = self._children[txn.coordinator]
+        if not coordinator.alive:
+            self.sim.record(
+                txn.coordinator, "system", "txn_not_started", txn=txn.txn_id
+            )
+            return
+        doomed = False
+        for site_id in txn.participants:
+            handle = self._children[site_id]
+            implicit = participant_spec(handle.protocol).implicitly_prepared
+            if not handle.alive:
+                doomed = doomed or implicit
+                continue
+            try:
+                reply = await self._call(site_id, "begin_work", txn=wire)
+            except (ProcessControlError, asyncio.TimeoutError):
+                # Participant died around the work: same shape as a
+                # down site in the simulator.
+                doomed = doomed or implicit
+                continue
+            if reply.get("status") == "down":
+                doomed = doomed or implicit
+                continue
+            doomed = bool(reply.get("doomed")) or doomed
+        try:
+            reply = await self._call(
+                txn.coordinator,
+                "begin_commit",
+                txn=wire,
+                abort_override=txn.coordinator_abort or doomed,
+            )
+        except (ProcessControlError, asyncio.TimeoutError):
+            # The coordinator process died while (possibly mid-)
+            # executing begin_commit — whether the protocol started is
+            # its log's business now; recovery decides. Recording
+            # txn_not_started here would contradict the WAL.
+            return
+        if reply.get("status") == "down":
+            self.sim.record(
+                txn.coordinator, "system", "txn_not_started", txn=txn.txn_id
+            )
+
+    async def run(self, until: float, heartbeat: float = 0.25) -> None:
+        """Advance until quiescence or ``until`` virtual units, waking
+        on streamed trace activity with ``heartbeat`` as fallback."""
+        assert self.sim is not None
+        while self.sim.now < until:
+            assert self._activity is not None
+            self._activity.clear()
+            if await self._quiescent():
+                return
+            remaining = self.sim.to_seconds(until - self.sim.now)
+            await self._await_activity(min(remaining, heartbeat))
+
+    async def run_pipelined(
+        self,
+        transactions: Iterable[GlobalTransaction],
+        max_in_flight: int = 8,
+        decision_timeout: float = 120.0,
+    ) -> dict[str, float]:
+        """Open-loop arrival driver (mirrors ``LiveCluster.run_pipelined``)."""
+        assert self.sim is not None, "cluster not started"
+        if max_in_flight < 1:
+            raise WorkloadError(f"max_in_flight must be >= 1: {max_in_flight!r}")
+        slots = asyncio.Semaphore(max_in_flight)
+        driven: list[str] = []
+
+        async def drive(txn: GlobalTransaction) -> None:
+            try:
+                self.submit(txn, immediate=True)
+                await asyncio.wait_for(
+                    self._decision_events[txn.txn_id].wait(),
+                    timeout=decision_timeout,
+                )
+            finally:
+                slots.release()
+
+        waiters: list[asyncio.Task] = []
+        try:
+            for txn in transactions:
+                await slots.acquire()
+                driven.append(txn.txn_id)
+                waiters.append(asyncio.create_task(drive(txn)))
+            await asyncio.gather(*waiters)
+        except BaseException:
+            for waiter in waiters:
+                waiter.cancel()
+            await asyncio.gather(*waiters, return_exceptions=True)
+            raise
+        latencies = self.decision_latencies()
+        return {
+            txn_id: latencies[txn_id] for txn_id in driven if txn_id in latencies
+        }
+
+    async def _quiescent(self) -> bool:
+        """All submitted work decided, and every *live* child reports
+        empty protocol tables and an idle transport."""
+        if any(txn.txn_id not in self._terminated for txn in self.submitted):
+            return False
+        for status in (await self._statuses()).values():
+            if status["retained"] or status["backlog"]:
+                return False
+        return True
+
+    async def _statuses(self) -> dict[str, dict[str, Any]]:
+        """Status snapshots of the live children (dead ones are quiet
+        by definition, as a down site is for ``LiveCluster``)."""
+        statuses: dict[str, dict[str, Any]] = {}
+        for site_id, handle in self._children.items():
+            if not handle.alive:
+                continue
+            try:
+                statuses[site_id] = await self._call(site_id, "status")
+            except (ProcessControlError, asyncio.TimeoutError):
+                continue
+        return statuses
+
+    async def finalize(self, max_rounds: int = 5) -> None:
+        """Flush+GC every live child to a stable residue (mirrors
+        ``LiveCluster.finalize`` across the process boundary)."""
+        assert self.sim is not None
+        for _ in range(max_rounds):
+            collected = 0
+            for site_id, handle in self._children.items():
+                if not handle.alive:
+                    continue
+                try:
+                    reply = await self._call(site_id, "flush_gc")
+                    collected += int(reply.get("collected", 0))
+                except (ProcessControlError, asyncio.TimeoutError):
+                    continue
+            busy = any(
+                status["backlog"] for status in (await self._statuses()).values()
+            )
+            if collected == 0 and not busy:
+                return
+            # Let in-flight coordination messages (checkpoint/GC
+            # handshakes) land before the next sweep.
+            await asyncio.sleep(self.sim.to_seconds(10.0))
+
+    # -- failures ------------------------------------------------------------
+
+    async def kill(self, site_id: str) -> None:
+        """SIGKILL one site process and wait until its death has been
+        observed (stream drained, crash recorded)."""
+        handle = self._children[site_id]
+        # Gate on the supervisor's liveness view (control stream open),
+        # not ``popen.poll()``: a just-died child can be EOF-observed
+        # dead while its exit status is not yet reapable.
+        if handle.popen is None or not handle.alive:
+            raise SiteDownError(f"site process {site_id!r} is not running")
+        handle.popen.kill()
+        await self.wait_for_crash(site_id)
+
+    async def restart(self, site_id: str) -> LocalRecoveryReport:
+        """Respawn a dead site process over its data directory; its
+        recovery-first boot replays the WAL against the store snapshot.
+        The config is rewritten with any kill spec stripped first, so
+        recovery re-enforcement cannot re-fire the crash point."""
+        handle = self._children[site_id]
+        if handle.alive:
+            raise SiteDownError(f"site process {site_id!r} is still running")
+        if handle.popen is not None:
+            handle.popen.wait()
+        if handle.log_fh is not None:
+            handle.log_fh.close()
+        if handle.config.kill is not None:
+            handle.config.kill = None
+            handle.config.save(handle.config_path)
+        assert self.sim is not None
+        self._spawn(handle)
+        report = await self._await_hello(handle)
+        self._monitors.append(asyncio.ensure_future(self._monitor(handle)))
+        return report
+
+    def recovery_report(self, site_id: str) -> Optional[LocalRecoveryReport]:
+        """The boot-recovery report of ``site_id``'s current incarnation."""
+        return self._children[site_id].recovery
+
+    # -- end-of-run footprint -------------------------------------------------
+
+    async def collect(self) -> dict[str, RemoteSite]:
+        """Gather every site's end-of-run footprint: live children via
+        the ``summary`` op, dead ones from their on-disk WAL + snapshot
+        (what their next incarnation would recover from)."""
+        views: dict[str, RemoteSite] = {}
+        for site_id, handle in self._children.items():
+            if handle.alive:
+                try:
+                    reply = await self._call(site_id, "summary")
+                    views[site_id] = RemoteSite(
+                        site_id,
+                        reply["protocol"],
+                        bool(reply["is_up"]),
+                        [record_from_json(data) for data in reply["records"]],
+                        reply["store"],
+                        set(reply["retained"]),
+                        set(reply["uncollected"]),
+                    )
+                    continue
+                except (ProcessControlError, asyncio.TimeoutError):
+                    pass
+            views[site_id] = self._view_from_disk(site_id, handle)
+        self._views = views
+        return views
+
+    def _view_from_disk(self, site_id: str, handle: _ChildHandle) -> RemoteSite:
+        """A dead child's durable footprint, read without mutating the
+        artifacts: stable records from the WAL (tolerating a torn
+        tail), store from the last renamed snapshot. Volatile state
+        (protocol tables) died with the process, so ``retained`` is
+        empty — the same view its crashed in-simulator twin gives."""
+        site_dir = self.data_dir / site_id
+        records: list[LogRecord] = []
+        wal_path = site_dir / WAL_FILE
+        if wal_path.exists():
+            lines = [
+                line
+                for line in wal_path.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            ]
+            for index, line in enumerate(lines):
+                try:
+                    records.append(record_from_json(json.loads(line)))
+                except (json.JSONDecodeError, StorageError) as exc:
+                    if index == len(lines) - 1:
+                        break  # torn tail: the residue of the kill
+                    raise StorageError(
+                        f"{wal_path}:{index + 1}: corrupt WAL line: {exc}"
+                    )
+        store: dict[str, Any] = {}
+        store_path = site_dir / STORE_FILE
+        if store_path.exists():
+            store = json.loads(store_path.read_text(encoding="utf-8"))
+        return RemoteSite(
+            site_id,
+            handle.protocol,
+            False,
+            records,
+            store,
+            set(),
+            {record.txn_id for record in records},
+        )
+
+    @property
+    def sites(self) -> dict[str, RemoteSite]:
+        """Collected per-site views (``MDBS.sites`` shape). Available
+        after :meth:`collect` (or :meth:`shutdown`, which collects)."""
+        if self._views is None:
+            raise WorkloadError("call collect() or shutdown() before .sites")
+        return dict(self._views)
+
+    # -- checking ------------------------------------------------------------
+
+    def outcomes(self) -> dict[str, str]:
+        assert self.sim is not None
+        return {
+            event.details["txn"]: event.details["decision"]
+            for event in self.sim.trace.select(category="protocol", name="decide")
+        }
+
+    def history(self) -> History:
+        assert self.sim is not None
+        return History.from_trace(self.sim.trace)
+
+    def check(self) -> RunReports:
+        """The three correctness checkers over the merged trace and the
+        collected site views (mirrors ``MDBS.check``)."""
+        assert self.sim is not None
+        history = self.history()
+        return RunReports(
+            atomicity=check_atomicity(history, self.sim.trace),
+            safe_state=check_safe_state(history),
+            operational=check_operational_correctness(
+                self.sites.values(), history, self.sim.trace
+            ),
+        )
+
+    def __repr__(self) -> str:
+        now = f"{self.sim.now:.1f}" if self.sim is not None else "unstarted"
+        live = sum(handle.alive for handle in self._children.values())
+        return (
+            f"ProcessCluster(sites={len(self._children)}, live={live}, "
+            f"txns={len(self.submitted)}, now={now})"
+        )
+
+
+def _free_port() -> int:
+    """Reserve an ephemeral port by bind-then-close (the usual small
+    race, acceptable on loopback test hosts)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+async def run_multiprocess_workload(
+    mix: ProtocolMix,
+    coordinator: str,
+    spec: WorkloadSpec,
+    data_dir: Path | str,
+    time_scale: float = 0.01,
+    fsync: bool = True,
+    timeouts: Optional[TimeoutConfig] = None,
+    group_commit: Optional[GroupCommitConfig] = None,
+    pipeline: Optional[int] = None,
+    kills: Optional[dict[str, KillSpec]] = None,
+) -> ProcessCluster:
+    """Run a generated workload over a multi-process cluster to
+    quiescence — the process-per-site twin of
+    :func:`~repro.rt.cluster.run_live_workload`, returning the
+    (shut-down, collected) cluster for ``equivalence_summary``-style
+    inspection."""
+    cluster = ProcessCluster(
+        mix,
+        data_dir,
+        coordinator=coordinator,
+        seed=spec.seed,
+        timeouts=timeouts if timeouts is not None else LIVE_TIMEOUTS,
+        time_scale=time_scale,
+        fsync=fsync,
+        group_commit=group_commit,
+        kills=kills,
+    )
+    await cluster.start()
+    try:
+        transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+        if pipeline is not None:
+            await cluster.run_pipelined(transactions, max_in_flight=pipeline)
+            assert cluster.sim is not None
+            await cluster.run(until=cluster.sim.now + RUN_MARGIN)
+        else:
+            for txn in transactions:
+                cluster.submit(txn)
+            await cluster.run(
+                until=spec.inter_arrival * spec.n_transactions + RUN_MARGIN
+            )
+        await cluster.finalize()
+    finally:
+        await cluster.shutdown()
+    return cluster

@@ -23,6 +23,7 @@ both properties.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -77,14 +78,32 @@ class LiveRuntime:
             compatibility with code that draws jitter from the
             simulator (live runs take their nondeterminism from the
             network itself).
+        wall_epoch: optional ``time.time()`` instant to anchor virtual
+            time zero at. Processes that share an epoch (the
+            multi-process cluster: supervisor and every
+            ``SiteProcess``) report mutually comparable ``now`` values,
+            so trace events merged across processes order sensibly.
+            ``None`` keeps the single-process behaviour: the origin is
+            construction time.
     """
 
-    def __init__(self, time_scale: float = 0.01, seed: int = 0) -> None:
+    def __init__(
+        self,
+        time_scale: float = 0.01,
+        seed: int = 0,
+        wall_epoch: Optional[float] = None,
+    ) -> None:
         if time_scale <= 0:
             raise SimulationError(f"time_scale must be positive: {time_scale!r}")
         self._loop = asyncio.get_running_loop()
         self._time_scale = time_scale
-        self._origin = self._loop.time()
+        if wall_epoch is None:
+            self._origin = self._loop.time()
+        else:
+            # loop.time() and time.time() tick at the same rate but from
+            # different zeros; shift the loop clock so virtual zero
+            # lands on the shared wall-clock epoch.
+            self._origin = self._loop.time() - (time.time() - wall_epoch)
         self.trace = TraceRecorder()
         self.random = RandomStreams(seed)
         self._timers_fired = 0

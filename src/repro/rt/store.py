@@ -26,6 +26,16 @@ class FileBackedStore(KVStore):
         self._path = Path(path)
         self._fsync = fsync
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        # A stale ``.tmp`` is the residue of a kill inside the
+        # checkpoint's write-then-rename window (torn mid-write, or
+        # complete but never renamed). Either way the checkpoint did
+        # not happen: recovery must load exactly one snapshot — the
+        # last renamed one — so the leftover is discarded here rather
+        # than left to confuse a later restart or be half-overwritten
+        # by the next checkpoint's kill window.
+        stale_tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+        if stale_tmp.exists():
+            stale_tmp.unlink()
         initial: Optional[dict[str, Any]] = None
         if self._path.exists():
             try:

@@ -55,7 +55,12 @@ class _PeerLink:
         self._peer_id = peer_id
         self.queue: asyncio.Queue[Message] = asyncio.Queue()
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._watcher: Optional[asyncio.Task] = None
         self._task: Optional[asyncio.Task] = None
+        #: True while a dequeued batch is being written — together with
+        #: an empty queue, its negation means "everything handed to the
+        #: OS", which is what :meth:`LiveTransport.drain_outbound` waits for.
+        self.writing = False
 
     def ensure_running(self) -> None:
         if self._task is None or self._task.done():
@@ -68,12 +73,39 @@ class _PeerLink:
         host, port = self._transport.peer_address(self._peer_id)
         for attempt in range(CONNECT_ATTEMPTS):
             try:
-                _, writer = await asyncio.open_connection(host, port)
-                return writer
+                reader, writer = await asyncio.open_connection(host, port)
             except OSError:
                 if attempt + 1 < CONNECT_ATTEMPTS:
                     await asyncio.sleep(CONNECT_BACKOFF)
+                continue
+            self._watch(reader, writer)
+            return writer
         return None
+
+    def _watch(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        # Outbound links are one-way — the peer never sends bytes back —
+        # so the only thing a read can ever return is EOF or an error:
+        # the peer closed or died.  Noticing that *eagerly* matters
+        # across process boundaries: after a SIGKILL the first write to
+        # the stale socket "succeeds" locally (the kernel buffers it
+        # before the RST lands) and the frame silently vanishes, which
+        # the simulator's semantics forbid once the peer is back up.
+        # The watcher invalidates the cached writer the moment the peer
+        # is gone, so the next send reconnects instead of writing into
+        # the void.
+        async def watch() -> None:
+            try:
+                while await reader.read(4096):
+                    pass
+            except (OSError, ConnectionError):
+                pass
+            if self._writer is writer:
+                self._writer = None
+                writer.close()
+
+        self._watcher = asyncio.get_running_loop().create_task(
+            watch(), name=f"watch:{self._transport.node_id}->{self._peer_id}"
+        )
 
     async def _drain(self) -> None:
         while True:
@@ -85,48 +117,62 @@ class _PeerLink:
                     batch.append(self.queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            self.writing = True
             try:
                 await self._write(batch)
             except asyncio.CancelledError:
                 for message in batch:
                     self._transport._count_dropped(message)
                 raise
+            finally:
+                self.writing = False
 
     async def _write(self, batch: list[Message]) -> None:
         # Encode exactly once; the reconnect-retry path below reuses
-        # these bytes instead of re-encoding.
+        # these bytes instead of re-encoding. The writer is threaded
+        # through explicitly because the connection watcher may null
+        # ``self._writer`` concurrently with a write in flight.
         frames = [encode_frame(message) for message in batch]
-        if self._writer is None:
-            self._writer = await self._connect()
-            if self._writer is None:
+        writer = self._writer
+        if writer is None:
+            writer = self._writer = await self._connect()
+            if writer is None:
                 # Peer unreachable: an omission failure. The engines'
                 # timers will resend or resolve via inquiry.
                 for message in batch:
                     self._transport._count_dropped(message)
                 return
-        if await self._write_frames(frames):
+        if await self._write_frames(writer, frames):
             return
         # The connection died under us (peer killed). One fresh
         # connect attempt for *this* batch, then drop it.
         await self._close_writer()
-        self._writer = await self._connect()
-        if self._writer is None or not await self._write_frames(frames):
+        writer = self._writer = await self._connect()
+        if writer is None or not await self._write_frames(writer, frames):
             await self._close_writer()
             for message in batch:
                 self._transport._count_dropped(message)
 
-    async def _write_frames(self, frames: list[bytes]) -> bool:
+    async def _write_frames(
+        self, writer: asyncio.StreamWriter, frames: list[bytes]
+    ) -> bool:
         """Write all frames, then flush once; False on a dead socket."""
-        assert self._writer is not None
         try:
             for frame in frames:
-                self._writer.write(frame)
-            await self._writer.drain()
+                writer.write(frame)
+            await writer.drain()
             return True
         except (OSError, ConnectionError):
             return False
 
     async def _close_writer(self) -> None:
+        if self._watcher is not None:
+            watcher, self._watcher = self._watcher, None
+            watcher.cancel()
+            try:
+                await watcher
+            except asyncio.CancelledError:
+                pass
         if self._writer is not None:
             writer, self._writer = self._writer, None
             writer.close()
@@ -355,6 +401,36 @@ class LiveTransport:
             **message.payload,
         )
         self._handler(message)
+
+    async def drain_outbound(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every accepted message left this process.
+
+        "Left" means handed to the OS: all per-peer queues empty, no
+        batch mid-write, and no local self-delivery pending. Used by
+        the ``SIGKILL`` crash injector (``repro.rt.proc``) right before
+        dying, so a message the engines *sent* before the crash instant
+        survives the sender's death — exactly the simulator's network
+        model, where a scheduled delivery outlives the sender. Returns
+        False when ``timeout`` wall seconds elapsed first.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            busy = self._pending_local > 0 or any(
+                link.queue.qsize() > 0 or link.writing
+                for link in self._links.values()
+            )
+            if not busy:
+                for link in self._links.values():
+                    if link._writer is not None:
+                        try:
+                            await link._writer.drain()
+                        except (OSError, ConnectionError):
+                            pass
+                return True
+            if deadline is not None and loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0)
 
     @property
     def backlog(self) -> int:

@@ -1,0 +1,158 @@
+"""Property: a SIGKILLed site process recovers an all-or-nothing prefix.
+
+One *real* multi-process run provides the raw material: a site process
+is SIGKILLed by its in-process crash predicate while a wide
+group-commit window is coalescing forces, and the WAL bytes its
+incarnation left on disk are captured. Hypothesis then plays
+device-level crash: the WAL is cut at an arbitrary byte offset (the
+torn-tail residue a crash mid-write can leave) and reloaded.
+
+The property is the storage layer's crash-tail contract: whatever the
+offset, recovery yields exactly the records of the longest parseable
+prefix of complete lines — a prefix of the original record sequence,
+never a blend, never a partial record, never a refusal to boot — and
+the load is idempotent (the torn residue is truncated away on disk, so
+a second restart sees a clean log).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rt.host import WAL_FILE
+from repro.rt.proc import KillSpec, ProcessCluster
+from repro.rt.proc.supervisor import SPAWNED_PROCESSES
+from repro.sim.kernel import Simulator
+from repro.storage.file_log import FileStableLog, record_to_json
+from repro.storage.group_commit import GroupCommitConfig
+from tests.conformance.harness import (
+    CONFORMANCE_TIMEOUTS,
+    PROTOCOL_SETUPS,
+    conformance_spec,
+)
+from repro.workloads.generator import generate_transactions
+
+SEED = 1303
+
+
+async def _capture_victim_wal(data_dir: Path) -> bytes:
+    """Run a real cluster, SIGKILL one site mid-protocol, return the
+    WAL bytes its dead incarnation left behind."""
+    # PrN: every site keeps a local WAL (a coordinator-log site in the
+    # mixed setup would be logless and leave nothing to truncate).
+    mix, coordinator = PROTOCOL_SETUPS["PrN"]
+    spec = conformance_spec(SEED, n_transactions=2)
+    transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+    target = transactions[0]
+    victim = sorted(target.writes)[0]
+    cluster = ProcessCluster(
+        mix,
+        data_dir,
+        coordinator=coordinator,
+        seed=spec.seed,
+        timeouts=CONFORMANCE_TIMEOUTS,
+        time_scale=0.005,
+        fsync=True,
+        # A wide window, so the kill lands while forces are coalescing.
+        # By enforce-commit time the updates+prepared blob is stable
+        # (PrN forces prepared before voting), while the decision
+        # record may still sit in the open window — so the WAL is
+        # guaranteed non-empty and the kill is genuinely mid-window.
+        group_commit=GroupCommitConfig(max_delay=8.0, max_batch=8),
+        kills={
+            victim: KillSpec(point="part-after-enforce-commit", txn=target.txn_id)
+        },
+    )
+    await cluster.start()
+    try:
+        cluster.submit(dataclasses.replace(target, submit_at=0.0), immediate=True)
+        await cluster.wait_for_crash(victim, timeout=30.0)
+    finally:
+        await cluster.shutdown()
+    return (data_dir / victim / WAL_FILE).read_bytes()
+
+
+@pytest.fixture(scope="module")
+def victim_wal(tmp_path_factory):
+    data_dir = tmp_path_factory.mktemp("proc-crash")
+    try:
+        raw = asyncio.run(_capture_victim_wal(data_dir))
+    finally:
+        for popen in SPAWNED_PROCESSES:
+            if popen.poll() is None:
+                popen.kill()
+            popen.wait()
+        SPAWNED_PROCESSES.clear()
+    assert raw, "the SIGKILLed site left no WAL to test against"
+    return raw
+
+
+def _records_of(raw: bytes) -> list[dict]:
+    """The records of ``raw``'s parseable complete-line prefix —
+    exactly what crash recovery is allowed to see. A trailing segment
+    that parses (a cut landing on the very end of a line) is a whole
+    record, not a torn tail."""
+    records = []
+    segments = [s for s in raw.split(b"\n") if s.strip()]
+    for i, segment in enumerate(segments):
+        try:
+            records.append(json.loads(segment))
+        except json.JSONDecodeError:
+            assert i == len(segments) - 1, "only the tail may be torn"
+            break
+    return records
+
+
+def _load(path: Path) -> list[dict]:
+    log = FileStableLog(Simulator(seed=1), "victim", path, fsync=False)
+    try:
+        return [record_to_json(r) for r in log.stable_records()]
+    finally:
+        log.close()
+
+
+def test_captured_wal_is_nontrivial(victim_wal):
+    """Sanity of the raw material: multiple whole records, ending with
+    the prepared record the crash point fired on."""
+    records = _records_of(victim_wal)
+    assert len(records) >= 2
+    assert _load_full_equals(victim_wal, records)
+    assert any(r["type"] == "prepared" for r in records)
+
+
+def _load_full_equals(raw: bytes, records: list[dict]) -> bool:
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / WAL_FILE
+        path.write_bytes(raw)
+        return _load(path) == records
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_torn_tail_recovers_all_or_nothing_prefix(victim_wal, data):
+    full = _records_of(victim_wal)
+    offset = data.draw(st.integers(min_value=0, max_value=len(victim_wal)))
+    truncated = victim_wal[:offset]
+    expected = _records_of(truncated)
+
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / WAL_FILE
+        path.write_bytes(truncated)
+
+        loaded = _load(path)
+        # All-or-nothing: exactly the complete records before the cut,
+        # which form a strict prefix of the original sequence.
+        assert loaded == expected
+        assert loaded == full[: len(loaded)]
+        # Idempotent: the torn residue was truncated away on disk, so
+        # the next incarnation boots from a clean log.
+        assert _load(path) == expected
+        assert _records_of(path.read_bytes()) == expected

@@ -1,0 +1,66 @@
+"""Flake guards for the live-runtime suite.
+
+Two autouse fixtures keep socket/process tests from taking the whole
+suite down with them:
+
+* a hard per-test wall-clock timeout via ``SIGALRM`` (the container has
+  no pytest-timeout plugin; the stdlib alarm is enough for a
+  single-threaded asyncio suite). A wedged event loop gets interrupted
+  with a stack trace instead of hanging CI until the job-level timeout;
+* an orphan-process reaper: every child the multi-process supervisor
+  ever spawns is registered in
+  :data:`repro.rt.proc.supervisor.SPAWNED_PROCESSES`; after each test,
+  anything still running is SIGKILLed and reaped, so a failing or
+  interrupted test can never strand site processes (which would hold
+  ports and data directories across tests).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.rt.proc.supervisor import SPAWNED_PROCESSES
+
+#: Hard wall-clock ceiling per test, seconds. The slowest legitimate
+#: tests here (crash matrix cells with recovery waits) finish in well
+#: under a minute; anything past this is wedged, not slow.
+TEST_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout():
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: no guard, run bare
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the hard {TEST_TIMEOUT_SECONDS}s wall-clock limit"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _reap_orphans():
+    yield
+    leaked = []
+    for popen in SPAWNED_PROCESSES:
+        if popen.poll() is None:
+            leaked.append(popen.pid)
+            popen.kill()
+        popen.wait()
+    SPAWNED_PROCESSES.clear()
+    if leaked:
+        pytest.fail(
+            f"test leaked running site processes (pids {leaked}); "
+            f"they were SIGKILLed by the reaper"
+        )

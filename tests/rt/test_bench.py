@@ -75,6 +75,7 @@ class TestRegistry:
         assert [s.name for s in scenarios] == [
             "live-prany-commit",
             "live-prany-throughput",
+            "live-prany-multiproc",
         ]
         assert all(not s.deterministic for s in scenarios)
 

@@ -1,0 +1,212 @@
+"""Process-per-site supervisor: lifecycle, liveness, conformance.
+
+The crash matrix (``test_process_recovery.py``) exercises *protocol*
+behavior under SIGKILL; this module covers the supervisor machinery
+itself — spawn/teardown hygiene, heartbeat detection of a wedged (not
+dead) child, automatic respawn — plus the headline conformance claim
+for the multi-process deployment: a pinned-seed failure-free workload
+over real OS processes produces the byte-identical equivalence
+footprint of the deterministic simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.errors import SiteDownError
+from repro.rt.proc import ProcessCluster, run_multiprocess_workload
+from repro.storage.group_commit import GroupCommitConfig
+from tests.conformance.harness import (
+    CONFORMANCE_TIMEOUTS,
+    PROTOCOL_SETUPS,
+    conformance_spec,
+    equivalence_summary,
+    run_workload,
+)
+
+#: Pinned seed: the CI multiproc-smoke job replays this comparison.
+CONFORMANCE_SEED = 1303
+
+#: Each live case boots a real 4-process cluster; keep the workload
+#: small enough that a full case stays in single-digit wall seconds.
+N_TRANSACTIONS = 6
+
+#: Wall seconds per virtual unit for the lifecycle tests (they drive
+#: few transactions, so a fast clock keeps them snappy).
+TIME_SCALE = 0.005
+
+
+def _cluster(tmp_path, **kw):
+    mix, coordinator = PROTOCOL_SETUPS["PrAny"]
+    kw.setdefault("coordinator", coordinator)
+    kw.setdefault("seed", CONFORMANCE_SEED)
+    kw.setdefault("timeouts", CONFORMANCE_TIMEOUTS)
+    kw.setdefault("time_scale", TIME_SCALE)
+    kw.setdefault("fsync", False)
+    return ProcessCluster(mix, str(tmp_path), **kw)
+
+
+@pytest.mark.parametrize("protocol", ("PrN", "PrAny"))
+def test_multiprocess_run_matches_simulator(protocol, tmp_path):
+    """The conformance claim across a real process boundary: same
+    workload, same seed, one OS process per site, fsync on — identical
+    equivalence footprint to the simulator."""
+    mix, coordinator = PROTOCOL_SETUPS[protocol]
+    spec = conformance_spec(
+        CONFORMANCE_SEED, n_transactions=N_TRANSACTIONS, inter_arrival=1.0
+    )
+
+    sim_summary = equivalence_summary(run_workload(mix, coordinator, spec))
+
+    cluster = asyncio.run(
+        run_multiprocess_workload(
+            mix,
+            coordinator,
+            spec,
+            str(tmp_path),
+            time_scale=TIME_SCALE,
+            fsync=True,
+            timeouts=CONFORMANCE_TIMEOUTS,
+        )
+    )
+    live_summary = equivalence_summary(cluster)
+
+    assert live_summary == sim_summary
+    assert len(live_summary["decisions"]) == N_TRANSACTIONS
+    assert live_summary["checks"] == {
+        "atomicity": True,
+        "safe_state": True,
+        "operational": True,
+    }
+
+
+def test_multiprocess_group_commit_pipelined_matches_simulator(tmp_path):
+    """The throughput path (group-commit coalescing + open-loop
+    pipelining) is footprint-invariant across processes too."""
+    mix, coordinator = PROTOCOL_SETUPS["PrAny"]
+    spec = conformance_spec(
+        CONFORMANCE_SEED, n_transactions=N_TRANSACTIONS, inter_arrival=1.0
+    )
+
+    sim_summary = equivalence_summary(run_workload(mix, coordinator, spec))
+
+    cluster = asyncio.run(
+        run_multiprocess_workload(
+            mix,
+            coordinator,
+            spec,
+            str(tmp_path),
+            time_scale=TIME_SCALE,
+            fsync=True,
+            timeouts=CONFORMANCE_TIMEOUTS,
+            group_commit=GroupCommitConfig(max_delay=2.0, max_batch=4),
+            pipeline=4,
+        )
+    )
+    live_summary = equivalence_summary(cluster)
+
+    assert live_summary == sim_summary
+    assert len(live_summary["decisions"]) == N_TRANSACTIONS
+
+
+def test_spawn_and_clean_teardown(tmp_path):
+    """Every site becomes its own OS process (distinct pids, pidfiles
+    on disk), and shutdown reaps them all without SIGKILL races."""
+
+    async def go():
+        cluster = _cluster(tmp_path)
+        await cluster.start()
+        handles = cluster._children
+        pids = {h.pid for h in handles.values()}
+        assert len(pids) == len(handles)  # one real process per site
+        assert os.getpid() not in pids
+        for site_id, handle in handles.items():
+            pidfile = tmp_path / site_id / "site.pid"
+            assert pidfile.exists()
+            assert int(pidfile.read_text()) == handle.pid
+            assert handle.alive
+        await cluster.shutdown()
+        for handle in handles.values():
+            assert handle.popen.poll() is not None  # exited, reaped
+        return True
+
+    assert asyncio.run(go())
+
+
+def test_kill_requires_running_child_and_restart_requires_dead(tmp_path):
+    async def go():
+        cluster = _cluster(tmp_path)
+        await cluster.start()
+        try:
+            victim = sorted(cluster._children)[0]
+            with pytest.raises(SiteDownError):
+                await cluster.restart(victim)  # still running
+            await cluster.kill(victim)
+            with pytest.raises(SiteDownError):
+                await cluster.kill(victim)  # already dead
+            report = await cluster.restart(victim)
+            assert report is not None
+            assert cluster._children[victim].alive
+        finally:
+            await cluster.shutdown()
+        return True
+
+    assert asyncio.run(go())
+
+
+def test_heartbeat_kills_wedged_child(tmp_path):
+    """Liveness is more than process-exists: a SIGSTOPped child holds
+    its control socket open but answers nothing. The heartbeat monitor
+    must notice the silence and put it out of its misery."""
+
+    async def go():
+        cluster = _cluster(
+            tmp_path, heartbeat_interval=0.2, heartbeat_misses=2
+        )
+        await cluster.start()
+        try:
+            victim = sorted(cluster._children)[0]
+            handle = cluster._children[victim]
+            os.kill(handle.pid, signal.SIGSTOP)
+            try:
+                await cluster.wait_for_crash(victim, timeout=15.0)
+            finally:
+                # SIGKILL on a stopped process only takes effect once
+                # it is continued; make sure it can die either way.
+                try:
+                    os.kill(handle.pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert not handle.alive
+        finally:
+            await cluster.shutdown()
+        return True
+
+    assert asyncio.run(go())
+
+
+def test_auto_respawn_brings_crashed_child_back(tmp_path):
+    async def go():
+        cluster = _cluster(tmp_path, auto_respawn=True)
+        await cluster.start()
+        try:
+            victim = sorted(cluster._children)[0]
+            handle = cluster._children[victim]
+            old_pid = handle.pid
+            handle.popen.kill()
+            await cluster.wait_for_crash(victim, timeout=15.0)
+            deadline = asyncio.get_running_loop().time() + 15.0
+            while not (handle.alive and handle.pid != old_pid):
+                assert asyncio.get_running_loop().time() < deadline, (
+                    "child was not respawned"
+                )
+                await asyncio.sleep(0.05)
+        finally:
+            await cluster.shutdown()
+        return True
+
+    assert asyncio.run(go())

@@ -1,0 +1,102 @@
+"""Regression: a kill inside the checkpoint's write-then-rename window.
+
+``FileBackedStore.checkpoint`` persists via write-tmp → fsync →
+``os.replace`` → fsync-dir. A SIGKILL can land anywhere in that
+sequence, so recovery must treat the rename as the *only* commit point:
+whatever state the ``.tmp`` file is in — absent, torn mid-write, or
+complete-but-never-renamed — the next incarnation loads exactly one
+complete snapshot (the last renamed one) and discards the leftover.
+These tests bisect the window by hand-crafting each interleaving's
+on-disk residue.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.rt.store import FileBackedStore
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "store.json"
+
+
+def tmp_of(path):
+    return path.with_suffix(path.suffix + ".tmp")
+
+
+def checkpointed(path, state):
+    """A store whose last completed checkpoint persisted ``state``."""
+    store = FileBackedStore(path, fsync=False)
+    store.checkpoint(state)
+    return store
+
+
+class TestRenameWindowBisection:
+    def test_kill_mid_tmp_write_keeps_previous_snapshot(self, path):
+        checkpointed(path, {"x": 1})
+        # Kill landed mid-write: the tmp is a torn JSON prefix.
+        tmp_of(path).write_bytes(b'{"x": 2, "y"')
+
+        reborn = FileBackedStore(path, fsync=False)
+        assert reborn.durable_snapshot() == {"x": 1}
+        assert not tmp_of(path).exists()
+
+    def test_kill_after_tmp_complete_before_rename_keeps_previous(self, path):
+        checkpointed(path, {"x": 1})
+        # Kill landed between fsync(tmp) and os.replace: the tmp is a
+        # complete snapshot, but the commit point was never reached —
+        # recovery must NOT prefer it over the renamed file.
+        tmp_of(path).write_text(json.dumps({"x": 2}), encoding="utf-8")
+
+        reborn = FileBackedStore(path, fsync=False)
+        assert reborn.durable_snapshot() == {"x": 1}
+        assert not tmp_of(path).exists()
+
+    def test_kill_after_rename_loads_new_snapshot(self, path):
+        checkpointed(path, {"x": 1})
+        checkpointed(path, {"x": 2})
+        # Kill after os.replace: rename is the commit point, the new
+        # state is the one and only snapshot.
+        reborn = FileBackedStore(path, fsync=False)
+        assert reborn.durable_snapshot() == {"x": 2}
+
+    def test_kill_mid_first_checkpoint_recovers_empty(self, path):
+        # No snapshot was ever renamed into place; a torn tmp from the
+        # very first checkpoint means the store is still empty.
+        tmp_of(path).write_bytes(b'{"x"')
+
+        reborn = FileBackedStore(path, fsync=False)
+        assert reborn.durable_snapshot() == {}
+        assert not tmp_of(path).exists()
+
+    def test_checkpoint_after_stale_tmp_is_unpolluted(self, path):
+        checkpointed(path, {"x": 1})
+        tmp_of(path).write_bytes(b'{"x": 99, "half')
+
+        reborn = FileBackedStore(path, fsync=False)
+        reborn.checkpoint({"x": 3})
+        # The stale bytes are gone for good: neither this incarnation
+        # nor the next sees any trace of the aborted checkpoint.
+        assert FileBackedStore(path, fsync=False).durable_snapshot() == {"x": 3}
+        assert not tmp_of(path).exists()
+
+    def test_exactly_one_complete_snapshot_at_every_bisection(self, path):
+        """Sweep the whole window: truncate the would-be tmp at every
+        byte offset; recovery always yields exactly one of the two
+        complete snapshots, never a blend or a partial parse."""
+        old, new = {"k": "old"}, {"k": "new", "extra": 7}
+        new_bytes = json.dumps(new, sort_keys=True).encode()
+        for cut in range(len(new_bytes) + 1):
+            checkpointed(path, old)
+            tmp_of(path).write_bytes(new_bytes[:cut])
+            loaded = FileBackedStore(path, fsync=False).durable_snapshot()
+            assert loaded == old  # pre-rename residue never wins
+            assert not tmp_of(path).exists()
+        # ... and one step past the window (renamed): the new one wins.
+        checkpointed(path, old)
+        checkpointed(path, new)
+        assert FileBackedStore(path, fsync=False).durable_snapshot() == new

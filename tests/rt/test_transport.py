@@ -171,12 +171,12 @@ class TestReconnectRetry:
                 real_write_frames = link._write_frames
                 failures = 0
 
-                async def dead_then_fine(frames):
+                async def dead_then_fine(writer, frames):
                     nonlocal failures
                     if failures == 0:
                         failures += 1  # the connection died under us
                         return False
-                    return await real_write_frames(frames)
+                    return await real_write_frames(writer, frames)
 
                 link._write_frames = dead_then_fine
 
