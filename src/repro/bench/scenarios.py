@@ -587,6 +587,156 @@ def _grouped_c2pc(smoke: bool = False) -> ScenarioResult:
     )
 
 
+# -- sharded-coordinator pair scenarios --------------------------------------
+#
+# The same dense PrAny storm routed through one central coordinator site
+# (``tm``) vs hash-sharded across every site (``repro.mdbs.placement``).
+# Both twins run on :class:`~repro.net.network.ServiceTimeNetwork` — the
+# plain network has no receiver-side queuing, so a single coordinator
+# never contends and the comparison would be vacuous. The RNG stream is
+# placement-independent (see ``generate_transactions``), so the twins
+# run byte-identical workloads; only where decisions are made differs.
+
+
+def _latency_percentiles(values: list[float]) -> dict[str, float]:
+    """p50/p95/p99 of ``values`` (linear interpolation, virtual units)."""
+    ordered = sorted(values)
+
+    def q(p: float) -> float:
+        if not ordered:
+            return 0.0
+        pos = (len(ordered) - 1) * p
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+    return {"p50": round(q(0.50), 3), "p95": round(q(0.95), 3), "p99": round(q(0.99), 3)}
+
+
+def _coordinator_storm(sharded: bool, smoke: bool) -> ScenarioResult:
+    """Dense PrAny storm, central vs sharded coordinator placement.
+
+    ``events`` is the transaction count — the shared unit of logical
+    work — so the pair's events/sec stay comparable. The interesting
+    numbers are in ``detail``: decision latency percentiles in *virtual*
+    time (decide-trace time minus submit time), which expose the central
+    coordinator's receive queue, and the peak number of concurrently
+    open transactions, which confirms the storm is dense enough
+    (pipeline depth >= 8) for that queue to matter.
+    """
+    from repro.mdbs.placement import HashPlacement
+    from repro.protocols.base import TimeoutConfig
+    from repro.workloads.generator import (
+        WorkloadSpec,
+        build_mdbs,
+        generate_transactions,
+    )
+    from repro.workloads.mixes import three_way
+
+    mix = three_way(4)
+    n_transactions = 36 if smoke else 360
+    # Timeouts sit far above the worst-case receive-queue backlog (the
+    # full-size storm queues ~10^3 virtual units at the central
+    # coordinator), so every decision is made when the votes are
+    # actually processed, not by a timer — otherwise both twins would
+    # flat-line at the vote timeout and the comparison would be
+    # meaningless.
+    timeouts = TimeoutConfig(
+        vote_timeout=5_000.0,
+        resend_interval=5_000.0,
+        inquiry_timeout=5_000.0,
+        inquiry_retry=5_000.0,
+        active_timeout=20_000.0,
+    )
+    mdbs = build_mdbs(
+        mix,
+        coordinator="dynamic",
+        seed=BENCH_SEED,
+        timeouts=timeouts,
+        sharded=sharded,
+        service_time=0.5,
+    )
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.2,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=0.5,
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+    sites = sorted(mix.site_protocols())
+    transactions = generate_transactions(
+        spec, sites, placement=HashPlacement() if sharded else None
+    )
+    for txn in transactions:
+        mdbs.submit(txn)
+    mdbs.run(until=spec.inter_arrival * n_transactions + 5_000.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    submit_at = {txn.txn_id: txn.submit_at for txn in transactions}
+    decided_at: dict[str, float] = {}
+    for event in mdbs.sim.trace.select(category="protocol", name="decide"):
+        decided_at.setdefault(event.details["txn"], event.time)
+    latencies = [
+        decided_at[txn_id] - at
+        for txn_id, at in submit_at.items()
+        if txn_id in decided_at
+    ]
+    # Peak concurrently-open transactions: sweep submit/decide endpoints.
+    endpoints = sorted(
+        [(at, 1) for txn_id, at in submit_at.items() if txn_id in decided_at]
+        + [(decided_at[txn_id], -1) for txn_id in submit_at if txn_id in decided_at]
+    )
+    depth = peak_depth = 0
+    for _, delta in endpoints:
+        depth += delta
+        peak_depth = max(peak_depth, depth)
+    coordinators = sorted({txn.coordinator for txn in transactions})
+    return ScenarioResult(
+        events=n_transactions,
+        trace_events=len(mdbs.sim.trace),
+        messages=mdbs.network.sent_count,
+        checks_passed=(
+            reports.all_hold and len(decided_at) == n_transactions
+        ),
+        detail={
+            "counterpart": (
+                "commit-storm-single-prany"
+                if sharded
+                else "commit-storm-sharded-prany"
+            ),
+            "sharded": sharded,
+            "placement": "hash" if sharded else "tm",
+            "coordinators": coordinators,
+            "transactions": n_transactions,
+            "decided": len(decided_at),
+            "decision_latency_vt": _latency_percentiles(latencies),
+            "peak_open_transactions": peak_depth,
+            "service_time": 0.5,
+            "kernel_steps": mdbs.sim.steps_executed,
+        },
+    )
+
+
+@register(
+    "commit-storm-single-prany",
+    "dense PrAny storm, every transaction coordinated by the central tm site (pair baseline)",
+    tags=("system", "protocol", "sharding"),
+)
+def _single_coordinator_storm(smoke: bool = False) -> ScenarioResult:
+    return _coordinator_storm(sharded=False, smoke=smoke)
+
+
+@register(
+    "commit-storm-sharded-prany",
+    "the same dense PrAny storm hash-sharded across per-site coordinators",
+    tags=("system", "protocol", "sharding"),
+)
+def _sharded_coordinator_storm(smoke: bool = False) -> ScenarioResult:
+    return _coordinator_storm(sharded=True, smoke=smoke)
+
+
 @register(
     "crash-recovery",
     "commit storm with scheduled participant/coordinator crashes and §4.2 recovery",

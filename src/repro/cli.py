@@ -179,6 +179,7 @@ def _cmd_explore(args: argparse.Namespace) -> str:
         mix=args.mix,
         salt=args.salt,
         group_commit=args.group_commit,
+        sharded=args.sharded,
     )
 
     def progress(done: int, violations: int) -> None:
@@ -226,6 +227,7 @@ def _cmd_explore(args: argparse.Namespace) -> str:
                 note=(
                     f"found by `repro explore --protocol {args.protocol}"
                     f"{' --mix ' + args.mix if args.mix else ''}"
+                    f"{' --sharded' if args.sharded else ''}"
                     f" --salt {args.salt}` at seed {summary.seed}; "
                     f"shrunk from {len(result.original.actions)} to "
                     f"{len(result.minimized.actions)} action(s)"
@@ -361,7 +363,10 @@ def _cmd_live(args: argparse.Namespace) -> str:
         def progress(scenario) -> None:
             print(f"  ... measuring {scenario.name}", file=sys.stderr, flush=True)
 
-        measurements = run_bench(live_scenarios(), config, progress=progress)
+        scenarios = live_scenarios()
+        if args.sharded:
+            scenarios = [s for s in scenarios if "sharding" in s.tags]
+        measurements = run_bench(scenarios, config, progress=progress)
         report = build_report(
             measurements, config, optimizations=LIVE_OPTIMIZATION_HISTORY
         )
@@ -411,11 +416,19 @@ def _cmd_live(args: argparse.Namespace) -> str:
         return "\n".join(lines)
 
     n_transactions = 6 if args.smoke else args.transactions
+    if args.sharded and args.participants < 2:
+        raise SystemExit(
+            "--sharded needs at least 2 participants: each transaction's "
+            "coordinator comes from the sites it does not touch"
+        )
+    # Sharded placement draws each coordinator from the non-participant
+    # sites, so one site must stay free of every transaction.
+    pool = args.participants - 1 if args.sharded else args.participants
     spec = WorkloadSpec(
         n_transactions=n_transactions,
         abort_fraction=args.abort_fraction,
-        participants_min=min(2, args.participants),
-        participants_max=min(3, args.participants),
+        participants_min=min(2, pool),
+        participants_max=min(3, pool),
         inter_arrival=args.inter_arrival,
         hot_keys=0,
         seed=args.seed,
@@ -435,6 +448,7 @@ def _cmd_live(args: argparse.Namespace) -> str:
             timeouts=LIVE_TIMEOUTS,
             time_scale=args.time_scale,
             fsync=not args.no_fsync,
+            sharded=args.sharded,
         )
         await cluster.start()
         kill_notes: list[str] = []
@@ -470,7 +484,14 @@ def _cmd_live(args: argparse.Namespace) -> str:
                     kill_tasks.append(loop.create_task(kill_and_restart()))
 
             cluster.sim.trace.subscribe(on_event)
-        for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+        placement = None
+        if args.sharded:
+            from repro.mdbs.placement import placement_for
+
+            placement = placement_for("hash")
+        for txn in generate_transactions(
+            spec, sorted(mix.site_protocols()), placement=placement
+        ):
             cluster.submit(txn)
         await cluster.run(
             until=spec.inter_arrival * spec.n_transactions + RUN_MARGIN
@@ -488,6 +509,8 @@ def _cmd_live(args: argparse.Namespace) -> str:
         mode = (
             "one OS process per site" if args.multiprocess else "in-process"
         )
+        if args.sharded:
+            mode += ", sharded coordinators"
         lines = [
             f"live run — {mix.name} over {len(mix)} participants "
             f"({mode}), {n_transactions} transactions, "
@@ -621,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
         "coalescing + message batching)",
     )
     explore.add_argument(
+        "--sharded",
+        action="store_true",
+        help="shard the coordinator role across every site (hash "
+        "placement, no tm site); coordinator crashes target each "
+        "transaction's actual owner",
+    )
+    explore.add_argument(
         "--artifacts",
         default="explore-artifacts",
         help="directory for shrunk counterexample artifacts",
@@ -740,6 +770,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync",
         action="store_true",
         help="skip fsync on log forces (faster; tests only)",
+    )
+    live.add_argument(
+        "--sharded",
+        action="store_true",
+        help="shard the coordinator role across every site (hash "
+        "placement, no tm site); with --bench, measure only the "
+        "single-vs-sharded scenario pair",
     )
     live.add_argument(
         "--bench",

@@ -45,6 +45,16 @@ _CRASH_POINTS = {
 }
 
 
+def participant_bounds(n_sites: int, sharded: bool) -> tuple[int, int]:
+    """Participant count range for a scenario workload.
+
+    Sharded placement picks each transaction's coordinator from the
+    sites it does *not* touch, so at least one site must stay free.
+    """
+    upper = max(1, n_sites - 1) if sharded else n_sites
+    return min(2, upper), upper
+
+
 # -- actions -----------------------------------------------------------------
 
 
@@ -156,6 +166,9 @@ class ScenarioSpec:
         group_commit: run on the group-commit engine (log-force
             coalescing + message batching, default configs) instead of
             the plain synchronous stack.
+        sharded: shard the coordinator role across every site (hash
+            placement, no ``tm`` site) instead of the central
+            single-coordinator topology.
         actions: the adversary schedule.
     """
 
@@ -171,6 +184,7 @@ class ScenarioSpec:
     horizon: float = 400.0
     settle: float = 200.0
     group_commit: bool = False
+    sharded: bool = False
     actions: tuple[AdversaryAction, ...] = ()
 
     def __post_init__(self) -> None:
@@ -209,6 +223,9 @@ class ScenarioSpec:
             # Emitted only when set, so pinned pre-group-commit artifacts
             # stay byte-identical (and replay cleanly via from_dict).
             payload["group_commit"] = True
+        if self.sharded:
+            # Same rule: absent in every pre-sharding artifact.
+            payload["sharded"] = True
         return payload
 
     @classmethod
@@ -265,6 +282,11 @@ class GeneratorConfig:
             explore different schedules for the same seed range.
         group_commit: generate every scenario on the group-commit
             engine (log-force coalescing + message batching).
+        sharded: generate every scenario on the sharded-coordinator
+            topology. Coordinator-role crash points then target the
+            victim transaction's *actual* hash-placed coordinator
+            (resolved at generation time — placement is deterministic),
+            so coordinator kills land on every shard over a sweep.
     """
 
     protocol: str = "prany"
@@ -273,6 +295,7 @@ class GeneratorConfig:
     max_transactions: int = 4
     salt: int = 0
     group_commit: bool = False
+    sharded: bool = False
 
     def __post_init__(self) -> None:
         if self.mix is not None and self.mix not in MIXES:
@@ -311,8 +334,37 @@ class AdversaryGenerator:
         sites = sorted(MIXES[mix_name].site_protocols())
         txn_ids = tuple(f"t{i:04d}" for i in range(n_transactions))
         active_until = n_transactions * inter_arrival + 120.0
+        # Sharded topologies have no fixed coordinator site: resolve
+        # each transaction's hash-placed owner now (the workload stream
+        # is a pure function of the spec, so this matches the run
+        # exactly) and aim coordinator-role crashes at it. Uses the
+        # workload's own RNG, so the sampling stream here is untouched.
+        coordinator_of: dict[str, str] = {}
+        if cfg.sharded:
+            from repro.mdbs.placement import HashPlacement
+            from repro.workloads.generator import (
+                WorkloadSpec,
+                generate_transactions,
+            )
+
+            pmin, pmax = participant_bounds(len(sites), sharded=True)
+            workload = WorkloadSpec(
+                n_transactions=n_transactions,
+                abort_fraction=abort_fraction,
+                participants_min=pmin,
+                participants_max=pmax,
+                inter_arrival=inter_arrival,
+                hot_keys=hot_keys,
+                seed=seed,
+            )
+            coordinator_of = {
+                txn.txn_id: txn.coordinator
+                for txn in generate_transactions(
+                    workload, sites, placement=HashPlacement()
+                )
+            }
         actions = tuple(
-            self._sample_action(rng, sites, txn_ids, active_until)
+            self._sample_action(rng, sites, txn_ids, active_until, coordinator_of)
             for _ in range(rng.randint(1, cfg.max_actions))
         )
         return ScenarioSpec(
@@ -328,6 +380,7 @@ class AdversaryGenerator:
             horizon=active_until + 180.0,
             settle=200.0,
             group_commit=cfg.group_commit,
+            sharded=cfg.sharded,
             actions=actions,
         )
 
@@ -337,8 +390,12 @@ class AdversaryGenerator:
         sites: list[str],
         txn_ids: tuple[str, ...],
         active_until: float,
+        coordinator_of: Optional[dict[str, str]] = None,
     ) -> AdversaryAction:
-        every = sites + [COORDINATOR_SITE]
+        sharded = self.config.sharded
+        # Sharded topologies have no tm site; every site plays both
+        # roles, so victims/endpoints come from the site pool alone.
+        every = sites if sharded else sites + [COORDINATOR_SITE]
         kind = rng.choices(
             ("crash_when", "crash_at", "partition", "drop_next", "loss"),
             weights=(40, 15, 15, 15, 15),
@@ -346,6 +403,22 @@ class AdversaryGenerator:
         if kind == "crash_when":
             point = rng.choice(sorted(_CRASH_POINTS))
             crash_point = _CRASH_POINTS[point]
+            if sharded:
+                # Draw the transaction first: a coordinator-role crash
+                # must land on *that* transaction's hash-placed owner
+                # or its predicate can never fire.
+                txn = rng.choice(txn_ids)
+                if crash_point.role == "coordinator":
+                    victim = (coordinator_of or {}).get(txn) or rng.choice(sites)
+                else:
+                    victim = rng.choice(sites)
+                return CrashWhen(
+                    site=victim,
+                    point=point,
+                    txn=txn,
+                    down_for=rng.uniform(20.0, 120.0),
+                    delay=rng.choice((0.0, 0.0, 0.5, 2.0)),
+                )
             victim = (
                 COORDINATOR_SITE
                 if crash_point.role == "coordinator"

@@ -32,7 +32,9 @@ from repro.explore.adversary import (
     PartitionWindow,
     ScenarioSpec,
     _CRASH_POINTS,
+    participant_bounds,
 )
+from repro.mdbs.placement import HashPlacement
 from repro.explore.oracle import InvariantOracle, OracleVerdict
 from repro.mdbs.system import MDBS
 from repro.net.batching import NetBatchConfig
@@ -103,6 +105,7 @@ def build_scenario(spec: ScenarioSpec) -> MDBS:
         seed=spec.seed,
         group_commit=GroupCommitConfig() if spec.group_commit else None,
         net_batching=NetBatchConfig() if spec.group_commit else None,
+        sharded=spec.sharded,
     )
     if spec.latency_high > spec.latency_low:
         mdbs.network.set_latency(
@@ -111,16 +114,21 @@ def build_scenario(spec: ScenarioSpec) -> MDBS:
     else:
         mdbs.network.set_latency(ConstantLatency(spec.latency_low))
     _install_adversary(mdbs, spec)
+    pmin, pmax = participant_bounds(len(mix), spec.sharded)
     workload = WorkloadSpec(
         n_transactions=spec.n_transactions,
         abort_fraction=spec.abort_fraction,
-        participants_min=min(2, len(mix)),
-        participants_max=len(mix),
+        participants_min=pmin,
+        participants_max=pmax,
         inter_arrival=spec.inter_arrival,
         hot_keys=spec.hot_keys,
         seed=spec.seed,
     )
-    for txn in generate_transactions(workload, sorted(mix.site_protocols())):
+    for txn in generate_transactions(
+        workload,
+        sorted(mix.site_protocols()),
+        placement=HashPlacement() if spec.sharded else None,
+    ):
         mdbs.submit(txn)
     return mdbs
 

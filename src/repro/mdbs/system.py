@@ -34,7 +34,7 @@ from repro.mdbs.site import Site
 from repro.mdbs.transaction import GlobalTransaction
 from repro.net.batching import BatchingNetwork, NetBatchConfig
 from repro.net.failures import FailureInjector
-from repro.net.network import LatencyModel, Network
+from repro.net.network import LatencyModel, Network, ServiceTimeNetwork
 from repro.protocols.base import TimeoutConfig, participant_spec
 from repro.protocols.registry import selector_for
 from repro.sim.kernel import Simulator
@@ -142,6 +142,7 @@ class MDBS:
         timeouts: Optional[TimeoutConfig] = None,
         group_commit: Optional[GroupCommitConfig] = None,
         net_batching: Optional[NetBatchConfig] = None,
+        service_time: Optional[float] = None,
     ) -> None:
         """Args beyond the obvious:
 
@@ -151,13 +152,27 @@ class MDBS:
             into batched delivery events (see ``repro.net.batching``).
             Both default to off, which preserves the paper's
             one-force-per-record / one-event-per-message accounting.
+        service_time: when given, each receiver processes deliveries one
+            at a time, each taking this many units
+            (:class:`~repro.net.network.ServiceTimeNetwork`) — the knob
+            that makes receiver-side queuing (a single coordinator's
+            contention) visible in virtual time. Mutually exclusive
+            with ``net_batching``.
         """
+        if net_batching is not None and service_time is not None:
+            raise WorkloadError(
+                "net_batching and service_time are mutually exclusive"
+            )
         self.sim = Simulator(seed)
-        self.network: Network = (
-            BatchingNetwork(self.sim, latency, net_batching)
-            if net_batching is not None
-            else Network(self.sim, latency)
-        )
+        self.network: Network
+        if net_batching is not None:
+            self.network = BatchingNetwork(self.sim, latency, net_batching)
+        elif service_time is not None:
+            self.network = ServiceTimeNetwork(
+                self.sim, latency, service_time=service_time
+            )
+        else:
+            self.network = Network(self.sim, latency)
         self.pcp = CommitProtocolDirectory()
         self.failures = FailureInjector(self.sim)
         self.timeouts = timeouts if timeouts is not None else TimeoutConfig()

@@ -229,3 +229,50 @@ class Network:
             **message.payload,
         )
         entry.handler(message)
+
+
+class ServiceTimeNetwork(Network):
+    """A network whose receivers take time to process each delivery.
+
+    The plain :class:`Network` delivers after link latency with no
+    receiver-side queuing, so a site can absorb any number of
+    simultaneous arrivals for free — under that model a single
+    coordinator is never a contention point and sharding the
+    coordinator role cannot show up in virtual-time latency. This
+    subclass adds the standard single-server queue at each receiver:
+    every delivery occupies its receiver for ``service_time`` units, and
+    a message arriving while the receiver is busy waits its turn
+    (deterministically, in arrival order — the override changes *when*
+    deliveries happen, never whether or to whom).
+
+    Off by default everywhere; the sharded-coordinator bench pair
+    (``commit-storm-single-prany`` / ``commit-storm-sharded-prany``)
+    switches it on for both twins so the coordinator's queue is the only
+    variable between them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        service_time: float = 0.05,
+    ) -> None:
+        super().__init__(sim, latency)
+        if service_time < 0:
+            raise NetworkError(
+                f"service time cannot be negative: {service_time!r}"
+            )
+        self.service_time = service_time
+        self._busy_until: dict[str, float] = {}
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        now = self._sim.now
+        arrival = now + delay
+        start = max(arrival, self._busy_until.get(message.receiver, 0.0))
+        done = start + self.service_time
+        self._busy_until[message.receiver] = done
+        self._sim.schedule(
+            done - now,
+            lambda: self._deliver(message),
+            label=f"deliver {message.kind} to {message.receiver}",
+        )

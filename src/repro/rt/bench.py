@@ -5,7 +5,7 @@ the simulator burns virtual work; this module measures the same commit
 workload end to end over real sockets and fsync'd logs — seconds of
 wall clock per committed transaction, not events per second.
 
-Two scenarios:
+Five scenarios:
 
 * ``live-prany-commit`` — the PR-4 baseline shape: paced arrivals
   (one transaction per virtual unit), no durability batching, no
@@ -16,6 +16,15 @@ Two scenarios:
   group-commit fsync coalescing on every WAL, socket write batching
   (always on), fsync **on**. Its ``detail`` records decision-latency
   percentiles (p50/p95/p99 ms) and the fsync amortization counters.
+* ``live-prany-multiproc`` — the throughput workload with every site
+  a supervised OS process; the delta against ``live-prany-throughput``
+  is the price of real process isolation.
+* ``live-prany-single`` / ``live-prany-sharded`` — the
+  sharded-coordinator pair: the identical 64-transaction workload over
+  4 site processes at :data:`SHARDED_PIPELINE_DEPTH` in flight,
+  coordinated either by one extra ``tm`` process or by all four sites
+  under ``hash(txn_id)`` placement. The pair's decision-latency
+  percentiles quantify what coordinator fan-out buys.
 
 The scenarios reuse the sim-bench runner plumbing
 (:class:`~repro.bench.runner.BenchConfig` /
@@ -54,6 +63,14 @@ from repro.workloads.mixes import three_way
 
 #: Concurrency cap of the throughput scenario's open-loop driver.
 PIPELINE_DEPTH = 8
+
+#: Concurrency cap of the sharded-coordinator pair. Deeper than
+#: :data:`PIPELINE_DEPTH` on purpose: the single-coordinator contention
+#: the pair quantifies (every decision force and control round trip
+#: funneling through the one tm process) only dominates scheduling
+#: noise past depth ~8, which is exactly the regime the ROADMAP item
+#: calls out.
+SHARDED_PIPELINE_DEPTH = 16
 
 #: Group-commit window of the throughput scenario. The delay bound is
 #: deliberately tight (0.1 units = 1 ms at the default time scale):
@@ -268,32 +285,111 @@ def run_live_multiproc_scenario(smoke: bool = False) -> ScenarioResult:
 
     with tempfile.TemporaryDirectory() as tmp:
         cluster = asyncio.run(go(tmp))
+    return _multiproc_result(cluster, n_transactions)
+
+
+def _multiproc_result(
+    cluster,
+    n_transactions: int,
+    extra_detail: dict[str, Any] | None = None,
+    pipeline_depth: int = PIPELINE_DEPTH,
+) -> ScenarioResult:
+    """Fold a finished :class:`ProcessCluster` into a scenario result.
+
+    ``messages`` is the cluster-wide sent total from the per-site
+    transport counters each child ships in its ``summary`` reply — the
+    same accounting the in-process scenarios read directly from their
+    transports, so multiproc rows are comparable on message volume.
+    """
     outcomes = cluster.outcomes()
     reports = cluster.check()
     assert cluster.sim is not None
     latencies = sorted(cluster.decision_latencies().values())
+    counts = cluster.message_counts()
+    detail = {
+        "transactions": n_transactions,
+        "decided": len(outcomes),
+        "committed": sum(1 for d in outcomes.values() if d == "commit"),
+        "processes": len(cluster.sites),
+        "pipeline_depth": pipeline_depth,
+        "latency_ms": {
+            "p50": _latency_ms(latencies, 0.50),
+            "p95": _latency_ms(latencies, 0.95),
+            "p99": _latency_ms(latencies, 0.99),
+        },
+        "virtual_units": round(cluster.sim.now, 1),
+        "messages_dropped": counts["dropped"],
+    }
+    if extra_detail:
+        detail.update(extra_detail)
     return ScenarioResult(
         events=n_transactions,
         trace_events=len(cluster.sim.trace),
-        # Message counters live inside the site processes and are not
-        # streamed over the control plane; the footprint of this
-        # scenario is wall clock + latency, not message volume.
-        messages=0,
+        messages=counts["sent"],
         checks_passed=reports.all_hold and len(outcomes) == n_transactions,
-        detail={
-            "transactions": n_transactions,
-            "decided": len(outcomes),
-            "committed": sum(1 for d in outcomes.values() if d == "commit"),
-            "processes": len(cluster.sites),
-            "pipeline_depth": PIPELINE_DEPTH,
-            "latency_ms": {
-                "p50": _latency_ms(latencies, 0.50),
-                "p95": _latency_ms(latencies, 0.95),
-                "p99": _latency_ms(latencies, 0.99),
-            },
-            "virtual_units": round(cluster.sim.now, 1),
+        detail=detail,
+    )
+
+
+def _run_coordinator_pair_scenario(
+    sharded: bool, smoke: bool = False
+) -> ScenarioResult:
+    """One half of the sharded-coordinator pair: the identical workload
+    (same spec, same seed, byte-identical RNG stream) over a 4-site
+    multi-process cluster, coordinated either by the single ``tm``
+    process or by all four sites with hash placement. Real processes on
+    real cores: the single coordinator serializes every decision fsync
+    and control round trip through one process, which is exactly the
+    contention the latency percentiles expose at depth
+    :data:`SHARDED_PIPELINE_DEPTH`."""
+    from repro.rt.proc import run_multiprocess_workload
+
+    n_transactions = 8 if smoke else 64
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.25,
+        participants_min=2,
+        participants_max=3,  # < 4 sites: an eligible coordinator always exists
+        inter_arrival=1.0,  # ignored: the pipelined driver is open-loop
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+
+    async def go(data_dir: str):
+        return await run_multiprocess_workload(
+            three_way(4),
+            "dynamic",
+            spec,
+            data_dir,
+            group_commit=THROUGHPUT_GROUP_COMMIT,
+            pipeline=SHARDED_PIPELINE_DEPTH,
+            sharded=sharded,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = asyncio.run(go(tmp))
+    coordinators = sorted({txn.coordinator for txn in cluster.submitted})
+    return _multiproc_result(
+        cluster,
+        n_transactions,
+        pipeline_depth=SHARDED_PIPELINE_DEPTH,
+        extra_detail={
+            "sharded": sharded,
+            "placement": "hash" if sharded else "tm",
+            "coordinators": coordinators,
+            "counterpart": (
+                "live-prany-single" if sharded else "live-prany-sharded"
+            ),
         },
     )
+
+
+def run_live_single_scenario(smoke: bool = False) -> ScenarioResult:
+    return _run_coordinator_pair_scenario(sharded=False, smoke=smoke)
+
+
+def run_live_sharded_scenario(smoke: bool = False) -> ScenarioResult:
+    return _run_coordinator_pair_scenario(sharded=True, smoke=smoke)
 
 
 def _latency_ms(ordered_seconds: list[float], q: float) -> float:
@@ -353,12 +449,49 @@ def live_multiproc_scenario() -> Scenario:
     )
 
 
+def live_single_scenario() -> Scenario:
+    """Single-coordinator half of the sharding pair (PR-7 ledger)."""
+    return Scenario(
+        name="live-prany-single",
+        description=(
+            "PrAny commit workload, 4 site processes + one tm "
+            "coordinator process: every decision funnels through tm "
+            f"({SHARDED_PIPELINE_DEPTH} pipelined in flight; the "
+            "single-coordinator twin of live-prany-sharded)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "multiprocess", "sharding"),
+        run=run_live_single_scenario,
+        deterministic=False,
+    )
+
+
+def live_sharded_scenario() -> Scenario:
+    """Sharded-coordinator half of the pair: same workload, hash-placed."""
+    return Scenario(
+        name="live-prany-sharded",
+        description=(
+            "PrAny commit workload, coordinator role sharded across all "
+            "4 site processes by hash(txn_id) placement — identical "
+            "transaction stream to live-prany-single "
+            f"({SHARDED_PIPELINE_DEPTH} pipelined in flight; "
+            "decision-latency percentiles quantify the fan-out win)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "multiprocess", "sharding"),
+        run=run_live_sharded_scenario,
+        deterministic=False,
+    )
+
+
 def live_scenarios() -> list[Scenario]:
     """Everything ``repro live --bench`` measures, in report order."""
     return [
         live_scenario(),
         live_throughput_scenario(),
         live_multiproc_scenario(),
+        live_single_scenario(),
+        live_sharded_scenario(),
     ]
 
 

@@ -30,6 +30,7 @@ from repro.core.history import History
 from repro.core.safe_state import check_safe_state
 from repro.db.recovery import LocalRecoveryReport
 from repro.errors import ProtocolError, WorkloadError
+from repro.mdbs.placement import placement_for
 from repro.mdbs.site import Site
 from repro.mdbs.system import RunReports, start_transaction
 from repro.mdbs.transaction import GlobalTransaction
@@ -90,6 +91,11 @@ class LiveCluster:
             :class:`~repro.storage.file_log.GroupCommitFileLog` — one
             blob write + one fsync per coalescing window instead of one
             per force request (the live durability-batching knob).
+        sharded: shard the coordinator role — no ``tm`` host; every mix
+            site hosts both a participant engine and a coordinator
+            engine running ``coordinator``'s policy, and transactions
+            carry their own placed coordinator ids (see
+            :mod:`repro.mdbs.placement`).
     """
 
     def __init__(
@@ -103,9 +109,11 @@ class LiveCluster:
         fsync: bool = True,
         read_only_optimization: bool = True,
         group_commit: Optional[GroupCommitConfig] = None,
+        sharded: bool = False,
     ) -> None:
         self._mix = mix
         self._coordinator_policy = coordinator
+        self._sharded = sharded
         self._seed = seed
         self._timeouts = timeouts
         self._time_scale = time_scale
@@ -138,10 +146,15 @@ class LiveCluster:
         self.sim.trace.subscribe(self._on_trace_event)
         topology = dict(self._mix.site_protocols())
         for site_id, protocol in topology.items():
-            self._add_host(site_id, protocol, coordinator=None)
-        self._add_host(
-            COORDINATOR_ID, "PrN", coordinator=self._coordinator_policy
-        )
+            self._add_host(
+                site_id,
+                protocol,
+                coordinator=self._coordinator_policy if self._sharded else None,
+            )
+        if not self._sharded:
+            self._add_host(
+                COORDINATOR_ID, "PrN", coordinator=self._coordinator_policy
+            )
         for host in self.hosts.values():
             await host.start()
 
@@ -449,6 +462,8 @@ async def run_live_workload(
     timeouts: Optional[TimeoutConfig] = None,
     group_commit: Optional[GroupCommitConfig] = None,
     pipeline: Optional[int] = None,
+    sharded: bool = False,
+    placement: str = "hash",
 ) -> LiveCluster:
     """Run a generated workload over a live cluster to quiescence.
 
@@ -457,7 +472,9 @@ async def run_live_workload(
     (shut-down) cluster is ready for ``equivalence_summary``-style
     inspection. ``group_commit`` turns on durability batching;
     ``pipeline`` (a concurrency cap) switches the arrival driver to
-    :meth:`LiveCluster.run_pipelined` instead of ``submit_at`` pacing.
+    :meth:`LiveCluster.run_pipelined` instead of ``submit_at`` pacing;
+    ``sharded`` spreads the coordinator role across the mix sites with
+    the named ``placement`` policy.
     """
     cluster = LiveCluster(
         mix,
@@ -468,10 +485,15 @@ async def run_live_workload(
         time_scale=time_scale,
         fsync=fsync,
         group_commit=group_commit,
+        sharded=sharded,
     )
     await cluster.start()
     try:
-        transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+        transactions = generate_transactions(
+            spec,
+            sorted(mix.site_protocols()),
+            placement=placement_for(placement) if sharded else None,
+        )
         if pipeline is not None:
             await cluster.run_pipelined(transactions, max_in_flight=pipeline)
             assert cluster.sim is not None

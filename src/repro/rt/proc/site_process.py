@@ -323,6 +323,12 @@ class SiteProcess:
                 "store": site.store.snapshot(),
                 "retained": sorted(site.retained_transactions()),
                 "uncollected": sorted(site.uncollected_log_transactions()),
+                # Transport counters: `msg` trace events stay inside the
+                # child (too chatty for the control stream), so the
+                # end-of-run totals travel in the summary instead.
+                "messages_sent": self.transport.sent_count,
+                "messages_delivered": self.transport.delivered_count,
+                "messages_dropped": self.transport.dropped_count,
             }
         if op == "shutdown":
             if isinstance(site.log, FileStableLog):

@@ -62,6 +62,7 @@ from repro.core.history import History
 from repro.core.safe_state import check_safe_state
 from repro.db.recovery import LocalRecoveryReport
 from repro.errors import ProtocolError, SiteDownError, StorageError, WorkloadError
+from repro.mdbs.placement import placement_for
 from repro.mdbs.system import RunReports
 from repro.mdbs.transaction import GlobalTransaction
 from repro.protocols.base import TimeoutConfig, participant_spec
@@ -144,6 +145,9 @@ class RemoteSite:
         store: dict[str, Any],
         retained: set[str],
         uncollected: set[str],
+        messages_sent: int = 0,
+        messages_delivered: int = 0,
+        messages_dropped: int = 0,
     ) -> None:
         self.site_id = site_id
         self.protocol = protocol
@@ -152,6 +156,11 @@ class RemoteSite:
         self.store = _RemoteStore(store)
         self._retained = retained
         self._uncollected = uncollected
+        #: End-of-run transport counters streamed in the ``summary``
+        #: reply; a dead child's counters died with it and read 0.
+        self.messages_sent = messages_sent
+        self.messages_delivered = messages_delivered
+        self.messages_dropped = messages_dropped
 
     def retained_transactions(self) -> set[str]:
         return set(self._retained)
@@ -211,6 +220,10 @@ class ProcessCluster:
         auto_respawn: respawn a crashed child automatically (kill spec
             stripped, recovery-first boot). Off by default — the
             conformance and crash-matrix drivers restart explicitly.
+        sharded: shard the coordinator role — no ``tm`` process; every
+            mix site's process hosts both a participant engine and a
+            coordinator engine running ``coordinator``'s policy, and
+            transactions carry their own placed coordinator ids.
     """
 
     def __init__(
@@ -228,9 +241,11 @@ class ProcessCluster:
         heartbeat_interval: float = 1.0,
         heartbeat_misses: int = 5,
         auto_respawn: bool = False,
+        sharded: bool = False,
     ) -> None:
         self._mix = mix
         self._coordinator_policy = coordinator
+        self._sharded = sharded
         self._seed = seed
         self._timeouts = timeouts
         self._time_scale = time_scale
@@ -281,7 +296,11 @@ class ProcessCluster:
         self._control_port = self._server.sockets[0].getsockname()[1]
 
         topology = dict(self._mix.site_protocols())
-        topology[COORDINATOR_ID] = "PrN"
+        if not self._sharded:
+            topology[COORDINATOR_ID] = "PrN"
+        coordinator_sites = (
+            sorted(topology) if self._sharded else [COORDINATOR_ID]
+        )
         # Pre-allocate every data port up front so the complete address
         # directory goes into every child's config — addresses survive
         # any child's restart without renegotiation.
@@ -290,7 +309,9 @@ class ProcessCluster:
         }
         for site_id, protocol in sorted(topology.items()):
             coordinator = (
-                self._coordinator_policy if site_id == COORDINATOR_ID else None
+                self._coordinator_policy
+                if site_id in coordinator_sites
+                else None
             )
             kill = self._kills.get(site_id)
             config = SiteProcessConfig(
@@ -303,7 +324,7 @@ class ProcessCluster:
                 control_port=self._control_port,
                 directory=directory,
                 site_protocols=topology,
-                coordinator_sites=[COORDINATOR_ID],
+                coordinator_sites=coordinator_sites,
                 coordinator=coordinator,
                 time_scale=self._time_scale,
                 wall_epoch=self._wall_epoch,
@@ -838,6 +859,11 @@ class ProcessCluster:
                         reply["store"],
                         set(reply["retained"]),
                         set(reply["uncollected"]),
+                        messages_sent=int(reply.get("messages_sent", 0)),
+                        messages_delivered=int(
+                            reply.get("messages_delivered", 0)
+                        ),
+                        messages_dropped=int(reply.get("messages_dropped", 0)),
                     )
                     continue
                 except (ProcessControlError, asyncio.TimeoutError):
@@ -891,6 +917,20 @@ class ProcessCluster:
         if self._views is None:
             raise WorkloadError("call collect() or shutdown() before .sites")
         return dict(self._views)
+
+    def message_counts(self) -> dict[str, int]:
+        """Cluster-wide transport totals summed over the collected
+        per-site counters: ``sent`` counts every data-plane frame any
+        site handed its transport (the multiproc analogue of the
+        in-process ``transport.sent_count`` the live bench reports);
+        ``delivered``/``dropped`` partition the receive side. Control
+        frames are not counted — only protocol traffic."""
+        totals = {"sent": 0, "delivered": 0, "dropped": 0}
+        for view in self.sites.values():
+            totals["sent"] += view.messages_sent
+            totals["delivered"] += view.messages_delivered
+            totals["dropped"] += view.messages_dropped
+        return totals
 
     # -- checking ------------------------------------------------------------
 
@@ -947,12 +987,15 @@ async def run_multiprocess_workload(
     group_commit: Optional[GroupCommitConfig] = None,
     pipeline: Optional[int] = None,
     kills: Optional[dict[str, KillSpec]] = None,
+    sharded: bool = False,
+    placement: str = "hash",
 ) -> ProcessCluster:
     """Run a generated workload over a multi-process cluster to
     quiescence — the process-per-site twin of
     :func:`~repro.rt.cluster.run_live_workload`, returning the
     (shut-down, collected) cluster for ``equivalence_summary``-style
-    inspection."""
+    inspection. ``sharded`` spreads the coordinator role across the mix
+    sites' processes with the named ``placement`` policy."""
     cluster = ProcessCluster(
         mix,
         data_dir,
@@ -963,10 +1006,15 @@ async def run_multiprocess_workload(
         fsync=fsync,
         group_commit=group_commit,
         kills=kills,
+        sharded=sharded,
     )
     await cluster.start()
     try:
-        transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+        transactions = generate_transactions(
+            spec,
+            sorted(mix.site_protocols()),
+            placement=placement_for(placement) if sharded else None,
+        )
         if pipeline is not None:
             await cluster.run_pipelined(transactions, max_in_flight=pipeline)
             assert cluster.sim is not None

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import WorkloadError
+from repro.mdbs.placement import PlacementPolicy
 from repro.mdbs.system import MDBS
 from repro.mdbs.transaction import GlobalTransaction, WriteOp
 from repro.net.batching import NetBatchConfig
@@ -28,13 +29,20 @@ def build_mdbs(
     read_only_optimization: bool = True,
     group_commit: Optional[GroupCommitConfig] = None,
     net_batching: Optional[NetBatchConfig] = None,
+    sharded: bool = False,
+    service_time: Optional[float] = None,
 ) -> MDBS:
     """Build an MDBS with one participant site per mix entry.
 
-    The coordinator lives at its own site (``"tm"``), running PrN as a
-    participant protocol (it never participates in these workloads) and
-    the given coordinator policy/selector. ``group_commit`` /
-    ``net_batching`` switch on the group-commit engine (off by default).
+    In the default (single-coordinator) topology the coordinator lives
+    at its own site (``"tm"``), running PrN as a participant protocol
+    (it never participates in these workloads) and the given coordinator
+    policy/selector. With ``sharded=True`` there is no ``tm`` site:
+    every mix site hosts both its participant engine and a coordinator
+    engine running the same policy, and each transaction is placed on
+    one of them by the workload generator (see
+    :mod:`repro.mdbs.placement`). ``group_commit`` / ``net_batching``
+    switch on the group-commit engine (off by default).
     """
     mdbs = MDBS(
         seed=seed,
@@ -42,14 +50,17 @@ def build_mdbs(
         timeouts=timeouts,
         group_commit=group_commit,
         net_batching=net_batching,
+        service_time=service_time,
     )
     for site_id, protocol in mix.site_protocols().items():
         mdbs.add_site(
             site_id,
             protocol=protocol,
+            coordinator=coordinator if sharded else None,
             read_only_optimization=read_only_optimization,
         )
-    mdbs.add_site(COORDINATOR_ID, protocol="PrN", coordinator=coordinator)
+    if not sharded:
+        mdbs.add_site(COORDINATOR_ID, protocol="PrN", coordinator=coordinator)
     return mdbs
 
 
@@ -94,14 +105,29 @@ def generate_transactions(
     spec: WorkloadSpec,
     sites: list[str],
     coordinator: str = COORDINATOR_ID,
+    placement: Optional[PlacementPolicy] = None,
 ) -> list[GlobalTransaction]:
     """Generate the transaction stream described by ``spec``.
 
     Deterministic in ``spec.seed``: the same spec over the same site
     list always yields the same stream.
+
+    With ``placement`` given (sharded coordinators), each transaction's
+    coordinator is chosen by the policy from the sites that are *not*
+    its participants, instead of the fixed ``coordinator`` id. The RNG
+    stream is untouched by placement — participants, keys, arrival
+    times and abort decisions are byte-identical to the
+    single-coordinator stream for the same spec and site list, which is
+    what makes sharded-vs-single runs differential twins.
     """
     if not sites:
         raise WorkloadError("need at least one participant site")
+    if placement is not None and spec.participants_max >= len(sites):
+        raise WorkloadError(
+            f"sharded placement needs a non-participant coordinator for "
+            f"every transaction: participants_max={spec.participants_max} "
+            f"must be < {len(sites)} sites"
+        )
     rng = RandomStreams(spec.seed).stream("workload")
     transactions: list[GlobalTransaction] = []
     now = 0.0
@@ -121,10 +147,17 @@ def generate_transactions(
                 key = f"{txn_id}@{site_id}"
             writes[site_id] = [WriteOp(key=key, value=txn_id)]
         abort = rng.random() < spec.abort_fraction
+        if placement is not None:
+            # Placement happens *after* the RNG draws so the stream
+            # stays identical to the single-coordinator twin's.
+            eligible = [site for site in sites if site not in chosen]
+            owner = placement.choose(txn_id, eligible)
+        else:
+            owner = coordinator
         transactions.append(
             GlobalTransaction(
                 txn_id=txn_id,
-                coordinator=coordinator,
+                coordinator=owner,
                 writes=writes,
                 submit_at=now,
                 force_no_vote_at=frozenset({chosen[0]}) if abort else frozenset(),

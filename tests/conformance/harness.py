@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from repro.mdbs.placement import HashPlacement
 from repro.mdbs.system import MDBS
 from repro.net.batching import NetBatchConfig
 from repro.protocols.base import TimeoutConfig
@@ -116,8 +117,15 @@ def run_workload(
     spec: WorkloadSpec,
     group_commit: Optional[GroupCommitConfig] = None,
     net_batching: Optional[NetBatchConfig] = None,
+    sharded: bool = False,
 ) -> MDBS:
-    """Run ``spec`` over the given topology to quiescence."""
+    """Run ``spec`` over the given topology to quiescence.
+
+    With ``sharded=True`` there is no ``tm`` site: every mix site hosts
+    a coordinator engine and each transaction is hash-placed on a
+    non-participant (the workload stream itself is placement-invariant,
+    so the sharded run is a byte-identical workload to the single one).
+    """
     mdbs = build_mdbs(
         mix,
         coordinator=coordinator,
@@ -125,8 +133,12 @@ def run_workload(
         timeouts=CONFORMANCE_TIMEOUTS,
         group_commit=group_commit,
         net_batching=net_batching,
+        sharded=sharded,
     )
-    for txn in generate_transactions(spec, sorted(mix.site_protocols())):
+    placement = HashPlacement() if sharded else None
+    for txn in generate_transactions(
+        spec, sorted(mix.site_protocols()), placement=placement
+    ):
         mdbs.submit(txn)
     mdbs.run(until=spec.inter_arrival * spec.n_transactions + 500.0)
     mdbs.finalize()
@@ -224,4 +236,60 @@ def summary_bytes(mdbs: MDBS) -> bytes:
     """Canonical byte encoding of :func:`equivalence_summary`."""
     return json.dumps(
         equivalence_summary(mdbs), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def coordinator_normalized_summary(mdbs: MDBS) -> dict[str, Any]:
+    """:func:`equivalence_summary` with coordinator placement erased.
+
+    Sharding moves each transaction's coordinator-side work from the
+    central ``tm`` site to the transaction's hash-placed owner — the
+    *location* of that work is exactly what sharding is allowed to
+    change, and nothing else. This view renames each transaction's
+    coordinator site to the ``"@coord"`` token wherever the footprint
+    is keyed per transaction, so a sharded run and its
+    single-coordinator twin compare byte-equal. Participant-side
+    entries are untouched (an owner never participates in its own
+    transactions), so any leak of sharding into participant behavior
+    still breaks equality.
+    """
+    summary = equivalence_summary(mdbs)
+    owner = {txn.txn_id: txn.coordinator for txn in mdbs.submitted}
+
+    def norm(txn: str, site: str) -> str:
+        return "@coord" if site == owner.get(txn) else site
+
+    summary["appended_records"] = {
+        txn: sorted([norm(txn, site), record_type] for site, record_type in records)
+        for txn, records in summary["appended_records"].items()
+    }
+    summary["forgotten"] = {
+        txn: sorted([norm(txn, site), role] for site, role in entries)
+        for txn, entries in summary["forgotten"].items()
+    }
+    summary["gc"] = {
+        txn: sorted(norm(txn, site) for site in sites)
+        for txn, sites in summary["gc"].items()
+    }
+    # Residue records carry their txn id, so they re-key per record; a
+    # forgetful run leaves this empty in both modes either way.
+    residue: dict[str, list[list[str]]] = {}
+    for site, records in summary["stable_residue"].items():
+        for record_type, txn in records:
+            residue.setdefault(norm(txn, site), []).append([record_type, txn])
+    summary["stable_residue"] = {
+        site: sorted(records) for site, records in sorted(residue.items())
+    }
+    # The tm site exists only in single mode and never participates;
+    # empty stores carry no observable state in either topology.
+    summary["stores"] = {
+        site: data for site, data in summary["stores"].items() if data
+    }
+    return summary
+
+
+def normalized_summary_bytes(mdbs: MDBS) -> bytes:
+    """Canonical byte encoding of :func:`coordinator_normalized_summary`."""
+    return json.dumps(
+        coordinator_normalized_summary(mdbs), sort_keys=True, separators=(",", ":")
     ).encode("utf-8")

@@ -76,6 +76,8 @@ class TestRegistry:
             "live-prany-commit",
             "live-prany-throughput",
             "live-prany-multiproc",
+            "live-prany-single",
+            "live-prany-sharded",
         ]
         assert all(not s.deterministic for s in scenarios)
 

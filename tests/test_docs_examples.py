@@ -1,10 +1,13 @@
-"""README's fenced ``repro`` commands must actually parse.
+"""The docs' fenced ``repro`` commands must actually parse.
 
 Guards against quickstart drift: every ``python -m repro ...`` command
-inside a fenced code block in README.md is checked against the real
-CLI — the subcommand must exist (``--help`` exits 0) and every long
-flag the README shows must appear in that subcommand's help text. A
-small set of commands additionally runs end to end in smoke form.
+inside a fenced code block in README.md, EXPERIMENTS.md and the
+operator docs (docs/LIVE.md, docs/DEPLOYMENT.md, docs/BENCHMARKS.md)
+is checked against the real CLI — the subcommand must exist
+(``--help`` exits 0) and every long flag the doc shows must appear in
+that subcommand's help text. Console transcripts (``$ python -m repro
+...``) count too. A small set of commands additionally runs end to end
+in smoke form.
 """
 
 import subprocess
@@ -14,28 +17,50 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-README = REPO_ROOT / "README.md"
+
+#: Every document whose fenced ``repro`` invocations are contract, not
+#: prose. A stale example here failed CI once (pre-PR-6 invocations
+#: survived two releases in EXPERIMENTS.md) — add new docs to the list.
+DOCS = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "docs/LIVE.md",
+    "docs/DEPLOYMENT.md",
+    "docs/BENCHMARKS.md",
+]
 
 _ENV = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
 
 
-def fenced_repro_commands() -> list[str]:
-    """Every `python -m repro ...` command line in README code fences."""
+def fenced_repro_commands(doc: Path) -> list[str]:
+    """Every `python -m repro ...` command line in ``doc``'s code fences.
+
+    Handles both plain ``bash`` fences and ``console`` transcripts
+    (leading ``$ ``); trailing ``# comment`` tails are stripped.
+    """
     commands = []
     in_fence = False
-    for raw in README.read_text(encoding="utf-8").splitlines():
+    for raw in doc.read_text(encoding="utf-8").splitlines():
         if raw.startswith("```"):
             in_fence = not in_fence
             continue
         if not in_fence:
             continue
         line = raw.split(" # ")[0].strip()
+        if line.startswith("$ "):
+            line = line[2:]
         if line.startswith("python -m repro"):
             commands.append(line)
     return commands
 
 
-COMMANDS = fenced_repro_commands()
+COMMANDS = sorted(
+    {
+        (doc, command)
+        for doc in DOCS
+        for command in fenced_repro_commands(REPO_ROOT / doc)
+    }
+)
 
 
 def run_repro(*args) -> subprocess.CompletedProcess:
@@ -49,15 +74,23 @@ def run_repro(*args) -> subprocess.CompletedProcess:
     )
 
 
-def test_readme_actually_contains_repro_commands():
+def test_docs_actually_contain_repro_commands():
     # The extraction itself must not silently go stale.
-    assert len(COMMANDS) >= 8
-    assert any("explore" in c for c in COMMANDS)
-    assert any("bench" in c for c in COMMANDS)
+    readme = [c for d, c in COMMANDS if d == "README.md"]
+    assert len(readme) >= 8
+    assert any("explore" in c for c in readme)
+    assert any("bench" in c for c in readme)
+    assert any("live" in c for c in readme)
+    # The operator docs carry the live/multiprocess/sharded surface.
+    rest = [c for d, c in COMMANDS if d != "README.md"]
+    assert any("--multiprocess" in c for c in rest)
+    assert any("--sharded" in c for c in rest)
 
 
-@pytest.mark.parametrize("command", COMMANDS, ids=lambda c: c[len("python -m ") :])
-def test_fenced_command_parses(command):
+@pytest.mark.parametrize(
+    "doc,command", COMMANDS, ids=[f"{d}:{c[len('python -m '):]}" for d, c in COMMANDS]
+)
+def test_fenced_command_parses(doc, command):
     tokens = command.split()
     assert tokens[:3] == ["python", "-m", "repro"]
     rest = tokens[3:]
@@ -69,12 +102,12 @@ def test_fenced_command_parses(command):
     subcommand = rest[index]
     result = run_repro(subcommand, "--help")
     assert result.returncode == 0, (
-        f"README documents `repro {subcommand}` but it fails --help: "
+        f"{doc} documents `repro {subcommand}` but it fails --help: "
         f"{result.stderr}"
     )
     for flag in (t.split("=")[0] for t in rest if t.startswith("--")):
         assert flag in result.stdout, (
-            f"README shows {flag} for `repro {subcommand}`, "
+            f"{doc} shows {flag} for `repro {subcommand}`, "
             f"but its --help does not mention it"
         )
 
