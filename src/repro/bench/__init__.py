@@ -19,6 +19,7 @@ from repro.bench.report import (
     build_report,
     compare_reports,
     load_report,
+    scenario_diff,
     validate_report,
     write_report,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "load_report",
     "measure_scenario",
     "run_bench",
+    "scenario_diff",
     "validate_report",
     "write_report",
 ]

@@ -262,6 +262,30 @@ class Regression:
         )
 
 
+def scenario_diff(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+) -> tuple[list[str], list[str]]:
+    """Scenario-set drift between two reports, by name.
+
+    Returns ``(added, missing)``: scenario names measured now but absent
+    from the baseline, and names in the baseline that were not measured
+    now. Both sorted. The ``--check`` gates fail on either — a size-only
+    comparison would pass silently when one scenario was added and
+    another removed, leaving the new scenario unguarded and the stale
+    baseline entry untested forever.
+
+    Works on live reports too: both report kinds share the
+    ``scenarios`` name->entry section.
+    """
+    current_names = set(current["scenarios"])
+    baseline_names = set(baseline["scenarios"])
+    return (
+        sorted(current_names - baseline_names),
+        sorted(baseline_names - current_names),
+    )
+
+
 def compare_reports(
     current: dict[str, Any],
     baseline: dict[str, Any],

@@ -737,6 +737,150 @@ def _sharded_coordinator_storm(smoke: bool = False) -> ScenarioResult:
     return _coordinator_storm(sharded=True, smoke=smoke)
 
 
+# -- replicated-coordinator pair scenarios -----------------------------------
+#
+# The same dense PrAny storm with the tm coordinator alone vs replicated
+# over a 3-acceptor Paxos group (``repro.replication``). Both twins run
+# on :class:`~repro.net.network.ServiceTimeNetwork` so the quorum round
+# trips cost simulated time. The pair prices replication honestly:
+# every transaction pays a quorum registration before its PREPAREs and
+# a quorum acceptance before its decision is stable, which shows up as
+# extra messages, extra forces (at the acceptors) and higher decision
+# latency percentiles — in exchange for the nonblocking guarantee the
+# explorer's leader-crash scenarios demonstrate.
+
+
+def _replication_storm(replicated: int, smoke: bool) -> ScenarioResult:
+    """Dense PrAny storm, plain vs Paxos-replicated tm coordinator.
+
+    ``events`` is the transaction count — the shared unit of logical
+    work. ``detail`` carries what replication costs: decision latency
+    percentiles in virtual time (now including two quorum round trips),
+    the acceptor-side force count (every promise/accept is forced
+    before its reply leaves), and the message total (quorum fan-out).
+    """
+    from repro.protocols.base import TimeoutConfig
+    from repro.workloads.generator import (
+        WorkloadSpec,
+        build_mdbs,
+        generate_transactions,
+    )
+    from repro.workloads.mixes import three_way
+
+    mix = three_way(4)
+    n_transactions = 36 if smoke else 360
+    # Same rationale as the sharding pair: timers must never decide.
+    timeouts = TimeoutConfig(
+        vote_timeout=5_000.0,
+        resend_interval=5_000.0,
+        inquiry_timeout=5_000.0,
+        inquiry_retry=5_000.0,
+        active_timeout=20_000.0,
+    )
+    replication: "int | object" = 0
+    if replicated:
+        import dataclasses
+
+        from repro.replication import ReplicationConfig
+
+        # The liveness timers get the same treatment as the protocol
+        # timers above. The storm runs the acceptors past saturation
+        # (two 0.5-unit services per 0.5-unit arrival), so receive
+        # queues — including the leader's heartbeats — back up far
+        # beyond the 40-unit default; a mid-storm takeover would
+        # measure failover churn, not the quorum round trip.
+        replication = dataclasses.replace(
+            ReplicationConfig.for_group(replicated),
+            heartbeat_interval=1_000.0,
+            failover_timeout=50_000.0,
+            failover_stagger=5_000.0,
+            retry_interval=10_000.0,
+        )
+    mdbs = build_mdbs(
+        mix,
+        coordinator="dynamic",
+        seed=BENCH_SEED,
+        timeouts=timeouts,
+        service_time=0.5,
+        replicated=replication,
+    )
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.2,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=0.5,
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+    transactions = generate_transactions(spec, sorted(mix.site_protocols()))
+    for txn in transactions:
+        mdbs.submit(txn)
+    # Drain window: presumed-abort participants that voted Yes after
+    # the No already decided only learn the outcome from their own
+    # inquiry, one inquiry_timeout after PREPARE. Replication delays
+    # PREPARE by the registration round trip (up to ~1.2k units deep
+    # in the storm), so the window must cover storm + that delay +
+    # inquiry_timeout or the run gets cut off mid-drain.
+    mdbs.run(until=spec.inter_arrival * n_transactions + 11_000.0)
+    mdbs.finalize()
+    reports = mdbs.check()
+    submit_at = {txn.txn_id: txn.submit_at for txn in transactions}
+    decided_at: dict[str, float] = {}
+    for event in mdbs.sim.trace.select(category="protocol", name="decide"):
+        decided_at.setdefault(event.details["txn"], event.time)
+    latencies = [
+        decided_at[txn_id] - at
+        for txn_id, at in submit_at.items()
+        if txn_id in decided_at
+    ]
+    acceptor_forces = sum(
+        site.log.force_count
+        for site_id, site in mdbs.sites.items()
+        if site_id.startswith("acc")
+    )
+    return ScenarioResult(
+        events=n_transactions,
+        trace_events=len(mdbs.sim.trace),
+        messages=mdbs.network.sent_count,
+        checks_passed=(
+            reports.all_hold and len(decided_at) == n_transactions
+        ),
+        detail={
+            "counterpart": (
+                "commit-storm-plain-prany"
+                if replicated
+                else "commit-storm-replicated-prany"
+            ),
+            "replicated": replicated,
+            "transactions": n_transactions,
+            "decided": len(decided_at),
+            "decision_latency_vt": _latency_percentiles(latencies),
+            "acceptor_forces": acceptor_forces,
+            "service_time": 0.5,
+            "kernel_steps": mdbs.sim.steps_executed,
+        },
+    )
+
+
+@register(
+    "commit-storm-plain-prany",
+    "dense PrAny storm under the plain single tm coordinator (pair baseline)",
+    tags=("system", "protocol", "replication"),
+)
+def _plain_coordinator_storm(smoke: bool = False) -> ScenarioResult:
+    return _replication_storm(replicated=0, smoke=smoke)
+
+
+@register(
+    "commit-storm-replicated-prany",
+    "the same dense PrAny storm with tm replicated over 3 Paxos acceptors",
+    tags=("system", "protocol", "replication"),
+)
+def _replicated_coordinator_storm(smoke: bool = False) -> ScenarioResult:
+    return _replication_storm(replicated=3, smoke=smoke)
+
+
 @register(
     "crash-recovery",
     "commit storm with scheduled participant/coordinator crashes and §4.2 recovery",

@@ -62,9 +62,11 @@ def _cmd_list(args: argparse.Namespace) -> str:
         "  recovery           R1: §4.2 coordinator recovery",
         "  taxonomy           F5: atomic-commitment taxonomy",
         "  all                everything above, in order",
-        "  explore            fuzz adversarial schedules (VOPR-style)",
+        "  explore            fuzz adversarial schedules (VOPR-style; "
+        "--sharded / --replicated N topologies)",
         "  bench              measure simulator throughput (BENCH_sim.json)",
-        "  live               run the engines over real TCP sockets (asyncio)",
+        "  live               run the engines over real TCP sockets (asyncio; "
+        "--multiprocess, --sharded, --replicated N)",
     ]
     return "\n".join(lines)
 
@@ -174,12 +176,17 @@ def _cmd_explore(args: argparse.Namespace) -> str:
         args.seeds if args.seeds is not None else range(0, 100)
     )
     budget = 30.0 if args.smoke and args.budget is None else args.budget
+    if args.sharded and args.replicated:
+        raise SystemExit(
+            "--sharded and --replicated are mutually exclusive topologies"
+        )
     config = GeneratorConfig(
         protocol=args.protocol,
         mix=args.mix,
         salt=args.salt,
         group_commit=args.group_commit,
         sharded=args.sharded,
+        replicated=args.replicated,
     )
 
     def progress(done: int, violations: int) -> None:
@@ -228,6 +235,7 @@ def _cmd_explore(args: argparse.Namespace) -> str:
                     f"found by `repro explore --protocol {args.protocol}"
                     f"{' --mix ' + args.mix if args.mix else ''}"
                     f"{' --sharded' if args.sharded else ''}"
+                    f"{f' --replicated {args.replicated}' if args.replicated else ''}"
                     f" --salt {args.salt}` at seed {summary.seed}; "
                     f"shrunk from {len(result.original.actions)} to "
                     f"{len(result.minimized.actions)} action(s)"
@@ -250,6 +258,37 @@ def _cmd_explore(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _append_scenario_drift(
+    lines: list,
+    args: argparse.Namespace,
+    added: list,
+    missing: list,
+    baseline_path: Path,
+) -> None:
+    """Fail a ``--check`` gate on scenario-set drift, by name.
+
+    ``added`` scenarios were measured but have no baseline entry (the
+    committed file is stale — regenerate it); ``missing`` ones are in
+    the baseline but were not measured (a scenario was removed or
+    renamed without regenerating). Either way the size-agnostic named
+    diff is printed and the gate exits nonzero.
+    """
+    if not added and not missing:
+        return
+    args.exit_code = 1
+    lines.append(f"  SCENARIO DRIFT vs {baseline_path}:")
+    if added:
+        lines.append(
+            "    added (measured now, absent from baseline — "
+            "regenerate it): " + ", ".join(added)
+        )
+    if missing:
+        lines.append(
+            "    missing (in baseline but not measured now): "
+            + ", ".join(missing)
+        )
+
+
 def _cmd_bench(args: argparse.Namespace) -> str:
     # Imported lazily, like the explorer: the bench registry pulls in
     # the whole workload/explore stack.
@@ -260,6 +299,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         get_scenarios,
         load_report,
         run_bench,
+        scenario_diff,
         write_report,
     )
 
@@ -311,6 +351,12 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         regressions, notes = compare_reports(report, baseline)
         for note in notes:
             lines.append(f"  note: {note}")
+        added, missing = scenario_diff(report, baseline)
+        if args.scenario != "all":
+            # A partial --scenario selection legitimately skips baseline
+            # entries; only names unknown to the baseline still fail.
+            missing = []
+        _append_scenario_drift(lines, args, added, missing, baseline_path)
         if regressions:
             args.exit_code = 1
             lines.append(f"  REGRESSION vs {baseline_path} (>20% slower):")
@@ -348,8 +394,19 @@ def _cmd_live(args: argparse.Namespace) -> str:
             f"expected prany, prn, pra or prc"
         )
 
+    if args.sharded and args.replicated:
+        raise SystemExit(
+            "--sharded and --replicated are mutually exclusive topologies"
+        )
+
     if args.bench:
-        from repro.bench import BenchConfig, build_report, load_report, write_report
+        from repro.bench import (
+            BenchConfig,
+            build_report,
+            load_report,
+            scenario_diff,
+            write_report,
+        )
         from repro.bench.runner import run_bench
         from repro.rt.bench import (
             LIVE_CHECK_THRESHOLD,
@@ -366,6 +423,8 @@ def _cmd_live(args: argparse.Namespace) -> str:
         scenarios = live_scenarios()
         if args.sharded:
             scenarios = [s for s in scenarios if "sharding" in s.tags]
+        elif args.replicated:
+            scenarios = [s for s in scenarios if "replication" in s.tags]
         measurements = run_bench(scenarios, config, progress=progress)
         report = build_report(
             measurements, config, optimizations=LIVE_OPTIMIZATION_HISTORY
@@ -401,6 +460,12 @@ def _cmd_live(args: argparse.Namespace) -> str:
             regressions, notes = compare_live_reports(report, baseline)
             for note in notes:
                 lines.append(f"  note: {note}")
+            added, missing = scenario_diff(report, baseline)
+            if args.sharded or args.replicated:
+                # The pair filters measure a deliberate subset; only
+                # names unknown to the baseline fail.
+                missing = []
+            _append_scenario_drift(lines, args, added, missing, baseline_path)
             if regressions:
                 args.exit_code = 1
                 lines.append(
@@ -449,6 +514,7 @@ def _cmd_live(args: argparse.Namespace) -> str:
             time_scale=args.time_scale,
             fsync=not args.no_fsync,
             sharded=args.sharded,
+            replicated=args.replicated,
         )
         await cluster.start()
         kill_notes: list[str] = []
@@ -511,6 +577,8 @@ def _cmd_live(args: argparse.Namespace) -> str:
         )
         if args.sharded:
             mode += ", sharded coordinators"
+        if args.replicated:
+            mode += f", tm replicated over {args.replicated} acceptors"
         lines = [
             f"live run — {mix.name} over {len(mix)} participants "
             f"({mode}), {n_transactions} transactions, "
@@ -651,6 +719,15 @@ def build_parser() -> argparse.ArgumentParser:
         "transaction's actual owner",
     )
     explore.add_argument(
+        "--replicated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replicate the tm coordinator over N Paxos acceptors; the "
+        "adversary adds acceptor-crash and leader-crash-then-failover "
+        "victims (mutually exclusive with --sharded)",
+    )
+    explore.add_argument(
         "--artifacts",
         default="explore-artifacts",
         help="directory for shrunk counterexample artifacts",
@@ -777,6 +854,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the coordinator role across every site (hash "
         "placement, no tm site); with --bench, measure only the "
         "single-vs-sharded scenario pair",
+    )
+    live.add_argument(
+        "--replicated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replicate the tm coordinator over N Paxos acceptor hosts "
+        "(acc0..acc{N-1}, own WALs, decisions stable at a quorum); with "
+        "--bench, measure only the plain-vs-replicated scenario pair "
+        "(mutually exclusive with --sharded)",
     )
     live.add_argument(
         "--bench",

@@ -20,6 +20,7 @@ from typing import Any, Optional
 
 from repro.errors import WorkloadError
 from repro.workloads.failure_schedules import (
+    acceptor_crash_points,
     coordinator_crash_points,
     participant_crash_points,
 )
@@ -41,7 +42,11 @@ _DROPPABLE_KINDS: tuple[Optional[str], ...] = (
 
 _CRASH_POINTS = {
     point.name: point
-    for point in coordinator_crash_points() + participant_crash_points()
+    for point in (
+        coordinator_crash_points()
+        + participant_crash_points()
+        + acceptor_crash_points()
+    )
 }
 
 
@@ -169,6 +174,10 @@ class ScenarioSpec:
         sharded: shard the coordinator role across every site (hash
             placement, no ``tm`` site) instead of the central
             single-coordinator topology.
+        replicated: run the ``tm`` coordinator over this many Paxos
+            acceptor sites (``acc0..``, see ``repro.replication``);
+            0 keeps the plain single coordinator. Mutually exclusive
+            with ``sharded``.
         actions: the adversary schedule.
     """
 
@@ -185,6 +194,7 @@ class ScenarioSpec:
     settle: float = 200.0
     group_commit: bool = False
     sharded: bool = False
+    replicated: int = 0
     actions: tuple[AdversaryAction, ...] = ()
 
     def __post_init__(self) -> None:
@@ -195,6 +205,12 @@ class ScenarioSpec:
                 f"invalid latency range "
                 f"[{self.latency_low!r}, {self.latency_high!r}]"
             )
+        if self.sharded and self.replicated:
+            raise WorkloadError(
+                "sharded and replicated are mutually exclusive topologies"
+            )
+        if self.replicated < 0:
+            raise WorkloadError(f"replicated must be >= 0: {self.replicated!r}")
         for action in self.actions:
             if isinstance(action, CrashWhen) and action.point not in _CRASH_POINTS:
                 raise WorkloadError(f"unknown crash point {action.point!r}")
@@ -226,6 +242,8 @@ class ScenarioSpec:
         if self.sharded:
             # Same rule: absent in every pre-sharding artifact.
             payload["sharded"] = True
+        if self.replicated:
+            payload["replicated"] = self.replicated
         return payload
 
     @classmethod
@@ -287,6 +305,11 @@ class GeneratorConfig:
             victim transaction's *actual* hash-placed coordinator
             (resolved at generation time — placement is deterministic),
             so coordinator kills land on every shard over a sweep.
+        replicated: generate every scenario with the ``tm`` coordinator
+            replicated over this many Paxos acceptors. The adversary's
+            victim pool then includes the acceptor sites, the
+            acceptor-role crash points become sampleable, and leader
+            kills exercise the failover path instead of blocking.
     """
 
     protocol: str = "prany"
@@ -296,12 +319,17 @@ class GeneratorConfig:
     salt: int = 0
     group_commit: bool = False
     sharded: bool = False
+    replicated: int = 0
 
     def __post_init__(self) -> None:
         if self.mix is not None and self.mix not in MIXES:
             raise WorkloadError(f"unknown mix {self.mix!r}")
         if self.max_actions < 1 or self.max_transactions < 1:
             raise WorkloadError("max_actions and max_transactions must be >= 1")
+        if self.sharded and self.replicated:
+            raise WorkloadError(
+                "sharded and replicated are mutually exclusive topologies"
+            )
 
     @property
     def coordinator_choices(self) -> tuple[str, ...]:
@@ -381,6 +409,7 @@ class AdversaryGenerator:
             settle=200.0,
             group_commit=cfg.group_commit,
             sharded=cfg.sharded,
+            replicated=cfg.replicated,
             actions=actions,
         )
 
@@ -393,16 +422,33 @@ class AdversaryGenerator:
         coordinator_of: Optional[dict[str, str]] = None,
     ) -> AdversaryAction:
         sharded = self.config.sharded
+        acceptors = [f"acc{i}" for i in range(self.config.replicated)]
         # Sharded topologies have no tm site; every site plays both
         # roles, so victims/endpoints come from the site pool alone.
-        every = sites if sharded else sites + [COORDINATOR_SITE]
+        # Replicated topologies add the acceptor group to the pool.
+        every = sites if sharded else sites + [COORDINATOR_SITE] + acceptors
         kind = rng.choices(
             ("crash_when", "crash_at", "partition", "drop_next", "loss"),
             weights=(40, 15, 15, 15, 15),
         )[0]
         if kind == "crash_when":
-            point = rng.choice(sorted(_CRASH_POINTS))
+            # Acceptor-role points can only ever fire when the
+            # replication layer exists to send them traffic.
+            samplable = sorted(
+                name
+                for name, p in _CRASH_POINTS.items()
+                if p.role != "acceptor" or acceptors
+            )
+            point = rng.choice(samplable)
             crash_point = _CRASH_POINTS[point]
+            if crash_point.role == "acceptor":
+                return CrashWhen(
+                    site=rng.choice(acceptors),
+                    point=point,
+                    txn=rng.choice(txn_ids),
+                    down_for=rng.uniform(20.0, 120.0),
+                    delay=rng.choice((0.0, 0.0, 0.5, 2.0)),
+                )
             if sharded:
                 # Draw the transaction first: a coordinator-role crash
                 # must land on *that* transaction's hash-placed owner

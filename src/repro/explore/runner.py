@@ -106,6 +106,7 @@ def build_scenario(spec: ScenarioSpec) -> MDBS:
         group_commit=GroupCommitConfig() if spec.group_commit else None,
         net_batching=NetBatchConfig() if spec.group_commit else None,
         sharded=spec.sharded,
+        replicated=spec.replicated,
     )
     if spec.latency_high > spec.latency_low:
         mdbs.network.set_latency(

@@ -42,6 +42,13 @@ from repro.protocols.base import (
 from repro.protocols.coordinator import CoordinatorEngine
 from repro.protocols.participant import ParticipantEngine
 from repro.protocols.registry import PolicySelector
+from repro.replication import (
+    REPLICATION_KINDS,
+    ReplicatedDecisionLog,
+    ReplicatedSelector,
+    ReplicationConfig,
+    SiteReplication,
+)
 from repro.sim.kernel import Simulator
 from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
 from repro.storage.pcp import CommitProtocolDirectory
@@ -64,11 +71,15 @@ class Site:
         group_commit: Optional[GroupCommitConfig] = None,
         log: Optional[StableLog] = None,
         store: Optional[KVStore] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         """``log`` / ``store`` inject alternative storage backends (the
         live runtime passes file-backed ones); by default the site gets
         the in-memory log (or a group-commit log) and a fresh KV store,
-        exactly as before."""
+        exactly as before. ``replication`` (when it involves this site)
+        wraps the leader's log in the replicating decision log, wraps
+        the selector so every transaction registers with the quorum,
+        and attaches the per-site replication facade."""
         self._sim = sim
         self._network = network
         self._pcp = pcp
@@ -76,6 +87,8 @@ class Site:
         self._protocol = protocol
         self._up = True
         self.crash_count = 0
+        if replication is not None and not replication.involves(site_id):
+            replication = None
 
         spec = participant_spec(protocol)
         if log is not None:
@@ -86,6 +99,12 @@ class Site:
                 if group_commit is not None
                 else StableLog(sim, site_id)
             )
+        if replication is not None and site_id == replication.leader:
+            self.log = ReplicatedDecisionLog(
+                self.log, sim, site_id, network, replication
+            )
+        if replication is not None and selector is not None:
+            selector = ReplicatedSelector(selector)
         self.store = store if store is not None else KVStore()
         self.tm = LocalTransactionManager(
             sim,
@@ -110,6 +129,9 @@ class Site:
             self.coordinator = CoordinatorEngine(
                 sim, site_id, self.log, network, pcp, selector, timeouts
             )
+        self.replication: Optional[SiteReplication] = None
+        if replication is not None:
+            self.replication = SiteReplication(sim, network, replication, self)
         network.register(site_id, self.deliver, is_up=lambda: self._up)
 
     # -- identity / status ------------------------------------------------------
@@ -143,6 +165,10 @@ class Site:
         elif kind == ACK:
             self._require_coordinator().on_ack(message)
         elif kind == INQUIRY:
+            if self.replication is not None and self.replication.defer_inquiry(
+                message
+            ):
+                return
             self._require_coordinator().on_inquiry(message)
         elif kind == CL_RECOVER:
             self._require_coordinator().on_cl_recover(message)
@@ -150,6 +176,13 @@ class Site:
             self._require_coordinator().on_cl_checkpoint(message)
         elif kind == CL_REDO:
             self.participant.on_cl_redo(message)
+        elif kind in REPLICATION_KINDS:
+            if self.replication is None:
+                raise ProtocolError(
+                    f"site {self._site_id!r} is outside the replication "
+                    f"group but received {kind!r}"
+                )
+            self.replication.on_message(message)
         else:
             raise ProtocolError(
                 f"site {self._site_id!r} received unknown message kind {kind!r}"
@@ -177,6 +210,8 @@ class Site:
         self.participant.crash()
         if self.coordinator is not None:
             self.coordinator.crash()
+        if self.replication is not None:
+            self.replication.crash()
 
     def recover(self) -> LocalRecoveryReport:
         """Restart: local redo, re-adopt in-doubts, coordinator recovery."""
@@ -209,12 +244,19 @@ class Site:
             for txn_id, info in report.in_doubt.items()
         }
         self.participant.recover(in_doubt)
-        self.participant.requeue_decided_gc(report.committed, report.aborted)
+        self.participant.requeue_decided_gc(
+            report.committed, report.aborted, report.implicitly_aborted
+        )
         if self.participant.spec.logless:
             # Coordinator-log site: nothing local to analyze — pull the
             # redo state back from the coordinators.
             self.participant.request_cl_recovery(self._pcp.coordinators())
-        if self.coordinator is not None:
+        if self.replication is not None:
+            # Acceptor state rebuilds from its ACCEPT records; a leader
+            # recovers its coordinator role through the quorum sweep
+            # instead of the local-log-only presumption path.
+            self.replication.recover()
+        elif self.coordinator is not None:
             self.coordinator.recover()
         return report
 
@@ -256,6 +298,8 @@ class Site:
         collected = self.participant.collect_garbage()
         if self.coordinator is not None:
             collected += self.coordinator.collect_garbage()
+        if self.replication is not None:
+            collected += self.replication.collect_garbage()
         return collected
 
     def __repr__(self) -> str:

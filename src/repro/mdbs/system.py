@@ -37,6 +37,7 @@ from repro.net.failures import FailureInjector
 from repro.net.network import LatencyModel, Network, ServiceTimeNetwork
 from repro.protocols.base import TimeoutConfig, participant_spec
 from repro.protocols.registry import selector_for
+from repro.replication import ReplicationConfig
 from repro.sim.kernel import Simulator
 from repro.storage.group_commit import GroupCommitConfig
 from repro.storage.pcp import CommitProtocolDirectory
@@ -143,6 +144,7 @@ class MDBS:
         group_commit: Optional[GroupCommitConfig] = None,
         net_batching: Optional[NetBatchConfig] = None,
         service_time: Optional[float] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         """Args beyond the obvious:
 
@@ -158,6 +160,10 @@ class MDBS:
             that makes receiver-side queuing (a single coordinator's
             contention) visible in virtual time. Mutually exclusive
             with ``net_batching``.
+        replication: when given, the sites it involves (leader +
+            acceptors) are built with the Paxos Commit layer attached
+            (see ``repro.replication``); the acceptor sites themselves
+            must still be added via :meth:`add_site`.
         """
         if net_batching is not None and service_time is not None:
             raise WorkloadError(
@@ -177,6 +183,7 @@ class MDBS:
         self.failures = FailureInjector(self.sim)
         self.timeouts = timeouts if timeouts is not None else TimeoutConfig()
         self.group_commit = group_commit
+        self.replication = replication
         self.sites: dict[str, Site] = {}
         self.submitted: list[GlobalTransaction] = []
 
@@ -214,6 +221,7 @@ class MDBS:
             self.timeouts,
             read_only_optimization=read_only_optimization,
             group_commit=self.group_commit,
+            replication=self.replication,
         )
         self.sites[site_id] = site
         self.pcp.register_site(site_id, protocol)

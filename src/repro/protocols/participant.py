@@ -349,7 +349,12 @@ class ParticipantEngine:
             self.table.insert(txn_id, entry)
             self._send_inquiry(entry)
 
-    def requeue_decided_gc(self, committed: set[str], aborted: set[str]) -> None:
+    def requeue_decided_gc(
+        self,
+        committed: set[str],
+        aborted: set[str],
+        implicitly_aborted: set[str] = frozenset(),
+    ) -> None:
         """Re-queue decided transactions found in the log at restart.
 
         ``_gc_pending`` is volatile: a crash between forgetting a
@@ -361,6 +366,14 @@ class ParticipantEngine:
         exactly the cover the sweep waits for; if the coordinator is
         still owed an ack it will resend the decision and get a blind
         re-ack (footnote 5), so forgetting here is safe.
+
+        ``implicitly_aborted`` shapes (UPDATE records, no PREPARED —
+        active at the crash, aborted by the local hidden presumption)
+        never get a decision record: a later duplicate decision from
+        the coordinator is blind-acked without logging. Redo only ever
+        replays *committed* transactions' updates, and this transaction
+        can never become committed, so its records collect with no
+        cover at all.
         """
         if self._spec.logless:
             return
@@ -368,6 +381,8 @@ class ParticipantEngine:
             self._gc_pending.setdefault(txn_id, RecordType.COMMIT)
         for txn_id in sorted(aborted):
             self._gc_pending.setdefault(txn_id, RecordType.ABORT)
+        for txn_id in sorted(implicitly_aborted):
+            self._gc_pending.setdefault(txn_id, None)
 
     # -- garbage collection ----------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Paxos Commit replication of the coordinator's decision (Gray &
+Lamport, *Consensus on Transaction Commit*).
+
+The subsystem layers consensus *under* the paper's presumption
+protocols without touching the coordinator engine:
+
+* :class:`~repro.replication.config.ReplicationConfig` — the static
+  membership: 2F+1 acceptor sites plus the (initial) leader site.
+* :class:`~repro.replication.acceptor.AcceptorEngine` — the per-site
+  Paxos acceptor: per-transaction ballots, forced ACCEPT records in the
+  site's own WAL, recovery from the log summary.
+* :class:`~repro.replication.decision_log.ReplicatedDecisionLog` — the
+  seam: a log wrapper the unmodified ``CoordinatorEngine`` writes
+  through; a decision becomes *stable* (and hence sendable) only once a
+  majority of acceptors accepted it.
+* :class:`~repro.replication.failover.FailoverWatcher` /
+  :class:`~repro.replication.failover.DecisionCompleter` — leader
+  liveness tracking and the deterministic takeover path that completes
+  (or presumes) in-flight transactions by reading the acceptor quorum.
+* :class:`~repro.replication.runtime.SiteReplication` — the per-site
+  facade wiring all of the above into ``repro.mdbs.site.Site``.
+
+The presumption trick survives replication in a precise sense: only
+*forced* coordinator decisions go through the quorum. A lazy decision
+(a PrA abort, say) is exactly one the coordinator may forget — and the
+quorum's default for an unaccepted transaction is the same presumption
+(abort), so skipping consensus for it is safe. The one casualty is the
+initiation-skipping optimization: every replicated transaction must be
+*registered* with the acceptors before voting starts, so PrN/PrA
+coordinators pay the initiation force they normally avoid (see
+:mod:`repro.replication.policy`).
+"""
+
+from repro.replication.acceptor import AcceptorEngine, accept_record
+from repro.replication.config import ReplicationConfig
+from repro.replication.decision_log import ReplicatedDecisionLog
+from repro.replication.failover import DecisionCompleter, FailoverWatcher
+from repro.replication.messages import REPLICATION_KINDS
+from repro.replication.policy import ReplicatedPolicy, ReplicatedSelector
+from repro.replication.runtime import SiteReplication
+
+__all__ = [
+    "AcceptorEngine",
+    "DecisionCompleter",
+    "FailoverWatcher",
+    "REPLICATION_KINDS",
+    "ReplicatedDecisionLog",
+    "ReplicatedPolicy",
+    "ReplicatedSelector",
+    "ReplicationConfig",
+    "SiteReplication",
+    "accept_record",
+]

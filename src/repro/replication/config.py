@@ -1,0 +1,81 @@
+"""Static replication membership and timing knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Membership and timing of one replicated-coordinator group.
+
+    Attributes:
+        acceptors: the 2F+1 acceptor site ids (F faults tolerated).
+        leader: the site whose coordinator engine drives the fast path
+            (ballot 0). Failover candidates are the acceptors in sorted
+            order; membership is static for a run.
+        heartbeat_interval: leader liveness beacon period.
+        failover_timeout: silence before the first acceptor (rank 0)
+            starts a takeover sweep.
+        failover_stagger: extra silence per acceptor rank, so takeovers
+            are staggered deterministically instead of racing.
+        retry_interval: quorum-round message resend period.
+    """
+
+    acceptors: tuple[str, ...]
+    leader: str = "tm"
+    heartbeat_interval: float = 5.0
+    failover_timeout: float = 40.0
+    failover_stagger: float = 15.0
+    retry_interval: float = 10.0
+
+    def __post_init__(self) -> None:
+        if len(self.acceptors) < 1:
+            raise WorkloadError("replication needs at least one acceptor")
+        if len(set(self.acceptors)) != len(self.acceptors):
+            raise WorkloadError(f"duplicate acceptors: {self.acceptors!r}")
+
+    @property
+    def majority(self) -> int:
+        """Quorum size: any two quorums intersect."""
+        return len(self.acceptors) // 2 + 1
+
+    def rank(self, site_id: str) -> int:
+        """Deterministic takeover order: position in sorted membership."""
+        return sorted(self.acceptors).index(site_id)
+
+    def involves(self, site_id: str) -> bool:
+        return site_id == self.leader or site_id in self.acceptors
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form for the multi-process site configs."""
+        return {
+            "acceptors": list(self.acceptors),
+            "leader": self.leader,
+            "heartbeat_interval": self.heartbeat_interval,
+            "failover_timeout": self.failover_timeout,
+            "failover_stagger": self.failover_stagger,
+            "retry_interval": self.retry_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReplicationConfig":
+        return cls(
+            acceptors=tuple(data["acceptors"]),
+            leader=data.get("leader", "tm"),
+            heartbeat_interval=data.get("heartbeat_interval", 5.0),
+            failover_timeout=data.get("failover_timeout", 40.0),
+            failover_stagger=data.get("failover_stagger", 15.0),
+            retry_interval=data.get("retry_interval", 10.0),
+        )
+
+    @classmethod
+    def for_group(cls, n_acceptors: int, leader: str = "tm") -> "ReplicationConfig":
+        """The standard topology: acceptors ``acc0..acc{N-1}`` under ``leader``."""
+        return cls(
+            acceptors=tuple(f"acc{i}" for i in range(n_acceptors)),
+            leader=leader,
+        )

@@ -1,0 +1,274 @@
+"""Leader liveness and the takeover/recovery sweep.
+
+Two pieces:
+
+* :class:`FailoverWatcher` — runs at every acceptor site. The leader
+  heartbeats PX_PING; after ``failover_timeout + rank·stagger`` of
+  silence the acceptor elects *itself* (deterministic order: sorted
+  acceptor ids) and runs a :class:`DecisionCompleter` sweep.
+* :class:`DecisionCompleter` — the proposer side of a takeover or a
+  leader restart: bulk phase 1 over the acceptor group, then, per
+  discovered in-flight transaction, phase 2 with the highest-ballot
+  accepted value — or the *presumed* value, abort, when no acceptor
+  accepted anything. Abort is safe precisely because the leader only
+  sends a decision after a majority accepted it: a phase-1 majority
+  with no accepted value proves no participant ever saw a decision.
+
+Once a transaction's value is chosen at quorum, the completer hands it
+to the site facade, which forces a local coordinator decision record
+and re-enters the unmodified engine's decision phase
+(``CoordinatorEngine._reinitiate``) to notify and collect acks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.replication.config import ReplicationConfig
+from repro.replication.messages import PX_1A, PX_2A, ballot_key
+from repro.sim.kernel import Simulator
+
+
+class DecisionCompleter:
+    """One quorum sweep completing every discovered in-flight txn."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_id: str,
+        config: ReplicationConfig,
+        runtime,
+        ballot_n: int,
+        extra: Optional[dict[str, dict]] = None,
+        skip: Optional[Callable[[str], bool]] = None,
+        on_txn: Optional[Callable[[str, str, dict], None]] = None,
+        on_done: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Args:
+        runtime: the owning :class:`SiteReplication` (rid allocation,
+            reply routing, quorum calls).
+        ballot_n: initial ballot number; must be > 0 (the fast path
+            owns ballot 0).
+        extra: locally known in-flight transactions to sweep even if
+            no acceptor reports them (txn -> {participants, protocols})
+            — the leader's initiation-only log entries.
+        skip: transactions already complete at this site.
+        on_txn: called with (txn_id, value, info) once a value is
+            chosen at quorum.
+        on_done: called with the number of completed transactions.
+        """
+        self._sim = sim
+        self._site_id = site_id
+        self._config = config
+        self._runtime = runtime
+        self._ballot_n = ballot_n
+        self._extra = dict(extra or {})
+        self._skip = skip or (lambda txn_id: False)
+        self._on_txn = on_txn or (lambda *a: None)
+        self._on_done = on_done or (lambda n: None)
+        self._calls: list = []
+        self._pending: set[str] = set()
+        self._completed = 0
+        self._finished = False
+
+    def start(self) -> None:
+        self._phase1([self._ballot_n, self._site_id])
+
+    def cancel(self) -> None:
+        self._finished = True
+        self._abandon()
+
+    def _abandon(self) -> None:
+        for call in self._calls:
+            call.cancel()
+        self._calls.clear()
+        self._pending.clear()
+
+    def _restart(self, promised: list) -> None:
+        if self._finished:
+            return
+        self._abandon()
+        self._ballot_n = max(int(promised[0]) + 1, self._ballot_n + 1)
+        self._phase1([self._ballot_n, self._site_id])
+
+    def _phase1(self, ballot: list) -> None:
+        # No "txns" scope: every instance the acceptor knows is in
+        # play; "extra" adds the proposer's locally known instances
+        # even where an acceptor never saw them registered.
+        payload: dict[str, Any] = {"ballot": ballot}
+        if self._extra:
+            payload["extra"] = sorted(self._extra)
+
+        def promised(acks: dict) -> None:
+            self._on_promised(ballot, acks)
+
+        def rejected(acceptor: str, info: dict) -> None:
+            self._restart(info.get("promised") or ballot)
+
+        self._calls.append(
+            self._runtime.call(
+                PX_1A, "", payload, promised, rejected, label=f"sweep {ballot[0]}"
+            )
+        )
+
+    def _on_promised(self, ballot: list, acks: dict) -> None:
+        merged: dict[str, dict] = {}
+        for payload in acks.values():
+            for txn_id, info in (payload.get("txns") or {}).items():
+                held = merged.setdefault(
+                    txn_id,
+                    {
+                        "participants": [],
+                        "protocols": {},
+                        "accepted_ballot": None,
+                        "accepted_value": None,
+                    },
+                )
+                if info.get("participants") and not held["participants"]:
+                    held["participants"] = list(info["participants"])
+                if info.get("protocols") and not held["protocols"]:
+                    held["protocols"] = dict(info["protocols"])
+                accepted_at = info.get("accepted_ballot")
+                if accepted_at is not None and (
+                    held["accepted_ballot"] is None
+                    or ballot_key(accepted_at) > ballot_key(held["accepted_ballot"])
+                ):
+                    held["accepted_ballot"] = accepted_at
+                    held["accepted_value"] = info.get("accepted_value")
+        for txn_id, info in self._extra.items():
+            held = merged.setdefault(
+                txn_id,
+                {
+                    "participants": [],
+                    "protocols": {},
+                    "accepted_ballot": None,
+                    "accepted_value": None,
+                },
+            )
+            if info.get("participants") and not held["participants"]:
+                held["participants"] = list(info["participants"])
+            if info.get("protocols") and not held["protocols"]:
+                held["protocols"] = dict(info["protocols"])
+        todo = {
+            txn_id: info
+            for txn_id, info in merged.items()
+            if not self._skip(txn_id)
+        }
+        if not todo:
+            self._finish()
+            return
+        self._pending = set(todo)
+        for txn_id in sorted(todo):
+            info = todo[txn_id]
+            # The heart of the matter: an accepted value must win; a
+            # never-accepted transaction gets the quorum's presumption.
+            value = info["accepted_value"] or "abort"
+            self._phase2(ballot, txn_id, value, info)
+
+    def _phase2(self, ballot: list, txn_id: str, value: str, info: dict) -> None:
+        payload = {
+            "ballot": ballot,
+            "value": value,
+            "participants": info["participants"],
+            "protocols": info["protocols"],
+        }
+
+        def accepted(acks: dict) -> None:
+            self._decided(txn_id, value, info)
+
+        def rejected(acceptor: str, rej: dict) -> None:
+            self._restart(rej.get("promised") or ballot)
+
+        self._calls.append(
+            self._runtime.call(
+                PX_2A, txn_id, payload, accepted, rejected, label=f"2a {txn_id}"
+            )
+        )
+
+    def _decided(self, txn_id: str, value: str, info: dict) -> None:
+        if self._finished:
+            return
+        self._completed += 1
+        self._on_txn(txn_id, value, info)
+        self._pending.discard(txn_id)
+        if not self._pending:
+            self._finish()
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._abandon()
+        self._on_done(self._completed)
+
+
+class FailoverWatcher:
+    """Acceptor-side leader-liveness tracking and takeover trigger."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_id: str,
+        config: ReplicationConfig,
+        runtime,
+    ) -> None:
+        self._sim = sim
+        self._site_id = site_id
+        self._config = config
+        self._runtime = runtime
+        self._deadline = config.failover_timeout + config.rank(
+            site_id
+        ) * config.failover_stagger
+        self._last_seen = sim.now
+        self._sweeping = False
+        self._timer = None
+        self._arm()
+
+    def on_ping(self) -> None:
+        self._last_seen = self._sim.now
+
+    def on_proposer_traffic(self) -> None:
+        """Another coordinator is visibly working; hold our fire."""
+        self._last_seen = self._sim.now
+
+    def crash(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._sweeping = False
+
+    def recover(self) -> None:
+        self._last_seen = self._sim.now
+        self._arm()
+
+    def _arm(self) -> None:
+        self._timer = self._sim.set_timer(
+            self._config.heartbeat_interval,
+            self._check,
+            label=f"failover-watch {self._site_id}",
+        )
+
+    def _check(self) -> None:
+        silence = self._sim.now - self._last_seen
+        if not self._sweeping and silence >= self._deadline:
+            self._sweeping = True
+            self._sim.record(
+                self._site_id,
+                "replication",
+                "failover",
+                leader=self._config.leader,
+                silence=round(silence, 3),
+            )
+            self._runtime.start_takeover(on_done=self._sweep_done)
+        self._arm()
+
+    def _sweep_done(self, completed: int) -> None:
+        self._sweeping = False
+        # Fresh grace period: don't immediately re-elect ourselves.
+        self._last_seen = self._sim.now
+        self._sim.record(
+            self._site_id,
+            "replication",
+            "failover_done",
+            completed=completed,
+        )

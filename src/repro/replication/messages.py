@@ -1,0 +1,50 @@
+"""Message kinds of the Paxos Commit layer.
+
+All payloads are JSON-representable so the same messages ride the live
+wire protocol unchanged. Ballots travel as ``[n, site_id]`` lists;
+:func:`ballot_key` gives their total order (number first, proposer site
+id as the tiebreak).
+"""
+
+from __future__ import annotations
+
+#: Leader → acceptors: remember a transaction's participants and
+#: protocols before voting starts (the replicated initiation).
+PX_REGISTER = "PX_REGISTER"
+#: Acceptor → leader: the registration's ACCEPT record is stable.
+PX_REGISTER_ACK = "PX_REGISTER_ACK"
+#: Proposer → acceptors: phase 2a — accept this decision at this ballot.
+PX_2A = "PX_2A"
+#: Acceptor → proposer: phase 2b — accepted (or nack with the promise).
+PX_2B = "PX_2B"
+#: Proposer → acceptors: phase 1a — promise this ballot (bulk, over all
+#: in-flight transactions or an explicit ``txns`` scope).
+PX_1A = "PX_1A"
+#: Acceptor → proposer: phase 1b — per-transaction promises and any
+#: previously accepted values.
+PX_1B = "PX_1B"
+#: Acceptor → leader: which transactions the acceptor still holds.
+PX_STATUS = "PX_STATUS"
+#: Leader → acceptor: these transactions are over; release their state.
+PX_FORGET = "PX_FORGET"
+#: Leader → acceptors: liveness beacon.
+PX_PING = "PX_PING"
+
+REPLICATION_KINDS = frozenset(
+    {
+        PX_REGISTER,
+        PX_REGISTER_ACK,
+        PX_2A,
+        PX_2B,
+        PX_1A,
+        PX_1B,
+        PX_STATUS,
+        PX_FORGET,
+        PX_PING,
+    }
+)
+
+
+def ballot_key(ballot: list) -> tuple[int, str]:
+    """Total order over ``[n, site_id]`` ballots."""
+    return (int(ballot[0]), str(ballot[1]))

@@ -1,0 +1,94 @@
+"""Policy wrappers: what replication costs the presumption protocols.
+
+Paxos Commit needs every transaction *registered* with the acceptor
+quorum before voting starts — a takeover must be able to learn, from
+any majority, who participates and under which protocol. The natural
+carrier is the initiation record (it is forced before any PREPARE
+anyway), so the leader's policies are wrapped to always write one,
+protocols included.
+
+That is a real, honest price: the very optimization PrN and PrA are
+built around — skipping the initiation force — does not survive
+replication, because "the coordinator wrote nothing yet" is
+indistinguishable from "the coordinator never existed" at a quorum
+that must decide whether to wait or presume. Everything else (decision
+forcing, ack matrices, END records, GC covers, presumption answers)
+delegates to the wrapped policy unchanged, which is what keeps the
+replicated run's observable footprint equal to the plain twin's
+modulo exactly the leader-side initiation/END records (see
+``tests/conformance/harness.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.events import Outcome
+from repro.protocols.base import CoordinatorPolicy
+from repro.protocols.registry import PolicySelector
+
+
+class ReplicatedPolicy(CoordinatorPolicy):
+    """A coordinator policy forced to register every transaction."""
+
+    def __init__(self, inner: CoordinatorPolicy) -> None:
+        self.inner = inner
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        # Keep the wrapped policy's display name: protocol-selection
+        # traces stay comparable between the plain and replicated twins.
+        return self.inner.name
+
+    def writes_initiation(self) -> bool:
+        return True
+
+    def initiation_includes_protocols(self) -> bool:
+        return True
+
+    def forces_decision_record(self, outcome: Outcome) -> bool:
+        return self.inner.forces_decision_record(outcome)
+
+    def writes_end(self, outcome: Outcome) -> bool:
+        return self.inner.writes_end(outcome)
+
+    def ack_expected(self, participant_protocol: str, outcome: Outcome) -> bool:
+        return self.inner.ack_expected(participant_protocol, outcome)
+
+    def gc_cover(self, outcome: Outcome):
+        return self.inner.gc_cover(outcome)
+
+    def respond_unknown(self, inquirer_protocol: str) -> Outcome:
+        return self.inner.respond_unknown(inquirer_protocol)
+
+    def __repr__(self) -> str:
+        return f"ReplicatedPolicy({self.inner!r})"
+
+
+class ReplicatedSelector:
+    """Wrap every policy a selector hands out (leader side only)."""
+
+    def __init__(self, inner: PolicySelector) -> None:
+        self.inner = inner
+        self._wrapped: dict[int, ReplicatedPolicy] = {}
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def select(self, participant_protocols: Mapping[str, str]) -> ReplicatedPolicy:
+        return self._wrap(self.inner.select(participant_protocols))
+
+    def by_name(self, name: str) -> ReplicatedPolicy:
+        return self._wrap(self.inner.by_name(name))
+
+    def _wrap(self, policy: CoordinatorPolicy) -> ReplicatedPolicy:
+        # Cache by identity: selectors reuse policy instances, and the
+        # engine compares entries' policies only by behaviour, but a
+        # stable wrapper keeps repr/traces tidy.
+        key = id(policy)
+        wrapped = self._wrapped.get(key)
+        if wrapped is None:
+            wrapped = ReplicatedPolicy(policy)
+            self._wrapped[key] = wrapped
+        return wrapped

@@ -1,0 +1,114 @@
+"""One round-trip to a majority of acceptors, with resends.
+
+A :class:`QuorumCall` broadcasts one message kind to every acceptor and
+collects replies until a majority of *distinct* acceptors answered
+positively (then fires ``on_majority`` exactly once) or any acceptor
+nacks (``ok: false`` — then fires ``on_reject`` exactly once and stops).
+Unanswered acceptors are re-sent on a timer, so lost messages and
+crashed-then-recovered acceptors cannot wedge a round; a crashed
+*proposer* abandons its rounds wholesale (the owning facade clears the
+call registry and cancels the timers).
+
+Replies are matched to calls by the ``rid`` echoed in every reply
+payload; rid allocation and reply routing live in
+:class:`~repro.replication.runtime.SiteReplication`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.replication.config import ReplicationConfig
+from repro.sim.kernel import Simulator
+
+
+class QuorumCall:
+    """One majority round over the acceptor group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        sender: str,
+        config: ReplicationConfig,
+        calls: dict[int, "QuorumCall"],
+        rid: int,
+        kind: str,
+        txn_id: str,
+        payload: dict[str, Any],
+        on_majority: Callable[[dict[str, dict]], None],
+        on_reject: Optional[Callable[[str, dict], None]] = None,
+        label: str = "",
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self._sender = sender
+        self._config = config
+        self._calls = calls
+        self._rid = rid
+        self._kind = kind
+        self._txn_id = txn_id
+        self._payload = payload
+        self._on_majority = on_majority
+        self._on_reject = on_reject
+        self._label = label or kind
+        self._acks: dict[str, dict] = {}
+        self._timer = None
+        self._done = False
+
+    def start(self) -> "QuorumCall":
+        self._calls[self._rid] = self
+        self._broadcast()
+        self._arm()
+        return self
+
+    def on_reply(self, message: Message) -> None:
+        if self._done:
+            return
+        payload = message.payload
+        if payload.get("ok", True) is False:
+            self.cancel()
+            if self._on_reject is not None:
+                self._on_reject(message.sender, payload)
+            return
+        self._acks[message.sender] = payload
+        if len(self._acks) >= self._config.majority:
+            acks = dict(self._acks)
+            self.cancel()
+            self._on_majority(acks)
+
+    def cancel(self) -> None:
+        self._done = True
+        self._calls.pop(self._rid, None)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _broadcast(self) -> None:
+        for acceptor in self._config.acceptors:
+            if acceptor in self._acks:
+                continue
+            self._network.send(
+                Message(
+                    self._kind,
+                    self._sender,
+                    acceptor,
+                    self._txn_id,
+                    {**self._payload, "rid": self._rid},
+                )
+            )
+
+    def _arm(self) -> None:
+        self._timer = self._sim.set_timer(
+            self._config.retry_interval,
+            self._retry,
+            label=f"px-retry {self._label}",
+        )
+
+    def _retry(self) -> None:
+        if self._done:
+            return
+        self._broadcast()
+        self._arm()

@@ -5,7 +5,7 @@ the simulator burns virtual work; this module measures the same commit
 workload end to end over real sockets and fsync'd logs — seconds of
 wall clock per committed transaction, not events per second.
 
-Five scenarios:
+The scenarios:
 
 * ``live-prany-commit`` — the PR-4 baseline shape: paced arrivals
   (one transaction per virtual unit), no durability batching, no
@@ -19,6 +19,11 @@ Five scenarios:
 * ``live-prany-multiproc`` — the throughput workload with every site
   a supervised OS process; the delta against ``live-prany-throughput``
   is the price of real process isolation.
+* ``live-prany-replicated`` — the multiproc workload with the ``tm``
+  coordinator replicated over 3 Paxos acceptor processes
+  (``repro.replication``); the delta against ``live-prany-multiproc``
+  prices the nonblocking guarantee — two quorum rounds and three more
+  fsync'ing WALs per transaction.
 * ``live-prany-single`` / ``live-prany-sharded`` — the
   sharded-coordinator pair: the identical 64-transaction workload over
   4 site processes at :data:`SHARDED_PIPELINE_DEPTH` in flight,
@@ -71,6 +76,10 @@ PIPELINE_DEPTH = 8
 #: noise past depth ~8, which is exactly the regime the ROADMAP item
 #: calls out.
 SHARDED_PIPELINE_DEPTH = 16
+
+#: Acceptor-group size of the replicated-coordinator scenario: the
+#: smallest group that survives one failure (majority 2 of 3).
+REPLICATION_GROUP = 3
 
 #: Group-commit window of the throughput scenario. The delay bound is
 #: deliberately tight (0.1 units = 1 ms at the default time scale):
@@ -384,6 +393,52 @@ def _run_coordinator_pair_scenario(
     )
 
 
+def run_live_replicated_scenario(smoke: bool = False) -> ScenarioResult:
+    """The replicated-coordinator half of the replication pair: the
+    exact ``live-prany-multiproc`` workload with the ``tm`` process
+    replicated over :data:`REPLICATION_GROUP` acceptor processes. Every
+    transaction pays a quorum registration round before its PREPAREs
+    and a quorum acceptance round before its decision is stable — three
+    more fsync'ing processes on the commit path — in exchange for the
+    nonblocking guarantee (a leader SIGKILL mid-prepare no longer wedges
+    in-flight transactions; see ``tests/rt/test_replicated_live.py``).
+    """
+    from repro.rt.proc import run_multiprocess_workload
+
+    n_transactions = 8 if smoke else 64
+    spec = WorkloadSpec(
+        n_transactions=n_transactions,
+        abort_fraction=0.25,
+        participants_min=2,
+        participants_max=3,
+        inter_arrival=1.0,  # ignored: the pipelined driver is open-loop
+        hot_keys=0,
+        seed=BENCH_SEED,
+    )
+
+    async def go(data_dir: str):
+        return await run_multiprocess_workload(
+            three_way(3),
+            "dynamic",
+            spec,
+            data_dir,
+            group_commit=THROUGHPUT_GROUP_COMMIT,
+            pipeline=PIPELINE_DEPTH,
+            replicated=REPLICATION_GROUP,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = asyncio.run(go(tmp))
+    return _multiproc_result(
+        cluster,
+        n_transactions,
+        extra_detail={
+            "replicated": REPLICATION_GROUP,
+            "counterpart": "live-prany-multiproc",
+        },
+    )
+
+
 def run_live_single_scenario(smoke: bool = False) -> ScenarioResult:
     return _run_coordinator_pair_scenario(sharded=False, smoke=smoke)
 
@@ -443,8 +498,30 @@ def live_multiproc_scenario() -> Scenario:
             "(wall clock; transactions/sec + decision-latency percentiles)"
         ),
         seed=BENCH_SEED,
-        tags=("live", "system", "multiprocess"),
+        # "replication" because this is also the plain-coordinator
+        # member of the replication pair (counterpart of
+        # live-prany-replicated), the way the sharding pair shares its
+        # tag across both members.
+        tags=("live", "system", "multiprocess", "replication"),
         run=run_live_multiproc_scenario,
+        deterministic=False,
+    )
+
+
+def live_replicated_scenario() -> Scenario:
+    """Replicated-coordinator half of the replication pair (PR-9)."""
+    return Scenario(
+        name="live-prany-replicated",
+        description=(
+            "the live-prany-multiproc workload with tm replicated over "
+            f"{REPLICATION_GROUP} Paxos acceptor processes: every "
+            "decision is stable only at a quorum of acceptor WALs "
+            "(the nonblocking price tag; counterpart "
+            "live-prany-multiproc)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "multiprocess", "replication"),
+        run=run_live_replicated_scenario,
         deterministic=False,
     )
 
@@ -490,6 +567,7 @@ def live_scenarios() -> list[Scenario]:
         live_scenario(),
         live_throughput_scenario(),
         live_multiproc_scenario(),
+        live_replicated_scenario(),
         live_single_scenario(),
         live_sharded_scenario(),
     ]

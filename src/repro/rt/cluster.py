@@ -35,6 +35,7 @@ from repro.mdbs.site import Site
 from repro.mdbs.system import RunReports, start_transaction
 from repro.mdbs.transaction import GlobalTransaction
 from repro.protocols.base import TimeoutConfig
+from repro.replication import ReplicationConfig
 from repro.rt.host import SiteHost
 from repro.rt.runtime import LiveRuntime
 from repro.sim.tracing import TraceEvent
@@ -96,6 +97,11 @@ class LiveCluster:
             engine running ``coordinator``'s policy, and transactions
             carry their own placed coordinator ids (see
             :mod:`repro.mdbs.placement`).
+        replicated: run the ``tm`` coordinator over this many Paxos
+            acceptor hosts (``acc0..``, see :mod:`repro.replication`);
+            each acceptor logs its Paxos state in its own WAL and can
+            complete in-flight transactions after a leader kill.
+            Mutually exclusive with ``sharded``.
     """
 
     def __init__(
@@ -110,10 +116,20 @@ class LiveCluster:
         read_only_optimization: bool = True,
         group_commit: Optional[GroupCommitConfig] = None,
         sharded: bool = False,
+        replicated: int = 0,
     ) -> None:
+        if sharded and replicated:
+            raise WorkloadError(
+                "sharded and replicated are mutually exclusive topologies"
+            )
         self._mix = mix
         self._coordinator_policy = coordinator
         self._sharded = sharded
+        self._replication = (
+            ReplicationConfig.for_group(replicated, leader=COORDINATOR_ID)
+            if replicated
+            else None
+        )
         self._seed = seed
         self._timeouts = timeouts
         self._time_scale = time_scale
@@ -155,6 +171,11 @@ class LiveCluster:
             self._add_host(
                 COORDINATOR_ID, "PrN", coordinator=self._coordinator_policy
             )
+        if self._replication is not None:
+            for acceptor_id in self._replication.acceptors:
+                self._add_host(
+                    acceptor_id, "PrN", coordinator=self._coordinator_policy
+                )
         for host in self.hosts.values():
             await host.start()
 
@@ -174,6 +195,7 @@ class LiveCluster:
             read_only_optimization=self._read_only_optimization,
             fsync=self._fsync,
             group_commit=self._group_commit,
+            replication=self._replication,
         )
         self.hosts[site_id] = host
         self.pcp.register_site(site_id, protocol)
@@ -464,6 +486,7 @@ async def run_live_workload(
     pipeline: Optional[int] = None,
     sharded: bool = False,
     placement: str = "hash",
+    replicated: int = 0,
 ) -> LiveCluster:
     """Run a generated workload over a live cluster to quiescence.
 
@@ -474,7 +497,8 @@ async def run_live_workload(
     ``pipeline`` (a concurrency cap) switches the arrival driver to
     :meth:`LiveCluster.run_pipelined` instead of ``submit_at`` pacing;
     ``sharded`` spreads the coordinator role across the mix sites with
-    the named ``placement`` policy.
+    the named ``placement`` policy; ``replicated`` puts the ``tm``
+    coordinator over a live Paxos acceptor group.
     """
     cluster = LiveCluster(
         mix,
@@ -486,6 +510,7 @@ async def run_live_workload(
         fsync=fsync,
         group_commit=group_commit,
         sharded=sharded,
+        replicated=replicated,
     )
     await cluster.start()
     try:

@@ -28,6 +28,7 @@ from repro.errors import SiteDownError
 from repro.mdbs.site import Site
 from repro.protocols.base import TimeoutConfig
 from repro.protocols.registry import selector_for
+from repro.replication import ReplicationConfig
 from repro.rt.runtime import LiveRuntime
 from repro.rt.store import FileBackedStore
 from repro.rt.transport import LiveTransport
@@ -52,6 +53,7 @@ def build_site(
     read_only_optimization: bool = True,
     fsync: bool = True,
     group_commit: Optional[GroupCommitConfig] = None,
+    replication: Optional[ReplicationConfig] = None,
 ) -> Site:
     """Construct a live :class:`Site` over file-backed storage.
 
@@ -61,6 +63,9 @@ def build_site(
     wired to ``transport``. Shared by the in-process :class:`SiteHost`
     and the out-of-process ``repro.rt.proc.site_process`` entrypoint so
     both build byte-identical sites from the same directory.
+    ``replication`` attaches the Paxos Commit layer to the sites it
+    involves, exactly as under simulation — acceptor ACCEPT records
+    land in the same WAL and survive a process death.
     """
     wal_path = data_dir / WAL_FILE
     if group_commit is not None:
@@ -82,6 +87,7 @@ def build_site(
         read_only_optimization=read_only_optimization,
         log=log,
         store=store,
+        replication=replication,
     )
 
 
@@ -102,6 +108,7 @@ class SiteHost:
         fsync: bool = True,
         port: int = 0,
         group_commit: Optional[GroupCommitConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         self._rt = rt
         self._pcp = pcp
@@ -112,6 +119,7 @@ class SiteHost:
         self._read_only_optimization = read_only_optimization
         self._fsync = fsync
         self._group_commit = group_commit
+        self._replication = replication
         self.data_dir = Path(data_dir)
         self.transport = LiveTransport(rt, site_id, directory, port=port)
         self.site: Optional[Site] = None
@@ -150,6 +158,7 @@ class SiteHost:
             read_only_optimization=self._read_only_optimization,
             fsync=self._fsync,
             group_commit=self._group_commit,
+            replication=self._replication,
         )
 
     async def kill(self) -> None:
@@ -173,7 +182,9 @@ class SiteHost:
         """Orderly shutdown (end of run, not a crash)."""
         await self.transport.stop()
         if self.site is not None and self.site.is_up:
-            log = self.site.log
+            # The replicated leader's log is the decision-log wrapper
+            # around the file log; close the file underneath it.
+            log = getattr(self.site.log, "inner", self.site.log)
             if isinstance(log, FileStableLog):
                 log.close()
 

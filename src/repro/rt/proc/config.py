@@ -23,6 +23,7 @@ from typing import Any, Optional
 
 from repro.errors import WorkloadError
 from repro.protocols.base import TimeoutConfig
+from repro.replication import ReplicationConfig
 from repro.storage.group_commit import GroupCommitConfig
 
 
@@ -72,6 +73,9 @@ class SiteProcessConfig:
     group_commit: Optional[dict[str, Any]] = None
     timeouts: Optional[dict[str, float]] = None
     kill: Optional[dict[str, str]] = None
+    #: Replicated-coordinator membership (``ReplicationConfig.to_dict``)
+    #: for the sites the group involves; ``None`` elsewhere.
+    replication: Optional[dict[str, Any]] = None
 
     # -- typed views ---------------------------------------------------------
 
@@ -82,6 +86,11 @@ class SiteProcessConfig:
         if self.group_commit is None:
             return None
         return GroupCommitConfig(**self.group_commit)
+
+    def replication_config(self) -> Optional[ReplicationConfig]:
+        if self.replication is None:
+            return None
+        return ReplicationConfig.from_dict(self.replication)
 
     def kill_spec(self) -> Optional[KillSpec]:
         return None if self.kill is None else KillSpec(**self.kill)

@@ -68,6 +68,7 @@ from repro.sim.tracing import TraceEvent
 from repro.storage.file_log import FileStableLog, record_to_json
 from repro.storage.pcp import CommitProtocolDirectory
 from repro.workloads.failure_schedules import (
+    acceptor_crash_points,
     coordinator_crash_points,
     participant_crash_points,
 )
@@ -77,7 +78,11 @@ from repro.workloads.failure_schedules import (
 #: one vocabulary.
 CRASH_POINTS = {
     point.name: point
-    for point in coordinator_crash_points() + participant_crash_points()
+    for point in (
+        coordinator_crash_points()
+        + participant_crash_points()
+        + acceptor_crash_points()
+    )
 }
 
 #: File the child writes its pid into (crash forensics + orphan reaping).
@@ -157,6 +162,7 @@ class SiteProcess:
             read_only_optimization=config.read_only_optimization,
             fsync=config.fsync,
             group_commit=config.group_commit_config(),
+            replication=config.replication_config(),
         )
         recovery = self.site.cold_recover() if recovering else None
 
@@ -331,8 +337,11 @@ class SiteProcess:
                 "messages_dropped": self.transport.dropped_count,
             }
         if op == "shutdown":
-            if isinstance(site.log, FileStableLog):
-                site.log.close()
+            # The replicated leader's log is the decision-log wrapper
+            # around the file log; close the file underneath it.
+            log = getattr(site.log, "inner", site.log)
+            if isinstance(log, FileStableLog):
+                log.close()
             return {"status": "bye"}
         raise ValueError(f"unknown control op {op!r}")
 

@@ -66,6 +66,7 @@ from repro.mdbs.placement import placement_for
 from repro.mdbs.system import RunReports
 from repro.mdbs.transaction import GlobalTransaction
 from repro.protocols.base import TimeoutConfig, participant_spec
+from repro.replication import ReplicationConfig
 from repro.rt.cluster import LIVE_TIMEOUTS, RUN_MARGIN
 from repro.rt.host import STORE_FILE, WAL_FILE
 from repro.rt.proc.config import (
@@ -224,6 +225,12 @@ class ProcessCluster:
             mix site's process hosts both a participant engine and a
             coordinator engine running ``coordinator``'s policy, and
             transactions carry their own placed coordinator ids.
+        replicated: run the ``tm`` coordinator over this many Paxos
+            acceptor processes (``acc0..``, see :mod:`repro.replication`);
+            each acceptor forces its Paxos state into its own WAL
+            (recovery-first across SIGKILL) and can complete in-flight
+            transactions after the leader's process is killed.
+            Mutually exclusive with ``sharded``.
     """
 
     def __init__(
@@ -242,10 +249,20 @@ class ProcessCluster:
         heartbeat_misses: int = 5,
         auto_respawn: bool = False,
         sharded: bool = False,
+        replicated: int = 0,
     ) -> None:
+        if sharded and replicated:
+            raise WorkloadError(
+                "sharded and replicated are mutually exclusive topologies"
+            )
         self._mix = mix
         self._coordinator_policy = coordinator
         self._sharded = sharded
+        self._replication = (
+            ReplicationConfig.for_group(replicated, leader=COORDINATOR_ID)
+            if replicated
+            else None
+        )
         self._seed = seed
         self._timeouts = timeouts
         self._time_scale = time_scale
@@ -301,6 +318,12 @@ class ProcessCluster:
         coordinator_sites = (
             sorted(topology) if self._sharded else [COORDINATOR_ID]
         )
+        if self._replication is not None:
+            # Acceptor processes host a coordinator engine too: a
+            # takeover completes in-flight transactions through it.
+            for acceptor_id in self._replication.acceptors:
+                topology[acceptor_id] = "PrN"
+                coordinator_sites.append(acceptor_id)
         # Pre-allocate every data port up front so the complete address
         # directory goes into every child's config — addresses survive
         # any child's restart without renegotiation.
@@ -334,6 +357,12 @@ class ProcessCluster:
                 group_commit=group_commit_to_dict(self._group_commit),
                 timeouts=timeouts_to_dict(self._timeouts),
                 kill=None if kill is None else {"point": kill.point, "txn": kill.txn},
+                replication=(
+                    self._replication.to_dict()
+                    if self._replication is not None
+                    and self._replication.involves(site_id)
+                    else None
+                ),
             )
             config_path = self.data_dir / site_id / "proc.json"
             config.save(config_path)
@@ -989,13 +1018,16 @@ async def run_multiprocess_workload(
     kills: Optional[dict[str, KillSpec]] = None,
     sharded: bool = False,
     placement: str = "hash",
+    replicated: int = 0,
 ) -> ProcessCluster:
     """Run a generated workload over a multi-process cluster to
     quiescence — the process-per-site twin of
     :func:`~repro.rt.cluster.run_live_workload`, returning the
     (shut-down, collected) cluster for ``equivalence_summary``-style
     inspection. ``sharded`` spreads the coordinator role across the mix
-    sites' processes with the named ``placement`` policy."""
+    sites' processes with the named ``placement`` policy; ``replicated``
+    puts the ``tm`` coordinator over a group of Paxos acceptor
+    processes."""
     cluster = ProcessCluster(
         mix,
         data_dir,
@@ -1007,6 +1039,7 @@ async def run_multiprocess_workload(
         group_commit=group_commit,
         kills=kills,
         sharded=sharded,
+        replicated=replicated,
     )
     await cluster.start()
     try:

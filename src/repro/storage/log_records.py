@@ -31,6 +31,9 @@ class RecordType(enum.Enum):
     ABORT = "abort"
     END = "end"
     UPDATE = "update"
+    #: Paxos acceptor state (repro.replication): registrations,
+    #: promises and accepted decisions, forced before every reply.
+    ACCEPT = "accept"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

@@ -107,6 +107,36 @@ def coordinator_crash_points() -> list[CrashPoint]:
     ]
 
 
+def acceptor_crash_points() -> list[CrashPoint]:
+    """Crash instants at a Paxos acceptor (``repro.replication``).
+
+    Acceptor state is a single record vocabulary — every registration,
+    promise and accepted decision is an ``accept``-type record forced
+    before the reply — so the interesting instants are: the window
+    where the 2a proposal is in flight (the acceptor dies holding
+    nothing), the window right after the force (the acceptor dies
+    holding state the proposer has not yet seen acknowledged), and the
+    registration round that precedes every PREPARE fan-out.
+    """
+    return [
+        CrashPoint(
+            "acc-before-register",
+            "acceptor",
+            _msg_send_to("PX_REGISTER"),
+        ),
+        CrashPoint(
+            "acc-before-accept",
+            "acceptor",
+            _msg_send_to("PX_2A"),
+        ),
+        CrashPoint(
+            "acc-after-accept",
+            "acceptor",
+            _log_force_of("accept"),
+        ),
+    ]
+
+
 def participant_crash_points() -> list[CrashPoint]:
     """Crash instants at a participant, ordered along the protocol."""
     return [

@@ -12,6 +12,7 @@ from repro.mdbs.transaction import GlobalTransaction, WriteOp
 from repro.net.batching import NetBatchConfig
 from repro.net.network import LatencyModel
 from repro.protocols.base import TimeoutConfig
+from repro.replication import ReplicationConfig
 from repro.sim.rng import RandomStreams
 from repro.storage.group_commit import GroupCommitConfig
 from repro.workloads.mixes import ProtocolMix
@@ -31,6 +32,7 @@ def build_mdbs(
     net_batching: Optional[NetBatchConfig] = None,
     sharded: bool = False,
     service_time: Optional[float] = None,
+    replicated: "int | ReplicationConfig" = 0,
 ) -> MDBS:
     """Build an MDBS with one participant site per mix entry.
 
@@ -43,7 +45,40 @@ def build_mdbs(
     one of them by the workload generator (see
     :mod:`repro.mdbs.placement`). ``group_commit`` / ``net_batching``
     switch on the group-commit engine (off by default).
+
+    With ``replicated=N`` the ``tm`` coordinator replicates its
+    decisions over ``N`` dedicated acceptor sites ``acc0..acc{N-1}``
+    via Paxos Commit (see :mod:`repro.replication`); each acceptor
+    also hosts a coordinator engine so it can complete in-flight
+    transactions after a leader failover. Acceptors never participate
+    in workload transactions. Pass a :class:`ReplicationConfig` instead
+    of an int to override the membership or liveness timers (e.g. a
+    dense benchmark relaxing ``failover_timeout`` above its queueing
+    delay, so spurious takeovers never fire).
     """
+    if replicated:
+        if sharded:
+            raise WorkloadError(
+                "replicated coordinators require the single-coordinator "
+                "topology (sharded=True replicates nothing)"
+            )
+        unsupported = {
+            p for p in mix.site_protocols().values() if p in ("IYV", "CL")
+        }
+        if unsupported:
+            raise WorkloadError(
+                f"replication does not support the extension protocols "
+                f"{sorted(unsupported)} yet (coordinator-log retention "
+                f"and implicit voting are not registered with the quorum)"
+            )
+    if isinstance(replicated, ReplicationConfig):
+        replication = replicated
+    elif replicated:
+        replication = ReplicationConfig.for_group(
+            replicated, leader=COORDINATOR_ID
+        )
+    else:
+        replication = None
     mdbs = MDBS(
         seed=seed,
         latency=latency,
@@ -51,6 +86,7 @@ def build_mdbs(
         group_commit=group_commit,
         net_batching=net_batching,
         service_time=service_time,
+        replication=replication,
     )
     for site_id, protocol in mix.site_protocols().items():
         mdbs.add_site(
@@ -61,6 +97,11 @@ def build_mdbs(
         )
     if not sharded:
         mdbs.add_site(COORDINATOR_ID, protocol="PrN", coordinator=coordinator)
+    if replication is not None:
+        for acceptor_id in replication.acceptors:
+            mdbs.add_site(
+                acceptor_id, protocol="PrN", coordinator=coordinator
+            )
     return mdbs
 
 

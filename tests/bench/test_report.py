@@ -11,6 +11,7 @@ from repro.bench.report import (
     build_report,
     compare_reports,
     load_report,
+    scenario_diff,
     validate_report,
     write_report,
 )
@@ -148,3 +149,57 @@ class TestRegressionDetection:
         regressions, notes = compare_reports(current, baseline)
         assert not regressions
         assert any("not measured" in n for n in notes)
+
+
+class TestScenarioDiff:
+    """The named added/missing diff behind the ``--check`` gates.
+
+    ``compare_reports`` only compares the intersection; a scenario
+    added without regenerating the baseline (or removed while its
+    baseline entry lingered) used to slip through any gate that merely
+    compared what overlapped. ``scenario_diff`` names the drift so the
+    CLI can fail on it.
+    """
+
+    @staticmethod
+    def with_scenarios(names):
+        report = make_report()
+        entry = report["scenarios"]["kernel-dispatch"]
+        report = json.loads(json.dumps(report))
+        report["scenarios"] = {name: entry for name in names}
+        return report
+
+    def test_identical_sets_are_clean(self):
+        current = self.with_scenarios(["a", "b"])
+        baseline = self.with_scenarios(["b", "a"])
+        assert scenario_diff(current, baseline) == ([], [])
+
+    def test_added_scenario_is_named(self):
+        current = self.with_scenarios(["a", "b", "commit-storm-replicated-prany"])
+        baseline = self.with_scenarios(["a", "b"])
+        added, missing = scenario_diff(current, baseline)
+        assert added == ["commit-storm-replicated-prany"]
+        assert missing == []
+
+    def test_missing_scenario_is_named(self):
+        current = self.with_scenarios(["a"])
+        baseline = self.with_scenarios(["a", "retired-scenario"])
+        added, missing = scenario_diff(current, baseline)
+        assert added == []
+        assert missing == ["retired-scenario"]
+
+    def test_rename_shows_both_sides_sorted(self):
+        # The same-size trap: one added + one removed keeps the count
+        # equal, which is exactly what a size-only comparison missed.
+        current = self.with_scenarios(["a", "z-new", "b-new"])
+        baseline = self.with_scenarios(["a", "z-old", "b-old"])
+        added, missing = scenario_diff(current, baseline)
+        assert added == ["b-new", "z-new"]
+        assert missing == ["b-old", "z-old"]
+
+    def test_committed_baseline_matches_registry(self):
+        # The gate the CI job runs: the committed file must cover the
+        # registry exactly, or `repro bench --check` exits 1.
+        baseline = load_report(REPO_ROOT / "BENCH_sim.json")
+        current = self.with_scenarios(sorted(SCENARIOS))
+        assert scenario_diff(current, baseline) == ([], [])

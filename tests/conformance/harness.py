@@ -118,6 +118,7 @@ def run_workload(
     group_commit: Optional[GroupCommitConfig] = None,
     net_batching: Optional[NetBatchConfig] = None,
     sharded: bool = False,
+    replicated: int = 0,
 ) -> MDBS:
     """Run ``spec`` over the given topology to quiescence.
 
@@ -125,6 +126,9 @@ def run_workload(
     a coordinator engine and each transaction is hash-placed on a
     non-participant (the workload stream itself is placement-invariant,
     so the sharded run is a byte-identical workload to the single one).
+    With ``replicated=N`` the ``tm`` coordinator's decisions go through
+    a Paxos quorum of ``N`` acceptor sites (the workload stream is
+    again untouched — acceptors never participate).
     """
     mdbs = build_mdbs(
         mix,
@@ -134,6 +138,7 @@ def run_workload(
         group_commit=group_commit,
         net_batching=net_batching,
         sharded=sharded,
+        replicated=replicated,
     )
     placement = HashPlacement() if sharded else None
     for txn in generate_transactions(
@@ -292,4 +297,101 @@ def normalized_summary_bytes(mdbs: MDBS) -> bytes:
     """Canonical byte encoding of :func:`coordinator_normalized_summary`."""
     return json.dumps(
         coordinator_normalized_summary(mdbs), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def replication_normalized_summary(mdbs: MDBS) -> dict[str, Any]:
+    """:func:`equivalence_summary` with the replication machinery erased.
+
+    Replicating the coordinator is allowed to change exactly two things
+    about the observable footprint: (a) the acceptor sites exist and
+    hold Paxos state, and (b) the *coordinator's own* log discipline
+    changes — every transaction registers with the quorum by forcing an
+    initiation record (so PrN/PrA lose their initiation-skipping
+    optimization), and the quorum's acceptance stands in for decisions
+    the plain coordinator would have forced locally. Everything the
+    paper's presumptions actually govern — the decisions themselves,
+    every participant's records, enforcement, forgetting, GC and final
+    store state — must be untouched.
+
+    This view therefore drops the ``acc*`` sites everywhere, drops the
+    coordinator's initiation/end bookkeeping appends (keeping its
+    decision records, which both modes write identically), and drops
+    the coordinator from the GC site lists (the replicated coordinator
+    collects registration records the plain one never wrote). Applied
+    to BOTH twins, byte equality then says: replication changed the
+    coordinator's durability mechanism and nothing else.
+    """
+    summary = equivalence_summary(mdbs)
+
+    def dropped_site(site: str) -> bool:
+        return site.startswith("acc")
+
+    def dropped_append(site: str, record_type: str) -> bool:
+        if dropped_site(site):
+            return True
+        return site == COORDINATOR_ID and record_type in ("initiation", "end")
+
+    summary["appended_records"] = {
+        txn: records
+        for txn, records in (
+            (
+                txn,
+                sorted(
+                    [site, record_type]
+                    for site, record_type in records
+                    if not dropped_append(site, record_type)
+                ),
+            )
+            for txn, records in summary["appended_records"].items()
+        )
+        if records
+    }
+    summary["forgotten"] = {
+        txn: entries
+        for txn, entries in (
+            (
+                txn,
+                sorted(
+                    [site, role]
+                    for site, role in entries
+                    if not dropped_site(site)
+                ),
+            )
+            for txn, entries in summary["forgotten"].items()
+        )
+        if entries
+    }
+    summary["gc"] = {
+        txn: sites
+        for txn, sites in (
+            (
+                txn,
+                sorted(
+                    site
+                    for site in sites
+                    if not dropped_site(site) and site != COORDINATOR_ID
+                ),
+            )
+            for txn, sites in summary["gc"].items()
+        )
+        if sites
+    }
+    summary["stable_residue"] = {
+        site: records
+        for site, records in summary["stable_residue"].items()
+        if not dropped_site(site)
+    }
+    # Acceptor stores are always empty (acceptors never participate);
+    # dropping all empty stores keeps the site sets comparable.
+    summary["stores"] = {
+        site: data for site, data in summary["stores"].items() if data
+    }
+    return summary
+
+
+def replication_summary_bytes(mdbs: MDBS) -> bytes:
+    """Canonical byte encoding of :func:`replication_normalized_summary`."""
+    return json.dumps(
+        replication_normalized_summary(mdbs), sort_keys=True, separators=(",", ":")
     ).encode("utf-8")

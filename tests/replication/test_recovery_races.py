@@ -1,0 +1,115 @@
+"""Pinned schedules from explorer-found recovery races.
+
+Both specs below were exported by ``repro explore --replicated 3``
+as shrunk counterexamples against earlier code, then fixed; replaying
+them must now satisfy every oracle. Unlike ``tests/explore/artifacts``
+(which pins *still-violating* witnesses byte-exactly), these pin the
+schedule only — the whole point is that the verdict changed.
+"""
+
+from repro.explore.adversary import ScenarioSpec
+from repro.explore.runner import execute_scenario
+
+# Seed 20 (atomicity): the leader crashes right after sending t0000's
+# COMMIT, restarts inside t0001's inquiry-retry window, and its
+# recovery sweep is still in flight when both participants' INQUIRYs
+# arrive. The unmodified engine answers unknown transactions by the
+# *inquirer's* presumption — PrA told abort, PrC told commit — while
+# the sweep later resolves the instance to the default abort.
+# ``SiteReplication.defer_inquiry`` must hold those inquiries until
+# the sweep lands.
+INQUIRY_RACE_SPEC = {
+    "abort_fraction": 0.0,
+    "actions": [
+        {
+            "delay": 2.0,
+            "down_for": 27.418379115238807,
+            "point": "coord-after-decision-sent-commit",
+            "site": "tm",
+            "txn": "t0000",
+            "type": "crash_when",
+        }
+    ],
+    "coordinator": "dynamic",
+    "horizon": 350.0,
+    "hot_keys": 0,
+    "inter_arrival": 25.0,
+    "latency_high": 1.0,
+    "latency_low": 1.0,
+    "mix": "PrA+PrC",
+    "n_transactions": 2,
+    "replicated": 3,
+    "seed": 20,
+    "settle": 200.0,
+}
+
+# Seed 55 (operational): a participant crashes between writing t0001's
+# UPDATE record and receiving PREPARE, so restart analysis classifies
+# the shape implicitly-aborted — no decision record exists or ever
+# will (the coordinator's duplicate ABORT is blind-acked without
+# logging). Those records must re-queue for GC with no cover, or they
+# strand in the log forever. Reproduces identically with
+# ``replicated=0``; the replicated sweep just found it first.
+GC_LEAK_SPEC = {
+    "abort_fraction": 0.0,
+    "actions": [
+        {
+            "delay": 0.0,
+            "down_for": 60.0,
+            "point": "part-after-prepared",
+            "site": "site0_prc",
+            "txn": "t0000",
+            "type": "crash_when",
+        }
+    ],
+    "coordinator": "dynamic",
+    "horizon": 330.0,
+    "hot_keys": 0,
+    "inter_arrival": 15.0,
+    "latency_high": 1.0,
+    "latency_low": 1.0,
+    "mix": "all-PrC",
+    "n_transactions": 2,
+    "replicated": 3,
+    "seed": 55,
+    "settle": 200.0,
+}
+
+
+def _run(payload):
+    spec = ScenarioSpec.from_dict(payload)
+    _, outcome = execute_scenario(spec)
+    return outcome.verdict
+
+
+def test_restart_sweep_defers_inquiries():
+    verdict = _run(INQUIRY_RACE_SPEC)
+    assert verdict.holds, verdict.describe()
+
+
+def test_restart_sweep_defer_is_observable():
+    spec = ScenarioSpec.from_dict(INQUIRY_RACE_SPEC)
+    mdbs, outcome = execute_scenario(spec)
+    assert outcome.verdict.holds
+    deferred = list(
+        mdbs.sim.trace.select(category="replication", name="inquiry_deferred")
+    )
+    assert deferred, "the pinned schedule no longer exercises the deferral"
+    swept = [
+        e.time
+        for e in mdbs.sim.trace.select(
+            category="recovery", name="replicated_sweep_done"
+        )
+    ]
+    assert swept and all(e.time <= max(swept) for e in deferred)
+
+
+def test_implicitly_aborted_records_are_collected():
+    verdict = _run(GC_LEAK_SPEC)
+    assert verdict.holds, verdict.describe()
+
+
+def test_gc_leak_is_topology_independent():
+    plain = dict(GC_LEAK_SPEC, replicated=0)
+    verdict = _run(plain)
+    assert verdict.holds, verdict.describe()

@@ -8,6 +8,7 @@ not here.
 
 from __future__ import annotations
 
+from repro.bench.report import scenario_diff
 from repro.rt.bench import (
     LIVE_OPTIMIZATION_HISTORY,
     compare_live_reports,
@@ -69,6 +70,51 @@ class TestCompareLiveReports:
         ]
 
 
+class TestScenarioSetDrift:
+    """`repro live --bench --check` fails on named scenario drift.
+
+    ``compare_live_reports`` only notes baseline entries that were not
+    measured; the CLI gate additionally runs :func:`scenario_diff`
+    (shared with the sim gate — both report kinds carry the same
+    ``scenarios`` section) and exits 1 on any added or missing name.
+    """
+
+    def test_new_live_scenario_without_baseline_entry_is_added(self):
+        added, missing = scenario_diff(
+            report_with(
+                {
+                    "live-prany-multiproc": entry(40.0),
+                    "live-prany-replicated": entry(30.0),
+                }
+            ),
+            report_with({"live-prany-multiproc": entry(40.0)}),
+        )
+        assert added == ["live-prany-replicated"]
+        assert missing == []
+
+    def test_retired_scenario_still_in_baseline_is_missing(self):
+        added, missing = scenario_diff(
+            report_with({"live-prany-multiproc": entry(40.0)}),
+            report_with(
+                {
+                    "live-prany-multiproc": entry(40.0),
+                    "live-prany-retired": entry(10.0),
+                }
+            ),
+        )
+        assert added == []
+        assert missing == ["live-prany-retired"]
+
+    def test_same_size_rename_is_caught(self):
+        # Equal scenario counts with different names: the size-only
+        # comparison the gate used to rely on passed this silently.
+        added, missing = scenario_diff(
+            report_with({"live-b": entry(1.0)}),
+            report_with({"live-a": entry(1.0)}),
+        )
+        assert (added, missing) == (["live-b"], ["live-a"])
+
+
 class TestRegistry:
     def test_live_scenarios_are_nondeterministic_and_named(self):
         scenarios = live_scenarios()
@@ -76,6 +122,7 @@ class TestRegistry:
             "live-prany-commit",
             "live-prany-throughput",
             "live-prany-multiproc",
+            "live-prany-replicated",
             "live-prany-single",
             "live-prany-sharded",
         ]

@@ -112,6 +112,72 @@ def test_fenced_command_parses(doc, command):
         )
 
 
+def table_flags(doc: Path, command_heading: str) -> set[str]:
+    """Long flags named in the first column of ``doc``'s flag→runtime
+    table under the ``### `command_heading``` section."""
+    flags: set[str] = set()
+    in_section = False
+    for raw in (REPO_ROOT / doc).read_text(encoding="utf-8").splitlines():
+        if raw.startswith("### "):
+            in_section = command_heading in raw
+            continue
+        if not in_section or not raw.startswith("|"):
+            continue
+        first_cell = raw.split("|")[1]
+        for token in first_cell.replace("`", " ").replace(",", " ").split():
+            if token.startswith("--") and token.strip("-"):
+                flags.add(token.split("=")[0])
+    return flags
+
+
+class TestFlagDrift:
+    """docs/DEPLOYMENT.md's flag→runtime table vs the real parser.
+
+    Both directions: every flag the table documents must exist in
+    ``repro live --help``, and every flag the parser grew must be
+    documented in the table — a new mode flag (e.g. ``--replicated``)
+    that skips the operator docs is drift, not an implementation
+    detail.
+    """
+
+    def live_help(self) -> str:
+        result = run_repro("live", "--help")
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_every_documented_live_flag_parses(self):
+        documented = table_flags("docs/DEPLOYMENT.md", "python -m repro live")
+        assert documented, "DEPLOYMENT.md live flag table not found"
+        help_text = self.live_help()
+        undocumented = sorted(f for f in documented if f not in help_text)
+        assert not undocumented, (
+            f"DEPLOYMENT.md documents live flags the CLI lacks: {undocumented}"
+        )
+
+    def test_every_live_parser_flag_is_documented(self):
+        import re
+
+        documented = table_flags("docs/DEPLOYMENT.md", "python -m repro live")
+        # Flags argparse itself or the bench plumbing owns; everything
+        # an operator can pass to `repro live` must be in the table.
+        exempt = {"--help", "--bench-output", "--baseline", "--reps"}
+        parser_flags = set(re.findall(r"--[a-z][a-z-]*", self.live_help()))
+        undocumented = sorted(parser_flags - documented - exempt)
+        assert not undocumented, (
+            f"`repro live` grew flags DEPLOYMENT.md does not document: "
+            f"{undocumented}"
+        )
+
+    def test_replicated_flag_reaches_both_subcommands(self):
+        # The replicated topology is part of the deployment surface:
+        # list output, live and explore all advertise it.
+        for subcommand in ("live", "explore"):
+            result = run_repro(subcommand, "--help")
+            assert result.returncode == 0
+            assert "--replicated" in result.stdout
+        assert "--replicated" in run_repro("list").stdout
+
+
 class TestSmokeRuns:
     """A few commands cheap enough to execute for real."""
 
