@@ -265,25 +265,52 @@ class Regression:
 def scenario_diff(
     current: dict[str, Any],
     baseline: dict[str, Any],
-) -> tuple[list[str], list[str]]:
+) -> tuple[list[str], list[str], list[str]]:
     """Scenario-set drift between two reports, by name.
 
-    Returns ``(added, missing)``: scenario names measured now but absent
-    from the baseline, and names in the baseline that were not measured
-    now. Both sorted. The ``--check`` gates fail on either — a size-only
-    comparison would pass silently when one scenario was added and
-    another removed, leaving the new scenario unguarded and the stale
-    baseline entry untested forever.
+    Returns ``(added, missing, codec_mismatched)``: scenario names
+    measured now but absent from the baseline, names in the baseline
+    that were not measured now, and shared scenarios whose recorded
+    ``detail.codec`` differs between the two reports. All sorted. The
+    ``--check`` gates fail on any of the three — a size-only comparison
+    would pass silently when one scenario was added and another removed,
+    and a json-codec baseline compared against a binary-codec run (or
+    vice versa) would grade the codec swap as a perf regression/win
+    instead of refusing the apples-to-oranges comparison. Scenarios that
+    do not record a codec (the sim bench, pre-codec baselines) are never
+    flagged.
 
     Works on live reports too: both report kinds share the
     ``scenarios`` name->entry section.
     """
     current_names = set(current["scenarios"])
     baseline_names = set(baseline["scenarios"])
+    codec_mismatched: list[str] = []
+    for name in sorted(current_names & baseline_names):
+        cur_codec = _entry_codec(current["scenarios"][name])
+        base_codec = _entry_codec(baseline["scenarios"][name])
+        if cur_codec is not None and base_codec is not None:
+            if cur_codec != base_codec:
+                codec_mismatched.append(
+                    f"{name}: baseline ran the {base_codec} codec, "
+                    f"this run the {cur_codec} codec"
+                )
     return (
         sorted(current_names - baseline_names),
         sorted(baseline_names - current_names),
+        codec_mismatched,
     )
+
+
+def _entry_codec(entry: Any) -> Optional[str]:
+    """The codec a scenario entry was measured under, if recorded."""
+    if not isinstance(entry, dict):
+        return None
+    detail = entry.get("detail")
+    if not isinstance(detail, dict):
+        return None
+    codec = detail.get("codec")
+    return codec if isinstance(codec, str) else None
 
 
 def compare_reports(

@@ -66,7 +66,9 @@ def _cmd_list(args: argparse.Namespace) -> str:
         "--sharded / --replicated N topologies)",
         "  bench              measure simulator throughput (BENCH_sim.json)",
         "  live               run the engines over real TCP sockets (asyncio; "
-        "--multiprocess, --sharded, --replicated N)",
+        "--multiprocess, --sharded, --replicated N, --codec binary)",
+        "  loadgen            open-loop traffic generator: latency vs "
+        "offered load (seeded Poisson/bursty arrivals, saturation knee)",
     ]
     return "\n".join(lines)
 
@@ -264,16 +266,20 @@ def _append_scenario_drift(
     added: list,
     missing: list,
     baseline_path: Path,
+    codec_mismatched: list = (),
 ) -> None:
     """Fail a ``--check`` gate on scenario-set drift, by name.
 
     ``added`` scenarios were measured but have no baseline entry (the
     committed file is stale — regenerate it); ``missing`` ones are in
     the baseline but were not measured (a scenario was removed or
-    renamed without regenerating). Either way the size-agnostic named
-    diff is printed and the gate exits nonzero.
+    renamed without regenerating); ``codec_mismatched`` ones were
+    measured under a different codec than the baseline recorded (the
+    timing delta would be the codec swap, not a regression — rerun with
+    the baseline's codec or regenerate the baseline). Any of the three
+    prints the named diff and exits the gate nonzero.
     """
-    if not added and not missing:
+    if not added and not missing and not codec_mismatched:
         return
     args.exit_code = 1
     lines.append(f"  SCENARIO DRIFT vs {baseline_path}:")
@@ -287,6 +293,8 @@ def _append_scenario_drift(
             "    missing (in baseline but not measured now): "
             + ", ".join(missing)
         )
+    for mismatch in codec_mismatched:
+        lines.append(f"    codec mismatch (not comparable): {mismatch}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> str:
@@ -351,12 +359,14 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         regressions, notes = compare_reports(report, baseline)
         for note in notes:
             lines.append(f"  note: {note}")
-        added, missing = scenario_diff(report, baseline)
+        added, missing, codec_mismatched = scenario_diff(report, baseline)
         if args.scenario != "all":
             # A partial --scenario selection legitimately skips baseline
             # entries; only names unknown to the baseline still fail.
             missing = []
-        _append_scenario_drift(lines, args, added, missing, baseline_path)
+        _append_scenario_drift(
+            lines, args, added, missing, baseline_path, codec_mismatched
+        )
         if regressions:
             args.exit_code = 1
             lines.append(f"  REGRESSION vs {baseline_path} (>20% slower):")
@@ -435,19 +445,35 @@ def _cmd_live(args: argparse.Namespace) -> str:
             + (", smoke" if config.smoke else ""),
         ]
         for m in measurements:
+            detail = m.result.detail
+            count = detail.get("transactions", m.result.events)
+            unit = "msg" if "micro" in m.scenario.tags else "txn"
             lines.append(
-                f"  {m.scenario.name:<22} "
-                f"{m.events_per_second.median:>7.1f} txn/s"
+                f"  {m.scenario.name:<26} "
+                f"{m.events_per_second.median:>9.1f} {unit}/s"
                 f"  (wall {m.wall_seconds.median:.3f}s "
                 f"± {m.wall_seconds.iqr:.3f} IQR, "
-                f"{m.result.detail['transactions']} txns, "
+                f"{count} {unit}s, "
                 f"checks={'ok' if m.result.checks_passed else 'FAILED'})"
             )
-            percentiles = m.result.detail.get("latency_ms")
+            percentiles = detail.get("latency_ms")
             if percentiles:
                 lines.append(
                     f"    decision latency: p50 {percentiles['p50']}ms, "
                     f"p95 {percentiles['p95']}ms, p99 {percentiles['p99']}ms"
+                )
+            if "knee" in detail:
+                knee = detail["knee"]
+                knee_text = (
+                    f"{knee:g} txn/s offered"
+                    if knee is not None
+                    else "beyond the sweep"
+                )
+                curve = ", ".join(
+                    f"{row['rate']:g}:{row['p95_ms']}ms" for row in detail["rows"]
+                )
+                lines.append(
+                    f"    p95 by offered rate: {curve}; knee {knee_text}"
                 )
             if not m.result.checks_passed:
                 args.exit_code = 1
@@ -460,12 +486,14 @@ def _cmd_live(args: argparse.Namespace) -> str:
             regressions, notes = compare_live_reports(report, baseline)
             for note in notes:
                 lines.append(f"  note: {note}")
-            added, missing = scenario_diff(report, baseline)
+            added, missing, codec_mismatched = scenario_diff(report, baseline)
             if args.sharded or args.replicated:
                 # The pair filters measure a deliberate subset; only
                 # names unknown to the baseline fail.
                 missing = []
-            _append_scenario_drift(lines, args, added, missing, baseline_path)
+            _append_scenario_drift(
+                lines, args, added, missing, baseline_path, codec_mismatched
+            )
             if regressions:
                 args.exit_code = 1
                 lines.append(
@@ -515,6 +543,7 @@ def _cmd_live(args: argparse.Namespace) -> str:
             fsync=not args.no_fsync,
             sharded=args.sharded,
             replicated=args.replicated,
+            codec=args.codec,
         )
         await cluster.start()
         kill_notes: list[str] = []
@@ -610,6 +639,143 @@ def _cmd_live(args: argparse.Namespace) -> str:
     else:
         with tempfile.TemporaryDirectory() as tmp:
             lines = asyncio.run(go(tmp))
+    return "\n".join(lines)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> str:
+    # Imported lazily, like `live`: the runtime stack is not needed by
+    # the simulated commands.
+    import asyncio
+    import tempfile
+
+    from repro.rt.cluster import LIVE_TIMEOUTS, LiveCluster
+    from repro.workloads.mixes import homogeneous, three_way
+    from repro.workloads.openloop import OpenLoopSpec, run_rate_sweep
+
+    canonical = {"prn": "PrN", "pra": "PrA", "prc": "PrC"}
+    protocol = args.protocol.lower()
+    if protocol == "prany":
+        mix, coordinator = three_way(args.participants), "dynamic"
+    elif protocol in canonical:
+        fixed = canonical[protocol]
+        mix, coordinator = homogeneous(fixed, args.participants), fixed
+    else:
+        raise SystemExit(
+            f"unknown loadgen protocol {args.protocol!r}; "
+            f"expected prany, prn, pra or prc"
+        )
+    if args.sharded and args.replicated:
+        raise SystemExit(
+            "--sharded and --replicated are mutually exclusive topologies"
+        )
+    if args.sharded and args.participants < 2:
+        raise SystemExit(
+            "--sharded needs at least 2 participants: each transaction's "
+            "coordinator comes from the sites it does not touch"
+        )
+    try:
+        rates = sorted(float(rate) for rate in args.rates.split(","))
+    except ValueError:
+        raise SystemExit(f"--rates must be comma-separated numbers: {args.rates!r}")
+    if args.smoke:
+        rates = rates[:2]
+
+    # Sharded placement draws each coordinator from the non-participant
+    # sites, so one site must stay free of every transaction.
+    pool = args.participants - 1 if args.sharded else args.participants
+    try:
+        spec = OpenLoopSpec(
+            rate=rates[0],
+            n_transactions=8 if args.smoke else args.transactions,
+            clients=args.clients,
+            arrival=args.arrival,
+            burst_mean=args.burst_mean,
+            participants_min=min(2, pool),
+            participants_max=min(3, pool),
+            hot_keys=args.hot_keys,
+            hot_fraction=args.hot_fraction,
+            abort_fraction=args.abort_fraction,
+            read_only_fraction=args.read_only_fraction,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    if args.multiprocess:
+        from repro.rt.proc import ProcessCluster as cluster_cls
+    else:
+        cluster_cls = LiveCluster
+
+    placement = None
+    if args.sharded:
+        from repro.mdbs.placement import placement_for
+
+        placement = placement_for("hash")
+
+    async def go(data_dir: str) -> dict:
+        async def factory(rate: float):
+            cluster = cluster_cls(
+                mix,
+                Path(data_dir) / f"rate{rate:g}",
+                coordinator=coordinator,
+                seed=args.seed,
+                timeouts=LIVE_TIMEOUTS,
+                time_scale=args.time_scale,
+                fsync=not args.no_fsync,
+                sharded=args.sharded,
+                replicated=args.replicated,
+                codec=args.codec,
+            )
+            await cluster.start()
+            return cluster
+
+        # run_rate_sweep's ``coordinator`` is the coordinator *site*
+        # (the default "tm"); ``coordinator`` here is the policy the
+        # cluster's engines run. Sharded topologies place per-txn.
+        return await run_rate_sweep(
+            factory,
+            spec,
+            rates,
+            sorted(mix.site_protocols()),
+            time_scale=args.time_scale,
+            placement=placement,
+        )
+
+    if args.data_dir is not None:
+        sweep = asyncio.run(go(args.data_dir))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            sweep = asyncio.run(go(tmp))
+
+    mode = "one OS process per site" if args.multiprocess else "in-process"
+    if args.sharded:
+        mode += ", sharded coordinators"
+    if args.replicated:
+        mode += f", tm replicated over {args.replicated} acceptors"
+    lines = [
+        f"open-loop sweep — {mix.name} over {len(mix)} participants "
+        f"({mode}, {args.codec} codec), {spec.n_transactions} txns/rate, "
+        f"{spec.clients} clients, {spec.arrival} arrivals (seed {args.seed})",
+        "",
+        f"  {'offered':>9}  {'achieved':>9}  {'p50':>8}  {'p95':>8}  "
+        f"{'p99':>8}  {'undecided':>9}  checks",
+    ]
+    for row in sweep["rows"]:
+        lines.append(
+            f"  {row['rate']:>7.1f}/s  {row['achieved']:>7.1f}/s  "
+            f"{row['p50_ms']:>6.1f}ms  {row['p95_ms']:>6.1f}ms  "
+            f"{row['p99_ms']:>6.1f}ms  {row['undecided']:>9}  "
+            f"{'ok' if row['checks_ok'] else 'FAILED'}"
+        )
+        if not row["checks_ok"]:
+            args.exit_code = 1
+    knee = sweep["knee"]
+    lines.append("")
+    lines.append(
+        f"  saturation knee: {knee:g} txn/s offered"
+        if knee is not None
+        else "  saturation knee: beyond the sweep (every rate held)"
+    )
     return "\n".join(lines)
 
 
@@ -866,6 +1032,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(mutually exclusive with --sharded)",
     )
     live.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="wire/WAL/control encoding for every site: json (debuggable "
+        "text) or binary (struct-packed fast path); both ends of every "
+        "connection must agree",
+    )
+    live.add_argument(
         "--bench",
         action="store_true",
         help="measure the live bench scenarios instead and write "
@@ -897,6 +1071,119 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI preset: 6 transactions (or the small bench variant)",
     )
     live.set_defaults(handler=_cmd_live)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop traffic generator: latency vs offered load over "
+        "a live cluster (saturation knee)",
+    )
+    loadgen.add_argument(
+        "--protocol",
+        default="prany",
+        help="prany (dynamic over a PrN+PrA+PrC mix), prn, pra or prc",
+    )
+    loadgen.add_argument(
+        "--participants", type=int, default=4, help="participant site count"
+    )
+    loadgen.add_argument(
+        "--rates",
+        default="25,50,100,200",
+        help="comma-separated offered rates to sweep, in transactions "
+        "per wall second (one fresh cluster per rate)",
+    )
+    loadgen.add_argument(
+        "--transactions",
+        type=int,
+        default=32,
+        help="transactions per rate (identical bodies at every rate)",
+    )
+    loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="independent arrival streams, merged (each offers rate/clients)",
+    )
+    loadgen.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="arrival process: poisson (exponential gaps) or bursty "
+        "(geometric batches at the same offered rate)",
+    )
+    loadgen.add_argument(
+        "--burst-mean",
+        type=float,
+        default=4.0,
+        help="mean batch size of the bursty arrival process",
+    )
+    loadgen.add_argument(
+        "--hot-keys",
+        type=int,
+        default=0,
+        help="size of the shared hot-key pool (0 = no lock contention)",
+    )
+    loadgen.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.0,
+        help="probability a write targets the hot-key pool",
+    )
+    loadgen.add_argument("--abort-fraction", type=float, default=0.0)
+    loadgen.add_argument(
+        "--read-only-fraction",
+        type=float,
+        default=0.0,
+        help="probability a transaction only reads (READ votes under "
+        "the read-only optimization)",
+    )
+    loadgen.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="wire/WAL/control encoding for every site (the sweep pair "
+        "json-vs-binary quantifies the fast path)",
+    )
+    loadgen.add_argument(
+        "--multiprocess",
+        action="store_true",
+        help="run every site as its own supervised OS process",
+    )
+    loadgen.add_argument(
+        "--sharded",
+        action="store_true",
+        help="shard the coordinator role across every site (hash "
+        "placement, no tm site)",
+    )
+    loadgen.add_argument(
+        "--replicated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replicate the tm coordinator over N Paxos acceptor hosts "
+        "(mutually exclusive with --sharded)",
+    )
+    loadgen.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for site WALs/snapshots (default: a temp dir)",
+    )
+    loadgen.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.01,
+        help="wall-clock seconds per virtual time unit",
+    )
+    loadgen.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on log forces (faster; tests only)",
+    )
+    loadgen.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: 8 transactions over the two lowest rates",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     costs = sub.add_parser("costs", help="C1: measured cost table")
     costs.add_argument("--participants", type=int, default=2)

@@ -1,0 +1,349 @@
+"""Compact binary value encoding (the ``binary`` codec's foundation).
+
+A hand-rolled, dependency-free, msgpack-style tagged encoding for the
+JSON-representable values the system already ships: ``None``, bools,
+ints (arbitrary precision), IEEE-754 doubles, unicode strings, lists
+and string-keyed dicts. The wire codec (:mod:`repro.rt.codec`), the
+binary WAL (:mod:`repro.storage.file_log`) and the multiproc control
+plane (:mod:`repro.rt.proc.control`) all frame their payloads with
+:func:`pack_value` / :func:`unpack_value`.
+
+Design points:
+
+* **Same value domain as JSON.** Anything :func:`json.dumps` accepts
+  round-trips here with the same normalizations (tuples become lists,
+  dict keys must be strings); anything it rejects raises
+  :class:`PackError`. That is what lets the two codecs be byte-equal
+  *twins* at the conformance layer: the observable values are
+  identical, only the bytes differ.
+* **Self-describing tags, length-prefixed containers.** Decoding never
+  scans for delimiters, so arbitrary binary payloads need no escaping
+  and decode cost is linear in the encoded size.
+* **Strict decoding.** Unknown tags, truncated input, non-string map
+  keys and over-deep nesting raise :class:`PackError` — a torn or
+  corrupt frame is always loud, never a silently wrong value.
+
+Wire format (first byte is the tag)::
+
+    0x00..0x7f  positive fixint (the byte is the value)
+    0xe0..0xff  negative fixint (-32..-1, two's complement byte)
+    0xa0..0xbf  fixstr: low 5 bits = UTF-8 byte length, bytes follow
+    0x80..0x8f  fixmap: low 4 bits = pair count
+    0x90..0x9f  fixarray: low 4 bits = element count
+    0xc0 None   0xc2 False   0xc3 True
+    0xc7        bigint: u32 byte length + signed big-endian two's
+                complement bytes (ints beyond int64; JSON has these)
+    0xcb        float64, big-endian IEEE-754
+    0xd1/0xd2/0xd3  int16/int32/int64, signed big-endian
+    0xd9/0xda/0xdb  str8/str16/str32: u8/u16/u32 length + UTF-8 bytes
+    0xdc/0xdd   array16/array32: u16/u32 element count
+    0xde/0xdf   map16/map32: u16/u32 pair count
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Containers deeper than this are rejected on both encode and decode.
+#: Protocol payloads are a handful of levels deep; the cap exists so a
+#: hostile or corrupt frame cannot recurse the decoder to death.
+MAX_DEPTH = 64
+
+#: Short strings (fixstr range) come from a small vocabulary — payload
+#: keys, site ids, protocol names, vote strings — so both directions
+#: memoize them. The caps bound what a hostile peer can pin in memory;
+#: once full, the caches stop growing and encoding stays correct, just
+#: uncached. Entries are value-keyed, so staleness is impossible.
+_STR_CACHE_MAX = 4096
+_encoded_strs: dict[str, bytes] = {}
+_decoded_strs: dict[bytes, str] = {}
+
+_FLOAT = struct.Struct(">d")
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I16 = struct.Struct(">h")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+
+
+class PackError(ReproError):
+    """A value could not be binary-encoded or -decoded."""
+
+
+def pack_value(value: Any) -> bytes:
+    """Encode one JSON-representable value to its binary form.
+
+    Raises:
+        PackError: for values outside the JSON domain (sets, bytes,
+            non-string dict keys, custom objects) or nesting beyond
+            :data:`MAX_DEPTH` — the same shapes the JSON codec refuses.
+    """
+    out = bytearray()
+    _pack_into(out, value, MAX_DEPTH)
+    return bytes(out)
+
+
+def pack_into(out: bytearray, value: Any) -> None:
+    """Append one value's encoding to ``out`` (no intermediate copy).
+
+    Same domain and errors as :func:`pack_value`; this is the
+    allocation-free form for callers assembling multi-value bodies
+    (the wire codec, the WAL record writer).
+    """
+    _pack_into(out, value, MAX_DEPTH)
+
+
+def _pack_into(out: bytearray, value: Any, depth: int) -> None:
+    if value is None:
+        out.append(0xC0)
+    elif value is True:
+        out.append(0xC3)
+    elif value is False:
+        out.append(0xC2)
+    elif type(value) is int or (isinstance(value, int) and not isinstance(value, bool)):
+        _pack_int(out, int(value))
+    elif isinstance(value, float):
+        out.append(0xCB)
+        out += _FLOAT.pack(value)
+    elif isinstance(value, str):
+        _pack_str(out, value)
+    elif isinstance(value, (list, tuple)):
+        if depth <= 0:
+            raise PackError("value nests deeper than MAX_DEPTH")
+        n = len(value)
+        if n < 16:
+            out.append(0x90 | n)
+        elif n <= 0xFFFF:
+            out.append(0xDC)
+            out += _U16.pack(n)
+        else:
+            out.append(0xDD)
+            out += _U32.pack(n)
+        for item in value:
+            _pack_into(out, item, depth - 1)
+    elif isinstance(value, dict):
+        if depth <= 0:
+            raise PackError("value nests deeper than MAX_DEPTH")
+        n = len(value)
+        if n < 16:
+            out.append(0x80 | n)
+        elif n <= 0xFFFF:
+            out.append(0xDE)
+            out += _U16.pack(n)
+        else:
+            out.append(0xDF)
+            out += _U32.pack(n)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise PackError(
+                    f"dict keys must be strings, got {type(key).__name__}"
+                )
+            _pack_str(out, key)
+            _pack_into(out, item, depth - 1)
+    else:
+        raise PackError(
+            f"value of type {type(value).__name__} is not binary-encodable "
+            f"(the codec covers exactly the JSON value domain)"
+        )
+
+
+def _pack_int(out: bytearray, value: int) -> None:
+    if 0 <= value <= 0x7F:
+        out.append(value)
+    elif -32 <= value < 0:
+        out.append(value & 0xFF)
+    elif -(2**15) <= value < 2**15:
+        out.append(0xD1)
+        out += _I16.pack(value)
+    elif -(2**31) <= value < 2**31:
+        out.append(0xD2)
+        out += _I32.pack(value)
+    elif -(2**63) <= value < 2**63:
+        out.append(0xD3)
+        out += _I64.pack(value)
+    else:
+        raw = value.to_bytes(
+            (value.bit_length() + 8) // 8, "big", signed=True
+        )
+        out.append(0xC7)
+        out += _U32.pack(len(raw))
+        out += raw
+
+
+def _pack_str(out: bytearray, value: str) -> None:
+    cached = _encoded_strs.get(value)
+    if cached is not None:
+        out += cached
+        return
+    raw = value.encode("utf-8")
+    n = len(raw)
+    if n < 32:
+        piece = bytes((0xA0 | n,)) + raw
+        if len(_encoded_strs) < _STR_CACHE_MAX:
+            _encoded_strs[value] = piece
+        out += piece
+        return
+    if n <= 0xFF:
+        out.append(0xD9)
+        out += _U8.pack(n)
+    elif n <= 0xFFFF:
+        out.append(0xDA)
+        out += _U16.pack(n)
+    else:
+        out.append(0xDB)
+        out += _U32.pack(n)
+    out += raw
+
+
+def unpack_value(data: bytes | memoryview) -> Any:
+    """Decode one value, requiring the input to be fully consumed.
+
+    Raises:
+        PackError: on truncated input, trailing garbage, unknown tags,
+            invalid UTF-8, or non-string map keys.
+    """
+    view = memoryview(data)
+    value, end = _unpack_from(view, 0, MAX_DEPTH)
+    if end != len(view):
+        raise PackError(
+            f"trailing garbage after value: {len(view) - end} unconsumed bytes"
+        )
+    return value
+
+
+def unpack_prefix(data: bytes | memoryview, offset: int = 0) -> tuple[Any, int]:
+    """Decode one value starting at ``offset``; return ``(value, end)``.
+
+    Unlike :func:`unpack_value` this tolerates trailing bytes, which is
+    what sequential decoders (the wire-message header walker, the WAL
+    record reader) need.
+    """
+    return _unpack_from(memoryview(data), offset, MAX_DEPTH)
+
+
+def _need(view: memoryview, offset: int, count: int) -> None:
+    if offset + count > len(view):
+        raise PackError(
+            f"truncated value: need {count} bytes at offset {offset}, "
+            f"have {len(view) - offset}"
+        )
+
+
+def _unpack_from(view: memoryview, offset: int, depth: int) -> tuple[Any, int]:
+    _need(view, offset, 1)
+    tag = view[offset]
+    offset += 1
+    if tag <= 0x7F:
+        return tag, offset
+    if tag >= 0xE0:
+        return tag - 256, offset
+    if 0xA0 <= tag <= 0xBF:
+        return _take_str(view, offset, tag & 0x1F)
+    if 0x90 <= tag <= 0x9F:
+        return _take_array(view, offset, tag & 0x0F, depth)
+    if 0x80 <= tag <= 0x8F:
+        return _take_map(view, offset, tag & 0x0F, depth)
+    if tag == 0xC0:
+        return None, offset
+    if tag == 0xC2:
+        return False, offset
+    if tag == 0xC3:
+        return True, offset
+    if tag == 0xCB:
+        _need(view, offset, 8)
+        return _FLOAT.unpack_from(view, offset)[0], offset + 8
+    if tag == 0xD1:
+        _need(view, offset, 2)
+        return _I16.unpack_from(view, offset)[0], offset + 2
+    if tag == 0xD2:
+        _need(view, offset, 4)
+        return _I32.unpack_from(view, offset)[0], offset + 4
+    if tag == 0xD3:
+        _need(view, offset, 8)
+        return _I64.unpack_from(view, offset)[0], offset + 8
+    if tag == 0xC7:
+        _need(view, offset, 4)
+        n = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        _need(view, offset, n)
+        raw = bytes(view[offset : offset + n])
+        return int.from_bytes(raw, "big", signed=True), offset + n
+    if tag == 0xD9:
+        _need(view, offset, 1)
+        return _take_str(view, offset + 1, view[offset])
+    if tag == 0xDA:
+        _need(view, offset, 2)
+        return _take_str(view, offset + 2, _U16.unpack_from(view, offset)[0])
+    if tag == 0xDB:
+        _need(view, offset, 4)
+        return _take_str(view, offset + 4, _U32.unpack_from(view, offset)[0])
+    if tag == 0xDC:
+        _need(view, offset, 2)
+        return _take_array(
+            view, offset + 2, _U16.unpack_from(view, offset)[0], depth
+        )
+    if tag == 0xDD:
+        _need(view, offset, 4)
+        return _take_array(
+            view, offset + 4, _U32.unpack_from(view, offset)[0], depth
+        )
+    if tag == 0xDE:
+        _need(view, offset, 2)
+        return _take_map(
+            view, offset + 2, _U16.unpack_from(view, offset)[0], depth
+        )
+    if tag == 0xDF:
+        _need(view, offset, 4)
+        return _take_map(
+            view, offset + 4, _U32.unpack_from(view, offset)[0], depth
+        )
+    raise PackError(f"unknown value tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def _take_str(view: memoryview, offset: int, n: int) -> tuple[str, int]:
+    _need(view, offset, n)
+    raw = bytes(view[offset : offset + n])
+    text = _decoded_strs.get(raw)
+    if text is None:
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PackError(f"invalid UTF-8 in string: {exc}")
+        if n < 32 and len(_decoded_strs) < _STR_CACHE_MAX:
+            _decoded_strs[raw] = text
+    return text, offset + n
+
+
+def _take_array(
+    view: memoryview, offset: int, n: int, depth: int
+) -> tuple[list[Any], int]:
+    if depth <= 0:
+        raise PackError("value nests deeper than MAX_DEPTH")
+    items = []
+    for _ in range(n):
+        item, offset = _unpack_from(view, offset, depth - 1)
+        items.append(item)
+    return items, offset
+
+
+def _take_map(
+    view: memoryview, offset: int, n: int, depth: int
+) -> tuple[dict[str, Any], int]:
+    if depth <= 0:
+        raise PackError("value nests deeper than MAX_DEPTH")
+    out: dict[str, Any] = {}
+    for _ in range(n):
+        _need(view, offset, 1)
+        tag = view[offset]
+        if not (0xA0 <= tag <= 0xBF or tag in (0xD9, 0xDA, 0xDB)):
+            raise PackError(
+                f"map keys must be strings, got tag 0x{tag:02x}"
+            )
+        key, offset = _unpack_from(view, offset, depth - 1)
+        value, offset = _unpack_from(view, offset, depth - 1)
+        out[key] = value
+    return out, offset

@@ -57,6 +57,8 @@ from __future__ import annotations
 
 import asyncio
 import tempfile
+import time
+from pathlib import Path
 from typing import Any
 
 from repro.bench.report import Regression
@@ -65,6 +67,17 @@ from repro.bench.scenarios import BENCH_SEED, Scenario, ScenarioResult
 from repro.storage.group_commit import GroupCommitConfig
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.mixes import three_way
+
+#: Offered rates (transactions per wall second) of the open-loop sweep
+#: pair; ascending so the knee search reads left to right.
+OPENLOOP_RATES = (25.0, 50.0, 100.0, 200.0)
+
+#: The smoke sweep keeps the endpoints only (fast CI cell, still a
+#: curve with a below-knee and an at/over-knee point).
+OPENLOOP_SMOKE_RATES = (25.0, 200.0)
+
+#: Transactions per offered rate in the full open-loop sweep.
+OPENLOOP_TRANSACTIONS = 32
 
 #: Concurrency cap of the throughput scenario's open-loop driver.
 PIPELINE_DEPTH = 8
@@ -157,6 +170,27 @@ LIVE_OPTIMIZATION_HISTORY: list[dict[str, Any]] = [
         "after": 81.3,
         "speedup": 1.37,
     },
+    {
+        "path": "src/repro/rt/codec.py",
+        "change": (
+            "binary wire/WAL codec behind the codec seam: struct-packed "
+            "length-prefixed frames with handshake-interned routing "
+            "strings and msgpack-style value packing (src/repro/packing.py "
+            "with bounded string memoization) replace UTF-8 JSON bodies "
+            "when --codec binary is selected. before/after are the "
+            "live-codec-json and live-codec-binary members of the "
+            "microbenchmark pair — the same protocol-message mix encoded "
+            "and decoded through each codec; binary frames are also "
+            "3.3x smaller (100.8 -> 30.8 bytes/message), which the "
+            "socketless microbenchmark does not credit"
+        ),
+        "scenario": "live-codec-binary",
+        "baseline_scenario": "live-codec-json",
+        "metric": "events_per_second.median",
+        "before": 31401.5,
+        "after": 41930.2,
+        "speedup": 1.34,
+    },
 ]
 
 
@@ -199,6 +233,7 @@ def run_live_scenario(smoke: bool = False) -> ScenarioResult:
             "virtual_units": round(cluster.sim.now, 1),
             "timers_fired": cluster.sim.steps_executed,
             "messages_dropped": dropped,
+            "codec": "json",
         },
     )
 
@@ -259,6 +294,7 @@ def run_live_throughput_scenario(smoke: bool = False) -> ScenarioResult:
             "force_requests": force_requests,
             "virtual_units": round(cluster.sim.now, 1),
             "messages_dropped": dropped,
+            "codec": "json",
         },
     )
 
@@ -328,6 +364,7 @@ def _multiproc_result(
         },
         "virtual_units": round(cluster.sim.now, 1),
         "messages_dropped": counts["dropped"],
+        "codec": getattr(cluster, "_codec", "json"),
     }
     if extra_detail:
         detail.update(extra_detail)
@@ -437,6 +474,149 @@ def run_live_replicated_scenario(smoke: bool = False) -> ScenarioResult:
             "counterpart": "live-prany-multiproc",
         },
     )
+
+
+def _run_openloop_scenario(codec: str, smoke: bool = False) -> ScenarioResult:
+    """One half of the open-loop codec pair: the latency-vs-offered-load
+    sweep (:mod:`repro.workloads.openloop`) over an in-process live
+    cluster running ``codec``. Identical transaction bodies and arrival
+    clocks on both halves — the only degree of freedom is the encoding
+    on the wire and in the WALs, so the two curves (and the headline
+    transactions/sec over the whole sweep) quantify the binary fast
+    path under load."""
+    from repro.rt.cluster import LIVE_TIMEOUTS, LiveCluster
+    from repro.workloads.openloop import OpenLoopSpec, run_rate_sweep
+
+    rates = OPENLOOP_SMOKE_RATES if smoke else OPENLOOP_RATES
+    spec = OpenLoopSpec(
+        rate=rates[0],
+        n_transactions=8 if smoke else OPENLOOP_TRANSACTIONS,
+        clients=4,
+        arrival="poisson",
+        hot_keys=4,
+        hot_fraction=0.25,
+        abort_fraction=0.25,
+        read_only_fraction=0.25,
+        seed=BENCH_SEED,
+    )
+    mix = three_way(3)
+    sites = sorted(mix.site_protocols())
+
+    async def go(tmp: str) -> dict[str, Any]:
+        async def factory(rate: float):
+            cluster = LiveCluster(
+                mix,
+                Path(tmp) / f"rate{rate:g}",
+                coordinator="dynamic",
+                seed=BENCH_SEED,
+                timeouts=LIVE_TIMEOUTS,
+                group_commit=THROUGHPUT_GROUP_COMMIT,
+                codec=codec,
+            )
+            await cluster.start()
+            return cluster
+
+        return await run_rate_sweep(factory, spec, rates, sites)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sweep = asyncio.run(go(tmp))
+    rows = sweep["rows"]
+    total = sum(row["transactions"] for row in rows)
+    decided = sum(row["decided"] for row in rows)
+    return ScenarioResult(
+        events=total,
+        trace_events=0,
+        messages=0,
+        checks_passed=decided == total and all(r["checks_ok"] for r in rows),
+        detail={
+            "codec": codec,
+            "rates": list(rates),
+            "transactions_per_rate": spec.n_transactions,
+            "clients": spec.clients,
+            "arrival": spec.arrival,
+            "rows": rows,
+            "knee": sweep["knee"],
+            "counterpart": (
+                "live-prany-openloop-binary"
+                if codec == "json"
+                else "live-prany-openloop-json"
+            ),
+        },
+    )
+
+
+def run_live_openloop_json_scenario(smoke: bool = False) -> ScenarioResult:
+    return _run_openloop_scenario("json", smoke=smoke)
+
+
+def run_live_openloop_binary_scenario(smoke: bool = False) -> ScenarioResult:
+    return _run_openloop_scenario("binary", smoke=smoke)
+
+
+def _run_codec_scenario(codec: str, smoke: bool = False) -> ScenarioResult:
+    """One half of the encode/decode microbenchmark pair: a
+    representative protocol-message mix pushed through one wire codec —
+    encode to the framed bytes, decode back, assert the round trip —
+    with no sockets or engines in the loop. The headline events/sec is
+    message round trips per second of pure codec work; ``detail``
+    records the framed bytes per message, which is the wire-volume half
+    of the win."""
+    from repro.net.message import Message
+    from repro.rt.codec import HEADER, wire_codec
+
+    n_messages = 2_000 if smoke else 20_000
+    sites = ["site0_prn", "site1_pra", "site2_prc", "tm"]
+    shapes = [
+        Message("PREPARE", "tm", "site0_prn", "t0042"),
+        Message("VOTE_YES", "site1_pra", "tm", "t0042"),
+        Message(
+            "COMMIT", "tm", "site2_prc", "t0042", {"participants": sites[:3]}
+        ),
+        Message("ACK", "site2_prc", "tm", "t0042", {"lsn": 17}),
+        Message("INQUIRY", "site0_prn", "tm", "t0041", {"reason": "timeout"}),
+    ]
+    encoder = wire_codec(codec, intern=sites)
+    decode = encoder.body_decoder()
+    if encoder.preamble:
+        # The handshake rides ahead of the first frame on a real
+        # connection; feed it through the decoder the same way.
+        decode(encoder.preamble[HEADER.size :])
+    frames = bytes_total = 0
+    ok = True
+    start = time.perf_counter()
+    for index in range(n_messages):
+        message = shapes[index % len(shapes)]
+        frame = encoder.encode_frame(message)
+        bytes_total += len(frame)
+        decoded = decode(frame[HEADER.size :])
+        ok = ok and decoded == message
+        frames += 1
+    elapsed = time.perf_counter() - start
+    return ScenarioResult(
+        events=n_messages,
+        trace_events=0,
+        messages=n_messages,
+        checks_passed=ok,
+        detail={
+            "codec": codec,
+            "message_shapes": len(shapes),
+            "bytes_per_message": round(bytes_total / frames, 1),
+            "round_trips_per_second": round(frames / elapsed)
+            if elapsed > 0
+            else 0,
+            "counterpart": (
+                "live-codec-binary" if codec == "json" else "live-codec-json"
+            ),
+        },
+    )
+
+
+def run_live_codec_json_scenario(smoke: bool = False) -> ScenarioResult:
+    return _run_codec_scenario("json", smoke=smoke)
+
+
+def run_live_codec_binary_scenario(smoke: bool = False) -> ScenarioResult:
+    return _run_codec_scenario("binary", smoke=smoke)
 
 
 def run_live_single_scenario(smoke: bool = False) -> ScenarioResult:
@@ -561,6 +741,73 @@ def live_sharded_scenario() -> Scenario:
     )
 
 
+def live_openloop_json_scenario() -> Scenario:
+    """JSON half of the open-loop codec pair (PR-10 ledger)."""
+    return Scenario(
+        name="live-prany-openloop-json",
+        description=(
+            "open-loop latency-vs-offered-load sweep "
+            f"({len(OPENLOOP_RATES)} Poisson rates x "
+            f"{OPENLOOP_TRANSACTIONS} txns, hot keys, aborts, read-only "
+            "mix) over the json wire/WAL codec; detail records the "
+            "p50/p95/p99 curve and the saturation knee"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "openloop", "codec"),
+        run=run_live_openloop_json_scenario,
+        deterministic=False,
+    )
+
+
+def live_openloop_binary_scenario() -> Scenario:
+    """Binary half: same sweep, struct-packed wire + WAL."""
+    return Scenario(
+        name="live-prany-openloop-binary",
+        description=(
+            "the live-prany-openloop-json sweep over the binary codec — "
+            "identical transaction bodies and arrival clocks, "
+            "struct-packed frames and WAL records (the fast-path twin; "
+            "curves comparable point by point)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "system", "openloop", "codec"),
+        run=run_live_openloop_binary_scenario,
+        deterministic=False,
+    )
+
+
+def live_codec_json_scenario() -> Scenario:
+    """JSON half of the encode/decode microbenchmark pair."""
+    return Scenario(
+        name="live-codec-json",
+        description=(
+            "wire-codec microbenchmark: encode+decode round trips of a "
+            "representative protocol-message mix through the json codec "
+            "(no sockets; events/sec = round trips/sec)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "micro", "codec"),
+        run=run_live_codec_json_scenario,
+        deterministic=True,
+    )
+
+
+def live_codec_binary_scenario() -> Scenario:
+    """Binary half: struct-packed header + interned ids + packed values."""
+    return Scenario(
+        name="live-codec-binary",
+        description=(
+            "wire-codec microbenchmark over the binary codec: "
+            "struct-packed header, handshake-interned site/kind ids, "
+            "hand-rolled value packing (counterpart live-codec-json)"
+        ),
+        seed=BENCH_SEED,
+        tags=("live", "micro", "codec"),
+        run=run_live_codec_binary_scenario,
+        deterministic=True,
+    )
+
+
 def live_scenarios() -> list[Scenario]:
     """Everything ``repro live --bench`` measures, in report order."""
     return [
@@ -570,6 +817,10 @@ def live_scenarios() -> list[Scenario]:
         live_replicated_scenario(),
         live_single_scenario(),
         live_sharded_scenario(),
+        live_openloop_json_scenario(),
+        live_openloop_binary_scenario(),
+        live_codec_json_scenario(),
+        live_codec_binary_scenario(),
     ]
 
 

@@ -36,6 +36,7 @@ from repro.mdbs.system import RunReports, start_transaction
 from repro.mdbs.transaction import GlobalTransaction
 from repro.protocols.base import TimeoutConfig
 from repro.replication import ReplicationConfig
+from repro.rt.codec import wire_codec
 from repro.rt.host import SiteHost
 from repro.rt.runtime import LiveRuntime
 from repro.sim.tracing import TraceEvent
@@ -102,6 +103,11 @@ class LiveCluster:
             each acceptor logs its Paxos state in its own WAL and can
             complete in-flight transactions after a leader kill.
             Mutually exclusive with ``sharded``.
+        codec: ``"json"`` (default) or ``"binary"`` — selects both the
+            wire framing (:mod:`repro.rt.codec`) and the WAL encoding
+            (:mod:`repro.storage.file_log`) for every site. All sites
+            of a cluster run the same codec; a mixed-codec connection
+            fails loudly on its first frame.
     """
 
     def __init__(
@@ -117,6 +123,7 @@ class LiveCluster:
         group_commit: Optional[GroupCommitConfig] = None,
         sharded: bool = False,
         replicated: int = 0,
+        codec: str = "json",
     ) -> None:
         if sharded and replicated:
             raise WorkloadError(
@@ -136,6 +143,7 @@ class LiveCluster:
         self._fsync = fsync
         self._read_only_optimization = read_only_optimization
         self._group_commit = group_commit
+        self._codec = codec
         self.data_dir = Path(data_dir)
         self.sim: Optional[LiveRuntime] = None
         self.pcp = CommitProtocolDirectory()
@@ -161,6 +169,10 @@ class LiveCluster:
         self._activity = asyncio.Event()
         self.sim.trace.subscribe(self._on_trace_event)
         topology = dict(self._mix.site_protocols())
+        intern = sorted(topology) + [COORDINATOR_ID]
+        if self._replication is not None:
+            intern += list(self._replication.acceptors)
+        self._wire_codec = wire_codec(self._codec, intern=intern)
         for site_id, protocol in topology.items():
             self._add_host(
                 site_id,
@@ -196,6 +208,8 @@ class LiveCluster:
             fsync=self._fsync,
             group_commit=self._group_commit,
             replication=self._replication,
+            codec=self._codec,
+            wire_codec=self._wire_codec,
         )
         self.hosts[site_id] = host
         self.pcp.register_site(site_id, protocol)
@@ -291,7 +305,15 @@ class LiveCluster:
             )
         self.submitted.append(txn)
         self._decision_events.setdefault(txn.txn_id, asyncio.Event())
-        self._submitted_at[txn.txn_id] = self.sim.now
+        # Latency clocks start at the *intended* arrival instant, not
+        # the call instant: an open-loop generator hands the whole
+        # schedule over up front, and charging the wait-for-arrival to
+        # the transaction would hide queueing delay behind submission
+        # time (coordinated omission). ``immediate`` submissions arrive
+        # now by definition.
+        self._submitted_at[txn.txn_id] = (
+            self.sim.now if immediate else max(self.sim.now, txn.submit_at)
+        )
         self.sim.schedule(
             0.0 if immediate else max(0.0, txn.submit_at - self.sim.now),
             lambda: start_transaction(self.sim, self.sites, txn),
@@ -487,6 +509,7 @@ async def run_live_workload(
     sharded: bool = False,
     placement: str = "hash",
     replicated: int = 0,
+    codec: str = "json",
 ) -> LiveCluster:
     """Run a generated workload over a live cluster to quiescence.
 
@@ -498,7 +521,8 @@ async def run_live_workload(
     :meth:`LiveCluster.run_pipelined` instead of ``submit_at`` pacing;
     ``sharded`` spreads the coordinator role across the mix sites with
     the named ``placement`` policy; ``replicated`` puts the ``tm``
-    coordinator over a live Paxos acceptor group.
+    coordinator over a live Paxos acceptor group; ``codec`` selects the
+    wire/WAL encoding (``json`` or ``binary``).
     """
     cluster = LiveCluster(
         mix,
@@ -511,6 +535,7 @@ async def run_live_workload(
         group_commit=group_commit,
         sharded=sharded,
         replicated=replicated,
+        codec=codec,
     )
     await cluster.start()
     try:

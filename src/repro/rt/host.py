@@ -30,6 +30,7 @@ from repro.protocols.base import TimeoutConfig
 from repro.protocols.registry import selector_for
 from repro.replication import ReplicationConfig
 from repro.rt.runtime import LiveRuntime
+from repro.rt.codec import WireCodec
 from repro.rt.store import FileBackedStore
 from repro.rt.transport import LiveTransport
 from repro.storage.file_log import FileStableLog, GroupCommitFileLog
@@ -54,26 +55,28 @@ def build_site(
     fsync: bool = True,
     group_commit: Optional[GroupCommitConfig] = None,
     replication: Optional[ReplicationConfig] = None,
+    codec: str = "json",
 ) -> Site:
     """Construct a live :class:`Site` over file-backed storage.
 
     The one place the live stack decides what a site is made of: a
-    (group-commit) JSONL WAL at ``data_dir/wal.jsonl``, a JSON store
-    snapshot at ``data_dir/store.json``, and the unmodified engines
-    wired to ``transport``. Shared by the in-process :class:`SiteHost`
-    and the out-of-process ``repro.rt.proc.site_process`` entrypoint so
-    both build byte-identical sites from the same directory.
-    ``replication`` attaches the Paxos Commit layer to the sites it
-    involves, exactly as under simulation — acceptor ACCEPT records
-    land in the same WAL and survive a process death.
+    (group-commit) WAL at ``data_dir/wal.jsonl`` (JSONL or binary per
+    ``codec``), a JSON store snapshot at ``data_dir/store.json``, and
+    the unmodified engines wired to ``transport``. Shared by the
+    in-process :class:`SiteHost` and the out-of-process
+    ``repro.rt.proc.site_process`` entrypoint so both build
+    byte-identical sites from the same directory. ``replication``
+    attaches the Paxos Commit layer to the sites it involves, exactly
+    as under simulation — acceptor ACCEPT records land in the same WAL
+    and survive a process death.
     """
     wal_path = data_dir / WAL_FILE
     if group_commit is not None:
         log: FileStableLog = GroupCommitFileLog(
-            rt, site_id, wal_path, group_commit, fsync=fsync
+            rt, site_id, wal_path, group_commit, fsync=fsync, codec=codec
         )
     else:
-        log = FileStableLog(rt, site_id, wal_path, fsync=fsync)
+        log = FileStableLog(rt, site_id, wal_path, fsync=fsync, codec=codec)
     store = FileBackedStore(data_dir / STORE_FILE, fsync=fsync)
     selector = selector_for(coordinator) if coordinator is not None else None
     return Site(
@@ -109,6 +112,8 @@ class SiteHost:
         port: int = 0,
         group_commit: Optional[GroupCommitConfig] = None,
         replication: Optional[ReplicationConfig] = None,
+        codec: str = "json",
+        wire_codec: Optional[WireCodec] = None,
     ) -> None:
         self._rt = rt
         self._pcp = pcp
@@ -120,8 +125,11 @@ class SiteHost:
         self._fsync = fsync
         self._group_commit = group_commit
         self._replication = replication
+        self._codec = codec
         self.data_dir = Path(data_dir)
-        self.transport = LiveTransport(rt, site_id, directory, port=port)
+        self.transport = LiveTransport(
+            rt, site_id, directory, port=port, codec=wire_codec
+        )
         self.site: Optional[Site] = None
 
     @property
@@ -159,6 +167,7 @@ class SiteHost:
             fsync=self._fsync,
             group_commit=self._group_commit,
             replication=self._replication,
+            codec=self._codec,
         )
 
     async def kill(self) -> None:

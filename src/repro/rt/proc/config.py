@@ -76,6 +76,9 @@ class SiteProcessConfig:
     #: Replicated-coordinator membership (``ReplicationConfig.to_dict``)
     #: for the sites the group involves; ``None`` elsewhere.
     replication: Optional[dict[str, Any]] = None
+    #: Wire/WAL/control encoding: ``"json"`` or ``"binary"``. Written by
+    #: the supervisor, so both ends of every connection agree.
+    codec: str = "json"
 
     # -- typed views ---------------------------------------------------------
 

@@ -54,6 +54,7 @@ from typing import Any, Optional
 from repro.mdbs.site import Site
 from repro.mdbs.system import begin_participant_work
 from repro.mdbs.transaction import GlobalTransaction
+from repro.rt.codec import wire_codec
 from repro.rt.host import WAL_FILE, build_site
 from repro.rt.proc.config import SiteProcessConfig
 from repro.rt.proc.control import (
@@ -144,6 +145,7 @@ class SiteProcess:
             directory,
             host=config.host,
             port=config.port,
+            codec=wire_codec(config.codec, intern=sorted(directory)),
         )
         await self.transport.start()
 
@@ -163,6 +165,7 @@ class SiteProcess:
             fsync=config.fsync,
             group_commit=config.group_commit_config(),
             replication=config.replication_config(),
+            codec=config.codec,
         )
         recovery = self.site.cold_recover() if recovering else None
 
@@ -197,10 +200,13 @@ class SiteProcess:
             frame = await self._outbox.get()
             self._pump_busy = True
             try:
-                chunks = [encode_control(frame)]
+                codec = self.config.codec
+                chunks = [encode_control(frame, codec)]
                 while True:
                     try:
-                        chunks.append(encode_control(self._outbox.get_nowait()))
+                        chunks.append(
+                            encode_control(self._outbox.get_nowait(), codec)
+                        )
                     except asyncio.QueueEmpty:
                         break
                 self._writer.write(b"".join(chunks))
@@ -267,7 +273,7 @@ class SiteProcess:
 
     async def _serve(self, reader: asyncio.StreamReader) -> None:
         while True:
-            frame = await read_control(reader)
+            frame = await read_control(reader, self.config.codec)
             if frame is None:
                 return  # supervisor died: nothing to serve for
             if frame.get("kind") != "cmd":

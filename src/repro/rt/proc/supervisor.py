@@ -61,7 +61,7 @@ from repro.core.correctness import (
 from repro.core.history import History
 from repro.core.safe_state import check_safe_state
 from repro.db.recovery import LocalRecoveryReport
-from repro.errors import ProtocolError, SiteDownError, StorageError, WorkloadError
+from repro.errors import ProtocolError, SiteDownError, WorkloadError
 from repro.mdbs.placement import placement_for
 from repro.mdbs.system import RunReports
 from repro.mdbs.transaction import GlobalTransaction
@@ -82,9 +82,10 @@ from repro.rt.proc.control import (
     read_control,
     recovery_from_dict,
 )
+from repro.rt.codec import WIRE_CODECS
 from repro.rt.runtime import LiveRuntime
 from repro.sim.tracing import TraceEvent
-from repro.storage.file_log import record_from_json
+from repro.storage.file_log import load_wal_records, record_from_json
 from repro.storage.group_commit import GroupCommitConfig
 from repro.storage.log_records import LogRecord
 from repro.workloads.generator import (
@@ -231,6 +232,9 @@ class ProcessCluster:
             (recovery-first across SIGKILL) and can complete in-flight
             transactions after the leader's process is killed.
             Mutually exclusive with ``sharded``.
+        codec: ``"json"`` or ``"binary"`` — one encoding for the whole
+            deployment (wire frames, WALs, control plane), written into
+            every child's config so both ends of every connection agree.
     """
 
     def __init__(
@@ -250,10 +254,15 @@ class ProcessCluster:
         auto_respawn: bool = False,
         sharded: bool = False,
         replicated: int = 0,
+        codec: str = "json",
     ) -> None:
         if sharded and replicated:
             raise WorkloadError(
                 "sharded and replicated are mutually exclusive topologies"
+            )
+        if codec not in WIRE_CODECS:
+            raise WorkloadError(
+                f"unknown codec {codec!r}: expected one of {WIRE_CODECS}"
             )
         self._mix = mix
         self._coordinator_policy = coordinator
@@ -269,6 +278,7 @@ class ProcessCluster:
         self._fsync = fsync
         self._read_only_optimization = read_only_optimization
         self._group_commit = group_commit
+        self._codec = codec
         self._kills = dict(kills) if kills else {}
         self._heartbeat_interval = heartbeat_interval
         self._heartbeat_misses = heartbeat_misses
@@ -363,6 +373,7 @@ class ProcessCluster:
                     and self._replication.involves(site_id)
                     else None
                 ),
+                codec=self._codec,
             )
             config_path = self.data_dir / site_id / "proc.json"
             config.save(config_path)
@@ -472,7 +483,7 @@ class ProcessCluster:
         handle: Optional[_ChildHandle] = None
         try:
             while True:
-                frame = await read_control(reader)
+                frame = await read_control(reader, self._codec)
                 if frame is None:
                     break
                 kind = frame.get("kind")
@@ -552,7 +563,9 @@ class ProcessCluster:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         handle.pending[cmd_id] = future
         handle.writer.write(
-            encode_control({"kind": "cmd", "id": cmd_id, "op": op, **kw})
+            encode_control(
+                {"kind": "cmd", "id": cmd_id, "op": op, **kw}, self._codec
+            )
         )
         try:
             await handle.writer.drain()
@@ -676,7 +689,14 @@ class ProcessCluster:
             )
         self.submitted.append(txn)
         self._decision_events.setdefault(txn.txn_id, asyncio.Event())
-        self._submitted_at[txn.txn_id] = self.sim.now
+        # Latency clocks start at the *scheduled* arrival, not the call
+        # into submit(): an open-loop driver hands over a whole arrival
+        # schedule up front, and stamping the hand-off instant would
+        # understate every latency by the wait until arrival
+        # (coordinated omission, inverted).
+        self._submitted_at[txn.txn_id] = (
+            self.sim.now if immediate else max(self.sim.now, txn.submit_at)
+        )
         self.sim.schedule(
             0.0 if immediate else max(0.0, txn.submit_at - self.sim.now),
             lambda: asyncio.ensure_future(self._start_txn(txn)),
@@ -911,20 +931,10 @@ class ProcessCluster:
         records: list[LogRecord] = []
         wal_path = site_dir / WAL_FILE
         if wal_path.exists():
-            lines = [
-                line
-                for line in wal_path.read_text(encoding="utf-8").splitlines()
-                if line.strip()
-            ]
-            for index, line in enumerate(lines):
-                try:
-                    records.append(record_from_json(json.loads(line)))
-                except (json.JSONDecodeError, StorageError) as exc:
-                    if index == len(lines) - 1:
-                        break  # torn tail: the residue of the kill
-                    raise StorageError(
-                        f"{wal_path}:{index + 1}: corrupt WAL line: {exc}"
-                    )
+            # Codec sniffed from the file itself; a torn tail is the
+            # residue of the kill and is silently dropped, interior
+            # corruption still raises StorageError.
+            records = load_wal_records(wal_path)
         store: dict[str, Any] = {}
         store_path = site_dir / STORE_FILE
         if store_path.exists():
@@ -1019,6 +1029,7 @@ async def run_multiprocess_workload(
     sharded: bool = False,
     placement: str = "hash",
     replicated: int = 0,
+    codec: str = "json",
 ) -> ProcessCluster:
     """Run a generated workload over a multi-process cluster to
     quiescence — the process-per-site twin of
@@ -1040,6 +1051,7 @@ async def run_multiprocess_workload(
         kills=kills,
         sharded=sharded,
         replicated=replicated,
+        codec=codec,
     )
     await cluster.start()
     try:

@@ -37,7 +37,7 @@ from typing import Callable, Optional
 
 from repro.errors import CodecError, NetworkError, UnknownNodeError
 from repro.net.message import Message
-from repro.rt.codec import encode_frame, read_frame
+from repro.rt.codec import JsonWireCodec, WireCodec, read_frame
 from repro.rt.runtime import LiveRuntime
 
 #: Outbound connect attempts before a queued message is dropped.
@@ -78,6 +78,13 @@ class _PeerLink:
                 if attempt + 1 < CONNECT_ATTEMPTS:
                     await asyncio.sleep(CONNECT_BACKOFF)
                 continue
+            # The codec preamble (the binary handshake announcing the
+            # intern dictionary; empty for JSON) opens every fresh
+            # connection. It rides with the first message batch's
+            # flush, so it costs no extra round trip.
+            preamble = self._transport.codec.preamble
+            if preamble:
+                writer.write(preamble)
             self._watch(reader, writer)
             return writer
         return None
@@ -132,7 +139,7 @@ class _PeerLink:
         # these bytes instead of re-encoding. The writer is threaded
         # through explicitly because the connection watcher may null
         # ``self._writer`` concurrently with a write in flight.
-        frames = [encode_frame(message) for message in batch]
+        frames = [self._transport.codec.encode_frame(message) for message in batch]
         writer = self._writer
         if writer is None:
             writer = self._writer = await self._connect()
@@ -207,6 +214,9 @@ class LiveTransport:
         port: fixed port, or 0 to bind an ephemeral one on first start.
             The chosen port is kept across stop/start so a restarted
             site comes back at the same address.
+        codec: wire codec (:func:`repro.rt.codec.wire_codec`); defaults
+            to the JSON codec. Every site of a cluster must run the
+            same one — a mismatch fails loudly on the first frame.
     """
 
     def __init__(
@@ -216,9 +226,11 @@ class LiveTransport:
         directory: dict[str, tuple[str, int]],
         host: str = "127.0.0.1",
         port: int = 0,
+        codec: Optional[WireCodec] = None,
     ) -> None:
         self._rt = rt
         self.node_id = node_id
+        self.codec: WireCodec = codec if codec is not None else JsonWireCodec()
         self._directory = directory
         self._host = host
         self._port = port
@@ -350,10 +362,11 @@ class LiveTransport:
         task = asyncio.current_task()
         assert task is not None
         self._inbound.add(task)
+        decode = self.codec.body_decoder()
         try:
             while True:
                 try:
-                    message = await read_frame(reader)
+                    message = await read_frame(reader, decode)
                 except CodecError as exc:
                     # Corrupt stream: drop the connection. The peer's
                     # resend timers recover, as for any omission.

@@ -1,8 +1,8 @@
-"""File-backed stable log: fsync'd append-only JSONL.
+"""File-backed stable log: fsync'd append-only WAL (JSONL or binary).
 
 :class:`FileStableLog` gives :class:`~repro.storage.stable_log.StableLog`
 a real durable medium so a *live* site (``repro.rt``) survives process
-restarts: every force writes the buffered records as JSON lines and
+restarts: every force writes the buffered records as one blob and
 ``fsync``\\ s the file before the in-memory stable transition happens —
 the on-disk suffix is always at least as fresh as what the protocol
 layer believes is stable. A new instance opened on the same path
@@ -14,17 +14,30 @@ subclass changes *where* stable records live, never *when* they become
 stable, so it can also run under the simulator (the unit tests do) with
 byte-identical protocol behaviour.
 
+Two on-disk encodings sit behind one seam (``codec=``):
+
+* ``json`` — the original JSONL: one ``record_to_json`` dict per line.
+* ``binary`` — a :data:`WAL_MAGIC` file header, then one frame per
+  record: a ``>II`` header (body length, CRC-32 of the body) followed
+  by the packed ``[type, txn, lsn, payload]`` tuple
+  (:mod:`repro.packing`). The magic's first byte is invalid UTF-8, so
+  a json-configured site opening a binary WAL (or vice versa) fails
+  loudly at load time instead of misparsing records.
+
 Garbage collection compacts the file by atomic rewrite (tmp + rename),
-matching the base class's logical record removal.
+matching the base class's logical record removal; the surviving batch
+is encoded by the same :func:`encode_records` helper as the persist
+path and written as a single blob.
 
 Crash-tail discipline: each persist writes its whole batch as ONE blob
 (one buffered write, one flush, one fsync), so under process-crash
 semantics — the failure model of the live runtime, where whatever
 reached the OS page cache survives the process — a batch is on disk
-either whole or not at all. A *torn tail* (a trailing line that does
-not parse, the residue of a device-level crash mid-write) is discarded
-and truncated away at load time instead of refusing to boot; malformed
-lines anywhere *before* the tail still mean corruption and raise.
+either whole or not at all. A *torn tail* (a trailing JSONL line that
+does not parse, or a trailing binary frame that is incomplete or fails
+its CRC — the residue of a device-level crash mid-write) is discarded
+and truncated away at load time instead of refusing to boot; a bad
+record anywhere *before* the tail still means corruption and raises.
 
 :class:`GroupCommitFileLog` layers the PR-3 group-commit window engine
 over this file medium: concurrent ``force_append_async`` requests
@@ -36,13 +49,26 @@ from __future__ import annotations
 
 import json
 import os
+import struct
+import zlib
 from pathlib import Path
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import StorageError
+from repro.packing import PackError, pack_value, unpack_value
 from repro.storage.group_commit import GroupCommitConfig, GroupCommitLog
 from repro.storage.log_records import LogRecord, RecordType
 from repro.storage.stable_log import StableLog
+
+#: The WAL codec vocabulary (mirrors the wire's ``--codec`` values).
+WAL_CODECS = ("json", "binary")
+
+#: File header of a binary WAL. The leading byte is invalid UTF-8 (and
+#: invalid JSON), so codec/file mismatches are detected, not misparsed.
+WAL_MAGIC = b"\xb2RWAL1\r\n"
+
+#: Per-record binary frame header: body length + CRC-32 of the body.
+_REC_HEADER = struct.Struct(">II")
 
 
 def record_to_json(record: LogRecord) -> dict[str, Any]:
@@ -75,16 +101,185 @@ def record_from_json(data: dict[str, Any]) -> LogRecord:
     return record
 
 
+# -- record batch encoding (shared by persist and compaction) ----------------
+
+
+def encode_records(records: Sequence[LogRecord], codec: str = "json") -> bytes:
+    """Encode a batch of records as one appendable blob.
+
+    This is THE encode path: both the (group-commit) persist blob and
+    the GC compaction rewrite go through it, so the two can never
+    drift. The blob never includes the binary :data:`WAL_MAGIC` — the
+    caller owns the file header.
+    """
+    if codec == "json":
+        return "".join(
+            json.dumps(record_to_json(record)) + "\n" for record in records
+        ).encode("utf-8")
+    if codec == "binary":
+        parts = []
+        for record in records:
+            try:
+                body = pack_value(
+                    [record.type.value, record.txn_id, record.lsn, record.payload]
+                )
+            except PackError as exc:
+                raise StorageError(
+                    f"record of {record.txn_id!r} is not binary-encodable: {exc}"
+                )
+            parts.append(_REC_HEADER.pack(len(body), zlib.crc32(body)))
+            parts.append(body)
+        return b"".join(parts)
+    raise StorageError(f"unknown WAL codec {codec!r} (expected one of {WAL_CODECS})")
+
+
+def _record_from_binary(value: Any) -> LogRecord:
+    if not isinstance(value, list) or len(value) != 4:
+        raise StorageError(f"malformed log record {value!r}: not a 4-tuple")
+    type_value, txn_id, lsn, payload = value
+    if not isinstance(payload, dict):
+        raise StorageError(f"malformed log record {value!r}: payload not a dict")
+    return record_from_json(
+        {"type": type_value, "txn": txn_id, "payload": payload, "lsn": lsn}
+    )
+
+
+def sniff_wal_codec(raw: bytes) -> str:
+    """Which codec wrote these WAL bytes (binary is magic-marked)."""
+    return "binary" if raw[: len(WAL_MAGIC)] == WAL_MAGIC else "json"
+
+
+def decode_wal(
+    raw: bytes, codec: str, origin: str = "WAL"
+) -> tuple[list[LogRecord], int, Optional[tuple[str, int]]]:
+    """Decode a whole WAL image.
+
+    Returns:
+        ``(records, good_end, torn)`` — the records up to the last
+        clean boundary, the byte offset of that boundary (truncate the
+        file there to drop the tail), and ``None`` or a
+        ``(description, position)`` pair describing the torn tail.
+
+    Raises:
+        StorageError: on a codec/file mismatch, or corruption *before*
+            the tail (which cannot be a crash artifact of whole-blob
+            appends and must not be silently dropped).
+    """
+    sniffed = sniff_wal_codec(raw)
+    if codec == "json":
+        if sniffed == "binary":
+            raise StorageError(
+                f"{origin} was written by the binary codec but this site is "
+                f"configured codec='json'; restart with --codec binary"
+            )
+        return _decode_jsonl(raw, origin)
+    if codec != "binary":
+        raise StorageError(
+            f"unknown WAL codec {codec!r} (expected one of {WAL_CODECS})"
+        )
+    if sniffed == "json":
+        if not raw:
+            return [], 0, None
+        if WAL_MAGIC.startswith(raw):
+            # A crash tore the very first blob mid-magic: nothing was
+            # ever stable, truncate to empty.
+            return [], 0, ("torn file header", 0)
+        raise StorageError(
+            f"{origin} was written by the json codec but this site is "
+            f"configured codec='binary'; restart with --codec json"
+        )
+    return _decode_binary(raw, origin)
+
+
+def _decode_jsonl(
+    raw: bytes, origin: str
+) -> tuple[list[LogRecord], int, Optional[tuple[str, int]]]:
+    records: list[LogRecord] = []
+    offset = 0
+    good_end = 0
+    torn: Optional[tuple[int, str]] = None
+    for line_no, line in enumerate(raw.split(b"\n"), start=1):
+        start, offset = offset, offset + len(line) + 1
+        text = line.strip()
+        if not text:
+            continue
+        if torn is not None:
+            raise StorageError(
+                f"{origin}:{torn[0]}: malformed JSONL: {torn[1]}"
+            )
+        try:
+            data = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            torn = (line_no, str(exc))
+            continue
+        records.append(record_from_json(data))
+        good_end = min(start + len(line) + 1, len(raw))
+    if torn is not None:
+        return records, good_end, (f"line {torn[0]}: {torn[1]}", torn[0])
+    return records, len(raw), None
+
+
+def _decode_binary(
+    raw: bytes, origin: str
+) -> tuple[list[LogRecord], int, Optional[tuple[str, int]]]:
+    records: list[LogRecord] = []
+    offset = len(WAL_MAGIC)
+    good_end = offset
+    frame_no = 0
+    while offset < len(raw):
+        frame_no += 1
+        header_end = offset + _REC_HEADER.size
+        if header_end > len(raw):
+            return records, good_end, (f"frame {frame_no}: truncated header", frame_no)
+        length, crc = _REC_HEADER.unpack_from(raw, offset)
+        body_end = header_end + length
+        if body_end > len(raw):
+            return records, good_end, (f"frame {frame_no}: truncated body", frame_no)
+        body = raw[header_end:body_end]
+        if zlib.crc32(body) != crc:
+            if body_end == len(raw):
+                return records, good_end, (f"frame {frame_no}: CRC mismatch", frame_no)
+            raise StorageError(
+                f"{origin}: frame {frame_no} fails its CRC with further "
+                f"records after it — corruption, not a crash tail"
+            )
+        try:
+            value = unpack_value(body)
+        except PackError as exc:
+            if body_end == len(raw):
+                return records, good_end, (f"frame {frame_no}: {exc}", frame_no)
+            raise StorageError(f"{origin}: frame {frame_no} malformed: {exc}")
+        records.append(_record_from_binary(value))
+        offset = good_end = body_end
+    return records, good_end, None
+
+
+def load_wal_records(path: Path | str) -> list[LogRecord]:
+    """Read a WAL file without opening a log on it (codec-sniffing).
+
+    Tolerates a torn tail (the partial record is skipped, the file is
+    left untouched); raises :class:`StorageError` on interior
+    corruption. Used by the multiprocess supervisor to reconstruct a
+    dead child's stable view from disk.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    records, _, _ = decode_wal(raw, sniff_wal_codec(raw), origin=str(path))
+    return records
+
+
 class FileStableLog(StableLog):
-    """A stable log whose stable portion is an fsync'd JSONL file.
+    """A stable log whose stable portion is an fsync'd WAL file.
 
     Args:
         sim: simulator or live runtime (anything with ``record``).
         site_id: owning site.
-        path: the JSONL file; created (with parents) if absent, loaded
+        path: the WAL file; created (with parents) if absent, loaded
             if present — loading *is* the restart story.
         fsync: whether to ``os.fsync`` after each force/flush/compaction.
             On by default; tests may disable it for speed.
+        codec: on-disk encoding, ``"json"`` (JSONL) or ``"binary"``.
+            Opening a file written by the other codec raises.
     """
 
     def __init__(
@@ -93,53 +288,48 @@ class FileStableLog(StableLog):
         site_id: str,
         path: Path | str,
         fsync: bool = True,
+        codec: str = "json",
     ) -> None:
         super().__init__(sim, site_id)
+        if codec not in WAL_CODECS:
+            raise StorageError(
+                f"unknown WAL codec {codec!r} (expected one of {WAL_CODECS})"
+            )
         self._path = Path(path)
         self._fsync = fsync
+        self._codec = codec
         self._path.parent.mkdir(parents=True, exist_ok=True)
         if self._path.exists():
             self._load()
-        self._fh: Optional[Any] = open(self._path, "a", encoding="utf-8")
+        self._fh: Optional[Any] = open(self._path, "ab")
 
     @property
     def path(self) -> Path:
         return self._path
 
+    @property
+    def codec(self) -> str:
+        return self._codec
+
     def _load(self) -> None:
         """Install the on-disk records as the stable portion.
 
-        A trailing line that fails to parse is a *torn tail* — the
-        residue of a crash mid-write — and is discarded (and truncated
-        from the file, so later appends never concatenate onto partial
-        bytes). An unparsable line *followed by further records* cannot
-        be a crash artifact and still raises: that is corruption.
+        A torn tail — the residue of a crash mid-write — is discarded
+        (and truncated from the file, so later appends never
+        concatenate onto partial bytes). Corruption *before* the tail
+        cannot be a crash artifact and still raises.
         """
         raw = self._path.read_bytes()
+        records, good_end, torn = decode_wal(
+            raw, self._codec, origin=str(self._path)
+        )
         max_lsn = 0
-        offset = 0
-        good_end = 0
-        torn: Optional[tuple[int, str]] = None
-        for line_no, line in enumerate(raw.split(b"\n"), start=1):
-            start, offset = offset, offset + len(line) + 1
-            text = line.strip()
-            if not text:
-                continue
-            if torn is not None:
-                raise StorageError(
-                    f"{self._path}:{torn[0]}: malformed JSONL: {torn[1]}"
-                )
-            try:
-                data = json.loads(text)
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                torn = (line_no, str(exc))
-                continue
-            record = record_from_json(data)
+        for record in records:
             self._stable.append(record)
             if record.lsn is not None:
                 max_lsn = max(max_lsn, record.lsn)
-            good_end = min(start + len(line) + 1, len(raw))
         if torn is not None:
+            description, position = torn
             with open(self._path, "r+b") as fh:
                 fh.truncate(good_end)
                 fh.flush()
@@ -149,7 +339,7 @@ class FileStableLog(StableLog):
                 self._site_id,
                 "log",
                 "torn_tail",
-                line=torn[0],
+                line=position,
                 discarded_bytes=len(raw) - good_end,
             )
         self._next_lsn = max_lsn + 1
@@ -164,15 +354,15 @@ class FileStableLog(StableLog):
         whole buffer goes down as one blob — one buffered write, one
         flush, one fsync — so a process crash anywhere inside this
         method leaves the batch on disk either whole (the write reached
-        the OS) or absent, never a torn prefix of complete lines.
+        the OS) or absent, never a torn prefix of complete records.
         """
         if not self._buffer:
             return
         if self._fh is None:
             raise StorageError(f"log file of {self._site_id!r} is closed")
-        blob = "".join(
-            json.dumps(record_to_json(record)) + "\n" for record in self._buffer
-        )
+        blob = encode_records(self._buffer, self._codec)
+        if self._codec == "binary" and self._fh.tell() == 0:
+            blob = WAL_MAGIC + blob
         self._fh.write(blob)
         self._fh.flush()
         if self._fsync:
@@ -202,7 +392,7 @@ class FileStableLog(StableLog):
 
     def reopen(self) -> None:
         super().reopen()
-        self._fh = open(self._path, "a", encoding="utf-8")
+        self._fh = open(self._path, "ab")
 
     # -- garbage collection ----------------------------------------------------
 
@@ -219,13 +409,21 @@ class FileStableLog(StableLog):
         return collected
 
     def _compact(self) -> None:
-        """Atomically rewrite the file from the surviving stable records."""
+        """Atomically rewrite the file from the surviving stable records.
+
+        The surviving batch is serialized by the same
+        :func:`encode_records` helper as the persist path and written
+        as ONE blob — a compaction is one buffered write + one fsync
+        regardless of how many records survive.
+        """
         if self._fh is not None:
             self._fh.close()
         tmp_path = self._path.with_suffix(self._path.suffix + ".tmp")
-        with open(tmp_path, "w", encoding="utf-8") as tmp:
-            for record in self._stable:
-                tmp.write(json.dumps(record_to_json(record)) + "\n")
+        blob = encode_records(self._stable, self._codec)
+        if self._codec == "binary":
+            blob = WAL_MAGIC + blob
+        with open(tmp_path, "wb") as tmp:
+            tmp.write(blob)
             tmp.flush()
             if self._fsync:
                 os.fsync(tmp.fileno())
@@ -238,7 +436,7 @@ class FileStableLog(StableLog):
             finally:
                 os.close(dir_fd)
         if self._fh is not None:
-            self._fh = open(self._path, "a", encoding="utf-8")
+            self._fh = open(self._path, "ab")
 
     def close(self) -> None:
         """Release the file handle (end of process, not a crash)."""
@@ -249,12 +447,13 @@ class FileStableLog(StableLog):
     def __repr__(self) -> str:
         return (
             f"FileStableLog(site={self._site_id!r}, path={str(self._path)!r}, "
-            f"stable={len(self._stable)}, buffered={len(self._buffer)})"
+            f"stable={len(self._stable)}, buffered={len(self._buffer)}, "
+            f"codec={self._codec!r})"
         )
 
 
 class GroupCommitFileLog(GroupCommitLog, FileStableLog):
-    """Group-commit window coalescing over the fsync'd JSONL file.
+    """Group-commit window coalescing over the fsync'd WAL file.
 
     The live runtime's durability-batching engine: concurrent
     :meth:`~repro.storage.stable_log.StableLog.force_append_async`
@@ -272,7 +471,9 @@ class GroupCommitFileLog(GroupCommitLog, FileStableLog):
     a crash mid-window discards the whole batch and its callbacks
     (:class:`GroupCommitLog`), and the batch reaches the file as one
     blob (:meth:`FileStableLog._persist_buffer`), so recovery sees it
-    fully forced or not at all — never torn.
+    fully forced or not at all — never torn. Both properties are
+    codec-independent: the blob is just :func:`encode_records` under
+    either encoding.
     """
 
     def __init__(
@@ -282,8 +483,9 @@ class GroupCommitFileLog(GroupCommitLog, FileStableLog):
         path: Path | str,
         config: Optional[GroupCommitConfig] = None,
         fsync: bool = True,
+        codec: str = "json",
     ) -> None:
-        FileStableLog.__init__(self, sim, site_id, path, fsync=fsync)
+        FileStableLog.__init__(self, sim, site_id, path, fsync=fsync, codec=codec)
         self._init_group_commit(config)
 
     def __repr__(self) -> str:
@@ -291,5 +493,5 @@ class GroupCommitFileLog(GroupCommitLog, FileStableLog):
             f"GroupCommitFileLog(site={self._site_id!r}, "
             f"path={str(self._path)!r}, stable={len(self._stable)}, "
             f"buffered={len(self._buffer)}, forces={self.force_count}, "
-            f"requests={self.force_requests})"
+            f"requests={self.force_requests}, codec={self._codec!r})"
         )

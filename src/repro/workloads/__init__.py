@@ -6,6 +6,14 @@ from repro.workloads.failure_schedules import (
     participant_crash_points,
 )
 from repro.workloads.generator import WorkloadSpec, build_mdbs, generate_transactions
+from repro.workloads.openloop import (
+    OpenLoopSpec,
+    generate_open_loop,
+    offered_load_row,
+    run_open_loop,
+    run_rate_sweep,
+    saturation_knee,
+)
 from repro.workloads.mixes import (
     MIXES,
     ProtocolMix,
@@ -17,13 +25,19 @@ from repro.workloads.mixes import (
 __all__ = [
     "CrashPoint",
     "MIXES",
+    "OpenLoopSpec",
     "ProtocolMix",
     "WorkloadSpec",
     "build_mdbs",
     "coordinator_crash_points",
+    "generate_open_loop",
     "generate_transactions",
     "homogeneous",
     "mixed_pra_prc",
+    "offered_load_row",
     "participant_crash_points",
+    "run_open_loop",
+    "run_rate_sweep",
+    "saturation_knee",
     "three_way",
 ]

@@ -1,0 +1,391 @@
+"""Open-loop traffic generation: latency vs offered load.
+
+:func:`generate_transactions` paces arrivals by a mean inter-arrival
+time, which is fine for functional workloads but says nothing about
+*load*: the stream never outruns the system because nothing holds the
+arrival rate fixed while the system slows down. An **open-loop**
+generator does exactly that — arrival instants are drawn up front from
+the offered rate alone, so when the cluster saturates, latency grows
+instead of the generator politely backing off. That is the methodology
+behind every latency-vs-throughput curve worth reading (and the reason
+closed-loop drivers systematically under-report queueing delay —
+coordinated omission).
+
+The pieces:
+
+* :class:`OpenLoopSpec` — offered rate (transactions per *wall*
+  second), arrival process (Poisson or bursty), client count,
+  contention / abort / read-only knobs, seed.
+* :func:`generate_open_loop` — the spec realized as a deterministic
+  list of :class:`~repro.mdbs.transaction.GlobalTransaction` with
+  pre-drawn ``submit_at`` instants: per-client independent arrival
+  streams, merged.
+* :func:`run_open_loop` — drive a started cluster (``LiveCluster`` or
+  ``ProcessCluster``: both schedule non-immediate submissions at
+  ``submit_at`` and stamp latency clocks from the *scheduled* arrival)
+  through one generated stream to quiescence.
+* :func:`offered_load_row` / :func:`saturation_knee` — fold one run
+  into a ``{rate, achieved, p50/p95/p99}`` row and find the first rate
+  where the system stops keeping up.
+* :func:`run_rate_sweep` — the whole curve: one fresh cluster per
+  offered rate, identical transaction bodies (only the arrival clock
+  changes), rows plus knee.
+
+Everything is deterministic in ``spec.seed``: the same spec over the
+same site list yields the same transaction stream, byte for byte —
+which is what makes a json-codec sweep and a binary-codec sweep
+differential twins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.mdbs.placement import PlacementPolicy
+from repro.mdbs.transaction import GlobalTransaction, WriteOp
+from repro.sim.rng import RandomStreams
+from repro.workloads.generator import COORDINATOR_ID
+
+#: Virtual-time margin appended after the last scheduled arrival when
+#: driving a cluster to quiescence (mirrors the live runner's margin).
+RUN_MARGIN = 500.0
+
+#: Arrival processes :class:`OpenLoopSpec` understands.
+ARRIVALS = ("poisson", "bursty")
+
+#: ``saturation_knee``: p95 above this multiple of the lowest-rate p95
+#: marks the knee.
+KNEE_P95_FACTOR = 3.0
+
+#: ``saturation_knee``: achieved throughput below this fraction of the
+#: offered rate marks the knee.
+KNEE_ACHIEVED_FLOOR = 0.9
+
+
+@dataclass(frozen=True)
+class OpenLoopSpec:
+    """An open-loop transaction stream at a fixed offered rate.
+
+    Attributes:
+        rate: offered load in transactions per wall-clock second,
+            held constant regardless of how the system responds.
+        n_transactions: stream length.
+        clients: independent arrival streams; each client offers
+            ``rate / clients`` and the merged stream offers ``rate``
+            (a Poisson superposition is Poisson, so the client count
+            only matters for the bursty process and for per-client
+            determinism).
+        arrival: ``"poisson"`` (exponential gaps) or ``"bursty"``
+            (geometric-size batches of back-to-back arrivals, batch
+            gaps stretched so the *offered rate stays the same* —
+            same mean, heavier tail).
+        burst_mean: mean batch size of the bursty process (>= 1).
+        participants_min/max: per-transaction participant count range
+            (bounded by the site pool).
+        hot_keys: size of the shared hot-key pool; 0 disables
+            contention entirely.
+        hot_fraction: probability that a participant's key is drawn
+            from the hot pool instead of being private to the
+            transaction (lock-conflict dial: 0 = no conflicts,
+            1 = every write contends).
+        abort_fraction: probability that an *update* transaction is
+            forced to abort via a No-voting participant.
+        read_only_fraction: probability that a transaction only reads
+            (every participant votes READ under the read-only
+            optimization; such transactions are never forced to abort).
+        seed: workload randomness, independent of the runtime seed.
+    """
+
+    rate: float = 50.0
+    n_transactions: int = 32
+    clients: int = 4
+    arrival: str = "poisson"
+    burst_mean: float = 4.0
+    participants_min: int = 2
+    participants_max: int = 3
+    hot_keys: int = 0
+    hot_fraction: float = 0.0
+    abort_fraction: float = 0.0
+    read_only_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise WorkloadError(f"offered rate must be positive: {self.rate!r}")
+        if self.n_transactions < 0:
+            raise WorkloadError("n_transactions must be non-negative")
+        if self.clients < 1:
+            raise WorkloadError(f"need at least one client: {self.clients!r}")
+        if self.arrival not in ARRIVALS:
+            raise WorkloadError(
+                f"unknown arrival process {self.arrival!r}: "
+                f"expected one of {ARRIVALS}"
+            )
+        if self.burst_mean < 1.0:
+            raise WorkloadError(
+                f"burst_mean must be >= 1 arrival per batch: {self.burst_mean!r}"
+            )
+        if self.participants_min < 1 or self.participants_max < self.participants_min:
+            raise WorkloadError(
+                f"invalid participant range "
+                f"[{self.participants_min}, {self.participants_max}]"
+            )
+        for name in ("hot_fraction", "abort_fraction", "read_only_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{name} must be within [0, 1]: {value!r}")
+
+    def at_rate(self, rate: float) -> "OpenLoopSpec":
+        """The same stream offered at a different rate (same bodies:
+        only the arrival clock changes)."""
+        return dataclasses.replace(self, rate=rate)
+
+
+def _client_arrivals(
+    rng, spec: OpenLoopSpec, time_scale: float
+) -> "list[float]":
+    """One client's arrival instants (virtual units), unbounded count —
+    the merge truncates. Per-client offered rate is ``rate/clients``;
+    the bursty process stretches batch gaps by the mean batch size so
+    the offered rate is unchanged."""
+    # Mean gap between arrivals, in virtual units: wall / time_scale.
+    mean_gap = (spec.clients / spec.rate) / time_scale
+    arrivals: list[float] = []
+    now = 0.0
+    while len(arrivals) < spec.n_transactions:
+        if spec.arrival == "poisson":
+            now += rng.expovariate(1.0 / mean_gap)
+            arrivals.append(now)
+        else:  # bursty: a whole batch lands at one instant
+            now += rng.expovariate(1.0 / (mean_gap * spec.burst_mean))
+            batch = 1
+            while rng.random() < 1.0 - 1.0 / spec.burst_mean:
+                batch += 1
+            arrivals.extend([now] * batch)
+    return arrivals
+
+
+def generate_open_loop(
+    spec: OpenLoopSpec,
+    sites: Sequence[str],
+    time_scale: float = 0.01,
+    coordinator: str = COORDINATOR_ID,
+    placement: Optional[PlacementPolicy] = None,
+) -> list[GlobalTransaction]:
+    """Realize ``spec`` against ``sites`` as a submit-ready stream.
+
+    Arrival instants are virtual-time units (``submit_at``), converted
+    from the wall-second offered rate through ``time_scale`` — the same
+    scale the driving cluster runs at, so the *wall* arrival process is
+    exactly what the spec offers.
+
+    Transaction bodies are drawn from a stream keyed only by the seed —
+    not by the rate — so sweeping the rate replays identical work under
+    different arrival clocks. With ``placement`` given (sharded
+    coordinators) each transaction is placed on a non-participant site.
+    """
+    sites = sorted(sites)
+    if not sites:
+        raise WorkloadError("need at least one participant site")
+    if placement is not None and spec.participants_max >= len(sites):
+        raise WorkloadError(
+            f"sharded placement needs a non-participant coordinator for "
+            f"every transaction: participants_max={spec.participants_max} "
+            f"must be < {len(sites)} sites"
+        )
+    streams = RandomStreams(spec.seed)
+    # Independent per-client arrival clocks, merged by time (ties break
+    # by client index — deterministic).
+    merged: list[tuple[float, int]] = []
+    for client in range(spec.clients):
+        rng = streams.stream(f"openloop-client{client}")
+        merged.extend(
+            (at, client) for at in _client_arrivals(rng, spec, time_scale)
+        )
+    merged.sort()
+    del merged[spec.n_transactions :]
+
+    body_rng = streams.stream("openloop-body")
+    transactions: list[GlobalTransaction] = []
+    for index, (submit_at, _client) in enumerate(merged):
+        count = body_rng.randint(
+            min(spec.participants_min, len(sites)),
+            min(spec.participants_max, len(sites)),
+        )
+        chosen = sorted(body_rng.sample(sites, count))
+        txn_id = f"t{index:04d}"
+        keys: dict[str, str] = {}
+        for site_id in chosen:
+            hot = (
+                spec.hot_keys > 0
+                and body_rng.random() < spec.hot_fraction
+            )
+            if hot:
+                keys[site_id] = f"hot{body_rng.randrange(spec.hot_keys)}"
+            else:
+                keys[site_id] = f"{txn_id}@{site_id}"
+        read_only = body_rng.random() < spec.read_only_fraction
+        abort = (
+            not read_only and body_rng.random() < spec.abort_fraction
+        )
+        if placement is not None:
+            eligible = [site for site in sites if site not in chosen]
+            owner = placement.choose(txn_id, eligible)
+        else:
+            owner = coordinator
+        writes: dict[str, list[WriteOp]] = {}
+        reads: dict[str, list[str]] = {}
+        if read_only:
+            reads = {site_id: [key] for site_id, key in keys.items()}
+        else:
+            writes = {
+                site_id: [WriteOp(key=key, value=txn_id)]
+                for site_id, key in keys.items()
+            }
+        transactions.append(
+            GlobalTransaction(
+                txn_id=txn_id,
+                coordinator=owner,
+                writes=writes,
+                reads=reads,
+                submit_at=submit_at,
+                force_no_vote_at=(
+                    frozenset({chosen[0]}) if abort else frozenset()
+                ),
+            )
+        )
+    return transactions
+
+
+async def run_open_loop(
+    cluster, transactions: list[GlobalTransaction], margin: float = RUN_MARGIN
+) -> dict[str, float]:
+    """Drive one generated stream through a *started* cluster.
+
+    The whole arrival schedule is handed over up front (open loop: no
+    completion feedback into the arrival process), the cluster runs to
+    quiescence or the horizon, and the per-transaction decision
+    latencies come back in wall seconds. Works against any cluster with
+    the live surface (``submit`` / ``run`` / ``decision_latencies``):
+    ``LiveCluster``, ``ProcessCluster``, sharded or replicated.
+    """
+    for txn in transactions:
+        cluster.submit(txn)
+    horizon = max((txn.submit_at for txn in transactions), default=0.0)
+    await cluster.run(until=horizon + margin)
+    return cluster.decision_latencies()
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0 when empty)."""
+    if not ordered:
+        return 0.0
+    index = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def offered_load_row(
+    spec: OpenLoopSpec,
+    transactions: list[GlobalTransaction],
+    latencies: dict[str, float],
+    time_scale: float = 0.01,
+) -> dict[str, Any]:
+    """One point of the latency-vs-offered-load curve.
+
+    ``achieved`` is decided transactions over the wall span from the
+    first scheduled arrival to the last decision — the throughput the
+    system actually sustained while the generator offered ``rate``.
+    """
+    ordered = sorted(latencies.values())
+    by_id = {txn.txn_id: txn for txn in transactions}
+    decide_walls = [
+        by_id[txn_id].submit_at * time_scale + latency
+        for txn_id, latency in latencies.items()
+        if txn_id in by_id
+    ]
+    achieved = 0.0
+    if decide_walls and transactions:
+        first_arrival = min(txn.submit_at for txn in transactions) * time_scale
+        span = max(decide_walls) - first_arrival
+        achieved = len(ordered) / span if span > 0 else float(len(ordered))
+    return {
+        "rate": spec.rate,
+        "transactions": len(transactions),
+        "decided": len(ordered),
+        "undecided": len(transactions) - len(ordered),
+        "achieved": round(achieved, 2),
+        "p50_ms": round(_percentile(ordered, 0.50) * 1000.0, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1000.0, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1000.0, 3),
+    }
+
+
+def saturation_knee(
+    rows: list[dict[str, Any]],
+    p95_factor: float = KNEE_P95_FACTOR,
+    achieved_floor: float = KNEE_ACHIEVED_FLOOR,
+) -> Optional[float]:
+    """The first offered rate (rows in ascending rate order) where the
+    system visibly stops keeping up: undecided transactions, achieved
+    throughput under ``achieved_floor`` of offered, or p95 latency past
+    ``p95_factor`` times the lowest-rate p95. ``None`` when every rate
+    holds (the knee is beyond the sweep)."""
+    if not rows:
+        return None
+    base_p95 = rows[0]["p95_ms"]
+    for index, row in enumerate(rows):
+        if row["undecided"] > 0:
+            return row["rate"]
+        if row["decided"] and row["achieved"] < achieved_floor * row["rate"]:
+            return row["rate"]
+        if index > 0 and base_p95 > 0 and row["p95_ms"] > p95_factor * base_p95:
+            return row["rate"]
+    return None
+
+
+async def run_rate_sweep(
+    cluster_factory: Callable[[float], Awaitable[Any]],
+    spec: OpenLoopSpec,
+    rates: Sequence[float],
+    sites: Sequence[str],
+    time_scale: float = 0.01,
+    coordinator: str = COORDINATOR_ID,
+    placement: Optional[PlacementPolicy] = None,
+    margin: float = RUN_MARGIN,
+) -> dict[str, Any]:
+    """The full latency-vs-offered-load curve.
+
+    ``cluster_factory(rate)`` must return a **started** cluster (a
+    fresh one per rate: each point measures a cold system under one
+    offered load, not the backlog of the previous point). Every point
+    replays identical transaction bodies — only the arrival clock
+    differs — and the cluster is finalized, shut down and checked
+    before its row is folded in.
+
+    Returns ``{"rows": [...], "knee": rate-or-None}`` with rows in the
+    given rate order (pass ascending rates for a meaningful knee).
+    """
+    rows: list[dict[str, Any]] = []
+    for rate in rates:
+        at_rate = spec.at_rate(rate)
+        transactions = generate_open_loop(
+            at_rate,
+            sites,
+            time_scale=time_scale,
+            coordinator=coordinator,
+            placement=placement,
+        )
+        cluster = await cluster_factory(rate)
+        try:
+            latencies = await run_open_loop(cluster, transactions, margin=margin)
+            await cluster.finalize()
+        finally:
+            await cluster.shutdown()
+        reports = cluster.check()
+        row = offered_load_row(at_rate, transactions, latencies, time_scale)
+        row["checks_ok"] = reports.all_hold
+        rows.append(row)
+    return {"rows": rows, "knee": saturation_knee(rows)}

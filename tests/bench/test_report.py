@@ -172,34 +172,58 @@ class TestScenarioDiff:
     def test_identical_sets_are_clean(self):
         current = self.with_scenarios(["a", "b"])
         baseline = self.with_scenarios(["b", "a"])
-        assert scenario_diff(current, baseline) == ([], [])
+        assert scenario_diff(current, baseline) == ([], [], [])
 
     def test_added_scenario_is_named(self):
         current = self.with_scenarios(["a", "b", "commit-storm-replicated-prany"])
         baseline = self.with_scenarios(["a", "b"])
-        added, missing = scenario_diff(current, baseline)
+        added, missing, mismatched = scenario_diff(current, baseline)
         assert added == ["commit-storm-replicated-prany"]
         assert missing == []
+        assert mismatched == []
 
     def test_missing_scenario_is_named(self):
         current = self.with_scenarios(["a"])
         baseline = self.with_scenarios(["a", "retired-scenario"])
-        added, missing = scenario_diff(current, baseline)
+        added, missing, mismatched = scenario_diff(current, baseline)
         assert added == []
         assert missing == ["retired-scenario"]
+        assert mismatched == []
 
     def test_rename_shows_both_sides_sorted(self):
         # The same-size trap: one added + one removed keeps the count
         # equal, which is exactly what a size-only comparison missed.
         current = self.with_scenarios(["a", "z-new", "b-new"])
         baseline = self.with_scenarios(["a", "z-old", "b-old"])
-        added, missing = scenario_diff(current, baseline)
+        added, missing, mismatched = scenario_diff(current, baseline)
         assert added == ["b-new", "z-new"]
         assert missing == ["b-old", "z-old"]
+        assert mismatched == []
 
     def test_committed_baseline_matches_registry(self):
         # The gate the CI job runs: the committed file must cover the
         # registry exactly, or `repro bench --check` exits 1.
         baseline = load_report(REPO_ROOT / "BENCH_sim.json")
         current = self.with_scenarios(sorted(SCENARIOS))
-        assert scenario_diff(current, baseline) == ([], [])
+        assert scenario_diff(current, baseline) == ([], [], [])
+
+    def test_codec_mismatch_is_refused(self):
+        # The sim gate shares scenario_diff with the live gate: a
+        # baseline measured under one wire codec must not be compared
+        # against a run measured under the other.
+        current = self.with_scenarios(["a"])
+        baseline = self.with_scenarios(["a"])
+        current["scenarios"]["a"]["detail"] = {"codec": "binary"}
+        baseline["scenarios"]["a"]["detail"] = {"codec": "json"}
+        added, missing, mismatched = scenario_diff(current, baseline)
+        assert (added, missing) == ([], [])
+        assert mismatched == [
+            "a: baseline ran the json codec, this run the binary codec"
+        ]
+
+    def test_codec_absent_from_baseline_is_tolerated(self):
+        current = self.with_scenarios(["a"])
+        baseline = self.with_scenarios(["a"])
+        current["scenarios"]["a"]["detail"] = {"codec": "binary"}
+        baseline["scenarios"]["a"].pop("detail", None)
+        assert scenario_diff(current, baseline)[2] == []

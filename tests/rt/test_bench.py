@@ -80,7 +80,7 @@ class TestScenarioSetDrift:
     """
 
     def test_new_live_scenario_without_baseline_entry_is_added(self):
-        added, missing = scenario_diff(
+        added, missing, mismatched = scenario_diff(
             report_with(
                 {
                     "live-prany-multiproc": entry(40.0),
@@ -91,9 +91,10 @@ class TestScenarioSetDrift:
         )
         assert added == ["live-prany-replicated"]
         assert missing == []
+        assert mismatched == []
 
     def test_retired_scenario_still_in_baseline_is_missing(self):
-        added, missing = scenario_diff(
+        added, missing, mismatched = scenario_diff(
             report_with({"live-prany-multiproc": entry(40.0)}),
             report_with(
                 {
@@ -104,19 +105,56 @@ class TestScenarioSetDrift:
         )
         assert added == []
         assert missing == ["live-prany-retired"]
+        assert mismatched == []
 
     def test_same_size_rename_is_caught(self):
         # Equal scenario counts with different names: the size-only
         # comparison the gate used to rely on passed this silently.
-        added, missing = scenario_diff(
+        added, missing, mismatched = scenario_diff(
             report_with({"live-b": entry(1.0)}),
             report_with({"live-a": entry(1.0)}),
         )
-        assert (added, missing) == (["live-b"], ["live-a"])
+        assert (added, missing, mismatched) == (["live-b"], ["live-a"], [])
+
+    def test_codec_mismatch_refused(self):
+        # A json-codec baseline compared against a binary-codec run (or
+        # vice versa) is apples to oranges: the gate must refuse the
+        # comparison rather than grade the codec swap as a perf delta.
+        json_entry = dict(entry(40.0), detail={"codec": "json"})
+        binary_entry = dict(entry(55.0), detail={"codec": "binary"})
+        added, missing, mismatched = scenario_diff(
+            report_with({"live-prany-throughput": binary_entry}),
+            report_with({"live-prany-throughput": json_entry}),
+        )
+        assert added == []
+        assert missing == []
+        assert mismatched == [
+            "live-prany-throughput: baseline ran the json codec, "
+            "this run the binary codec"
+        ]
+
+    def test_codec_recorded_on_only_one_side_is_not_flagged(self):
+        # Pre-codec baselines have no detail.codec; comparing them
+        # against a codec-recording run must stay legal or the first
+        # regeneration after the field landed could never pass.
+        new_entry = dict(entry(40.0), detail={"codec": "json"})
+        _, _, mismatched = scenario_diff(
+            report_with({"live-prany-throughput": new_entry}),
+            report_with({"live-prany-throughput": entry(40.0)}),
+        )
+        assert mismatched == []
+
+    def test_matching_codecs_are_not_flagged(self):
+        both = dict(entry(40.0), detail={"codec": "binary"})
+        _, _, mismatched = scenario_diff(
+            report_with({"live-prany-throughput": both}),
+            report_with({"live-prany-throughput": dict(both)}),
+        )
+        assert mismatched == []
 
 
 class TestRegistry:
-    def test_live_scenarios_are_nondeterministic_and_named(self):
+    def test_live_scenarios_are_named_in_report_order(self):
         scenarios = live_scenarios()
         assert [s.name for s in scenarios] == [
             "live-prany-commit",
@@ -125,12 +163,30 @@ class TestRegistry:
             "live-prany-replicated",
             "live-prany-single",
             "live-prany-sharded",
+            "live-prany-openloop-json",
+            "live-prany-openloop-binary",
+            "live-codec-json",
+            "live-codec-binary",
         ]
-        assert all(not s.deterministic for s in scenarios)
+
+    def test_cluster_scenarios_are_nondeterministic(self):
+        # Real clusters produce run-to-run trace variance; only the
+        # socketless codec microbenchmarks have fixed work counters.
+        for scenario in live_scenarios():
+            expect_deterministic = scenario.name.startswith("live-codec-")
+            assert scenario.deterministic == expect_deterministic, scenario.name
+
+    def test_openloop_pair_scenarios_name_each_other(self):
+        by_name = {s.name for s in live_scenarios()}
+        assert "live-prany-openloop-json" in by_name
+        assert "live-prany-openloop-binary" in by_name
+        assert "live-codec-json" in by_name
+        assert "live-codec-binary" in by_name
 
     def test_optimization_ledger_rows_are_complete(self):
+        known = {s.name for s in live_scenarios()}
         for row in LIVE_OPTIMIZATION_HISTORY:
-            assert row["scenario"] == "live-prany-throughput"
+            assert row["scenario"] in known
             assert row["metric"] == "events_per_second.median"
             assert row["after"] >= row["before"]
             assert row["speedup"] >= 1.0

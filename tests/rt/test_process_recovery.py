@@ -150,7 +150,9 @@ def run_sim_twin(protocol: str, point: str, spec) -> "tuple[dict, bool]":
     return equivalence_summary(mdbs), bool(fired)
 
 
-async def run_live_cell(protocol: str, point: str, spec, data_dir) -> dict:
+async def run_live_cell(
+    protocol: str, point: str, spec, data_dir, codec: str = "json"
+) -> dict:
     """The system under test: same schedule over real processes, the
     kill a genuine self-SIGKILL inside the victim."""
     mix, coordinator = PROTOCOL_SETUPS[protocol]
@@ -166,6 +168,7 @@ async def run_live_cell(protocol: str, point: str, spec, data_dir) -> dict:
         time_scale=TIME_SCALE,
         fsync=True,
         kills={victim: KillSpec(point=point, txn=target.txn_id)},
+        codec=codec,
     )
     await cluster.start()
     try:
@@ -189,7 +192,7 @@ async def run_live_cell(protocol: str, point: str, spec, data_dir) -> dict:
     return equivalence_summary(cluster)
 
 
-def _run_cell(protocol: str, point: str, tmp_path) -> None:
+def _run_cell(protocol: str, point: str, tmp_path, codec: str = "json") -> None:
     spec = _matrix_spec()
     sim_summary, fired = run_sim_twin(protocol, point, spec)
     if not fired:
@@ -197,7 +200,9 @@ def _run_cell(protocol: str, point: str, tmp_path) -> None:
             f"{protocol} never reaches {point} on this workload "
             f"(no such record boundary for this protocol/role)"
         )
-    live_summary = asyncio.run(run_live_cell(protocol, point, spec, str(tmp_path)))
+    live_summary = asyncio.run(
+        run_live_cell(protocol, point, spec, str(tmp_path), codec=codec)
+    )
     assert live_summary == sim_summary
     assert live_summary["checks"] == {
         "atomicity": True,
@@ -217,3 +222,25 @@ def test_coordinator_sigkill_matrix(protocol, point, tmp_path):
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_participant_sigkill_matrix(protocol, point, tmp_path):
     _run_cell(protocol, point, tmp_path)
+
+
+@pytest.mark.parametrize(
+    "protocol,point",
+    [("PrC", "part-after-prepared"), ("PrAny", "coord-after-decide")],
+)
+def test_sigkill_recovery_from_binary_wal(protocol, point, tmp_path):
+    """A SIGKILLed site must recover from a *binary* WAL exactly as it
+    does from JSONL: the respawned victim reloads struct-packed records
+    (torn tail discarded by the loader) and the footprint still matches
+    the sim twin. Two representative cells — a participant killed with
+    a prepared record stable and a coordinator killed with a decision
+    record stable — cover both recovery directions without doubling the
+    whole matrix."""
+    _run_cell(protocol, point, tmp_path, codec="binary")
+    from repro.storage.file_log import WAL_MAGIC
+
+    wal_files = sorted(tmp_path.rglob("wal.jsonl"))
+    assert wal_files, "expected WAL files under the data dir"
+    assert any(
+        wal.read_bytes().startswith(WAL_MAGIC) for wal in wal_files
+    ), "no site wrote a binary WAL"

@@ -151,7 +151,6 @@ class TestReconnectRetry:
         """A batch whose socket dies mid-write is retried over ONE fresh
         connection using the already-encoded bytes: each message is
         encoded once and delivered once."""
-        import repro.rt.transport as transport_mod
 
         async def go():
             async with Pair() as pair:
@@ -160,13 +159,13 @@ class TestReconnectRetry:
                 link = pair.a._links["b"]
 
                 encoded: list[str] = []
-                real_encode = transport_mod.encode_frame
+                real_encode = pair.a.codec.encode_frame
 
                 def counting_encode(message):
                     encoded.append(message.txn_id)
                     return real_encode(message)
 
-                monkeypatch.setattr(transport_mod, "encode_frame", counting_encode)
+                monkeypatch.setattr(pair.a.codec, "encode_frame", counting_encode)
 
                 real_write_frames = link._write_frames
                 failures = 0

@@ -387,3 +387,264 @@ class TestFileBackedStore:
     def test_missing_file_starts_empty(self, tmp_path):
         store = FileBackedStore(tmp_path / "fresh" / "store.json", fsync=False)
         assert store.snapshot() == {}
+
+
+# -- the binary WAL codec ----------------------------------------------------
+
+from repro.storage.file_log import (  # noqa: E402  (grouped with binary tests)
+    WAL_CODECS,
+    WAL_MAGIC,
+    encode_records,
+    load_wal_records,
+    sniff_wal_codec,
+)
+
+
+def forced(txn, type_=RecordType.PREPARED, lsn=None, **payload):
+    record = LogRecord(type_, txn, dict(payload))
+    if lsn is not None:
+        record.lsn = lsn
+    record.forced = True
+    return record
+
+
+class TestEncodeRecords:
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(StorageError, match="unknown WAL codec"):
+            encode_records([rec()], codec="msgpack")
+        assert set(WAL_CODECS) == {"json", "binary"}
+
+    def test_json_blob_is_jsonl(self):
+        blob = encode_records([forced("t1", lsn=1), forced("t2", lsn=2)], "json")
+        assert [json.loads(line)["txn"] for line in blob.splitlines()] == [
+            "t1",
+            "t2",
+        ]
+
+    def test_binary_blob_never_includes_magic(self):
+        blob = encode_records([forced("t1", lsn=1)], "binary")
+        assert not blob.startswith(WAL_MAGIC)
+
+    def test_unencodable_payload_raises(self):
+        bad = LogRecord(RecordType.PREPARED, "t1", {"keys": {1, 2}})
+        with pytest.raises(StorageError, match="not binary-encodable"):
+            encode_records([bad], "binary")
+
+    def test_sniff(self):
+        assert sniff_wal_codec(WAL_MAGIC + b"anything") == "binary"
+        assert sniff_wal_codec(b'{"type": ...}') == "json"
+        assert sniff_wal_codec(b"") == "json"
+
+
+class TestBinaryPersistence:
+    def test_forced_records_reload_in_new_instance(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        log.force_append(rec("t1", RecordType.PREPARED, coordinator="tm"))
+        log.force_append(rec("t1", RecordType.COMMIT))
+        log.close()
+
+        reborn = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        records = reborn.stable_records()
+        assert [(r.type, r.txn_id) for r in records] == [
+            (RecordType.PREPARED, "t1"),
+            (RecordType.COMMIT, "t1"),
+        ]
+        assert records[0].payload == {"coordinator": "tm"}
+        assert all(r.forced for r in records)
+        assert path.read_bytes().startswith(WAL_MAGIC)
+
+    def test_lsns_continue_after_reload(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        last = log.force_append(rec())
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert reborn.force_append(rec("t2")).lsn == last.lsn + 1
+
+    def test_unknown_codec_rejected(self, sim, path):
+        with pytest.raises(StorageError, match="unknown WAL codec"):
+            FileStableLog(sim, "s1", path, codec="msgpack")
+
+    def test_binary_smaller_than_json(self, sim, tmp_path):
+        records = [
+            rec(f"t{i}", RecordType.PREPARED, coordinator="tm", keys=["a", "b"])
+            for i in range(8)
+        ]
+        for codec in ("json", "binary"):
+            log = FileStableLog(
+                sim, "s1", tmp_path / f"wal-{codec}", fsync=False, codec=codec
+            )
+            for record in records:
+                log.force_append(
+                    LogRecord(record.type, record.txn_id, dict(record.payload))
+                )
+            log.close()
+        json_size = (tmp_path / "wal-json").stat().st_size
+        binary_size = (tmp_path / "wal-binary").stat().st_size
+        assert binary_size < json_size
+
+
+class TestWalCodecMismatch:
+    def test_json_site_refuses_binary_file(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        log.force_append(rec("t1"))
+        log.close()
+        with pytest.raises(StorageError, match="written by the binary codec"):
+            FileStableLog(sim, "s1", path, fsync=False, codec="json")
+
+    def test_binary_site_refuses_json_file(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="json")
+        log.force_append(rec("t1"))
+        log.close()
+        with pytest.raises(StorageError, match="written by the json codec"):
+            FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+
+    def test_binary_site_accepts_empty_file(self, sim, path):
+        path.write_bytes(b"")
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        log.force_append(rec("t1"))
+        log.close()
+        assert path.read_bytes().startswith(WAL_MAGIC)
+
+    def test_torn_magic_loads_empty(self, sim, path):
+        # A crash during the very first blob can tear mid-magic:
+        # nothing was ever stable, so boot empty rather than refuse.
+        path.write_bytes(WAL_MAGIC[:3])
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert log.stable_records() == ()
+
+
+class TestBinaryTornTail:
+    def write_wal(self, path, records, tail=b""):
+        path.write_bytes(WAL_MAGIC + encode_records(records, "binary") + tail)
+
+    def test_truncated_final_frame_discarded_and_truncated(self, sim, path):
+        good = [forced("t1", lsn=1)]
+        torn_frame = encode_records([forced("t2", RecordType.COMMIT, lsn=2)], "binary")
+        self.write_wal(path, good, tail=torn_frame[:-3])
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert [r.txn_id for r in log.stable_records()] == ["t1"]
+        assert path.read_bytes() == WAL_MAGIC + encode_records(good, "binary")
+        torn = sim.trace.first("log", "torn_tail")
+        assert torn is not None
+        assert torn.details["discarded_bytes"] > 0
+
+    def test_corrupt_final_crc_discarded(self, sim, path):
+        good = [forced("t1", lsn=1)]
+        frame = bytearray(
+            encode_records([forced("t2", RecordType.COMMIT, lsn=2)], "binary")
+        )
+        frame[-1] ^= 0xFF  # body flips, CRC doesn't
+        self.write_wal(path, good, tail=bytes(frame))
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert [r.txn_id for r in log.stable_records()] == ["t1"]
+
+    def test_interior_corruption_raises(self, sim, path):
+        blob = bytearray(
+            encode_records([forced("t1", lsn=1), forced("t2", lsn=2)], "binary")
+        )
+        blob[10] ^= 0xFF  # inside the first frame's body
+        path.write_bytes(WAL_MAGIC + bytes(blob))
+        with pytest.raises(StorageError, match="corruption, not a crash tail"):
+            FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+
+    def test_append_after_torn_tail_reloads_cleanly(self, sim, path):
+        good = [forced("t1", lsn=1)]
+        self.write_wal(path, good, tail=b"\x00\x00")
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        log.force_append(rec("t2", RecordType.COMMIT))
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert [r.txn_id for r in reborn.stable_records()] == ["t1", "t2"]
+
+    @given(
+        n_records=st.integers(min_value=1, max_value=5),
+        cut=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_truncation_point_recovers_the_good_prefix(self, n_records, cut):
+        """The torn-tail property: truncating a binary WAL at ANY byte
+        offset must recover exactly the records whose frames end at or
+        before the cut — never a partial record, never a refusal."""
+        records = [
+            forced(f"t{i}", RecordType.PREPARED, lsn=i + 1, n=i)
+            for i in range(n_records)
+        ]
+        # Frame boundaries: prefix sums of each record's encoded size.
+        boundaries = [len(WAL_MAGIC)]
+        for record in records:
+            boundaries.append(
+                boundaries[-1] + len(encode_records([record], "binary"))
+            )
+        full = WAL_MAGIC + encode_records(records, "binary")
+        cut = min(cut, len(full))
+        with tempfile.TemporaryDirectory() as tmp:
+            wal = Path(tmp) / "wal.bin"
+            wal.write_bytes(full[:cut])
+            sim = Simulator(seed=7)
+            log = FileStableLog(sim, "s1", wal, fsync=False, codec="binary")
+            survivors = sum(1 for end in boundaries[1:] if end <= cut)
+            assert [r.txn_id for r in log.stable_records()] == [
+                f"t{i}" for i in range(survivors)
+            ]
+            log.close()
+
+
+class TestBinaryGarbageCollection:
+    def test_gc_compacts_to_one_shared_encoding(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        log.force_append(rec("t1"))
+        log.force_append(rec("t2"))
+        assert log.garbage_collect("t1") == 1
+        # The compacted file is exactly the shared helper's encoding of
+        # the survivors — persist and compaction can never drift.
+        assert path.read_bytes() == WAL_MAGIC + encode_records(
+            log.stable_records(), "binary"
+        )
+        assert not path.with_suffix(path.suffix + ".tmp").exists()
+        reborn = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert [r.txn_id for r in reborn.stable_records()] == ["t2"]
+
+    def test_json_gc_also_uses_shared_encoding(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="json")
+        log.force_append(rec("t1"))
+        log.force_append(rec("t2"))
+        log.garbage_collect("t1")
+        assert path.read_bytes() == encode_records(log.stable_records(), "json")
+
+
+class TestBinaryGroupCommit:
+    def test_window_coalesces_into_one_binary_blob(self, sim, path):
+        config = GroupCommitConfig(max_delay=1.0, max_batch=8)
+        log = GroupCommitFileLog(
+            sim, "s1", path, config, fsync=False, codec="binary"
+        )
+        for i in range(3):
+            log.force_append_async(rec(f"t{i}"))
+        assert path.read_bytes() == b""  # nothing until the window closes
+        sim.run()
+        assert log.force_count == 1
+        assert log.force_requests == 3
+        log.close()
+        reborn = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        assert [r.txn_id for r in reborn.stable_records()] == ["t0", "t1", "t2"]
+
+
+class TestLoadWalRecords:
+    def test_sniffs_codec(self, sim, tmp_path):
+        for codec in ("json", "binary"):
+            wal = tmp_path / f"wal-{codec}"
+            log = FileStableLog(sim, "s1", wal, fsync=False, codec=codec)
+            log.force_append(rec("t1"))
+            log.close()
+            assert [r.txn_id for r in load_wal_records(wal)] == ["t1"]
+
+    def test_tolerates_torn_tail_without_truncating(self, sim, path):
+        log = FileStableLog(sim, "s1", path, fsync=False, codec="binary")
+        log.force_append(rec("t1"))
+        log.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw + b"\x01\x02")
+        assert [r.txn_id for r in load_wal_records(path)] == ["t1"]
+        # Read-only: the supervisor's view must not rewrite a dead
+        # child's WAL behind its back.
+        assert path.read_bytes() == raw + b"\x01\x02"

@@ -133,6 +133,7 @@ class TestLiveCLI:
             "src/repro/storage/file_log.py",
             "src/repro/rt/transport.py",
             "src/repro/rt/cluster.py",
+            "src/repro/rt/codec.py",
         }
 
     def test_live_bench_check_skips_size_mismatch(self, capsys, tmp_path):

@@ -168,6 +168,42 @@ class TestFlagDrift:
             f"{undocumented}"
         )
 
+    def loadgen_help(self) -> str:
+        result = run_repro("loadgen", "--help")
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_every_documented_loadgen_flag_parses(self):
+        documented = table_flags("docs/DEPLOYMENT.md", "python -m repro loadgen")
+        assert documented, "DEPLOYMENT.md loadgen flag table not found"
+        help_text = self.loadgen_help()
+        undocumented = sorted(f for f in documented if f not in help_text)
+        assert not undocumented, (
+            f"DEPLOYMENT.md documents loadgen flags the CLI lacks: "
+            f"{undocumented}"
+        )
+
+    def test_every_loadgen_parser_flag_is_documented(self):
+        import re
+
+        documented = table_flags("docs/DEPLOYMENT.md", "python -m repro loadgen")
+        exempt = {"--help"}
+        parser_flags = set(re.findall(r"--[a-z][a-z-]*", self.loadgen_help()))
+        undocumented = sorted(parser_flags - documented - exempt)
+        assert not undocumented, (
+            f"`repro loadgen` grew flags DEPLOYMENT.md does not document: "
+            f"{undocumented}"
+        )
+
+    def test_codec_flag_reaches_both_live_subcommands(self):
+        # The codec seam is part of the deployment surface: both live
+        # front ends advertise it, with the same two choices.
+        for subcommand in ("live", "loadgen"):
+            result = run_repro(subcommand, "--help")
+            assert result.returncode == 0
+            assert "--codec" in result.stdout
+            assert "{json,binary}" in result.stdout
+
     def test_replicated_flag_reaches_both_subcommands(self):
         # The replicated topology is part of the deployment surface:
         # list output, live and explore all advertise it.

@@ -1,0 +1,128 @@
+"""The binary value encoding: round trips over the JSON domain and
+strict rejection of everything else.
+
+The codec twins' foundation: :mod:`repro.packing` must accept exactly
+what :func:`json.dumps` accepts (same normalizations) and be loud on
+any malformed byte stream — a torn or corrupt frame can never decode
+to a silently wrong value.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packing import (
+    MAX_DEPTH,
+    PackError,
+    pack_into,
+    pack_value,
+    unpack_prefix,
+    unpack_value,
+)
+from tests.net.test_message import json_values
+
+
+class TestRoundTrip:
+    @given(value=json_values)
+    def test_json_domain_round_trips(self, value):
+        packed = pack_value(value)
+        out = unpack_value(packed)
+        # Same normalization as a JSON round trip: tuples become lists.
+        assert out == json.loads(json.dumps(value))
+
+    @given(value=json_values)
+    def test_pack_into_matches_pack_value(self, value):
+        out = bytearray(b"prefix")
+        pack_into(out, value)
+        assert bytes(out[6:]) == pack_value(value)
+
+    @given(values=st.lists(json_values, min_size=1, max_size=4))
+    def test_unpack_prefix_walks_concatenated_values(self, values):
+        blob = b"".join(pack_value(v) for v in values)
+        offset, out = 0, []
+        while offset < len(blob):
+            value, offset = unpack_prefix(blob, offset)
+            out.append(value)
+        assert out == [json.loads(json.dumps(v)) for v in values]
+
+    def test_int_widths(self):
+        for n in (0, 1, 127, -1, -32, -33, 2**15 - 1, -(2**15), 2**31, 2**63 - 1,
+                  -(2**63), 2**80, -(2**80)):
+            assert unpack_value(pack_value(n)) == n
+
+    def test_string_cache_returns_equal_bytes(self):
+        # Memoized strings must encode identically to the first pass.
+        first = pack_value("participants")
+        second = pack_value("participants")
+        assert first == second
+        assert unpack_value(first) == "participants"
+
+    def test_long_strings_round_trip(self):
+        for n in (31, 32, 255, 256, 70000):
+            text = "x" * n
+            assert unpack_value(pack_value(text)) == text
+
+
+class TestRejection:
+    def test_non_json_values_rejected(self):
+        for bad in ({1, 2}, b"bytes", object(), complex(1, 2)):
+            with pytest.raises(PackError, match="not binary-encodable"):
+                pack_value(bad)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(PackError, match="keys must be strings"):
+            pack_value({1: "a"})
+
+    def test_depth_cap_on_encode(self):
+        value = "leaf"
+        for _ in range(MAX_DEPTH + 1):
+            value = [value]
+        with pytest.raises(PackError, match="MAX_DEPTH"):
+            pack_value(value)
+
+    def test_depth_cap_on_decode(self):
+        # Hand-built: MAX_DEPTH+1 nested fixarray(1) headers.
+        blob = bytes([0x91]) * (MAX_DEPTH + 1) + pack_value(0)
+        with pytest.raises(PackError, match="MAX_DEPTH"):
+            unpack_value(blob)
+
+    @given(value=json_values, cut=st.integers(min_value=0, max_value=200))
+    def test_truncation_never_returns_a_value(self, value, cut):
+        packed = pack_value(value)
+        if cut >= len(packed):
+            return
+        try:
+            out = unpack_value(packed[:cut])
+        except PackError:
+            return
+        # A strict prefix that still decodes whole can only happen if
+        # the prefix is itself a complete value AND nothing trails it —
+        # impossible for a truncation of a single packed value.
+        raise AssertionError(f"truncated decode produced {out!r}")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PackError, match="trailing garbage"):
+            unpack_value(pack_value(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        for tag in (0xC1, 0xC4, 0xC5, 0xC6, 0xC8, 0xD0, 0xD4):
+            with pytest.raises(PackError, match="unknown value tag"):
+                unpack_value(bytes([tag]))
+
+    def test_invalid_utf8_rejected(self):
+        blob = bytes([0xA2, 0xFF, 0xFE])  # fixstr(2) of invalid UTF-8
+        with pytest.raises(PackError, match="invalid UTF-8"):
+            unpack_value(blob)
+
+    def test_map_with_non_string_key_rejected(self):
+        blob = bytes([0x81]) + pack_value(1) + pack_value("v")
+        with pytest.raises(PackError, match="map keys must be strings"):
+            unpack_value(blob)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(PackError, match="truncated value"):
+            unpack_value(b"")
